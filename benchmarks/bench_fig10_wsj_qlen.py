@@ -1,0 +1,90 @@
+"""Figure 10 — WSJ corpus, k = 10, varying query length (qlen).
+
+Reproduces all four panels: (a) evaluated candidates per dimension,
+(b) I/O cost, (c) CPU cost, (d) memory footprint.  Paper shape: pruning is
+highly effective on sparse text (Prune and CPT orders of magnitude below
+Scan), thresholding compounds it (CPT below Prune), and costs grow with
+qlen for every method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner, write_figure
+
+from conftest import METHODS, RESULTS_DIR, wsj_workload
+
+QLENS = (2, 4, 6, 8, 10)
+K = 10
+_grid = {}
+
+
+@pytest.mark.parametrize("qlen", QLENS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig10_point(benchmark, wsj, n_queries, method, qlen):
+    index, stats = wsj
+    workload = wsj_workload(index, stats, qlen, n_queries, seed=100 + qlen)
+    runner = ExperimentRunner(index)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": K},
+        rounds=1,
+        iterations=1,
+    )
+    _grid[(method, qlen)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+    benchmark.extra_info["io_seconds"] = aggregate.io_seconds
+    benchmark.extra_info["memory_kbytes"] = aggregate.memory_kbytes
+
+
+def test_fig10_report(benchmark, wsj):
+    def render():
+        return write_figure(
+            RESULTS_DIR,
+            "fig10_wsj_qlen",
+            f"Figure 10 — WSJ-like corpus, k={K}, varying qlen",
+            "qlen",
+            QLENS,
+            METHODS,
+            _grid,
+            metrics=(
+                "evaluated_per_dim",
+                "io_seconds",
+                "cpu_seconds",
+                "memory_kbytes",
+            ),
+            notes=(
+                "Paper shape: CPT < Prune < Thres < Scan in candidates/IO on\n"
+                "sparse text; all methods grow with qlen; Prune has the\n"
+                "smallest footprint, Thres the largest."
+            ),
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "Figure 10" in text
+
+    # Shape assertions (means over the workload).
+    for qlen in QLENS:
+        scan = _grid[("scan", qlen)]
+        prune = _grid[("prune", qlen)]
+        thres = _grid[("thres", qlen)]
+        cpt = _grid[("cpt", qlen)]
+        # Figure 10(a): pruning and thresholding beat the baseline.
+        assert prune.evaluated_per_dim <= scan.evaluated_per_dim
+        assert thres.evaluated_per_dim <= scan.evaluated_per_dim
+        assert cpt.evaluated_per_dim <= prune.evaluated_per_dim + 1e-9
+        # Figure 10(b): I/O follows evaluated candidates.
+        assert cpt.io_seconds <= scan.io_seconds
+        # Figure 10(d): Thres keeps the largest structures.
+        assert thres.memory_kbytes >= scan.memory_kbytes
+        assert prune.memory_kbytes <= thres.memory_kbytes
+    # Costs grow with query length for the baseline (deeper TA scans).
+    assert _grid[("scan", 10)].evaluated_per_dim > _grid[("scan", 2)].evaluated_per_dim
+    # Headline claim (§7.2): at qlen=10 pruning wins by well over an order
+    # of magnitude on text data.
+    assert (
+        _grid[("scan", 10)].evaluated_per_dim
+        > 10 * _grid[("cpt", 10)].evaluated_per_dim
+    )

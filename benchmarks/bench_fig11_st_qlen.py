@@ -1,0 +1,65 @@
+"""Figure 11 — correlated ST data, k = 10, varying qlen.
+
+Paper shape: pruning is ineffective (``C0_j``/``CH_j`` are near-empty, so
+Prune tracks Scan), while thresholding shines — CPT rides on its
+thresholding component and stays orders of magnitude below Scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner, write_figure
+
+from conftest import METHODS, RESULTS_DIR, dense_workload
+
+QLENS = (2, 4, 6, 8, 10)
+K = 10
+_grid = {}
+
+
+@pytest.mark.parametrize("qlen", QLENS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig11_point(benchmark, st, n_queries, method, qlen):
+    workload = dense_workload(st, qlen, n_queries, seed=1100 + qlen)
+    runner = ExperimentRunner(st)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": K},
+        rounds=1,
+        iterations=1,
+    )
+    _grid[(method, qlen)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+
+
+def test_fig11_report(benchmark, st):
+    def render():
+        return write_figure(
+            RESULTS_DIR,
+            "fig11_st_qlen",
+            f"Figure 11 — ST-like correlated data, k={K}, varying qlen",
+            "qlen",
+            QLENS,
+            METHODS,
+            _grid,
+            metrics=("evaluated_per_dim", "cpu_seconds", "io_seconds"),
+            notes=(
+                "Paper shape: Prune ≈ Scan (correlation leaves nothing to\n"
+                "prune); Thres and CPT orders of magnitude lower."
+            ),
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "Figure 11" in text
+    for qlen in QLENS:
+        scan = _grid[("scan", qlen)].evaluated_per_dim
+        prune = _grid[("prune", qlen)].evaluated_per_dim
+        thres = _grid[("thres", qlen)].evaluated_per_dim
+        cpt = _grid[("cpt", qlen)].evaluated_per_dim
+        # Pruning removes (almost) nothing on correlated data.
+        assert prune > 0.9 * scan
+        # Thresholding provides the bulk of CPT's savings.
+        assert thres < scan / 5
+        assert cpt < scan / 5

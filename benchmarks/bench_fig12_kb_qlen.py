@@ -1,0 +1,62 @@
+"""Figure 12 — KB-like image features, k = 10, varying qlen up to 48.
+
+Paper shape: all three candidate partitions are sizable on KB, so pruning
+and thresholding are both effective and CPT (their combination) wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner, write_figure
+
+from conftest import METHODS, RESULTS_DIR, dense_workload
+
+QLENS = (2, 8, 16, 32, 48)
+K = 10
+_grid = {}
+
+
+@pytest.mark.parametrize("qlen", QLENS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig12_point(benchmark, kb, n_queries, method, qlen):
+    workload = dense_workload(kb, qlen, n_queries, seed=1200 + qlen)
+    runner = ExperimentRunner(kb)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": K},
+        rounds=1,
+        iterations=1,
+    )
+    _grid[(method, qlen)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+
+
+def test_fig12_report(benchmark, kb):
+    def render():
+        return write_figure(
+            RESULTS_DIR,
+            "fig12_kb_qlen",
+            f"Figure 12 — KB-like image features, k={K}, varying qlen",
+            "qlen",
+            QLENS,
+            METHODS,
+            _grid,
+            metrics=("evaluated_per_dim", "cpu_seconds", "io_seconds"),
+            notes=(
+                "Paper shape: all candidate partitions sizable — pruning and\n"
+                "thresholding both effective, CPT best."
+            ),
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "Figure 12" in text
+    for qlen in QLENS:
+        scan = _grid[("scan", qlen)].evaluated_per_dim
+        prune = _grid[("prune", qlen)].evaluated_per_dim
+        thres = _grid[("thres", qlen)].evaluated_per_dim
+        cpt = _grid[("cpt", qlen)].evaluated_per_dim
+        assert prune < scan  # pruning helps on KB
+        assert thres < scan  # thresholding helps on KB
+        assert cpt <= min(prune, thres) * 1.5  # and they compose

@@ -1,0 +1,134 @@
+"""Figure 13 — WSJ and ST, qlen = 4, varying k from 10 to 80.
+
+Paper shape: on WSJ, a larger k deepens the TA scan and raises Scan's
+costs, while Prune/Thres/CPT *improve* (rare terms' lists are exhausted
+into the result, emptying ``CH_j``; tighter interim regions let
+thresholding stop earlier).  On ST, Prune tracks Scan (both grow) and CPT
+relies on thresholding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvertedIndex, generate_text_corpus, sample_queries
+from repro.bench import ExperimentRunner, write_figure
+
+from conftest import METHODS, RESULTS_DIR, dense_workload
+
+KS = (10, 20, 40, 80)
+QLEN = 4
+_wsj_grid = {}
+_st_grid = {}
+
+
+@pytest.fixture(scope="module")
+def deep_wsj(scale):
+    """A deeper corpus for the varying-k experiment.
+
+    Figure 13's WSJ effect (C(q) growing with k) needs inverted lists much
+    longer than k=80; at benchmark scale that means more documents per
+    vocabulary term than the Figure 10 corpus provides.
+    """
+    data, stats = generate_text_corpus(
+        n_docs=max(2 * scale.wsj_docs, 12_000),
+        vocab_size=max(scale.wsj_vocab, 2_500),
+        avg_doc_len=150,
+        seed=43,
+    )
+    return InvertedIndex(data), stats
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig13_wsj_point(benchmark, deep_wsj, n_queries, method, k):
+    index, stats = deep_wsj
+    workload = sample_queries(
+        index.dataset,
+        qlen=QLEN,
+        n_queries=n_queries,
+        seed=1300,
+        dim_scheme="df_weighted",
+        weight_scheme="idf",
+        idf=stats.idf,
+        min_column_nnz=100,
+    )
+    runner = ExperimentRunner(index)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": k},
+        rounds=1,
+        iterations=1,
+    )
+    _wsj_grid[(method, k)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig13_st_point(benchmark, st, n_queries, method, k):
+    workload = dense_workload(st, QLEN, n_queries, seed=1301)
+    runner = ExperimentRunner(st)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": k},
+        rounds=1,
+        iterations=1,
+    )
+    _st_grid[(method, k)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+
+
+def test_fig13_report(benchmark):
+    def render():
+        wsj_text = write_figure(
+            RESULTS_DIR,
+            "fig13_wsj_vary_k",
+            f"Figure 13(a,b) — WSJ-like corpus, qlen={QLEN}, varying k",
+            "k",
+            KS,
+            METHODS,
+            _wsj_grid,
+            metrics=("evaluated_per_dim", "cpu_seconds"),
+            notes="Paper shape: Scan rises with k; the advanced methods do not.",
+        )
+        st_text = write_figure(
+            RESULTS_DIR,
+            "fig13_st_vary_k",
+            f"Figure 13(c,d) — ST-like data, qlen={QLEN}, varying k",
+            "k",
+            KS,
+            METHODS,
+            _st_grid,
+            metrics=("evaluated_per_dim", "cpu_seconds"),
+            notes="Paper shape: Prune ≈ Scan (both rise); CPT leans on Thres.",
+        )
+        return wsj_text + st_text
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "Figure 13" in text
+
+    # WSJ: the baseline deteriorates with k ...
+    assert (
+        _wsj_grid[("scan", 80)].evaluated_per_dim
+        > _wsj_grid[("scan", 10)].evaluated_per_dim
+    )
+    # ... while CPT stays an order of magnitude below it at every k.
+    for k in KS:
+        assert (
+            _wsj_grid[("cpt", k)].evaluated_per_dim
+            < _wsj_grid[("scan", k)].evaluated_per_dim / 10
+        )
+    # ST: pruning never separates from the baseline.
+    for k in KS:
+        assert (
+            _st_grid[("prune", k)].evaluated_per_dim
+            > 0.9 * _st_grid[("scan", k)].evaluated_per_dim
+        )
+    # ST: Scan's cost rises with k.
+    assert (
+        _st_grid[("scan", 80)].evaluated_per_dim
+        > _st_grid[("scan", 10)].evaluated_per_dim
+    )

@@ -1,0 +1,79 @@
+"""Figure 16 — disregarding reorderings within R(q) (§7.4).
+
+Same setting as Figure 10 (WSJ, φ=0, k=10, varying qlen) but only
+composition changes count as perturbations: Phase 1 is skipped and regions
+start from the widest ``[−q_j, 1−q_j]`` form.  Paper shape: overall similar
+to Figure 10, but thresholding loses bite — the wide initial regions make
+its termination condition harder to satisfy, so Thres examines more
+candidates than it did in Figure 10 (and its CPU overhead shows), while
+CPT still beats Prune on I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentRunner, write_figure
+
+from conftest import METHODS, RESULTS_DIR, wsj_workload
+
+QLENS = (2, 4, 6, 8, 10)
+K = 10
+_grid = {}
+_fig10_thres = {}
+
+
+@pytest.mark.parametrize("qlen", QLENS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig16_point(benchmark, wsj, n_queries, method, qlen):
+    index, stats = wsj
+    workload = wsj_workload(index, stats, qlen, n_queries, seed=100 + qlen)
+    runner = ExperimentRunner(index)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": K, "count_reorderings": False},
+        rounds=1,
+        iterations=1,
+    )
+    _grid[(method, qlen)] = aggregate
+    benchmark.extra_info["evaluated_per_dim"] = aggregate.evaluated_per_dim
+    if method == "thres":
+        # Reference run in the Figure 10 (reorderings counted) regime on
+        # the identical workload, for the Thres-degradation comparison.
+        _fig10_thres[qlen] = runner.run_point(
+            "thres", workload, k=K, count_reorderings=True
+        )
+
+
+def test_fig16_report(benchmark, wsj):
+    def render():
+        return write_figure(
+            RESULTS_DIR,
+            "fig16_no_reorder",
+            f"Figure 16 — WSJ-like corpus, reorderings disregarded, k={K}",
+            "qlen",
+            QLENS,
+            METHODS,
+            _grid,
+            metrics=("evaluated_per_dim", "io_seconds", "cpu_seconds"),
+            notes=(
+                "Paper shape: similar to Figure 10, but the widest-possible\n"
+                "initial regions blunt thresholding — Thres examines more\n"
+                "candidates than under Figure 10's regime."
+            ),
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "Figure 16" in text
+    total_thres_16 = sum(_grid[("thres", q)].evaluated_per_dim for q in QLENS)
+    total_thres_10 = sum(_fig10_thres[q].evaluated_per_dim for q in QLENS)
+    # Thres loses effectiveness relative to the Figure 10 regime.
+    assert total_thres_16 >= total_thres_10
+    for qlen in QLENS:
+        # CPT remains at or below Prune in candidates (and hence I/O).
+        assert (
+            _grid[("cpt", qlen)].evaluated_per_dim
+            <= _grid[("prune", qlen)].evaluated_per_dim + 1e-9
+        )
+        assert _grid[("cpt", qlen)].io_seconds <= _grid[("scan", qlen)].io_seconds

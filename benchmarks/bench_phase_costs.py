@@ -1,0 +1,72 @@
+"""§7.2 phase-cost breakdown — Phase 2 dominates Scan's runtime.
+
+The paper reports, for WSJ with k = 10: Phase 1 costs 60–140 µs, Phase 3
+about 40 ms, both at least an order of magnitude below Phase 2.  This bench
+measures the per-phase CPU time of Scan (and CPT for contrast) and asserts
+the dominance ordering that motivates CPT's focus on Phase 2 (§5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentRunner
+
+from conftest import RESULTS_DIR, wsj_workload
+
+K = 10
+QLEN = 4
+_rows = {}
+
+
+@pytest.mark.parametrize("method", ("scan", "cpt"))
+def test_phase_costs(benchmark, wsj, n_queries, method):
+    index, stats = wsj
+    workload = wsj_workload(index, stats, QLEN, n_queries, seed=720)
+    runner = ExperimentRunner(index)
+    aggregate = benchmark.pedantic(
+        runner.run_point,
+        args=(method, workload),
+        kwargs={"k": K},
+        rounds=1,
+        iterations=1,
+    )
+    _rows[method] = aggregate.phase_seconds
+    for name, seconds in aggregate.phase_seconds.items():
+        benchmark.extra_info[name] = seconds
+
+
+def test_phase_costs_report(benchmark):
+    def render():
+        lines = [
+            f"§7.2 phase breakdown — WSJ-like corpus, k={K}, qlen={QLEN}",
+            "",
+            f"{'method':>8} | {'TA (s)':>12} | {'phase1 (s)':>12} | "
+            f"{'phase2 (s)':>12} | {'phase3 (s)':>12}",
+            "-" * 70,
+        ]
+        for method, phases in _rows.items():
+            lines.append(
+                f"{method:>8} | {phases.get('ta', 0.0):>12.3g} | "
+                f"{phases.get('phase1', 0.0):>12.3g} | "
+                f"{phases.get('phase2', 0.0):>12.3g} | "
+                f"{phases.get('phase3', 0.0):>12.3g}"
+            )
+        lines.append("")
+        lines.append(
+            "Paper claim: Phases 1 and 3 are at least an order of magnitude\n"
+            "cheaper than Phase 2 for Scan, which is why CPT targets Phase 2."
+        )
+        text = "\n".join(lines) + "\n"
+        Path(RESULTS_DIR).mkdir(parents=True, exist_ok=True)
+        (Path(RESULTS_DIR) / "phase_costs.txt").write_text(text)
+        return text
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert "phase breakdown" in text
+    scan = _rows["scan"]
+    # Phase 2 dominates both other phases for the baseline.
+    assert scan.get("phase2", 0.0) > scan.get("phase1", 0.0)
+    assert scan.get("phase2", 0.0) > scan.get("phase3", 0.0)

@@ -1,0 +1,94 @@
+"""Session fixtures shared by every figure benchmark.
+
+The three paper datasets are generated once per session at the active
+scale (``REPRO_BENCH_SCALE``: small/medium/large); query workloads are
+seeded per figure for reproducibility.  Result tables land in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    InvertedIndex,
+    generate_correlated,
+    generate_image_features,
+    generate_text_corpus,
+    sample_queries,
+)
+from repro.bench import bench_scale, query_count
+
+RESULTS_DIR = Path(__file__).parent / "results"
+METHODS = ("scan", "prune", "thres", "cpt")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def n_queries():
+    return query_count()
+
+
+@pytest.fixture(scope="session")
+def wsj(scale):
+    """WSJ-like sparse TF-IDF corpus plus its statistics."""
+    data, stats = generate_text_corpus(
+        n_docs=scale.wsj_docs, vocab_size=scale.wsj_vocab, seed=42
+    )
+    return InvertedIndex(data), stats
+
+
+@pytest.fixture(scope="session")
+def st(scale):
+    """ST-like correlated synthetic dataset (paper: mvnrnd, rho=0.5)."""
+    return InvertedIndex(
+        generate_correlated(n_tuples=scale.st_tuples, n_dims=scale.st_dims, seed=42)
+    )
+
+
+@pytest.fixture(scope="session")
+def kb(scale):
+    """KB-like moderately correlated image-feature dataset."""
+    return InvertedIndex(
+        generate_image_features(
+            n_tuples=scale.kb_tuples, n_dims=scale.kb_dims, seed=42
+        )
+    )
+
+
+def wsj_workload(index, stats, qlen, n_queries, seed, dim_scheme="uniform"):
+    """The paper's WSJ queries: random terms, TF-IDF weights.
+
+    ``dim_scheme="df_weighted"`` is used by the φ>0 figures: at our scaled
+    vocabulary it restores the term co-occurrence statistics of random
+    queries against the full 182k-term WSJ vocabulary (see EXPERIMENTS.md).
+    """
+    return sample_queries(
+        index.dataset,
+        qlen=qlen,
+        n_queries=n_queries,
+        seed=seed,
+        dim_scheme=dim_scheme,
+        weight_scheme="idf",
+        idf=stats.idf,
+        min_column_nnz=30,
+    )
+
+
+def dense_workload(index, qlen, n_queries, seed):
+    """Random-dimension, random-weight queries (paper's KB/ST scheme)."""
+    return sample_queries(
+        index.dataset,
+        qlen=qlen,
+        n_queries=n_queries,
+        seed=seed,
+        dim_scheme="uniform",
+        weight_scheme="uniform",
+        min_column_nnz=30,
+    )

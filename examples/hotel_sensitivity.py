@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Sensitivity analysis for multi-criteria decisions (§1, tripadvisor example).
+
+A traveller shortlists hotels by a weighted sum over price-value,
+cleanliness and service scores.  Along with the top-5 recommendation, the
+immutable regions profile its robustness: a narrow region on cleanliness
+and a wide one on service mean the shortlist is far more sensitive to the
+cleanliness weight — compromising there is likelier to change the
+recommendation than reconsidering service expectations.
+
+The example also cross-checks the per-axis regions against the STB
+sensitivity radius of Soliman et al. (the related work the paper contrasts
+with): the single radius ρ is necessarily no wider than any per-axis
+region, which is exactly why per-dimension regions are the more useful
+sensitivity report.
+
+Run:  python examples/hotel_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+CRITERIA = ["value", "cleanliness", "location", "service"]
+
+
+def make_hotels(n: int = 400, seed: int = 3) -> repro.Dataset:
+    """Synthetic hotel scores: guests rate correlated quality criteria."""
+    rng = np.random.default_rng(seed)
+    # A latent "quality" factor drives all criteria, plus per-criterion noise.
+    quality = rng.beta(4, 2, size=(n, 1))
+    noise = rng.normal(0.0, 0.12, size=(n, len(CRITERIA)))
+    scores = np.clip(0.15 + 0.75 * quality + noise, 0.0, 1.0)
+    return repro.Dataset.from_dense(scores)
+
+
+def main() -> None:
+    hotels = make_hotels()
+    # The traveller cares about value, cleanliness and service; location is
+    # irrelevant this trip (a subspace query: its weight is simply absent).
+    query = repro.Query(
+        dims=[0, 1, 3],
+        weights=[0.65, 0.80, 0.40],
+    )
+    k = 5
+
+    computation = repro.compute_immutable_regions(hotels, query, k=k, method="cpt")
+    print(f"Top-{k} hotels: {computation.result.ids}")
+    print(f"(scores: {[round(s, 4) for s in computation.result.scores]})\n")
+
+    print(f"{'criterion':>12} | {'weight':>7} | {'stable weight range':>22} | "
+          f"{'width':>7}")
+    print("-" * 58)
+    widths = {}
+    for dim in (int(d) for d in query.dims):
+        region = computation.region(dim)
+        lo, hi = region.weight_interval
+        widths[dim] = region.width
+        print(f"{CRITERIA[dim]:>12} | {region.weight:>7.2f} | "
+              f"[{lo:>9.4f}, {hi:>9.4f}] | {region.width:>7.4f}")
+
+    most = min(widths, key=widths.get)
+    least = max(widths, key=widths.get)
+    print(
+        f"\nThe recommendation is most sensitive to '{CRITERIA[most]}' "
+        f"(width {widths[most]:.4f}) and most robust to '{CRITERIA[least]}' "
+        f"(width {widths[least]:.4f})."
+    )
+    print(
+        f"Reading: a small change of the {CRITERIA[most]} weight is likelier\n"
+        f"to alter the top-{k} than reconsidering {CRITERIA[least]} expectations."
+    )
+
+    # --- Contrast with the STB radius (related work, §2) -----------------
+    stb = repro.stb_radius(hotels, query, k)
+    print(f"\nSTB sensitivity radius (Soliman et al.): rho = {stb.radius:.4f}")
+    print("Per-axis slack of the immutable regions beyond the rho-ball:")
+    for dim in (int(d) for d in query.dims):
+        region = computation.region(dim)
+        weight = query.weight_of(dim)
+        reach_up = min(stb.radius, 1.0 - weight)
+        reach_down = min(stb.radius, weight)
+        assert region.upper.delta >= reach_up - 1e-9
+        assert region.lower.delta <= -reach_down + 1e-9
+        slack = region.width - (reach_up + reach_down)
+        print(f"  {CRITERIA[dim]:>12}: region is {slack:+.4f} wider than the ball")
+    print(
+        "\nEvery region contains the ball's axis segment (as it must), and\n"
+        "most extend far beyond it — the single radius under-reports how\n"
+        "much freedom each individual weight really has."
+    )
+
+
+if __name__ == "__main__":
+    main()

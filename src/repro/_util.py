@@ -1,0 +1,79 @@
+"""Small shared helpers used across the repro package.
+
+These utilities are internal (underscore module); the public API re-exports
+nothing from here.  They cover input validation, deterministic ordering and
+floating-point comparison policy.
+
+Floating-point policy
+---------------------
+The algorithms in the paper compare scores that are sums of products of
+values in ``[0, 1]``.  We keep exact float arithmetic everywhere (no
+rounding) and make *ordering* deterministic by breaking score ties on tuple
+id.  The only epsilon used in the library is :data:`EPS`, reserved for test
+assertions and for guarding against division by ~0 in geometry helpers; the
+algorithms themselves never need it because all methods apply identical
+tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+__all__ = [
+    "EPS",
+    "require",
+    "as_float_array",
+    "check_unit_interval",
+    "stable_desc_order",
+    "pairs",
+]
+
+#: Epsilon used by tests and degenerate-input guards (not by the algorithms).
+EPS = 1e-12
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def as_float_array(values: Iterable[float], name: str = "array") -> np.ndarray:
+    """Convert *values* to a contiguous 1-D float64 array, validating finiteness."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_unit_interval(arr: np.ndarray, name: str = "array") -> None:
+    """Validate that every entry of *arr* lies in ``[0, 1]``."""
+    if arr.size and (arr.min() < 0.0 or arr.max() > 1.0):
+        raise ValidationError(f"{name} values must lie in [0, 1]")
+
+
+def stable_desc_order(keys: Sequence[float], ids: Sequence[int]) -> np.ndarray:
+    """Return indices sorting *keys* descending, breaking ties by ascending id.
+
+    Every ordering decision in the library (TA, candidate lists, sweeps)
+    funnels through this rule so that all algorithms observe the same total
+    order and produce bit-identical regions.
+    """
+    keys_arr = np.asarray(keys, dtype=np.float64)
+    ids_arr = np.asarray(ids)
+    if keys_arr.shape != ids_arr.shape:
+        raise ValidationError("keys and ids must have the same length")
+    # lexsort sorts by the last key first; ascending ids break descending-key ties.
+    return np.lexsort((ids_arr, -keys_arr))
+
+
+def pairs(sequence: Sequence):
+    """Yield consecutive pairs ``(sequence[i], sequence[i+1])``."""
+    for left, right in zip(sequence, sequence[1:]):
+        yield left, right

@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment runner, aggregation, paper-style tables.
+
+Used by the ``benchmarks/`` suite to regenerate every figure of the paper's
+evaluation (§7).  The harness runs a workload of queries through each
+method's engine, aggregates the paper's metrics (evaluated candidates per
+dimension, simulated I/O seconds, CPU seconds, memory Kbytes), and renders
+the series as text tables comparable to the paper's charts.
+"""
+
+from .figures import ScatterSeries, score_coordinate_series
+from .harness import ExperimentRunner, MethodAggregate
+from .scaling import BenchScale, bench_scale, query_count
+from .tables import format_series_table, write_figure
+
+__all__ = [
+    "ExperimentRunner",
+    "MethodAggregate",
+    "ScatterSeries",
+    "score_coordinate_series",
+    "BenchScale",
+    "bench_scale",
+    "query_count",
+    "format_series_table",
+    "write_figure",
+]

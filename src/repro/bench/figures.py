@@ -1,0 +1,86 @@
+"""Raw figure-series extraction (paper Figure 6 scatter data).
+
+Figure 6 plots each result/candidate tuple's score against its coordinate
+in one query dimension.  :func:`score_coordinate_series` reproduces those
+series from a live TA run so users can plot them with any tool; the
+package itself stays plotting-library-free (the benchmarks consume the
+summary statistics instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..metrics.counters import AccessCounters, EvaluationCounters
+from ..metrics.timer import PhaseTimer
+from ..core.candidates import partition_candidates
+from ..core.context import RunContext
+from ..storage.index import InvertedIndex
+from ..storage.tuple_store import TupleStore
+from ..topk.query import Query
+from ..topk.ta import ThresholdAlgorithm
+
+__all__ = ["ScatterSeries", "score_coordinate_series"]
+
+
+@dataclass(frozen=True)
+class ScatterSeries:
+    """Score-vs-coordinate points for one query dimension (Figure 6).
+
+    Each entry is ``(coordinate, score)``.  ``candidates_*`` splits the
+    candidate list by partition class, making the paper's visual argument
+    (axis points vs slope points vs interior points) directly inspectable.
+    """
+
+    dim: int
+    result: List[Tuple[float, float]]
+    candidates_c0: List[Tuple[float, float]]
+    candidates_ch: List[Tuple[float, float]]
+    candidates_cl: List[Tuple[float, float]]
+
+    @property
+    def n_candidates(self) -> int:
+        """Total candidate points."""
+        return (
+            len(self.candidates_c0)
+            + len(self.candidates_ch)
+            + len(self.candidates_cl)
+        )
+
+
+def score_coordinate_series(
+    index: InvertedIndex, query: Query, k: int, dim: int
+) -> ScatterSeries:
+    """Run TA and extract the Figure 6 scatter for *dim*."""
+    access = AccessCounters()
+    store = TupleStore(index.dataset, access)
+    ta = ThresholdAlgorithm(index, query, k, counters=access, store=store)
+    outcome = ta.run()
+    ctx = RunContext(
+        index=index,
+        query=query,
+        k=k,
+        phi=0,
+        count_reorderings=True,
+        ta=ta,
+        outcome=outcome,
+        store=store,
+        access=access,
+        evals=EvaluationCounters(),
+        timer=PhaseTimer(),
+    )
+    dim = int(dim)
+    view = ctx.view(dim)
+    result_points = [
+        (coord, score)
+        for coord, score in zip(view.result_coords, view.result_scores)
+    ]
+    partition = partition_candidates(ctx, dim)
+    return ScatterSeries(
+        dim=dim,
+        result=result_points,
+        candidates_c0=[(r.coord, r.score) for r in partition.c0],
+        candidates_ch=[(r.coord, r.score) for r in partition.ch],
+        candidates_cl=[(r.coord, r.score) for r in partition.cl],
+    )

@@ -1,0 +1,108 @@
+"""Experiment runner: one data point = one workload × one method.
+
+A data point in the paper's figures is the mean over a query workload of
+one method's region-computation metrics.  :class:`ExperimentRunner` owns
+the inverted index and exposes :meth:`run_point`, returning a
+:class:`MethodAggregate` with the four paper metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._util import require
+from ..core.engine import METHODS, ImmutableRegionEngine, RegionComputation
+from ..datasets.workloads import QueryWorkload
+from ..metrics.diskmodel import DiskModel
+from ..storage.index import InvertedIndex
+
+__all__ = ["MethodAggregate", "ExperimentRunner"]
+
+
+@dataclass
+class MethodAggregate:
+    """Workload-mean metrics for one (method, setting) data point."""
+
+    method: str
+    n_queries: int
+    evaluated_per_dim: float
+    io_seconds: float
+    cpu_seconds: float
+    memory_kbytes: float
+    phase3_tuples: float
+    pruned_candidates: float
+    candidates_total: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Access a metric by name (used by the table renderer)."""
+        return float(getattr(self, name))
+
+
+class ExperimentRunner:
+    """Runs query workloads through the engines and averages the metrics."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        disk_model: Optional[DiskModel] = None,
+        probing: str = "max_impact",
+    ) -> None:
+        self.index = index
+        self.disk_model = disk_model if disk_model is not None else DiskModel()
+        self.probing = probing
+
+    def run_point(
+        self,
+        method: str,
+        workload: QueryWorkload,
+        k: int,
+        phi: int = 0,
+        count_reorderings: bool = True,
+        iterative: Optional[bool] = None,
+    ) -> MethodAggregate:
+        """Run every workload query through *method* and average the metrics."""
+        require(method in METHODS, f"unknown method {method!r}")
+        require(len(workload) >= 1, "workload must contain at least one query")
+        engine = ImmutableRegionEngine(
+            self.index,
+            method=method,
+            probing=self.probing,
+            disk_model=self.disk_model,
+            count_reorderings=count_reorderings,
+            iterative=iterative,
+        )
+        computations: List[RegionComputation] = [
+            engine.compute(query, k, phi=phi) for query in workload
+        ]
+        return self._aggregate(method, computations)
+
+    @staticmethod
+    def _aggregate(
+        method: str, computations: List[RegionComputation]
+    ) -> MethodAggregate:
+        metrics = [c.metrics for c in computations]
+        phase_names = {name for m in metrics for name in m.phase_seconds}
+        phase_means = {
+            name: float(np.mean([m.phase_seconds.get(name, 0.0) for m in metrics]))
+            for name in sorted(phase_names)
+        }
+        return MethodAggregate(
+            method=method,
+            n_queries=len(computations),
+            evaluated_per_dim=float(
+                np.mean([m.evaluated_per_dim_mean for m in metrics])
+            ),
+            io_seconds=float(np.mean([m.io_seconds for m in metrics])),
+            cpu_seconds=float(np.mean([m.cpu_seconds for m in metrics])),
+            memory_kbytes=float(np.mean([m.memory.total_kbytes for m in metrics])),
+            phase3_tuples=float(np.mean([m.evals.phase3_tuples for m in metrics])),
+            pruned_candidates=float(
+                np.mean([m.evals.pruned_candidates for m in metrics])
+            ),
+            candidates_total=float(np.mean([m.candidates_total for m in metrics])),
+            phase_seconds=phase_means,
+        )

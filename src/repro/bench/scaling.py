@@ -1,0 +1,88 @@
+"""Benchmark scaling presets.
+
+The paper's datasets (172,891-document WSJ, 28,452-image KB, 1M-tuple ST)
+are scaled to laptop-sized defaults so the full benchmark suite runs in
+minutes; ``REPRO_BENCH_SCALE`` switches presets and ``REPRO_BENCH_QUERIES``
+overrides the number of queries averaged per data point (the paper uses
+100).  Ratios between methods — the quantity every figure compares — are
+stable across scales.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+__all__ = ["BenchScale", "bench_scale", "query_count"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Dataset sizes for one benchmark scale."""
+
+    name: str
+    wsj_docs: int
+    wsj_vocab: int
+    st_tuples: int
+    st_dims: int
+    kb_tuples: int
+    kb_dims: int
+    default_queries: int
+
+
+_SCALES = {
+    "small": BenchScale(
+        name="small",
+        wsj_docs=6_000,
+        wsj_vocab=1_500,
+        st_tuples=20_000,
+        st_dims=20,
+        kb_tuples=3_000,
+        kb_dims=300,
+        default_queries=8,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        wsj_docs=20_000,
+        wsj_vocab=4_000,
+        st_tuples=100_000,
+        st_dims=20,
+        kb_tuples=8_000,
+        kb_dims=600,
+        default_queries=25,
+    ),
+    "large": BenchScale(
+        name="large",
+        wsj_docs=60_000,
+        wsj_vocab=20_000,
+        st_tuples=1_000_000,
+        st_dims=20,
+        kb_tuples=28_000,
+        kb_dims=2_000,
+        default_queries=100,
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale preset (``REPRO_BENCH_SCALE``, default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").strip().lower()
+    try:
+        return _SCALES[name]
+    except KeyError as exc:
+        raise ValidationError(
+            f"unknown REPRO_BENCH_SCALE {name!r}; expected one of {sorted(_SCALES)}"
+        ) from exc
+
+
+def query_count() -> int:
+    """Queries per data point (``REPRO_BENCH_QUERIES`` override)."""
+    override = os.environ.get("REPRO_BENCH_QUERIES")
+    if override is None:
+        return bench_scale().default_queries
+    count = int(override)
+    if count < 1:
+        raise ValidationError("REPRO_BENCH_QUERIES must be >= 1")
+    return count

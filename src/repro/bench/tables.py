@@ -1,0 +1,80 @@
+"""Paper-style table rendering and result-file output.
+
+Each figure bench collects a ``{(method, x): MethodAggregate}`` grid and
+renders one text table per metric: rows are x values (qlen, k, φ), columns
+the four methods.  Tables are printed and also written under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .._util import require
+from .harness import MethodAggregate
+
+__all__ = ["format_series_table", "write_figure"]
+
+#: metric attribute -> human heading
+_METRIC_HEADINGS = {
+    "evaluated_per_dim": "# evaluated candidates / dimension",
+    "io_seconds": "simulated I/O time (s)",
+    "cpu_seconds": "CPU time (s)",
+    "memory_kbytes": "memory footprint (KB)",
+    "phase3_tuples": "# Phase-3 tuples",
+    "candidates_total": "|C(q)| after run",
+}
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    methods: Sequence[str],
+    grid: Dict[Tuple[str, object], MethodAggregate],
+    metric: str,
+) -> str:
+    """Render one metric of a figure grid as a fixed-width text table."""
+    require(metric in _METRIC_HEADINGS, f"unknown metric {metric!r}")
+    heading = _METRIC_HEADINGS[metric]
+    lines = [f"{title} — {heading}", ""]
+    header = f"{x_label:>10} | " + " | ".join(f"{m:>12}" for m in methods)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in x_values:
+        cells = []
+        for method in methods:
+            aggregate = grid.get((method, x))
+            if aggregate is None:
+                cells.append(f"{'—':>12}")
+            else:
+                cells.append(f"{aggregate.metric(metric):>12.4g}")
+        lines.append(f"{x!s:>10} | " + " | ".join(cells))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_figure(
+    output_dir: str | Path,
+    figure_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    methods: Sequence[str],
+    grid: Dict[Tuple[str, object], MethodAggregate],
+    metrics: Iterable[str],
+    notes: str = "",
+) -> str:
+    """Render all requested metrics, write them to a result file, return text."""
+    sections = [
+        format_series_table(title, x_label, x_values, methods, grid, metric)
+        for metric in metrics
+    ]
+    if notes:
+        sections.append(notes.rstrip() + "\n")
+    text = "\n".join(sections)
+    out_dir = Path(output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{figure_id}.txt").write_text(text)
+    return text

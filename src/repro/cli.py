@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands:
+
+``demo``
+    Run the paper's Figure 1 running example and print the region report.
+``regions``
+    Generate a dataset (``--family wsj|kb|st``), sample one query, compute
+    immutable regions with the chosen method and print the report (or JSON
+    with ``--json``).
+``compare``
+    Run all four methods on the same workload and print the cost table —
+    a one-command miniature of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .bench.harness import ExperimentRunner
+from .core.engine import METHODS, ImmutableRegionEngine, compute_immutable_regions
+from .core.reporting import computation_to_dict, render_report
+from .datasets.base import Dataset
+from .datasets.image import generate_image_features
+from .datasets.synthetic import generate_correlated
+from .datasets.text import generate_text_corpus
+from .datasets.workloads import sample_queries
+from .storage.index import InvertedIndex
+from .topk.query import Query
+
+__all__ = ["main"]
+
+_FAMILIES = ("wsj", "kb", "st")
+
+
+def _build_dataset(family: str, seed: int):
+    """Generate a laptop-sized dataset of the requested family."""
+    if family == "wsj":
+        data, stats = generate_text_corpus(n_docs=5_000, vocab_size=1_200, seed=seed)
+        return data, stats.idf
+    if family == "kb":
+        return generate_image_features(n_tuples=2_000, n_dims=200, seed=seed), None
+    return generate_correlated(n_tuples=10_000, n_dims=12, seed=seed), None
+
+
+def _sample_query(data, idf, qlen: int, seed: int) -> Query:
+    workload = sample_queries(
+        data,
+        qlen=qlen,
+        n_queries=1,
+        seed=seed,
+        weight_scheme="idf" if idf is not None else "uniform",
+        idf=idf,
+        min_column_nnz=20,
+    )
+    return workload[0]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    data = Dataset.from_dense(
+        [[0.8, 0.32], [0.7, 0.5], [0.1, 0.8], [0.1, 0.6]]
+    )
+    query = Query([0, 1], [0.8, 0.5])
+    computation = compute_immutable_regions(
+        data, query, k=2, method=args.method, phi=args.phi
+    )
+    print(render_report(computation))
+    return 0
+
+
+def _cmd_regions(args: argparse.Namespace) -> int:
+    data, idf = _build_dataset(args.family, args.seed)
+    query = _sample_query(data, idf, args.qlen, args.seed)
+    engine = ImmutableRegionEngine(
+        InvertedIndex(data),
+        method=args.method,
+        count_reorderings=not args.composition_only,
+    )
+    computation = engine.compute(query, k=args.k, phi=args.phi)
+    if args.json:
+        json.dump(computation_to_dict(computation), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_report(computation))
+        metrics = computation.metrics
+        print(
+            f"cost: {metrics.evals.evaluated_candidates} candidate evaluations, "
+            f"{metrics.io_seconds:.4f} s simulated I/O, "
+            f"{metrics.cpu_seconds * 1000:.2f} ms CPU"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    data, idf = _build_dataset(args.family, args.seed)
+    index = InvertedIndex(data)
+    workload = sample_queries(
+        data,
+        qlen=args.qlen,
+        n_queries=args.queries,
+        seed=args.seed,
+        weight_scheme="idf" if idf is not None else "uniform",
+        idf=idf,
+        min_column_nnz=20,
+    )
+    runner = ExperimentRunner(index)
+    print(
+        f"{args.family} family, k={args.k}, qlen={args.qlen}, "
+        f"phi={args.phi}, {args.queries} queries\n"
+    )
+    print(f"{'method':>8} | {'eval/dim':>10} | {'I/O (s)':>10} | {'CPU (ms)':>10}")
+    print("-" * 48)
+    for method in METHODS:
+        aggregate = runner.run_point(method, workload, k=args.k, phi=args.phi)
+        print(
+            f"{method:>8} | {aggregate.evaluated_per_dim:>10.2f} | "
+            f"{aggregate.io_seconds:>10.4f} | {aggregate.cpu_seconds * 1000:>10.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Immutable regions for subspace top-k queries "
+        "(Mouratidis & Pang, VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_family: bool = True) -> None:
+        p.add_argument("--method", choices=METHODS, default="cpt")
+        p.add_argument("--k", type=int, default=10)
+        p.add_argument("--phi", type=int, default=0)
+        p.add_argument("--seed", type=int, default=0)
+        if with_family:
+            p.add_argument("--family", choices=_FAMILIES, default="wsj")
+            p.add_argument("--qlen", type=int, default=4)
+
+    demo = sub.add_parser("demo", help="run the paper's Figure 1 example")
+    common(demo, with_family=False)
+    demo.set_defaults(handler=_cmd_demo)
+
+    regions = sub.add_parser("regions", help="regions for one sampled query")
+    common(regions)
+    regions.add_argument("--json", action="store_true", help="emit JSON")
+    regions.add_argument(
+        "--composition-only",
+        action="store_true",
+        help="ignore reorderings inside R(q) (paper §7.4)",
+    )
+    regions.set_defaults(handler=_cmd_regions)
+
+    compare = sub.add_parser("compare", help="cost table across all methods")
+    common(compare)
+    compare.add_argument("--queries", type=int, default=5)
+    compare.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

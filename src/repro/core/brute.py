@@ -1,0 +1,158 @@
+"""Brute-force oracle over the entire dataset.
+
+The oracle computes immutable regions from first principles, with no index,
+no candidate list and no pruning: every tuple's score line enters a full
+kinetic sweep (φ ≥ 0), or — for the φ = 0 fast path — every tuple
+contributes one Lemma 1 constraint directly.  It is the ground truth the
+test suite holds all four methods against, and doubles as the
+"scan all non-result tuples" strawman the paper attributes to STB (§2).
+
+Only suitable for small datasets: the sweep is O(n²) in crossings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .._util import stable_desc_order
+from ..datasets.base import Dataset
+from ..geometry.ksweep import sweep_topk_events
+from ..geometry.line import Line
+from ..topk.query import Query
+from ..topk.result import TopKResult
+from .lemma1 import order_constraint
+from .phi import SideOutcome, assemble_sequence
+from .regions import RegionSequence
+
+__all__ = [
+    "brute_force_topk",
+    "brute_force_bounds_phi0",
+    "brute_force_sequence",
+    "brute_force_sequences",
+]
+
+
+def brute_force_topk(dataset: Dataset, query: Query, k: int) -> TopKResult:
+    """Exact top-k by scoring the whole dataset (library total order).
+
+    Mirrors TA's matching semantics: only tuples with a positive score —
+    i.e. a non-zero coordinate on at least one query dimension — are
+    rankable.  A zero-score tuple is zero on *every* query dimension, so no
+    single-weight deviation can ever lift it into the result; excluding
+    such tuples loses nothing and keeps the oracle aligned with the
+    inverted-list engine.
+    """
+    scores = dataset.scores(query.dims, query.weights)
+    ids = np.nonzero(scores > 0.0)[0]
+    order = stable_desc_order(scores[ids], ids)
+    top = ids[order][: min(k, ids.size)]
+    return TopKResult([(int(i), float(scores[i])) for i in top])
+
+
+def _column_dense(dataset: Dataset, dim: int) -> np.ndarray:
+    column = np.zeros(dataset.n_tuples, dtype=np.float64)
+    ids, values = dataset.column(dim)
+    column[ids] = values
+    return column
+
+
+def brute_force_bounds_phi0(
+    dataset: Dataset, query: Query, k: int, dim: int
+) -> Tuple[float, float]:
+    """Exact φ=0 bounds for one dimension in O(n): intersect all constraints.
+
+    Considers (a) order preservation between consecutive result tuples and
+    (b) the k-th result tuple staying ahead of every non-result tuple.
+    """
+    scores = dataset.scores(query.dims, query.weights)
+    result = brute_force_topk(dataset, query, k)
+    column = _column_dense(dataset, dim)
+    weight = query.weight_of(dim)
+    lower, upper = -weight, 1.0 - weight
+
+    ranked = result.ids
+    for ahead, behind in zip(ranked, ranked[1:]):
+        constraint = order_constraint(
+            scores[ahead], column[ahead], scores[behind], column[behind]
+        )
+        if constraint.restricts_upper:
+            upper = min(upper, constraint.delta)
+        elif constraint.restricts_lower:
+            lower = max(lower, constraint.delta)
+
+    kth = ranked[-1]
+    in_result = set(ranked)
+    for tuple_id in range(dataset.n_tuples):
+        if tuple_id in in_result or scores[tuple_id] <= 0.0:
+            continue
+        constraint = order_constraint(
+            scores[kth], column[kth], scores[tuple_id], column[tuple_id]
+        )
+        if constraint.restricts_upper:
+            upper = min(upper, constraint.delta)
+        elif constraint.restricts_lower:
+            lower = max(lower, constraint.delta)
+    return lower, upper
+
+
+def brute_force_sequence(
+    dataset: Dataset,
+    query: Query,
+    k: int,
+    dim: int,
+    phi: int = 0,
+    count_reorderings: bool = True,
+) -> RegionSequence:
+    """Exact region sequence for one dimension via a full-dataset sweep."""
+    scores = dataset.scores(query.dims, query.weights)
+    result = brute_force_topk(dataset, query, k)
+    column = _column_dense(dataset, dim)
+    weight = query.weight_of(dim)
+    k_eff = len(result)
+
+    def side(mirrored: bool) -> SideOutcome:
+        domain = weight if mirrored else 1.0 - weight
+        if domain <= 0.0:
+            return SideOutcome(events=[], domain=0.0)
+        # Zero-score tuples are flat zero lines that can never cross into
+        # the result; skip them (see brute_force_topk).
+        lines: List[Line] = [
+            Line(i, float(scores[i]), -float(column[i]) if mirrored else float(column[i]))
+            for i in range(dataset.n_tuples)
+            if scores[i] > 0.0
+        ]
+        sweep = sweep_topk_events(
+            lines,
+            k_eff,
+            domain,
+            count_reorderings=count_reorderings,
+            max_events=phi + 1,
+        )
+        return SideOutcome(events=sweep.events, domain=domain)
+
+    return assemble_sequence(
+        dim=dim,
+        weight=weight,
+        phi=phi,
+        result_ids=result.ids,
+        left=side(mirrored=True),
+        right=side(mirrored=False),
+    )
+
+
+def brute_force_sequences(
+    dataset: Dataset,
+    query: Query,
+    k: int,
+    phi: int = 0,
+    count_reorderings: bool = True,
+) -> Dict[int, RegionSequence]:
+    """Exact region sequences for every query dimension."""
+    return {
+        int(dim): brute_force_sequence(
+            dataset, query, k, int(dim), phi=phi, count_reorderings=count_reorderings
+        )
+        for dim in query.dims
+    }

@@ -1,0 +1,117 @@
+"""Candidate partitioning and the pruning selectors (Lemmata 2–4).
+
+For a query dimension ``j`` the candidate list splits into (§5.1):
+
+* ``C0_j`` — candidates with a zero j-th coordinate (in ``C(q)`` because of
+  other query dimensions; the "y-axis" points of Figure 6/7);
+* ``CH_j`` — candidates whose only non-zero query coordinate is the j-th
+  (the "slope" points);
+* ``CL_j`` — candidates non-zero in ``j`` *and* in at least one other query
+  dimension.
+
+Lemma 2: the lower bound ``l_j`` is unaffected by ``CH_j`` and needs only
+the top-scoring tuple of ``C0_j``.  Lemma 3: the upper bound ``u_j`` is
+unaffected by ``C0_j`` and needs only the max-j-coordinate tuple of
+``CH_j``.  Lemma 4 generalises both to the ``φ+1`` best such tuples.
+
+Partitioning reads candidate coordinates without I/O charge: the paper
+performs it on the fly during TA while each fetched vector is in memory
+("pruning could be performed on the fly during TA execution", §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .._util import require
+from .context import CandidateRecord, RunContext
+
+__all__ = ["CandidatePartition", "partition_candidates", "pruned_pool"]
+
+
+@dataclass(frozen=True)
+class CandidatePartition:
+    """The C0/CH/CL split of the candidate list for one dimension.
+
+    Each list holds :class:`~repro.core.context.CandidateRecord` entries in
+    decreasing-score order (inherited from ``C(q)``).
+    """
+
+    dim: int
+    c0: List[CandidateRecord]
+    ch: List[CandidateRecord]
+    cl: List[CandidateRecord]
+
+    @property
+    def total(self) -> int:
+        """Total number of partitioned candidates."""
+        return len(self.c0) + len(self.ch) + len(self.cl)
+
+    def best_c0(self, count: int = 1) -> List[CandidateRecord]:
+        """The *count* top-scoring ``C0_j`` tuples (Lemma 2 / Lemma 4, left side)."""
+        require(count >= 1, "count must be >= 1")
+        return self.c0[:count]
+
+    def best_ch(self, count: int = 1) -> List[CandidateRecord]:
+        """The *count* max-j-coordinate ``CH_j`` tuples (Lemma 3 / 4, right side)."""
+        require(count >= 1, "count must be >= 1")
+        ranked = sorted(self.ch, key=lambda r: (-r.coord, r.tuple_id))
+        return ranked[:count]
+
+
+def partition_candidates(ctx: RunContext, dim: int) -> CandidatePartition:
+    """Split the current candidate list into ``C0_j``/``CH_j``/``CL_j``."""
+    dim = int(dim)
+    dims = ctx.query.dims
+    j_pos = int(np.searchsorted(dims, dim))
+    c0: List[CandidateRecord] = []
+    ch: List[CandidateRecord] = []
+    cl: List[CandidateRecord] = []
+    for tid, score in ctx.outcome.candidates:
+        coords = ctx.candidate_query_coords(tid)
+        coord_j = float(coords[j_pos])
+        record = CandidateRecord(tid, score, coord_j)
+        if coord_j == 0.0:
+            c0.append(record)
+        else:
+            others = np.count_nonzero(coords) - 1
+            if others == 0:
+                ch.append(record)
+            else:
+                cl.append(record)
+    return CandidatePartition(dim=dim, c0=c0, ch=ch, cl=cl)
+
+
+def pruned_pool(
+    partition: CandidatePartition,
+    phi: int,
+    side: str = "both",
+) -> List[CandidateRecord]:
+    """The candidate pool that survives pruning, in decreasing-score order.
+
+    Parameters
+    ----------
+    partition:
+        The C0/CH/CL split.
+    phi:
+        Number of tolerable perturbations; ``φ+1`` tuples are retained from
+        each prunable set (Lemma 4; ``φ=0`` gives Lemmata 2–3).
+    side:
+        ``"left"`` keeps ``CL + best C0`` (only the lower bound / leftward
+        regions are being computed), ``"right"`` keeps ``CL + best CH``,
+        ``"both"`` keeps ``CL + best C0 + best CH`` (the φ=0 two-sided
+        pass).
+    """
+    require(phi >= 0, "phi must be >= 0")
+    require(side in ("left", "right", "both"), "side must be left/right/both")
+    keep = phi + 1
+    pool = list(partition.cl)
+    if side in ("left", "both"):
+        pool.extend(partition.best_c0(keep))
+    if side in ("right", "both"):
+        pool.extend(partition.best_ch(keep))
+    pool.sort(key=lambda r: (-r.score, r.tuple_id))
+    return pool

@@ -1,0 +1,107 @@
+"""Concurrent multi-weight deviations (paper §2, footnote 1).
+
+Immutable regions are defined per dimension, one weight moving at a time.
+The paper's footnote 1 observes that they nonetheless support *concurrent*
+modifications: project the query point onto the validity polytope's surface
+along each axis (the 2·qlen region endpoints); the convex hull of those
+projections lies fully inside the polytope, so any deviation vector inside
+that cross-polytope preserves the result.
+
+For a deviation vector ``δ`` the hull-membership test is the weighted L1
+condition
+
+    Σ_j  |δ_j| / reach_j(sign δ_j)  ≤  1,
+
+where ``reach_j`` is the region's extent on the corresponding side of
+dimension ``j``.  This is sufficient, not necessary — the polytope is a
+superset of the hull — which is exactly the guarantee the footnote claims
+("albeit, being only a subpart of the polyhedron").
+
+Strictness at the boundary: a hull point with Σ = 1 mixes region
+*endpoints*; open (crossing) endpoints are not themselves safe, so the
+test accepts Σ = 1 only when every contributing axis ends in a closed
+(domain) bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .._util import require
+from ..errors import QueryError
+from .regions import ImmutableRegion
+
+__all__ = ["concurrent_deviation_safe", "cross_polytope_margin"]
+
+
+def cross_polytope_margin(
+    regions: Mapping[int, ImmutableRegion], deviations: Mapping[int, float]
+) -> float:
+    """The weighted-L1 mass ``Σ |δ_j| / reach_j`` of a deviation vector.
+
+    Values strictly below 1 certify result preservation; values above 1 are
+    inconclusive (the deviation may or may not perturb the result).
+
+    Parameters
+    ----------
+    regions:
+        Per-dimension current immutable regions (e.g.
+        ``{dim: computation.region(dim) for dim in query.dims}``).
+    deviations:
+        Per-dimension weight deviations; dimensions omitted are unchanged.
+    """
+    total = 0.0
+    for dim, delta in deviations.items():
+        dim = int(dim)
+        if dim not in regions:
+            raise QueryError(f"no immutable region supplied for dimension {dim}")
+        region = regions[dim]
+        if delta == 0.0:
+            continue
+        reach = region.upper.delta if delta > 0.0 else -region.lower.delta
+        if reach <= 0.0:
+            return float("inf")  # the region has no extent on this side
+        total += abs(delta) / reach
+    return total
+
+
+def concurrent_deviation_safe(
+    regions: Mapping[int, ImmutableRegion], deviations: Mapping[int, float]
+) -> bool:
+    """Whether simultaneously applying *deviations* provably preserves R(q).
+
+    Implements the footnote 1 cross-polytope test (see module docstring).
+    ``True`` is a guarantee; ``False`` means "not certified by this test",
+    not "the result changes".
+    """
+    margin = cross_polytope_margin(regions, deviations)
+    if margin < 1.0:
+        return True
+    if margin > 1.0:
+        return False
+    # Σ == 1: on the hull surface.  Safe only if every axis the deviation
+    # touches ends in a closed (domain) bound on the deviated side.
+    for dim, delta in deviations.items():
+        if delta == 0.0:
+            continue
+        region = regions[int(dim)]
+        bound = region.upper if delta > 0.0 else region.lower
+        if not bound.closed:
+            return False
+    return True
+
+
+def sensitivity_profile(
+    regions: Mapping[int, ImmutableRegion]
+) -> Dict[int, float]:
+    """Per-dimension sensitivity: the inverse width of each region.
+
+    The paper's second application (§1): a *narrow* region means the result
+    is *sensitive* to that weight.  Zero-width regions map to ``inf``.
+    """
+    require(len(regions) > 0, "need at least one region")
+    profile: Dict[int, float] = {}
+    for dim, region in regions.items():
+        width = region.width
+        profile[int(dim)] = float("inf") if width == 0.0 else 1.0 / width
+    return profile

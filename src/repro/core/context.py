@@ -1,0 +1,282 @@
+"""Shared run state for the region algorithms.
+
+A :class:`RunContext` bundles everything the per-dimension computations
+need: the TA run (result, candidate list, resumable cursors), the tuple
+store, the counters, and the timers.  It also fixes the library's I/O
+accounting policy (mirroring §7.1–7.2 of the paper):
+
+* coordinates of *result* tuples are free to read — TA fetched their full
+  vectors via random access during top-k computation;
+* structural reads used to *organise* candidates (the C0/CH/CL partition,
+  the SLS/SLj sort keys) are free — the paper builds these on the fly while
+  TA holds each fetched vector, which is why they appear in the memory
+  footprint but not in I/O;
+* *evaluating* a candidate against the k-th result tuple via Lemma 1
+  charges one random access — ``C(q)`` caches only scores, so the exact
+  coordinates "are fetched from disk" (§7.2), making I/O proportional to
+  the paper's headline metric, the number of evaluated candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..geometry.line import Line
+from ..metrics.counters import AccessCounters, EvaluationCounters
+from ..metrics.timer import PhaseTimer
+from ..storage.index import InvertedIndex
+from ..storage.tuple_store import TupleStore
+from ..topk.query import Query
+from ..topk.ta import TAOutcome, ThresholdAlgorithm
+from .lemma1 import constraint_against
+from .regions import Bound, BoundKind
+
+__all__ = ["DimensionView", "RunContext", "WorkingBounds", "CandidateRecord"]
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """A candidate prepared for one dimension's processing.
+
+    ``score`` is the cached current score; ``coord`` is the j-th coordinate
+    as recorded on the fly (free, see module docstring) — the *evaluation*
+    of the candidate still charges its random access separately.
+    """
+
+    tuple_id: int
+    score: float
+    coord: float
+
+
+@dataclass(frozen=True)
+class DimensionView:
+    """Per-dimension facts shared by all phases."""
+
+    dim: int
+    weight: float
+    dk_id: int
+    dk_score: float
+    dk_coord: float
+    result_ids: Tuple[int, ...]
+    result_scores: Tuple[float, ...]
+    result_coords: Tuple[float, ...]
+
+    @property
+    def domain_lower(self) -> float:
+        """Widest negative deviation, ``−q_j``."""
+        return -self.weight
+
+    @property
+    def domain_upper(self) -> float:
+        """Widest positive deviation, ``1 − q_j``."""
+        return 1.0 - self.weight
+
+    def result_lines(self, mirrored: bool = False) -> List[Line]:
+        """Result tuples as lines in (possibly mirrored) score–coordinate space."""
+        return [
+            Line(tid, score, -coord if mirrored else coord)
+            for tid, score, coord in zip(
+                self.result_ids, self.result_scores, self.result_coords
+            )
+        ]
+
+    def kth_line(self, mirrored: bool = False) -> Line:
+        """The k-th result tuple's line."""
+        return Line(
+            self.dk_id, self.dk_score, -self.dk_coord if mirrored else self.dk_coord
+        )
+
+
+class WorkingBounds:
+    """Mutable lower/upper bounds of one dimension's region under refinement.
+
+    Starts at the domain limits and is tightened by Lemma 1 constraints;
+    keeps provenance of the latest tuple that set each bound (paper §4,
+    "for each bound of IR_j we record the latest processed tuple that
+    updated its value").
+    """
+
+    def __init__(self, view: DimensionView) -> None:
+        self._view = view
+        self.lower = Bound(view.domain_lower, BoundKind.DOMAIN)
+        self.upper = Bound(view.domain_upper, BoundKind.DOMAIN)
+
+    def apply(
+        self,
+        constraint,
+        rising_id: int,
+        falling_id: int,
+        kind: str,
+    ) -> bool:
+        """Tighten a bound with a Lemma 1 constraint; returns whether it moved."""
+        if constraint is None or constraint.side == "none":
+            return False
+        if constraint.restricts_upper:
+            if constraint.delta < self.upper.delta:
+                self.upper = Bound(constraint.delta, kind, rising_id, falling_id)
+                return True
+            return False
+        if constraint.delta > self.lower.delta:
+            self.lower = Bound(constraint.delta, kind, rising_id, falling_id)
+            return True
+        return False
+
+    def as_tuple(self) -> Tuple[Bound, Bound]:
+        """The current ``(lower, upper)`` bounds."""
+        return self.lower, self.upper
+
+
+class RunContext:
+    """All shared state of one engine run (one query, one method)."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        query: Query,
+        k: int,
+        phi: int,
+        count_reorderings: bool,
+        ta: ThresholdAlgorithm,
+        outcome: TAOutcome,
+        store: TupleStore,
+        access: AccessCounters,
+        evals: EvaluationCounters,
+        timer: PhaseTimer,
+    ) -> None:
+        self.index = index
+        self.query = query
+        self.k = k
+        self.phi = phi
+        self.count_reorderings = count_reorderings
+        self.ta = ta
+        self.outcome = outcome
+        self.store = store
+        self.access = access
+        self.evals = evals
+        self.timer = timer
+        self._views: Dict[int, DimensionView] = {}
+        # Query-dimension coordinates of encountered tuples, recorded once
+        # per run.  The paper gathers these on the fly while TA holds each
+        # fetched vector in memory, which is why reading them is free.
+        self._query_coords: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Per-dimension views
+    # ------------------------------------------------------------------
+
+    def view(self, dim: int) -> DimensionView:
+        """Build (and cache) the per-dimension facts for *dim*."""
+        dim = int(dim)
+        cached = self._views.get(dim)
+        if cached is not None:
+            return cached
+        result = self.outcome.result
+        if len(result) == 0:
+            raise AlgorithmError("cannot compute regions for an empty result")
+        ids = tuple(result.ids)
+        scores = tuple(float(s) for s in result.scores)
+        # Result coordinates are free: TA fetched these tuples' full vectors.
+        coords = tuple(self.store.peek_value(tid, dim) for tid in ids)
+        view = DimensionView(
+            dim=dim,
+            weight=self.query.weight_of(dim),
+            dk_id=ids[-1],
+            dk_score=scores[-1],
+            dk_coord=coords[-1],
+            result_ids=ids,
+            result_scores=scores,
+            result_coords=coords,
+        )
+        self._views[dim] = view
+        return view
+
+    def invalidate_views(self) -> None:
+        """Drop cached views (Phase 3 never changes R, so rarely needed)."""
+        self._views.clear()
+
+    # ------------------------------------------------------------------
+    # Candidate access under the I/O accounting policy
+    # ------------------------------------------------------------------
+
+    def candidate_records(self, dim: int) -> List[CandidateRecord]:
+        """All current candidates with their j-th coordinate, score order.
+
+        Coordinates are read without I/O charge (recorded on the fly during
+        TA; see the module docstring).
+        """
+        j_pos = int(np.searchsorted(self.query.dims, int(dim)))
+        return [
+            CandidateRecord(tid, score, float(self.candidate_query_coords(tid)[j_pos]))
+            for tid, score in self.outcome.candidates
+        ]
+
+    def candidate_query_coords(self, tuple_id: int) -> np.ndarray:
+        """A tuple's coordinates on every query dimension (free, cached).
+
+        Cached per run: the coordinates were in memory when TA (or Phase 3
+        resumption) fetched the tuple's vector, so re-reads cost nothing.
+        """
+        tuple_id = int(tuple_id)
+        cached = self._query_coords.get(tuple_id)
+        if cached is None:
+            cached = self.store.peek_values(tuple_id, self.query.dims)
+            self._query_coords[tuple_id] = cached
+        return cached
+
+    def evaluate_against_kth(
+        self, view: DimensionView, record: CandidateRecord, bounds: WorkingBounds
+    ) -> bool:
+        """Evaluate one candidate against ``d_k`` via Lemma 1 (Phase 2).
+
+        Charges the candidate's random access and one evaluation, then
+        tightens *bounds*.  Returns whether a bound moved.
+        """
+        coord = self.store.fetch_value(record.tuple_id, view.dim)
+        self.evals.evaluated_candidates += 1
+        constraint = constraint_against(
+            view.dk_score, view.dk_coord, record.score, coord
+        )
+        return bounds.apply(
+            constraint,
+            rising_id=record.tuple_id,
+            falling_id=view.dk_id,
+            kind=BoundKind.COMPOSITION,
+        )
+
+    def charge_candidate_evaluation(self, tuple_id: int, dim: int) -> float:
+        """Charge the fetch+evaluation of a candidate and return its coordinate.
+
+        Used by the φ>0 paths, which test candidate lines against the lower
+        envelope rather than directly against ``d_k``.
+        """
+        coord = self.store.fetch_value(tuple_id, dim)
+        self.evals.evaluated_candidates += 1
+        return coord
+
+    # ------------------------------------------------------------------
+    # TA resumption (Phase 3)
+    # ------------------------------------------------------------------
+
+    def resume_next_candidate(self) -> Optional[Tuple[int, float]]:
+        """Pull the next unseen tuple from the resumed TA scan.
+
+        The pull itself charges sorted accesses plus one random access (the
+        score computation fetches the full vector, so the new candidate's
+        coordinates are subsequently free to read).
+        """
+        pulled = self.ta.resume_next()
+        if pulled is not None:
+            self.evals.phase3_tuples += 1
+        return pulled
+
+    def threshold_total(self) -> float:
+        """``Σ_i q_i · t_i`` over all query dimensions (current thresholds)."""
+        return self.ta.threshold_score()
+
+    def threshold_component(self, dim: int) -> float:
+        """Current ``t_j`` of one dimension's list."""
+        return self.ta.threshold_component(dim)

@@ -1,0 +1,358 @@
+"""The public entry point: :class:`ImmutableRegionEngine`.
+
+The engine ties the substrates together for one query:
+
+1. run the resumable TA to obtain ``R(q)`` and ``C(q)``;
+2. for each query dimension compute the immutable region(s) with the
+   selected method — the φ=0 fast path (Algorithms 1–3), the one-off
+   φ≥0 machinery (§6), or the iterative regime (§4 extension /
+   Figure 15 baselines);
+3. collect the metrics the paper reports: evaluated candidates per
+   dimension, simulated I/O seconds, CPU seconds per phase, and the
+   analytic memory footprint.
+
+Example
+-------
+>>> from repro import Dataset, InvertedIndex, Query, ImmutableRegionEngine
+>>> data = Dataset.from_dense([[0.8, 0.32], [0.7, 0.5], [0.1, 0.8], [0.1, 0.6]])
+>>> engine = ImmutableRegionEngine(InvertedIndex(data), method="cpt")
+>>> computation = engine.compute(Query([0, 1], [0.8, 0.5]), k=2)
+>>> computation.result.ids
+[1, 0]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._util import require
+from ..datasets.base import Dataset
+from ..errors import AlgorithmError, QueryError
+from ..metrics.counters import AccessCounters, EvaluationCounters
+from ..metrics.diskmodel import DiskModel
+from ..metrics.footprint import FootprintModel, MemoryFootprint
+from ..metrics.timer import PhaseTimer
+from ..storage.index import InvertedIndex
+from ..storage.tuple_store import TupleStore
+from ..topk.query import Query
+from ..topk.result import TopKResult
+from ..topk.ta import ThresholdAlgorithm
+from .context import RunContext
+from .iterative import compute_iterative_sequence
+from .phi import compute_phi_sequence
+from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
+from .scan import compute_phi0_sequence
+
+__all__ = [
+    "METHODS",
+    "ImmutableRegionEngine",
+    "RegionComputation",
+    "RunMetrics",
+    "compute_immutable_regions",
+]
+
+#: The four methods evaluated in the paper (§7.1).
+METHODS = ("scan", "prune", "thres", "cpt")
+
+_POLICY_OF = {"scan": "all", "prune": "prune", "thres": "thres", "cpt": "cpt"}
+
+
+@dataclass
+class RunMetrics:
+    """Everything the paper measures for one query computation.
+
+    Attributes
+    ----------
+    ta_access / region_access:
+        Storage accesses during top-k computation and during region
+        computation, separately (the figures compare region-computation
+        costs; TA is common to all methods).
+    evals:
+        Algorithm-level counters (evaluated candidates, Phase 3 pulls, ...).
+    evaluated_per_dim:
+        Lemma 1 evaluations attributed to each query dimension.
+    phase_seconds:
+        Wall-clock seconds per phase ("ta", "phase1", "phase2", "phase3").
+    candidates_total:
+        ``|C(q)|`` at the end of the run (incl. Phase 3 discoveries).
+    cl_union_size:
+        Candidates with ≥ 2 non-zero query coordinates — the part of
+        ``C(q)`` that pruning must keep for every dimension.
+    memory:
+        Analytic memory footprint for the method (Figure 10(d) model).
+    io_seconds:
+        Simulated I/O time of the region computation under the disk model.
+    """
+
+    ta_access: AccessCounters
+    region_access: AccessCounters
+    evals: EvaluationCounters
+    evaluated_per_dim: Dict[int, int]
+    phase_seconds: Dict[str, float]
+    candidates_total: int
+    cl_union_size: int
+    memory: MemoryFootprint
+    io_seconds: float
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Region-computation CPU time (phases 1–3, excluding TA)."""
+        return sum(
+            seconds
+            for name, seconds in self.phase_seconds.items()
+            if name != "ta"
+        )
+
+    @property
+    def evaluated_per_dim_mean(self) -> float:
+        """Mean evaluated candidates per query dimension (Figure 10(a) metric)."""
+        if not self.evaluated_per_dim:
+            return 0.0
+        return float(np.mean(list(self.evaluated_per_dim.values())))
+
+
+@dataclass
+class RegionComputation:
+    """The full outcome of one engine run."""
+
+    query: Query
+    k: int
+    phi: int
+    method: str
+    count_reorderings: bool
+    iterative: bool
+    result: TopKResult
+    sequences: Dict[int, RegionSequence]
+    metrics: RunMetrics
+
+    def sequence(self, dim: int) -> RegionSequence:
+        """The region sequence of one query dimension."""
+        try:
+            return self.sequences[int(dim)]
+        except KeyError as exc:
+            raise QueryError(f"dimension {dim} is not a query dimension") from exc
+
+    def region(self, dim: int) -> ImmutableRegion:
+        """The *current* immutable region of one query dimension."""
+        return self.sequence(dim).current
+
+    def immutable_interval(self, dim: int) -> tuple[float, float]:
+        """The current region in absolute weight values (slider marks l_j, u_j)."""
+        return self.region(dim).weight_interval
+
+    def next_result_above(self, dim: int) -> Optional[list[int]]:
+        """The top-k holding just past the current region's upper bound."""
+        return self._neighbour(dim, upward=True)
+
+    def next_result_below(self, dim: int) -> Optional[list[int]]:
+        """The top-k holding just past the current region's lower bound."""
+        return self._neighbour(dim, upward=False)
+
+    def _neighbour(self, dim: int, upward: bool) -> Optional[list[int]]:
+        sequence = self.sequence(dim)
+        index = sequence.current_index + (1 if upward else -1)
+        if 0 <= index < len(sequence.regions):
+            return list(sequence.regions[index].result_ids)
+        bound = sequence.current.upper if upward else sequence.current.lower
+        return derive_neighbour_result(list(self.result.ids), bound)
+
+
+def derive_neighbour_result(result_ids: list[int], bound: Bound) -> Optional[list[int]]:
+    """The top-k immediately past *bound*, derived from its provenance (§4).
+
+    A reorder bound swaps the rising tuple with its predecessor; a
+    composition bound replaces the k-th tuple with the rising candidate.
+    Domain bounds have no "past" — the weight cannot move further.
+    """
+    if bound.kind == BoundKind.DOMAIN:
+        return None
+    new_ids = list(result_ids)
+    if bound.kind == BoundKind.REORDER:
+        pos = new_ids.index(bound.rising_id)
+        if pos == 0:
+            raise AlgorithmError("top tuple cannot rise further")
+        new_ids[pos - 1], new_ids[pos] = new_ids[pos], new_ids[pos - 1]
+        return new_ids
+    new_ids[-1] = bound.rising_id
+    return new_ids
+
+
+class ImmutableRegionEngine:
+    """Computes immutable regions for subspace top-k queries.
+
+    Parameters
+    ----------
+    index:
+        Inverted index over the dataset (shared across queries).
+    method:
+        One of ``"scan"``, ``"prune"``, ``"thres"``, ``"cpt"``.
+    probing:
+        TA probing strategy: ``"max_impact"`` (the paper's §7.1 default) or
+        ``"round_robin"``.
+    disk_model:
+        Cost model for the simulated I/O time.
+    count_reorderings:
+        When false, reorderings inside ``R(q)`` are not perturbations
+        (the paper's §7.4 scenario).
+    iterative:
+        Force (``True``) or forbid (``False``) iterative φ>0 processing.
+        Default (``None``): Scan iterates (it has no one-off mode, §6);
+        the other methods run one-off.
+    footprint_model:
+        Memory accounting model (Figure 10(d)).
+    cache_rows:
+        Model the main-memory setting: repeated fetches of a tuple are free.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        method: str = "cpt",
+        probing: str = "max_impact",
+        disk_model: Optional[DiskModel] = None,
+        count_reorderings: bool = True,
+        iterative: Optional[bool] = None,
+        footprint_model: Optional[FootprintModel] = None,
+        cache_rows: bool = False,
+    ) -> None:
+        if method not in METHODS:
+            raise QueryError(f"unknown method {method!r}; expected one of {METHODS}")
+        self.index = index
+        self.method = method
+        self.probing = probing
+        self.disk_model = disk_model if disk_model is not None else DiskModel()
+        self.count_reorderings = count_reorderings
+        self.iterative = iterative
+        self.footprint_model = (
+            footprint_model if footprint_model is not None else FootprintModel()
+        )
+        self.cache_rows = cache_rows
+
+    # ------------------------------------------------------------------
+
+    def _use_iterative(self, phi: int) -> bool:
+        if self.iterative is not None:
+            return self.iterative and phi >= 0
+        # Scan has no one-off machinery for φ>0 (§6) and falls back to the
+        # §4 iterative extension; for φ=0 — including the §7.4
+        # composition-only scenario, where the paper runs plain Scan with
+        # Phase 1 skipped — it stays single-pass.
+        return self.method == "scan" and phi > 0
+
+    def compute(self, query: Query, k: int, phi: int = 0) -> RegionComputation:
+        """Run TA plus region computation for every query dimension."""
+        require(k >= 1, "k must be >= 1")
+        require(phi >= 0, "phi must be >= 0")
+
+        access = AccessCounters()
+        evals = EvaluationCounters()
+        timer = PhaseTimer()
+        store = TupleStore(self.index.dataset, access, cache_rows=self.cache_rows)
+        ta = ThresholdAlgorithm(
+            self.index, query, k, counters=access, store=store, probing=self.probing
+        )
+        with timer.phase("ta"):
+            outcome = ta.run()
+        if len(outcome.result) == 0:
+            raise AlgorithmError(
+                "query matched no tuple with a positive score; no region exists"
+            )
+        ta_access = access.snapshot()
+
+        ctx = RunContext(
+            index=self.index,
+            query=query,
+            k=k,
+            phi=phi,
+            count_reorderings=self.count_reorderings,
+            ta=ta,
+            outcome=outcome,
+            store=store,
+            access=access,
+            evals=evals,
+            timer=timer,
+        )
+        policy = _POLICY_OF[self.method]
+        use_iterative = self._use_iterative(phi)
+
+        sequences: Dict[int, RegionSequence] = {}
+        evaluated_per_dim: Dict[int, int] = {}
+        for dim in (int(d) for d in query.dims):
+            before = evals.snapshot()
+            if use_iterative:
+                sequences[dim] = compute_iterative_sequence(ctx, dim, policy)
+            elif phi == 0 and self.count_reorderings:
+                sequences[dim] = compute_phi0_sequence(ctx, dim, policy)
+            else:
+                sequences[dim] = compute_phi_sequence(ctx, dim, policy)
+            evaluated_per_dim[dim] = evals.delta_from(before).evaluated_candidates
+
+        metrics = self._collect_metrics(
+            ctx, ta_access, evaluated_per_dim, phi
+        )
+        return RegionComputation(
+            query=query,
+            k=k,
+            phi=phi,
+            method=self.method,
+            count_reorderings=self.count_reorderings,
+            iterative=use_iterative,
+            result=outcome.result,
+            sequences=sequences,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _collect_metrics(
+        self,
+        ctx: RunContext,
+        ta_access: AccessCounters,
+        evaluated_per_dim: Dict[int, int],
+        phi: int,
+    ) -> RunMetrics:
+        region_access = ctx.access.delta_from(ta_access)
+        candidates_total = len(ctx.outcome.candidates)
+        cl_union = 0
+        for tid, _score in ctx.outcome.candidates:
+            coords = ctx.candidate_query_coords(tid)
+            if int(np.count_nonzero(coords)) >= 2:
+                cl_union += 1
+        qlen = ctx.query.qlen
+        model = self.footprint_model
+        if self.method == "scan":
+            memory = model.scan(candidates_total)
+        elif self.method == "thres":
+            memory = model.thres(candidates_total, qlen)
+        elif self.method == "prune":
+            memory = model.prune(cl_union, qlen, phi)
+        else:
+            memory = model.cpt(cl_union, qlen, phi)
+        return RunMetrics(
+            ta_access=ta_access,
+            region_access=region_access,
+            evals=ctx.evals.snapshot(),
+            evaluated_per_dim=evaluated_per_dim,
+            phase_seconds=ctx.timer.as_dict(),
+            candidates_total=candidates_total,
+            cl_union_size=cl_union,
+            memory=memory,
+            io_seconds=self.disk_model.io_seconds(region_access),
+        )
+
+
+def compute_immutable_regions(
+    data: Dataset | InvertedIndex,
+    query: Query,
+    k: int,
+    method: str = "cpt",
+    phi: int = 0,
+    **engine_kwargs,
+) -> RegionComputation:
+    """One-call convenience wrapper around :class:`ImmutableRegionEngine`."""
+    index = data if isinstance(data, InvertedIndex) else InvertedIndex(data)
+    engine = ImmutableRegionEngine(index, method=method, **engine_kwargs)
+    return engine.compute(query, k, phi=phi)

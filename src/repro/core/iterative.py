@@ -1,0 +1,312 @@
+"""Iterative φ > 0 processing (paper §4 extension and Figure 15 baselines).
+
+Scan has no one-off φ>0 mode: the paper extends it by "conceptually moving
+q_j to u_j to force the perturbation and re-applying Scan in a one-way
+fashion", φ times per side.  Figure 15 additionally compares one-off Prune
+and CPT against their iterative re-evaluation counterparts.  This module
+implements that iterative regime for all pool policies.
+
+Per side (in the same mirrored side coordinates as :mod:`~repro.core.phi`),
+the state is the currently ranked result lines plus the candidate pool.
+Each iteration finds the next perturbation after the previous bound:
+
+* the earliest *reorder* crossing among adjacent result lines,
+* the earliest *composition* crossing of a candidate with the current k-th
+  line — candidates are re-examined from scratch every iteration, which is
+  exactly the repeated work the one-off algorithms avoid (each examination
+  re-charges the candidate's random access and evaluation);
+* a Phase-3 resumption loop guarding the interval up to the tentative
+  bound with the list-threshold line.
+
+At a composition event the entering candidate replaces the k-th line and
+the displaced tuple rejoins the pool (it may re-enter later if the k-th
+line's slope drops below its own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..geometry.ksweep import BOUNDARY_RTOL, PerturbationEvent
+from ..geometry.line import Line
+from .context import DimensionView, RunContext
+from .phi import SideOutcome, assemble_sequence
+from .regions import RegionSequence
+
+__all__ = ["compute_iterative_sequence", "iterative_side"]
+
+
+@dataclass
+class _PoolEntry:
+    """A candidate in side coordinates with its structural class."""
+
+    tuple_id: int
+    score: float  # score at deviation 0 (the line's intercept)
+    coord: float  # raw j-th coordinate (unmirrored)
+    line: Line  # side-coordinate line
+    is_c0: bool
+    is_ch: bool
+
+    @property
+    def is_cl(self) -> bool:
+        return not (self.is_c0 or self.is_ch)
+
+
+def _classify(ctx: RunContext, tuple_id: int, dim: int) -> Tuple[float, bool, bool]:
+    """Structural class of a tuple for *dim* (free coordinate reads)."""
+    coords = ctx.candidate_query_coords(tuple_id)
+    j_pos = int(np.searchsorted(ctx.query.dims, dim))
+    coord = float(coords[j_pos])
+    if coord == 0.0:
+        return coord, True, False
+    others = int(np.count_nonzero(coords)) - 1
+    return coord, False, others == 0
+
+
+def _make_entry(
+    ctx: RunContext, tuple_id: int, score: float, dim: int, mirrored: bool
+) -> _PoolEntry:
+    coord, is_c0, is_ch = _classify(ctx, tuple_id, dim)
+    line = Line(tuple_id, score, -coord if mirrored else coord)
+    return _PoolEntry(tuple_id, score, coord, line, is_c0, is_ch)
+
+
+def _selection(
+    pool: Dict[int, _PoolEntry], mirrored: bool, policy: str
+) -> List[_PoolEntry]:
+    """The entries a policy examines in one iteration (φ=0-style selection)."""
+    entries = list(pool.values())
+    if policy in ("all", "thres"):
+        return entries
+    selected = [entry for entry in entries if entry.is_cl]
+    if mirrored:
+        # Leftward: Lemma 2 — only the top-scoring C0 tuple can matter.
+        c0 = [entry for entry in entries if entry.is_c0]
+        if c0:
+            selected.append(min(c0, key=lambda e: (-e.score, e.tuple_id)))
+    else:
+        # Rightward: Lemma 3 — only the max-coordinate CH tuple can matter.
+        ch = [entry for entry in entries if entry.is_ch]
+        if ch:
+            selected.append(min(ch, key=lambda e: (-e.coord, e.tuple_id)))
+    return selected
+
+
+def _candidate_crossing(
+    ctx: RunContext,
+    view: DimensionView,
+    entry: _PoolEntry,
+    kth: Line,
+    u_prev: float,
+) -> Optional[float]:
+    """Charged evaluation of one pool entry against the current k-th line."""
+    ctx.charge_candidate_evaluation(entry.tuple_id, view.dim)
+    if entry.line.value_at(u_prev) > kth.value_at(u_prev):
+        # Degenerate tie artefact; a candidate inside the region is below.
+        return None
+    x = entry.line.overtakes_at(kth)
+    if x is None:
+        return None
+    return max(x, u_prev)
+
+
+def _best_composition(
+    ctx: RunContext,
+    view: DimensionView,
+    pool: Dict[int, _PoolEntry],
+    kth: Line,
+    u_prev: float,
+    x_cap: float,
+    mirrored: bool,
+    policy: str,
+) -> Tuple[Optional[float], Optional[int]]:
+    """Earliest candidate-entry crossing after *u_prev*, per pool policy."""
+    best_x: Optional[float] = None
+    best_id: Optional[int] = None
+
+    def consider(entry: _PoolEntry, x: Optional[float]) -> None:
+        nonlocal best_x, best_id
+        if x is None or x > x_cap:
+            return
+        if best_x is None or x < best_x or (x == best_x and entry.tuple_id < best_id):
+            best_x = x
+            best_id = entry.tuple_id
+
+    if policy in ("thres", "cpt"):
+        selection = _selection(pool, mirrored, "prune" if policy == "cpt" else policy)
+        ordered_score = sorted(
+            selection, key=lambda e: (-e.line.value_at(u_prev), e.tuple_id)
+        )
+        ordered_slope = sorted(
+            selection, key=lambda e: (-e.line.slope, e.tuple_id)
+        )
+        evaluated: set[int] = set()
+        pos_score = pos_slope = 0
+        while pos_score < len(ordered_score):
+            ctx.evals.termination_checks += 1
+            # Unseen entries have value <= tS at u_prev and slope <= t_slope,
+            # so their earliest possible crossing with the k-th line is known.
+            t_s = ordered_score[pos_score].line.value_at(u_prev)
+            t_slope = ordered_slope[pos_slope].line.slope if pos_slope < len(
+                ordered_slope
+            ) else None
+            cap = best_x if best_x is not None else x_cap
+            if t_slope is not None and t_slope <= kth.slope:
+                break  # no unseen entry can catch the k-th line at all
+            if t_slope is not None:
+                reach = u_prev + (kth.value_at(u_prev) - t_s) / (t_slope - kth.slope)
+                if reach >= cap:
+                    break
+            entry = ordered_score[pos_score]
+            pos_score += 1
+            if entry.tuple_id not in evaluated:
+                evaluated.add(entry.tuple_id)
+                consider(entry, _candidate_crossing(ctx, view, entry, kth, u_prev))
+            if pos_slope < len(ordered_slope):
+                entry = ordered_slope[pos_slope]
+                pos_slope += 1
+                if entry.tuple_id not in evaluated:
+                    evaluated.add(entry.tuple_id)
+                    consider(entry, _candidate_crossing(ctx, view, entry, kth, u_prev))
+        return best_x, best_id
+
+    for entry in _selection(pool, mirrored, policy):
+        consider(entry, _candidate_crossing(ctx, view, entry, kth, u_prev))
+    return best_x, best_id
+
+
+def iterative_side(
+    ctx: RunContext, view: DimensionView, mirrored: bool, policy: str
+) -> SideOutcome:
+    """Compute one side's events by iterative single-region re-evaluation."""
+    domain = view.weight if mirrored else 1.0 - view.weight
+    if domain <= 0.0:
+        return SideOutcome(events=[], domain=0.0)
+
+    # Result lines come pre-ranked (TA's total order, ties by id); exact
+    # ties with a faster-growing line below then cross at x = 0, emitting
+    # the immediate zero-width event the φ=0 path also reports.
+    order: List[Line] = list(view.result_lines(mirrored))
+    pool: Dict[int, _PoolEntry] = {}
+    for tuple_id, score in ctx.outcome.candidates:
+        pool[tuple_id] = _make_entry(ctx, tuple_id, score, view.dim, mirrored)
+
+    events: List[PerturbationEvent] = []
+    u_prev = 0.0
+    max_events = ctx.phi + 1
+    boundary = domain - BOUNDARY_RTOL * abs(domain)
+
+    while len(events) < max_events:
+        kth = order[-1]
+
+        # --- Earliest reorder among adjacent result lines -----------------
+        with ctx.timer.phase("phase1"):
+            reorder_x: Optional[float] = None
+            reorder_pos: Optional[int] = None
+            for pos in range(len(order) - 1):
+                x = order[pos + 1].overtakes_at(order[pos])
+                # Crossings at (or within rounding error of) the domain end
+                # are boundary ties, not perturbations (see geometry.ksweep).
+                if x is None or x >= boundary:
+                    continue
+                x = max(x, u_prev)
+                if reorder_x is None or x < reorder_x:
+                    reorder_x = x
+                    reorder_pos = pos
+
+        # --- Earliest candidate entry (re-examined from scratch) ----------
+        x_cap = min(reorder_x, domain) if reorder_x is not None else domain
+        with ctx.timer.phase("phase2"):
+            comp_x, comp_id = _best_composition(
+                ctx, view, pool, kth, u_prev, x_cap, mirrored, policy
+            )
+
+        event_x = min(
+            x for x in (reorder_x, comp_x, domain) if x is not None
+        )
+
+        # --- Phase 3: guard [u_prev, event_x] against unseen tuples -------
+        with ctx.timer.phase("phase3"):
+            while True:
+                ctx.evals.termination_checks += 1
+                t_j = ctx.threshold_component(view.dim)
+                total = ctx.threshold_total()
+                threshold = Line(-1, total, -t_j if mirrored else t_j)
+                if (
+                    threshold.value_at(u_prev) <= kth.value_at(u_prev)
+                    and threshold.value_at(event_x) <= kth.value_at(event_x)
+                ):
+                    break
+                pulled = ctx.resume_next_candidate()
+                if pulled is None:
+                    break
+                tuple_id, score = pulled
+                entry = _make_entry(ctx, tuple_id, score, view.dim, mirrored)
+                pool[tuple_id] = entry
+                x = _candidate_crossing(ctx, view, entry, kth, u_prev)
+                if x is not None and (comp_x is None or x < comp_x):
+                    comp_x, comp_id = x, tuple_id
+                    event_x = min(event_x, x)
+
+        # --- Apply the event ----------------------------------------------
+        if event_x >= boundary:
+            break  # the domain limit ends this side (boundary ties excluded)
+        is_reorder = reorder_x is not None and reorder_x == event_x
+        is_composition = comp_x is not None and comp_x == event_x and not is_reorder
+        if not (is_reorder or is_composition):
+            break
+
+        if is_reorder:
+            pos = reorder_pos
+            rising, falling = order[pos + 1], order[pos]
+            order[pos], order[pos + 1] = rising, falling
+            u_prev = event_x
+            if ctx.count_reorderings:
+                events.append(
+                    PerturbationEvent(
+                        x=event_x,
+                        kind="reorder",
+                        rising_id=rising.tuple_id,
+                        falling_id=falling.tuple_id,
+                        topk_after=tuple(line.tuple_id for line in order),
+                    )
+                )
+            continue
+
+        entry = pool.pop(comp_id)
+        dropped = order[-1]
+        order[-1] = entry.line
+        pool[dropped.tuple_id] = _make_entry(
+            ctx, dropped.tuple_id, dropped.intercept, view.dim, mirrored
+        )
+        u_prev = event_x
+        events.append(
+            PerturbationEvent(
+                x=event_x,
+                kind="composition",
+                rising_id=entry.tuple_id,
+                falling_id=dropped.tuple_id,
+                topk_after=tuple(line.tuple_id for line in order),
+            )
+        )
+
+    return SideOutcome(events=events, domain=domain)
+
+
+def compute_iterative_sequence(ctx: RunContext, dim: int, policy: str) -> RegionSequence:
+    """Full iterative φ≥0 pipeline for one dimension."""
+    view = ctx.view(dim)
+    right = iterative_side(ctx, view, mirrored=False, policy=policy)
+    left = iterative_side(ctx, view, mirrored=True, policy=policy)
+    return assemble_sequence(
+        dim=view.dim,
+        weight=view.weight,
+        phi=ctx.phi,
+        result_ids=view.result_ids,
+        left=left,
+        right=right,
+    )

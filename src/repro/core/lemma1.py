@@ -1,0 +1,112 @@
+"""Lemma 1: order preservation under a single-weight deviation.
+
+For tuples ``a`` (ahead: ``S(a,q) ≥ S(b,q)``) and ``b``, a deviation
+``δq_j`` preserves the order iff ``δq_j (b_j − a_j) ≤ S(a,q) − S(b,q)``.
+Three cases follow (paper Formulas 1–3):
+
+* ``b_j > a_j`` — ``b`` gains faster; the order flips at
+  ``δ* = (S(a,q) − S(b,q)) / (b_j − a_j) ≥ 0`` and the constraint is an
+  *upper* bound (the region must stay left of ``δ*``);
+* ``b_j < a_j`` — ``b`` loses slower when ``q_j`` shrinks; the order flips
+  at the same expression, now ``≤ 0``, a *lower* bound;
+* ``b_j = a_j`` — the score gap is independent of ``q_j``: no constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AlgorithmError
+
+__all__ = ["ConstraintSide", "OrderConstraint", "order_constraint", "crossing_delta"]
+
+
+class ConstraintSide:
+    """Constants naming which bound a Lemma 1 constraint restricts."""
+
+    UPPER = "upper"
+    LOWER = "lower"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class OrderConstraint:
+    """A single Lemma 1 constraint on ``δq_j``.
+
+    Attributes
+    ----------
+    side:
+        Which immutable-region bound the constraint restricts.
+    delta:
+        The crossing deviation ``δ*`` (meaningless for ``side == NONE``).
+    """
+
+    side: str
+    delta: float
+
+    @property
+    def restricts_upper(self) -> bool:
+        """Whether this constraint can tighten the region's upper bound."""
+        return self.side == ConstraintSide.UPPER
+
+    @property
+    def restricts_lower(self) -> bool:
+        """Whether this constraint can tighten the region's lower bound."""
+        return self.side == ConstraintSide.LOWER
+
+
+def crossing_delta(
+    ahead_score: float, ahead_coord: float, behind_score: float, behind_coord: float
+) -> float:
+    """The deviation at which *behind* catches *ahead* (coords must differ)."""
+    denom = behind_coord - ahead_coord
+    if denom == 0.0:
+        raise AlgorithmError("crossing_delta undefined for equal coordinates")
+    return (ahead_score - behind_score) / denom
+
+
+def order_constraint(
+    ahead_score: float,
+    ahead_coord: float,
+    behind_score: float,
+    behind_coord: float,
+) -> OrderConstraint:
+    """Lemma 1 constraint keeping *ahead* at or above *behind*.
+
+    Parameters
+    ----------
+    ahead_score, behind_score:
+        Current scores with ``ahead_score ≥ behind_score``.
+    ahead_coord, behind_coord:
+        The two tuples' j-th coordinates.
+    """
+    if behind_score > ahead_score:
+        raise AlgorithmError(
+            "order_constraint requires ahead_score >= behind_score "
+            f"(got {ahead_score} < {behind_score})"
+        )
+    denom = behind_coord - ahead_coord
+    if denom == 0.0:
+        return OrderConstraint(ConstraintSide.NONE, 0.0)
+    delta = (ahead_score - behind_score) / denom
+    if denom > 0.0:
+        return OrderConstraint(ConstraintSide.UPPER, delta)
+    return OrderConstraint(ConstraintSide.LOWER, delta)
+
+
+def constraint_against(
+    kth_score: float,
+    kth_coord: float,
+    candidate_score: float,
+    candidate_coord: float,
+) -> Optional[OrderConstraint]:
+    """Phase 2/3 convenience: the constraint keeping ``d_k`` ahead of a candidate.
+
+    Returns ``None`` instead of a ``NONE``-side constraint so call sites can
+    skip parallel candidates with a simple truthiness test.
+    """
+    constraint = order_constraint(kth_score, kth_coord, candidate_score, candidate_coord)
+    if constraint.side == ConstraintSide.NONE:
+        return None
+    return constraint

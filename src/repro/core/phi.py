@@ -1,0 +1,380 @@
+"""One-off φ ≥ 0 computation (paper §6).
+
+Each side of the current weight is processed independently in *side
+coordinates*: rightward deviations use ``x = δq_j`` directly, leftward ones
+mirror the axis (``x = −δq_j``), which negates every slope and makes the
+two passes share all code.
+
+Pipeline per side (mirroring the paper's phases):
+
+1. **Phase 1** — sweep the k result lines for their first ``φ+1``
+   perturbation events (the paper's plane sweep over the score–coordinate
+   plane, Figure 9).
+2. **Phase 2** — process candidates.  ``prune`` pools are cut by Lemma 4
+   (rightward regions need only the ``φ+1`` highest-coordinate ``CH_j``
+   tuples, leftward only the ``φ+1`` top-scoring ``C0_j`` tuples, plus all
+   of ``CL_j``); ``thres`` probes score- and slope-ordered lists round-robin
+   and stops once the *threshold line* ``y = t_S + x·t_slope`` lies entirely
+   below the current k-level.  Every processed candidate is tested against
+   the k-level (the "lower envelope" of the evolving result); candidates
+   that cross it join the active set and the event sweep is refreshed,
+   tightening the horizon ``u^φ``.
+3. **Phase 3** — resume TA while the list-threshold line
+   ``y = Σ_i q_i t_i + x·(±t_j)`` still reaches the k-level within the
+   horizon; each pulled tuple is evaluated like a Phase 2 candidate.
+
+A note on the slope-ordered list: for φ = 0 the paper restricts ``SLj↓`` to
+coordinates above ``d_kj`` (no other candidate can affect ``u_j``).  For
+φ > 0 this restriction is unsound — after a reorder at the k boundary the
+k-level's slope can drop below ``d_kj`` and flatter candidates become able
+to cross it — so the slope list here ranks the *whole* pool; the
+threshold-line termination then soundly caps every unseen candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import AlgorithmError
+from ..geometry.ksweep import PerturbationEvent, sweep_topk_events
+from ..geometry.line import Line
+from .candidates import partition_candidates, pruned_pool
+from .context import CandidateRecord, DimensionView, RunContext
+from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
+
+__all__ = [
+    "SideOutcome",
+    "ActiveTopK",
+    "compute_phi_sequence",
+    "assemble_sequence",
+    "one_off_side",
+]
+
+
+@dataclass(frozen=True)
+class SideOutcome:
+    """One side's perturbation events (in side coordinates) and domain width."""
+
+    events: List[PerturbationEvent]
+    domain: float
+
+
+class ActiveTopK:
+    """The evolving arrangement of one side: result lines + accepted candidates.
+
+    Maintains the event sweep (truncated at ``max_events`` perturbations)
+    and the k-level function; :meth:`add_line` re-sweeps after accepting a
+    candidate, which can only tighten the horizon.
+    """
+
+    def __init__(
+        self,
+        lines: Sequence[Line],
+        k: int,
+        x_max: float,
+        count_reorderings: bool,
+        max_events: int,
+    ) -> None:
+        self._lines: List[Line] = list(lines)
+        self._k = k
+        self._x_max = x_max
+        self._count_reorderings = count_reorderings
+        self._max_events = max_events
+        self._sweep = self._run_sweep()
+
+    def _run_sweep(self):
+        return sweep_topk_events(
+            self._lines,
+            self._k,
+            self._x_max,
+            count_reorderings=self._count_reorderings,
+            max_events=self._max_events,
+        )
+
+    @property
+    def events(self) -> List[PerturbationEvent]:
+        """Current perturbation events, ascending x, at most ``max_events``."""
+        return self._sweep.events
+
+    @property
+    def klevel(self):
+        """The k-th-best value function over ``[0, horizon]``."""
+        return self._sweep.klevel
+
+    @property
+    def horizon(self) -> float:
+        """x of the final relevant event, or the domain end."""
+        return self._sweep.x_stop
+
+    def crosses(self, line: Line) -> bool:
+        """Whether *line* reaches the k-level anywhere within the horizon."""
+        for segment in self.klevel.segments:
+            if line.value_at(segment.x_start) >= segment.line.value_at(segment.x_start):
+                return True
+            if line.value_at(segment.x_end) >= segment.line.value_at(segment.x_end):
+                return True
+        return False
+
+    def add_line(self, line: Line) -> None:
+        """Accept a candidate line into the arrangement and re-sweep."""
+        if any(existing.tuple_id == line.tuple_id for existing in self._lines):
+            raise AlgorithmError(f"line for tuple {line.tuple_id} already active")
+        self._lines.append(line)
+        self._sweep = self._run_sweep()
+
+
+# ----------------------------------------------------------------------
+# Phase 2 processing strategies
+# ----------------------------------------------------------------------
+
+
+def _record_line(record: CandidateRecord, mirrored: bool) -> Line:
+    return Line(record.tuple_id, record.score, -record.coord if mirrored else record.coord)
+
+
+def _evaluate_record(
+    ctx: RunContext,
+    view: DimensionView,
+    record: CandidateRecord,
+    mirrored: bool,
+    active: ActiveTopK,
+) -> None:
+    """Charge a candidate's evaluation and accept its line if it matters."""
+    coord = ctx.charge_candidate_evaluation(record.tuple_id, view.dim)
+    line = Line(record.tuple_id, record.score, -coord if mirrored else coord)
+    if active.crosses(line):
+        active.add_line(line)
+
+
+def _plain_processing(
+    ctx: RunContext,
+    view: DimensionView,
+    mirrored: bool,
+    pool: List[CandidateRecord],
+    active: ActiveTopK,
+) -> None:
+    """Scan/Prune-style Phase 2: evaluate every pool member."""
+    for record in pool:
+        _evaluate_record(ctx, view, record, mirrored, active)
+
+
+class _Pointer:
+    """Read-once pointer over a sorted record list (threshold carrier)."""
+
+    def __init__(self, records: List[CandidateRecord]) -> None:
+        self._records = records
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._records)
+
+    def peek(self) -> Optional[CandidateRecord]:
+        return None if self.exhausted else self._records[self._pos]
+
+    def pull(self) -> CandidateRecord:
+        record = self._records[self._pos]
+        self._pos += 1
+        return record
+
+
+def _thresholded_processing(
+    ctx: RunContext,
+    view: DimensionView,
+    mirrored: bool,
+    pool: List[CandidateRecord],
+    active: ActiveTopK,
+) -> None:
+    """Thres/CPT-style Phase 2 with threshold-line termination (§6)."""
+
+    def side_slope(record: CandidateRecord) -> float:
+        return -record.coord if mirrored else record.coord
+
+    sls = _Pointer(sorted(pool, key=lambda r: (-r.score, r.tuple_id)))
+    sl_slope = _Pointer(sorted(pool, key=lambda r: (-side_slope(r), r.tuple_id)))
+    evaluated: set[int] = set()
+
+    def evaluate(record: CandidateRecord) -> None:
+        if record.tuple_id in evaluated:
+            return
+        evaluated.add(record.tuple_id)
+        _evaluate_record(ctx, view, record, mirrored, active)
+
+    while True:
+        if sls.exhausted or sl_slope.exhausted:
+            return  # every pool member has been pulled and evaluated
+        ctx.evals.termination_checks += 1
+        t_score = sls.peek()
+        t_slope = sl_slope.peek()
+        threshold_line = Line(-1, t_score.score, side_slope(t_slope))
+        if active.klevel.line_stays_below(threshold_line):
+            return
+        evaluate(sls.pull())
+        if not sl_slope.exhausted:
+            evaluate(sl_slope.pull())
+
+
+# ----------------------------------------------------------------------
+# Per-side pipeline
+# ----------------------------------------------------------------------
+
+
+def _side_pool(
+    ctx: RunContext, view: DimensionView, mirrored: bool, policy: str
+) -> List[CandidateRecord]:
+    if policy in ("all", "thres"):
+        return ctx.candidate_records(view.dim)
+    partition = partition_candidates(ctx, view.dim)
+    pool = pruned_pool(partition, phi=ctx.phi, side="left" if mirrored else "right")
+    ctx.evals.pruned_candidates += partition.total - len(pool)
+    return pool
+
+
+def _phase3_side(
+    ctx: RunContext, view: DimensionView, mirrored: bool, active: ActiveTopK
+) -> None:
+    """Resume TA until its threshold line cannot reach the k-level (§6 Phase 3)."""
+    while True:
+        ctx.evals.termination_checks += 1
+        t_j = ctx.threshold_component(view.dim)
+        total = ctx.threshold_total()
+        threshold_line = Line(-1, total, -t_j if mirrored else t_j)
+        if active.klevel.line_stays_below(threshold_line):
+            return
+        pulled = ctx.resume_next_candidate()
+        if pulled is None:
+            return
+        tuple_id, score = pulled
+        # The resume fetch holds the vector in memory; the coordinate is free.
+        coord = ctx.store.peek_value(tuple_id, view.dim)
+        line = Line(tuple_id, score, -coord if mirrored else coord)
+        if active.crosses(line):
+            active.add_line(line)
+
+
+def one_off_side(
+    ctx: RunContext, view: DimensionView, mirrored: bool, policy: str
+) -> SideOutcome:
+    """Compute one side's first ``φ+1`` perturbation events."""
+    domain = view.weight if mirrored else 1.0 - view.weight
+    if domain <= 0.0:
+        return SideOutcome(events=[], domain=0.0)
+    max_events = ctx.phi + 1
+
+    with ctx.timer.phase("phase1"):
+        active = ActiveTopK(
+            view.result_lines(mirrored),
+            k=len(view.result_ids),
+            x_max=domain,
+            count_reorderings=ctx.count_reorderings,
+            max_events=max_events,
+        )
+    with ctx.timer.phase("phase2"):
+        pool = _side_pool(ctx, view, mirrored, policy)
+        if policy in ("thres", "cpt"):
+            _thresholded_processing(ctx, view, mirrored, pool, active)
+        else:
+            _plain_processing(ctx, view, mirrored, pool, active)
+    with ctx.timer.phase("phase3"):
+        _phase3_side(ctx, view, mirrored, active)
+    return SideOutcome(events=list(active.events), domain=domain)
+
+
+# ----------------------------------------------------------------------
+# Region assembly (shared with the iterative path and the brute oracle)
+# ----------------------------------------------------------------------
+
+
+def _event_bound(event: PerturbationEvent, mirrored: bool) -> Bound:
+    return Bound(
+        delta=-event.x if mirrored else event.x,
+        kind=event.kind,
+        rising_id=event.rising_id,
+        falling_id=event.falling_id,
+    )
+
+
+def assemble_sequence(
+    dim: int,
+    weight: float,
+    phi: int,
+    result_ids: Sequence[int],
+    left: SideOutcome,
+    right: SideOutcome,
+) -> RegionSequence:
+    """Stitch two side outcomes into a contiguous :class:`RegionSequence`.
+
+    Each side contributes up to ``φ+1`` events: the first event bounds the
+    current region, events ``1..φ`` bound the successive regions, and the
+    ``(φ+1)``-th (when present) caps the outermost region; otherwise the
+    outermost region ends at the domain limit.
+    """
+
+    def side_regions(outcome: SideOutcome, mirrored: bool) -> List[ImmutableRegion]:
+        regions: List[ImmutableRegion] = []
+        events = outcome.events
+        domain_bound = Bound(-outcome.domain if mirrored else outcome.domain, BoundKind.DOMAIN)
+        # Regions strictly beyond the current one on this side.
+        for index in range(len(events)):
+            if index + 1 < len(events):
+                outer = _event_bound(events[index + 1], mirrored)
+            elif len(events) == phi + 1:
+                break  # events[phi] only caps region phi; no region beyond it
+            else:
+                outer = domain_bound
+            inner = _event_bound(events[index], mirrored)
+            lower, upper = (outer, inner) if mirrored else (inner, outer)
+            regions.append(
+                ImmutableRegion(
+                    dim=dim,
+                    weight=weight,
+                    lower=lower,
+                    upper=upper,
+                    result_ids=tuple(events[index].topk_after),
+                )
+            )
+        return regions
+
+    left_bound = (
+        _event_bound(left.events[0], mirrored=True)
+        if left.events
+        else Bound(-left.domain, BoundKind.DOMAIN)
+    )
+    right_bound = (
+        _event_bound(right.events[0], mirrored=False)
+        if right.events
+        else Bound(right.domain, BoundKind.DOMAIN)
+    )
+    current = ImmutableRegion(
+        dim=dim,
+        weight=weight,
+        lower=left_bound,
+        upper=right_bound,
+        result_ids=tuple(result_ids),
+    )
+    left_regions = side_regions(left, mirrored=True)
+    left_regions.reverse()  # ascending delta order
+    right_regions = side_regions(right, mirrored=False)
+    regions = tuple(left_regions + [current] + right_regions)
+    return RegionSequence(
+        dim=dim,
+        weight=weight,
+        regions=regions,
+        current_index=len(left_regions),
+    )
+
+
+def compute_phi_sequence(ctx: RunContext, dim: int, policy: str) -> RegionSequence:
+    """Full one-off φ≥0 pipeline for one dimension."""
+    view = ctx.view(dim)
+    right = one_off_side(ctx, view, mirrored=False, policy=policy)
+    left = one_off_side(ctx, view, mirrored=True, policy=policy)
+    return assemble_sequence(
+        dim=view.dim,
+        weight=view.weight,
+        phi=ctx.phi,
+        result_ids=view.result_ids,
+        left=left,
+        right=right,
+    )

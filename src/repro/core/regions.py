@@ -1,0 +1,213 @@
+"""Region datatypes: bounds, immutable regions, region sequences.
+
+An immutable region for dimension ``j`` is an interval of deviations
+``δq_j`` expressed *relative to* the current weight (paper §3: "we
+represent IR_j relative to q_j").  A :class:`Bound` carries provenance —
+which tuple's crossing set it and whether that crossing is a reordering, a
+composition change, or the ``[−q_j, 1−q_j]`` domain limit — implementing
+the paper's requirement to report the specific perturbation at each bound.
+
+For φ>0 a :class:`RegionSequence` strings together up to ``2φ+1``
+contiguous regions (φ on each side of the current one), each annotated
+with the exact top-k result valid inside it (paper §1 and §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .._util import require
+from ..errors import AlgorithmError
+
+__all__ = ["BoundKind", "Bound", "ImmutableRegion", "RegionSequence"]
+
+
+class BoundKind:
+    """Constants naming what ends a region at a bound."""
+
+    DOMAIN = "domain"  # the weight domain limit −q_j or 1−q_j
+    REORDER = "reorder"  # two result tuples swap ranks
+    COMPOSITION = "composition"  # a non-result tuple enters the result
+
+
+_VALID_KINDS = (BoundKind.DOMAIN, BoundKind.REORDER, BoundKind.COMPOSITION)
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One end of an immutable region.
+
+    Attributes
+    ----------
+    delta:
+        The deviation value of the bound (relative to the current weight).
+    kind:
+        What happens at the bound (:class:`BoundKind`).
+    rising_id:
+        The tuple whose score line crosses upward at the bound (``None``
+        for domain bounds).
+    falling_id:
+        The tuple being overtaken (``None`` for domain bounds).
+    """
+
+    delta: float
+    kind: str
+    rising_id: Optional[int] = None
+    falling_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise AlgorithmError(f"invalid bound kind {self.kind!r}")
+        if self.kind == BoundKind.DOMAIN:
+            if self.rising_id is not None or self.falling_id is not None:
+                raise AlgorithmError("domain bounds carry no tuple provenance")
+        else:
+            if self.rising_id is None or self.falling_id is None:
+                raise AlgorithmError(f"{self.kind} bounds need rising and falling ids")
+
+    @property
+    def closed(self) -> bool:
+        """Domain bounds are attainable (closed); crossings are open ends."""
+        return self.kind == BoundKind.DOMAIN
+
+    def __repr__(self) -> str:
+        if self.kind == BoundKind.DOMAIN:
+            return f"Bound({self.delta:.6g}, domain)"
+        return (
+            f"Bound({self.delta:.6g}, {self.kind}, "
+            f"rising=d{self.rising_id}, falling=d{self.falling_id})"
+        )
+
+
+@dataclass(frozen=True)
+class ImmutableRegion:
+    """A maximal deviation interval with an unchanging top-k result.
+
+    Attributes
+    ----------
+    dim:
+        The query dimension the region belongs to.
+    weight:
+        The dimension's current weight ``q_j`` (deltas are relative to it).
+    lower, upper:
+        The two bounds; ``lower.delta ≤ upper.delta``.
+    result_ids:
+        The exact top-k (best first) valid throughout the region.
+    """
+
+    dim: int
+    weight: float
+    lower: Bound
+    upper: Bound
+    result_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.weight <= 1.0, "weight must lie in (0, 1]")
+        if self.lower.delta > self.upper.delta:
+            raise AlgorithmError(
+                f"lower bound {self.lower.delta} exceeds upper {self.upper.delta}"
+            )
+
+    @property
+    def width(self) -> float:
+        """Length of the deviation interval."""
+        return self.upper.delta - self.lower.delta
+
+    @property
+    def weight_interval(self) -> Tuple[float, float]:
+        """The region expressed in absolute weight values."""
+        return (self.weight + self.lower.delta, self.weight + self.upper.delta)
+
+    def contains(self, delta: float) -> bool:
+        """Whether deviation *delta* lies inside the region.
+
+        Crossing bounds are open (the result changes *at* the crossing);
+        domain bounds are closed (the weight may sit exactly at 0 or 1).
+        """
+        above_lower = delta >= self.lower.delta if self.lower.closed else delta > self.lower.delta
+        below_upper = delta <= self.upper.delta if self.upper.closed else delta < self.upper.delta
+        return above_lower and below_upper
+
+    def contains_weight(self, weight_value: float) -> bool:
+        """Whether the absolute weight *weight_value* lies inside the region."""
+        return self.contains(weight_value - self.weight)
+
+    def __repr__(self) -> str:
+        lo, hi = self.lower.delta, self.upper.delta
+        return (
+            f"ImmutableRegion(dim={self.dim}, delta=({lo:.6g}, {hi:.6g}), "
+            f"result={list(self.result_ids)})"
+        )
+
+
+@dataclass(frozen=True)
+class RegionSequence:
+    """Contiguous immutable regions around the current weight of one dimension.
+
+    ``regions`` are ordered by increasing deviation and share endpoints;
+    ``regions[current_index]`` contains deviation 0 (the current result).
+    For φ=0 the sequence holds exactly one region.
+    """
+
+    dim: int
+    weight: float
+    regions: Tuple[ImmutableRegion, ...]
+    current_index: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        require(len(self.regions) >= 1, "a sequence needs at least one region")
+        require(
+            0 <= self.current_index < len(self.regions),
+            "current_index out of range",
+        )
+        for left, right in zip(self.regions, self.regions[1:]):
+            if left.upper.delta != right.lower.delta:
+                raise AlgorithmError(
+                    "regions in a sequence must be contiguous: "
+                    f"{left.upper.delta} != {right.lower.delta}"
+                )
+        current = self.regions[self.current_index]
+        if not (current.lower.delta <= 0.0 <= current.upper.delta):
+            raise AlgorithmError("current region must contain deviation 0")
+
+    @property
+    def current(self) -> ImmutableRegion:
+        """The region containing the current weight (deviation 0)."""
+        return self.regions[self.current_index]
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """Total deviation range covered by the sequence."""
+        return (self.regions[0].lower.delta, self.regions[-1].upper.delta)
+
+    def region_for(self, delta: float) -> ImmutableRegion:
+        """The region containing deviation *delta* (bounds resolve rightward).
+
+        A crossing bound belongs to neither region (the result is in
+        transition exactly there); by convention we return the region to the
+        right, whose result holds immediately past the crossing.
+        """
+        lo, hi = self.span
+        if not lo <= delta <= hi:
+            raise AlgorithmError(
+                f"delta {delta} outside covered range [{lo}, {hi}]"
+            )
+        for region in self.regions:
+            if delta < region.upper.delta or (
+                region.upper.closed and delta <= region.upper.delta
+            ):
+                return region
+        return self.regions[-1]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionSequence(dim={self.dim}, regions={len(self.regions)}, "
+            f"span={self.span})"
+        )

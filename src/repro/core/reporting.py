@@ -1,0 +1,141 @@
+"""Serialisation and human-readable rendering of region computations.
+
+Downstream applications (the slide-bar UI of Figure 1, dashboards, logs)
+need the computation in a portable form: :func:`computation_to_dict`
+produces a JSON-safe dictionary, :func:`render_report` a fixed-width text
+report, and :func:`render_slider` the ASCII slide-bar of a single weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .._util import require
+from .engine import RegionComputation
+from .regions import Bound, ImmutableRegion, RegionSequence
+
+__all__ = [
+    "bound_to_dict",
+    "region_to_dict",
+    "sequence_to_dict",
+    "computation_to_dict",
+    "render_slider",
+    "render_report",
+]
+
+
+def bound_to_dict(bound: Bound) -> Dict:
+    """JSON-safe representation of a :class:`Bound`."""
+    payload: Dict = {"delta": bound.delta, "kind": bound.kind, "closed": bound.closed}
+    if bound.rising_id is not None:
+        payload["rising_id"] = bound.rising_id
+        payload["falling_id"] = bound.falling_id
+    return payload
+
+
+def region_to_dict(region: ImmutableRegion) -> Dict:
+    """JSON-safe representation of an :class:`ImmutableRegion`."""
+    lo, hi = region.weight_interval
+    return {
+        "dim": region.dim,
+        "weight": region.weight,
+        "lower": bound_to_dict(region.lower),
+        "upper": bound_to_dict(region.upper),
+        "weight_interval": [lo, hi],
+        "width": region.width,
+        "result_ids": list(region.result_ids),
+    }
+
+
+def sequence_to_dict(sequence: RegionSequence) -> Dict:
+    """JSON-safe representation of a :class:`RegionSequence`."""
+    return {
+        "dim": sequence.dim,
+        "weight": sequence.weight,
+        "current_index": sequence.current_index,
+        "regions": [region_to_dict(region) for region in sequence.regions],
+    }
+
+
+def computation_to_dict(computation: RegionComputation) -> Dict:
+    """JSON-safe representation of a full :class:`RegionComputation`.
+
+    Includes the query, the result, every region sequence, and the headline
+    metrics — everything a client needs to drive a refinement UI without
+    re-contacting the engine.
+    """
+    metrics = computation.metrics
+    return {
+        "query": {
+            "dims": [int(d) for d in computation.query.dims],
+            "weights": [float(w) for w in computation.query.weights],
+        },
+        "k": computation.k,
+        "phi": computation.phi,
+        "method": computation.method,
+        "count_reorderings": computation.count_reorderings,
+        "result_ids": computation.result.ids,
+        "result_scores": [float(s) for s in computation.result.scores],
+        "sequences": {
+            str(dim): sequence_to_dict(seq)
+            for dim, seq in computation.sequences.items()
+        },
+        "metrics": {
+            "evaluated_candidates": metrics.evals.evaluated_candidates,
+            "evaluated_per_dim": {
+                str(dim): count for dim, count in metrics.evaluated_per_dim.items()
+            },
+            "io_seconds": metrics.io_seconds,
+            "cpu_seconds": metrics.cpu_seconds,
+            "memory_bytes": metrics.memory.total_bytes,
+            "candidates_total": metrics.candidates_total,
+        },
+    }
+
+
+def render_slider(region: ImmutableRegion, width: int = 50) -> str:
+    """ASCII slide-bar of one weight with its region marks (Figure 1).
+
+    ``[`` and ``]`` mark the region bounds l_j/u_j in absolute weight
+    space; ``|`` marks the current weight.
+    """
+    require(width >= 10, "slider width must be >= 10")
+    lo, hi = region.weight_interval
+    cells = [" "] * width
+
+    def mark(value: float, char: str) -> None:
+        pos = min(width - 1, max(0, int(round(value * (width - 1)))))
+        cells[pos] = char
+
+    mark(lo, "[")
+    mark(hi, "]")
+    mark(region.weight, "|")
+    return f"0 {''.join(cells)} 1"
+
+
+def render_report(computation: RegionComputation) -> str:
+    """Fixed-width text report of a computation (all dims, all regions)."""
+    lines: List[str] = [
+        f"Immutable regions — method={computation.method}, k={computation.k}, "
+        f"phi={computation.phi}"
+        + ("" if computation.count_reorderings else " (composition-only)"),
+        f"top-{computation.k}: {computation.result.ids}",
+        "",
+    ]
+    for dim in sorted(computation.sequences):
+        sequence = computation.sequences[dim]
+        region = sequence.current
+        lines.append(
+            f"dim {dim}  weight={region.weight:.4f}  "
+            f"region=({region.lower.delta:+.6f}, {region.upper.delta:+.6f})"
+        )
+        lines.append(f"  {render_slider(region)}")
+        if len(sequence) > 1:
+            for index, other in enumerate(sequence):
+                marker = " *" if index == sequence.current_index else "  "
+                lines.append(
+                    f"  {marker} [{other.lower.delta:+.5f}, "
+                    f"{other.upper.delta:+.5f}]  -> {list(other.result_ids)}"
+                )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""The φ = 0 computation: Phases 1–3 for all four methods.
+
+This module implements the paper's §4 (Scan: Algorithms 1 and 2) and plugs
+in the §5 Phase 2 alternatives:
+
+* ``"all"``   — Scan: evaluate every candidate in ``C(q)``;
+* ``"prune"`` — Prune: evaluate ``CL_j`` plus the Lemma 2/3 selections;
+* ``"thres"`` — Thres: Algorithm 3 over all candidates;
+* ``"cpt"``   — CPT: Algorithm 3 over the pruned pool.
+
+Phase 1 corrects the obvious typo in the paper's Algorithm 1 line 5
+(``d_{α−1,j}`` should read ``d_{α+1,j}``; Lemma 1 and the surrounding text
+make the intent unambiguous).
+
+Phase 3 (Algorithm 2) resumes TA until the threshold conditions prove no
+unseen tuple can cross into the result anywhere inside the current bounds.
+It includes the §4 sorted-access shortcut: when TA consumed ``d_k``'s entry
+of ``L_j`` via sorted access, every tuple with a larger j-th coordinate was
+already encountered and the upper bound is final after Phase 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .._util import pairs
+from ..errors import AlgorithmError
+from .candidates import partition_candidates, pruned_pool
+from .context import CandidateRecord, DimensionView, RunContext, WorkingBounds
+from .lemma1 import order_constraint
+from .regions import BoundKind, ImmutableRegion, RegionSequence
+from .thresholding import thresholding_phase2
+
+__all__ = ["POOL_POLICIES", "compute_phi0_sequence"]
+
+POOL_POLICIES = ("all", "prune", "thres", "cpt")
+
+
+def phase1_reorderings(ctx: RunContext, view: DimensionView, bounds: WorkingBounds) -> None:
+    """Phase 1 (Algorithm 1): widest range preserving the order inside R(q).
+
+    Result coordinates are free reads (TA fetched the full vectors); each
+    consecutive pair contributes one Lemma 1 constraint.
+    """
+    ranked = list(zip(view.result_ids, view.result_scores, view.result_coords))
+    for (ahead_id, ahead_score, ahead_coord), (
+        behind_id,
+        behind_score,
+        behind_coord,
+    ) in pairs(ranked):
+        ctx.evals.result_comparisons += 1
+        constraint = order_constraint(ahead_score, ahead_coord, behind_score, behind_coord)
+        bounds.apply(
+            constraint,
+            rising_id=behind_id,
+            falling_id=ahead_id,
+            kind=BoundKind.REORDER,
+        )
+
+
+def _phase2_pool(ctx: RunContext, dim: int, policy: str) -> List[CandidateRecord]:
+    """Build the Phase 2 candidate pool for *policy* (charging nothing yet)."""
+    if policy in ("all", "thres"):
+        return ctx.candidate_records(dim)
+    partition = partition_candidates(ctx, dim)
+    pool = pruned_pool(partition, phi=0, side="both")
+    ctx.evals.pruned_candidates += partition.total - len(pool)
+    return pool
+
+
+def phase2_candidates(
+    ctx: RunContext, view: DimensionView, bounds: WorkingBounds, policy: str
+) -> None:
+    """Phase 2: constrain the bounds so no candidate overtakes ``d_k``."""
+    if policy not in POOL_POLICIES:
+        raise AlgorithmError(f"unknown pool policy {policy!r}")
+    pool = _phase2_pool(ctx, view.dim, policy)
+    if policy in ("thres", "cpt"):
+        thresholding_phase2(ctx, view, bounds, pool)
+        return
+    for record in pool:
+        ctx.evaluate_against_kth(view, record, bounds)
+
+
+def phase3_unseen(ctx: RunContext, view: DimensionView, bounds: WorkingBounds) -> None:
+    """Phase 3 (Algorithm 2): rule out tuples TA never encountered.
+
+    Resumes the TA scan until the threshold tuple, evaluated at both bound
+    deviations, can no longer reach ``d_k``'s deviated score.  Both
+    endpoint checks suffice: the gap between the threshold line and
+    ``d_k``'s line is linear in the deviation, and TA's own termination
+    guarantees it is non-positive at deviation 0.
+    """
+    weight = view.weight
+    # Sorted-access shortcut (§4): all tuples preceding d_k in L_j are seen.
+    upper_needed = not ctx.ta.encountered_via_sorted_access(view.dk_id, view.dim)
+
+    while True:
+        ctx.evals.termination_checks += 1
+        t_j = ctx.threshold_component(view.dim)
+        t_other = ctx.threshold_total() - weight * t_j
+
+        need_pull = False
+        if upper_needed:
+            capped = t_other + (weight + bounds.upper.delta) * t_j
+            limit = view.dk_score + bounds.upper.delta * view.dk_coord
+            if capped > limit:
+                need_pull = True
+        if not need_pull:
+            capped = t_other + (weight + bounds.lower.delta) * t_j
+            limit = view.dk_score + bounds.lower.delta * view.dk_coord
+            if capped > limit:
+                need_pull = True
+        if not need_pull:
+            return
+
+        pulled = ctx.resume_next_candidate()
+        if pulled is None:
+            return  # lists exhausted: no unseen tuple remains at all
+        tuple_id, score = pulled
+        # The resume fetch brought the full vector in; its j-th coordinate
+        # is free, exactly as in Algorithm 2's in-loop processing.
+        coord = ctx.store.peek_value(tuple_id, view.dim)
+        constraint = order_constraint(view.dk_score, view.dk_coord, score, coord)
+        bounds.apply(
+            constraint,
+            rising_id=tuple_id,
+            falling_id=view.dk_id,
+            kind=BoundKind.COMPOSITION,
+        )
+
+
+def compute_phi0_sequence(ctx: RunContext, dim: int, policy: str) -> RegionSequence:
+    """Full φ=0 pipeline for one dimension; returns a one-region sequence."""
+    view = ctx.view(dim)
+    bounds = WorkingBounds(view)
+    with ctx.timer.phase("phase1"):
+        phase1_reorderings(ctx, view, bounds)
+    with ctx.timer.phase("phase2"):
+        phase2_candidates(ctx, view, bounds, policy)
+    with ctx.timer.phase("phase3"):
+        phase3_unseen(ctx, view, bounds)
+    region = ImmutableRegion(
+        dim=view.dim,
+        weight=view.weight,
+        lower=bounds.lower,
+        upper=bounds.upper,
+        result_ids=tuple(view.result_ids),
+    )
+    return RegionSequence(dim=view.dim, weight=view.weight, regions=(region,))

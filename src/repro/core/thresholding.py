@@ -1,0 +1,144 @@
+"""Candidate thresholding — Algorithm 3 of the paper (φ = 0).
+
+Candidates are probed in order of their *potential* to tighten the
+immutable region, via three lists over the (possibly pruned) pool:
+
+* ``SLS`` — candidates by decreasing score (high score ⇒ close to ``d_k``);
+* ``SLj↑`` — candidates with j-th coordinate below ``d_kj``, by ascending
+  coordinate (flat lines drop slowest as ``q_j`` shrinks ⇒ they can raise
+  the lower bound the most);
+* ``SLj↓`` — candidates with j-th coordinate above ``d_kj``, by descending
+  coordinate (steep lines overtake soonest as ``q_j`` grows).
+
+The lists are probed round-robin.  Before each ``SLj`` pull the matching
+termination test runs: the next candidates' score is capped by ``SLS``'s
+threshold ``t_S`` and their coordinate by the ``SLj`` threshold, so the
+steepest crossing any unseen candidate can force is known in closed form
+(Algorithm 3 lines 10 and 16); once it falls outside the current bound the
+remaining candidates are disqualified wholesale.
+
+Candidates with ``d_βj = d_kj`` never constrain the region (parallel score
+lines) and appear in neither ``SLj`` list; pulled from ``SLS`` they are
+skipped without an evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .context import CandidateRecord, DimensionView, RunContext, WorkingBounds
+
+__all__ = ["thresholding_phase2"]
+
+
+class _ProbeList:
+    """A read-once pointer over a pre-sorted candidate list."""
+
+    def __init__(self, records: List[CandidateRecord]) -> None:
+        self._records = records
+        self._pos = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._records)
+
+    def peek(self) -> Optional[CandidateRecord]:
+        """The next entry (the list's threshold carrier), or ``None``."""
+        if self.exhausted:
+            return None
+        return self._records[self._pos]
+
+    def pull(self) -> CandidateRecord:
+        record = self._records[self._pos]
+        self._pos += 1
+        return record
+
+
+def thresholding_phase2(
+    ctx: RunContext,
+    view: DimensionView,
+    bounds: WorkingBounds,
+    pool: List[CandidateRecord],
+) -> None:
+    """Run Algorithm 3 over *pool*, tightening *bounds* in place.
+
+    *pool* must be sorted by decreasing score (the natural ``C(q)`` order);
+    it is the full candidate list for Thres and the pruned pool for CPT.
+    """
+    sls = _ProbeList(sorted(pool, key=lambda r: (-r.score, r.tuple_id)))
+    sl_up = _ProbeList(
+        sorted(
+            (r for r in pool if r.coord < view.dk_coord),
+            key=lambda r: (r.coord, r.tuple_id),
+        )
+    )
+    sl_down = _ProbeList(
+        sorted(
+            (r for r in pool if r.coord > view.dk_coord),
+            key=lambda r: (-r.coord, r.tuple_id),
+        )
+    )
+
+    search_lower = True
+    search_upper = True
+    evaluated: Set[int] = set()
+
+    def evaluate(record: CandidateRecord) -> None:
+        if record.tuple_id in evaluated:
+            return
+        evaluated.add(record.tuple_id)
+        ctx.evaluate_against_kth(view, record, bounds)
+
+    while search_lower or search_upper:
+        # --- Pull from SLS (Algorithm 3 lines 4–8) -----------------------
+        if sls.exhausted:
+            # Every pool member has been pulled from SLS; candidates on a
+            # still-active side were evaluated when pulled, so nothing
+            # unseen remains on either side.
+            break
+        record = sls.pull()
+        if record.coord < view.dk_coord and search_lower:
+            evaluate(record)
+        elif record.coord > view.dk_coord and search_upper:
+            evaluate(record)
+
+        # --- Lower-bound search (lines 9–14) -----------------------------
+        if search_lower:
+            ctx.evals.termination_checks += 1
+            next_score = sls.peek()
+            next_up = sl_up.peek()
+            if next_up is None:
+                # All candidates left of d_k considered (t'_j >= d_kj case).
+                search_lower = False
+            elif next_score is None:
+                # SLS exhausted: every pool member was pulled (and, while
+                # this search was active, evaluated); nothing unseen remains.
+                search_lower = False
+            else:
+                reach = (view.dk_score - next_score.score) / (
+                    next_up.coord - view.dk_coord
+                )
+                if reach <= bounds.lower.delta:
+                    search_lower = False
+            if search_lower and not sl_up.exhausted:
+                evaluate(sl_up.pull())
+
+        # --- Upper-bound search (lines 15–20) ----------------------------
+        if search_upper:
+            ctx.evals.termination_checks += 1
+            next_score = sls.peek()
+            next_down = sl_down.peek()
+            if next_down is None:
+                # All candidates right of d_k considered (t_j <= d_kj case).
+                search_upper = False
+            elif next_score is None:
+                # SLS exhausted; see the lower-search comment above.
+                search_upper = False
+            else:
+                reach = (view.dk_score - next_score.score) / (
+                    next_down.coord - view.dk_coord
+                )
+                if reach >= bounds.upper.delta:
+                    search_upper = False
+            if search_upper and not sl_down.exhausted:
+                evaluate(sl_down.pull())

@@ -1,0 +1,38 @@
+"""Dataset substrate: container, generators, persistence, workloads.
+
+The paper evaluates on three datasets (§7.1):
+
+* **WSJ** — 172,891 Wall Street Journal articles over 181,978 TF-IDF terms
+  (proprietary).  Substituted by :func:`~repro.datasets.text.generate_text_corpus`,
+  a Zipf-vocabulary TF-IDF corpus generator that reproduces the sparsity
+  structure the algorithms are sensitive to.
+* **KB** — 28,452 images × 9,693 features with moderate correlation.
+  Substituted by :func:`~repro.datasets.image.generate_image_features`,
+  a low-rank factor model with partial sparsity.
+* **ST** — synthetic, Matlab ``mvnrnd`` with pairwise correlation 0.5,
+  1M × 20.  Reimplemented directly in
+  :func:`~repro.datasets.synthetic.generate_correlated`.
+
+All generators return a :class:`~repro.datasets.base.Dataset`, the CSR-style
+sparse container every other subsystem consumes.
+"""
+
+from .base import Dataset
+from .image import generate_image_features
+from .io import load_dataset, save_dataset
+from .synthetic import generate_correlated, generate_independent
+from .text import CorpusStats, generate_text_corpus
+from .workloads import QueryWorkload, sample_queries
+
+__all__ = [
+    "Dataset",
+    "generate_correlated",
+    "generate_independent",
+    "generate_text_corpus",
+    "CorpusStats",
+    "generate_image_features",
+    "save_dataset",
+    "load_dataset",
+    "QueryWorkload",
+    "sample_queries",
+]

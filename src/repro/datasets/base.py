@@ -1,0 +1,270 @@
+"""Sparse dataset container.
+
+:class:`Dataset` stores tuples (rows) over ``[0, 1]^m`` in compressed sparse
+row (CSR) form: three numpy arrays ``indptr``, ``indices``, ``values``.
+High-dimensional data in the paper's setting (TF-IDF documents, image
+features) are overwhelmingly sparse, so the container only materialises the
+non-zero coordinates; a missing coordinate reads as 0.0.
+
+The container also serves column access (needed to build inverted lists)
+via a lazily built column cache, and exact score computation over a sparse
+query (needed by the brute-force oracle and the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from .._util import require
+from ..errors import DatasetError
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """An immutable sparse matrix of ``n`` tuples over ``[0, 1]^m``.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        ``int64`` array of column indices, strictly increasing within a row.
+    values:
+        ``float64`` array of the corresponding non-zero values in ``[0, 1]``.
+    n_dims:
+        Total dimensionality ``m`` (may exceed ``indices.max() + 1``).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        n_dims: int,
+    ) -> None:
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        self._n_dims = int(n_dims)
+        self._column_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, matrix: Iterable[Iterable[float]]) -> "Dataset":
+        """Build a dataset from a dense 2-D array-like (zeros are dropped)."""
+        dense = np.asarray(matrix, dtype=np.float64)
+        if dense.ndim != 2:
+            raise DatasetError(f"dense input must be 2-D, got shape {dense.shape}")
+        n_rows, n_dims = dense.shape
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        index_chunks = []
+        value_chunks = []
+        for i in range(n_rows):
+            nz = np.nonzero(dense[i])[0]
+            indptr[i + 1] = indptr[i] + nz.size
+            index_chunks.append(nz.astype(np.int64))
+            value_chunks.append(dense[i, nz])
+        indices = (
+            np.concatenate(index_chunks) if index_chunks else np.empty(0, np.int64)
+        )
+        values = (
+            np.concatenate(value_chunks) if value_chunks else np.empty(0, np.float64)
+        )
+        return cls(indptr, indices, values, n_dims)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Tuple[Iterable[int], Iterable[float]]],
+        n_dims: int,
+    ) -> "Dataset":
+        """Build a dataset from per-row ``(indices, values)`` pairs."""
+        indptr = [0]
+        index_chunks = []
+        value_chunks = []
+        for dims, vals in rows:
+            dims_arr = np.asarray(dims, dtype=np.int64)
+            vals_arr = np.asarray(vals, dtype=np.float64)
+            if dims_arr.shape != vals_arr.shape:
+                raise DatasetError("row indices and values must have equal length")
+            order = np.argsort(dims_arr, kind="stable")
+            index_chunks.append(dims_arr[order])
+            value_chunks.append(vals_arr[order])
+            indptr.append(indptr[-1] + dims_arr.size)
+        indices = (
+            np.concatenate(index_chunks) if index_chunks else np.empty(0, np.int64)
+        )
+        values = (
+            np.concatenate(value_chunks) if value_chunks else np.empty(0, np.float64)
+        )
+        return cls(np.asarray(indptr, dtype=np.int64), indices, values, n_dims)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self._indptr.ndim != 1 or self._indptr.size < 1:
+            raise DatasetError("indptr must be a 1-D array of length n + 1")
+        if self._indptr[0] != 0 or self._indptr[-1] != self._indices.size:
+            raise DatasetError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self._indptr) < 0):
+            raise DatasetError("indptr must be non-decreasing")
+        if self._indices.size != self._values.size:
+            raise DatasetError("indices and values must have equal length")
+        require(self._n_dims >= 1, "n_dims must be >= 1")
+        if self._indices.size:
+            if self._indices.min() < 0 or self._indices.max() >= self._n_dims:
+                raise DatasetError("column index out of range")
+            if self._values.min() < 0.0 or self._values.max() > 1.0:
+                raise DatasetError("dataset values must lie in [0, 1]")
+            # Columns must be strictly increasing within each row.
+            for i in range(self.n_tuples):
+                row_cols = self._indices[self._indptr[i] : self._indptr[i + 1]]
+                if row_cols.size > 1 and np.any(np.diff(row_cols) <= 0):
+                    raise DatasetError(f"row {i} has unsorted or duplicate columns")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tuples(self) -> int:
+        """Number of tuples (rows)."""
+        return self._indptr.size - 1
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality ``m`` of the data space."""
+        return self._n_dims
+
+    @property
+    def nnz(self) -> int:
+        """Total number of stored non-zero coordinates."""
+        return int(self._indices.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of coordinates that are non-zero."""
+        total = self.n_tuples * self.n_dims
+        return self.nnz / total if total else 0.0
+
+    def __len__(self) -> int:
+        return self.n_tuples
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n_tuples={self.n_tuples}, n_dims={self.n_dims}, "
+            f"nnz={self.nnz}, density={self.density:.4g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+
+    def row(self, tuple_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The non-zero ``(indices, values)`` of one tuple (views, not copies)."""
+        self._check_row(tuple_id)
+        lo, hi = self._indptr[tuple_id], self._indptr[tuple_id + 1]
+        return self._indices[lo:hi], self._values[lo:hi]
+
+    def value(self, tuple_id: int, dim: int) -> float:
+        """The coordinate of *tuple_id* in dimension *dim* (0.0 if absent)."""
+        dims, vals = self.row(tuple_id)
+        pos = np.searchsorted(dims, dim)
+        if pos < dims.size and dims[pos] == dim:
+            return float(vals[pos])
+        return 0.0
+
+    def values_at(self, tuple_id: int, dims: np.ndarray) -> np.ndarray:
+        """Coordinates of *tuple_id* at the given dimensions (zeros filled in)."""
+        row_dims, row_vals = self.row(tuple_id)
+        dims_arr = np.asarray(dims, dtype=np.int64)
+        out = np.zeros(dims_arr.size, dtype=np.float64)
+        pos = np.searchsorted(row_dims, dims_arr)
+        inside = pos < row_dims.size
+        hit = inside.copy()
+        hit[inside] = row_dims[pos[inside]] == dims_arr[inside]
+        out[hit] = row_vals[pos[hit]]
+        return out
+
+    def _check_row(self, tuple_id: int) -> None:
+        if not 0 <= tuple_id < self.n_tuples:
+            raise DatasetError(
+                f"tuple id {tuple_id} out of range [0, {self.n_tuples})"
+            )
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+
+    def column(self, dim: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Non-zero ``(tuple_ids, values)`` of one dimension, by ascending id.
+
+        The result is cached, since inverted-list construction and the
+        brute-force oracle hit the same columns repeatedly.
+        """
+        if not 0 <= dim < self._n_dims:
+            raise DatasetError(f"dimension {dim} out of range [0, {self._n_dims})")
+        cached = self._column_cache.get(dim)
+        if cached is not None:
+            return cached
+        mask = self._indices == dim
+        positions = np.nonzero(mask)[0]
+        ids = np.searchsorted(self._indptr, positions, side="right") - 1
+        result = (ids.astype(np.int64), self._values[positions])
+        self._column_cache[dim] = result
+        return result
+
+    def column_nnz(self, dim: int) -> int:
+        """Number of tuples with a non-zero coordinate in *dim*."""
+        return int(self.column(dim)[0].size)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def score_of(self, tuple_id: int, dims: np.ndarray, weights: np.ndarray) -> float:
+        """Exact dot-product score of one tuple against a sparse query."""
+        return float(np.dot(self.values_at(tuple_id, dims), weights))
+
+    def scores(self, dims: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Scores of *all* tuples against a sparse query (dense output).
+
+        Used by the brute-force oracle and the test suite; the algorithms
+        under study never call this.
+        """
+        dims_arr = np.asarray(dims, dtype=np.int64)
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        require(dims_arr.size == weights_arr.size, "dims/weights length mismatch")
+        out = np.zeros(self.n_tuples, dtype=np.float64)
+        for dim, weight in zip(dims_arr, weights_arr):
+            ids, vals = self.column(int(dim))
+            if ids.size:
+                out[ids] += weight * vals
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full dense matrix (small datasets / tests only)."""
+        dense = np.zeros((self.n_tuples, self.n_dims), dtype=np.float64)
+        for i in range(self.n_tuples):
+            dims, vals = self.row(i)
+            dense[i, dims] = vals
+        return dense
+
+    @property
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw ``(indptr, indices, values)`` arrays (read-only views)."""
+        return self._indptr, self._indices, self._values

@@ -1,0 +1,54 @@
+"""Dataset persistence.
+
+Datasets are saved as compressed ``.npz`` archives holding the raw CSR
+arrays.  Benchmarks use this to generate each corpus once per session and
+share it across figure runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import Dataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write *dataset* to *path* as a compressed npz archive."""
+    indptr, indices, values = dataset.csr_arrays
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(_FORMAT_VERSION),
+        indptr=indptr,
+        indices=indices,
+        values=values,
+        n_dims=np.int64(dataset.n_dims),
+    )
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with np.load(path) as archive:
+        try:
+            version = int(archive["format_version"])
+            if version != _FORMAT_VERSION:
+                raise DatasetError(
+                    f"unsupported dataset format version {version}"
+                )
+            return Dataset(
+                archive["indptr"],
+                archive["indices"],
+                archive["values"],
+                int(archive["n_dims"]),
+            )
+        except KeyError as exc:
+            raise DatasetError(f"malformed dataset archive: missing {exc}") from exc

@@ -1,0 +1,194 @@
+"""Query workload samplers.
+
+The paper forms queries by "randomly selecting qlen terms as query
+dimensions", with weights set by TF-IDF for WSJ and at random for KB/ST
+(§7.1); the Figure 6 illustration uses equal weights.  This module
+reproduces those schemes:
+
+* ``dim_scheme="uniform"`` — query dimensions uniform over the eligible
+  dimensions (those with at least ``min_column_nnz`` non-zero entries, so a
+  query never lands on an empty inverted list);
+* ``dim_scheme="df_weighted"`` — dimensions sampled proportionally to their
+  document frequency, mimicking how real search terms concentrate on the
+  frequent part of the vocabulary;
+* ``dim_scheme="mixed"`` — half the dimensions df-weighted, half uniform;
+  against a scaled-down vocabulary this reproduces the frequent/rare term
+  mix that uniform sampling yields on the paper's full 182k-term WSJ
+  vocabulary (Figure 13 depends on both: frequent terms deepen ``C(q)``
+  with k, rare terms empty ``CH_j`` into the result);
+* ``weight_scheme="uniform"`` — weights i.i.d. uniform on
+  ``[min_weight, max_weight]``;
+* ``weight_scheme="equal"`` — all weights equal to ``equal_weight``;
+* ``weight_scheme="idf"`` — weights proportional to the dimensions' IDF
+  (the paper's TF-IDF query weighting for WSJ), rescaled into
+  ``[min_weight, max_weight]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from .._util import require
+from ..errors import QueryError
+from ..topk.query import Query
+from .base import Dataset
+
+__all__ = ["QueryWorkload", "sample_queries", "column_frequencies"]
+
+
+def column_frequencies(dataset: Dataset) -> np.ndarray:
+    """Number of non-zero entries per dimension (document frequencies)."""
+    _, indices, _ = dataset.csr_arrays
+    return np.bincount(indices, minlength=dataset.n_dims).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of queries plus the parameters that produced it."""
+
+    queries: List[Query]
+    qlen: int
+    seed: int
+    dim_scheme: str = "uniform"
+    weight_scheme: str = "uniform"
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self.queries[index]
+
+
+def _eligible_dimensions(
+    dataset: Dataset, min_column_nnz: int, frequencies: np.ndarray
+) -> np.ndarray:
+    eligible = np.nonzero(frequencies >= min_column_nnz)[0]
+    if eligible.size == 0:
+        raise QueryError(
+            f"no dimension has >= {min_column_nnz} non-zero entries; "
+            "lower min_column_nnz or use a denser dataset"
+        )
+    return eligible
+
+
+def _sample_dims(
+    rng: np.random.Generator,
+    eligible: np.ndarray,
+    frequencies: np.ndarray,
+    qlen: int,
+    dim_scheme: str,
+) -> np.ndarray:
+    if eligible.size < qlen:
+        raise QueryError(
+            f"only {eligible.size} eligible dimensions but qlen={qlen}"
+        )
+    if dim_scheme == "uniform":
+        return rng.choice(eligible, size=qlen, replace=False)
+    if dim_scheme == "df_weighted":
+        probs = frequencies[eligible].astype(np.float64)
+        probs /= probs.sum()
+        return rng.choice(eligible, size=qlen, replace=False, p=probs)
+    if dim_scheme == "mixed":
+        n_frequent = qlen // 2
+        frequent = _sample_dims(rng, eligible, frequencies, n_frequent, "df_weighted") \
+            if n_frequent else np.empty(0, dtype=np.int64)
+        remaining = np.setdiff1d(eligible, frequent)
+        rare = _sample_dims(
+            rng,
+            remaining,
+            frequencies,
+            qlen - n_frequent,
+            "uniform",
+        )
+        return np.concatenate([np.asarray(frequent, dtype=np.int64), rare])
+    raise QueryError(f"unknown dim_scheme: {dim_scheme!r}")
+
+
+def _sample_weights(
+    rng: np.random.Generator,
+    dims: np.ndarray,
+    weight_scheme: str,
+    min_weight: float,
+    max_weight: float,
+    equal_weight: float,
+    idf: np.ndarray | None,
+) -> np.ndarray:
+    if weight_scheme == "uniform":
+        return rng.uniform(min_weight, max_weight, size=dims.size)
+    if weight_scheme == "equal":
+        return np.full(dims.size, equal_weight, dtype=np.float64)
+    if weight_scheme == "idf":
+        if idf is None:
+            raise QueryError("weight_scheme='idf' requires the idf array")
+        raw = idf[dims].astype(np.float64)
+        if raw.max() <= 0.0:
+            return np.full(dims.size, equal_weight, dtype=np.float64)
+        # Rescale idf values into [min_weight, max_weight].
+        lo, hi = raw.min(), raw.max()
+        if hi == lo:
+            return np.full(dims.size, (min_weight + max_weight) / 2.0)
+        return min_weight + (raw - lo) * (max_weight - min_weight) / (hi - lo)
+    raise QueryError(f"unknown weight_scheme: {weight_scheme!r}")
+
+
+def sample_queries(
+    dataset: Dataset,
+    qlen: int,
+    n_queries: int,
+    seed: int = 0,
+    dim_scheme: str = "uniform",
+    weight_scheme: str = "uniform",
+    min_column_nnz: int = 20,
+    min_weight: float = 0.2,
+    max_weight: float = 0.9,
+    equal_weight: float = 0.5,
+    idf: np.ndarray | Sequence[float] | None = None,
+) -> QueryWorkload:
+    """Sample a workload of *n_queries* subspace queries over *dataset*.
+
+    Parameters
+    ----------
+    qlen:
+        Number of query dimensions (non-zero weights).
+    min_column_nnz:
+        Only dimensions with at least this many non-zero entries are
+        eligible — a top-k query on a near-empty inverted list is
+        degenerate (everything ties at score ≈ 0).
+    min_weight, max_weight:
+        Weight range; keeping weights away from 0 and 1 leaves room for
+        immutable regions on both sides of every weight.
+    idf:
+        Per-dimension IDF array for ``weight_scheme="idf"`` (as returned in
+        :class:`~repro.datasets.text.CorpusStats`).
+    """
+    require(qlen >= 1, "qlen must be >= 1")
+    require(n_queries >= 1, "n_queries must be >= 1")
+    require(0.0 < min_weight <= max_weight <= 1.0, "bad weight range")
+    rng = np.random.default_rng(seed)
+    frequencies = column_frequencies(dataset)
+    eligible = _eligible_dimensions(dataset, min_column_nnz, frequencies)
+    idf_arr = None if idf is None else np.asarray(idf, dtype=np.float64)
+
+    queries = []
+    for _ in range(n_queries):
+        dims = np.sort(_sample_dims(rng, eligible, frequencies, qlen, dim_scheme))
+        weights = _sample_weights(
+            rng, dims, weight_scheme, min_weight, max_weight, equal_weight, idf_arr
+        )
+        queries.append(Query(dims, weights))
+    return QueryWorkload(
+        queries=queries,
+        qlen=qlen,
+        seed=seed,
+        dim_scheme=dim_scheme,
+        weight_scheme=weight_scheme,
+        description=f"{n_queries} queries, qlen={qlen}, {dim_scheme}/{weight_scheme}",
+    )

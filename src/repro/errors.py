@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  Input
+validation failures use :class:`ValidationError` (a subclass of both
+:class:`ReproError` and :class:`ValueError`, so idiomatic ``except
+ValueError`` handlers keep working).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DatasetError",
+    "QueryError",
+    "StorageError",
+    "GeometryError",
+    "AlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (bad shape, out-of-range value, ...)."""
+
+
+class DatasetError(ValidationError):
+    """A dataset is malformed or inconsistent with the requested operation."""
+
+
+class QueryError(ValidationError):
+    """A query vector is malformed (no non-zero weights, bad range, ...)."""
+
+
+class StorageError(ReproError):
+    """The storage substrate was used incorrectly (e.g. cursor past end)."""
+
+
+class GeometryError(ReproError):
+    """A geometric routine received degenerate or unsupported input."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm reached a state that violates one of its invariants."""

@@ -1,0 +1,34 @@
+"""Geometry substrate for score–coordinate space.
+
+When query weight ``q_j`` deviates by ``x = δq_j``, every tuple ``d`` traces
+a *line* ``y = S(d, q) + x · d_j`` in score–coordinate space (paper Figures
+4, 8, 9).  This package provides:
+
+* :class:`~repro.geometry.line.Line` — the line abstraction with exact
+  pairwise intersections;
+* :mod:`~repro.geometry.envelope` — lower/upper envelopes of a set of lines
+  over an interval (the paper's lower envelope of the k result lines,
+  computable in O(k log k));
+* :mod:`~repro.geometry.ksweep` — a kinetic sweep over a set of lines that
+  enumerates top-k *perturbation events* (reorderings and composition
+  changes) in increasing-x order, together with the k-th-level boundary
+  used by the φ>0 threshold-line termination;
+* :mod:`~repro.geometry.halfspace` — point-to-hyperplane distances for the
+  STB comparator and a 2-D validity polytope built with scipy/qhull for
+  cross-validation and visualisation (paper Figure 3 and footnote 1).
+"""
+
+from .envelope import Envelope, EnvelopeSegment, lower_envelope, upper_envelope
+from .ksweep import KLevelFunction, PerturbationEvent, sweep_topk_events
+from .line import Line
+
+__all__ = [
+    "Line",
+    "Envelope",
+    "EnvelopeSegment",
+    "lower_envelope",
+    "upper_envelope",
+    "PerturbationEvent",
+    "KLevelFunction",
+    "sweep_topk_events",
+]

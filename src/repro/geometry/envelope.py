@@ -1,0 +1,209 @@
+"""Lower and upper envelopes of a set of lines over an interval.
+
+The lower envelope of the k result lines is the paper's "boundary of the
+result" for φ>0 (Figure 9): the score of the k-th result tuple as a
+function of ``δq_j``.  We compute envelopes with the classic convex-hull-
+trick construction in O(n log n): sort by slope, eliminate lines that never
+appear via a stack test on pairwise intersections, then clip to the
+interval of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from .._util import require
+from ..errors import GeometryError
+from .line import Line
+
+__all__ = ["EnvelopeSegment", "Envelope", "lower_envelope", "upper_envelope"]
+
+
+@dataclass(frozen=True)
+class EnvelopeSegment:
+    """One maximal piece of an envelope: *line* is extremal on [x_start, x_end]."""
+
+    x_start: float
+    x_end: float
+    line: Line
+
+
+class Envelope:
+    """A piecewise-linear envelope over ``[x_lo, x_hi]``.
+
+    Immutable; query with :meth:`value_at` (binary search over breakpoints)
+    or iterate :attr:`segments`.
+    """
+
+    def __init__(self, segments: Sequence[EnvelopeSegment], kind: str) -> None:
+        require(len(segments) > 0, "an envelope needs at least one segment")
+        require(
+            kind in ("lower", "upper", "klevel"),
+            "kind must be 'lower', 'upper' or 'klevel'",
+        )
+        for left, right in zip(segments, segments[1:]):
+            if left.x_end != right.x_start:
+                raise GeometryError("envelope segments must be contiguous")
+        self._segments: List[EnvelopeSegment] = list(segments)
+        self._kind = kind
+
+    @property
+    def segments(self) -> List[EnvelopeSegment]:
+        """The segments, in increasing-x order (copy)."""
+        return list(self._segments)
+
+    @property
+    def kind(self) -> str:
+        """``"lower"`` (min), ``"upper"`` (max), or ``"klevel"`` (k-th highest)."""
+        return self._kind
+
+    @property
+    def x_lo(self) -> float:
+        """Left end of the envelope's domain."""
+        return self._segments[0].x_start
+
+    @property
+    def x_hi(self) -> float:
+        """Right end of the envelope's domain."""
+        return self._segments[-1].x_end
+
+    @property
+    def breakpoints(self) -> List[float]:
+        """All segment endpoints including the domain ends, ascending."""
+        points = [seg.x_start for seg in self._segments]
+        points.append(self._segments[-1].x_end)
+        return points
+
+    def segment_at(self, x: float) -> EnvelopeSegment:
+        """The segment whose range contains *x*."""
+        if not self.x_lo <= x <= self.x_hi:
+            raise GeometryError(
+                f"x={x} outside envelope domain [{self.x_lo}, {self.x_hi}]"
+            )
+        lo, hi = 0, len(self._segments) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._segments[mid].x_end < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._segments[lo]
+
+    def value_at(self, x: float) -> float:
+        """Envelope value at *x*."""
+        return self.segment_at(x).line.value_at(x)
+
+    def line_stays_below(self, line: Line) -> bool:
+        """Whether *line* is strictly below the envelope on its whole domain.
+
+        Both functions are piecewise linear, so checking every breakpoint
+        (including the domain endpoints) is exact.  Used by the φ>0
+        threshold-line termination tests.
+        """
+        return all(line.value_at(x) < self.value_at(x) for x in self.breakpoints)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(kind={self._kind!r}, segments={len(self._segments)}, "
+            f"domain=[{self.x_lo:.4g}, {self.x_hi:.4g}])"
+        )
+
+
+def _dedupe_parallel(lines: Iterable[Line], keep_low: bool) -> List[Line]:
+    """Among equal-slope lines keep the extremal intercept (min for lower)."""
+    best: dict[float, Line] = {}
+    for line in lines:
+        current = best.get(line.slope)
+        if current is None:
+            best[line.slope] = line
+            continue
+        if keep_low:
+            better = line.intercept < current.intercept or (
+                line.intercept == current.intercept
+                and line.tuple_id < current.tuple_id
+            )
+        else:
+            better = line.intercept > current.intercept or (
+                line.intercept == current.intercept
+                and line.tuple_id < current.tuple_id
+            )
+        if better:
+            best[line.slope] = line
+    return list(best.values())
+
+
+def _build(lines: Sequence[Line], x_lo: float, x_hi: float, lower: bool) -> Envelope:
+    require(x_lo < x_hi, "x_lo must be < x_hi")
+    require(len(lines) > 0, "need at least one line")
+    kept = _dedupe_parallel(lines, keep_low=lower)
+    # For the lower envelope, scanning left to right the active slope
+    # decreases; sort slope descending so the stack grows in x order.
+    # The upper envelope is symmetric with ascending slopes.
+    kept.sort(key=lambda l: (-l.slope if lower else l.slope, l.intercept))
+
+    hull: List[Line] = []
+    starts: List[float] = []  # x where hull[i] becomes active
+
+    def crossing(a: Line, b: Line) -> float:
+        x = a.intersection_x(b)
+        if x is None:  # pragma: no cover - parallel lines were deduped
+            raise GeometryError("unexpected parallel lines in envelope build")
+        return x
+
+    for line in kept:
+        while hull:
+            if len(hull) == 1:
+                x = crossing(hull[-1], line)
+                if x <= x_lo:
+                    # The incumbent never appears inside the domain.
+                    value_new = line.value_at(x_lo)
+                    value_old = hull[-1].value_at(x_lo)
+                    replace = value_new < value_old if lower else value_new > value_old
+                    if replace or value_new == value_old:
+                        hull.pop()
+                        starts.pop()
+                        continue
+                break
+            x = crossing(hull[-1], line)
+            if x <= starts[-1]:
+                hull.pop()
+                starts.pop()
+                continue
+            break
+        if not hull:
+            hull.append(line)
+            starts.append(x_lo)
+        else:
+            x = crossing(hull[-1], line)
+            if x < x_hi:
+                hull.append(line)
+                starts.append(max(x, x_lo))
+
+    segments: List[EnvelopeSegment] = []
+    for i, line in enumerate(hull):
+        seg_start = starts[i]
+        seg_end = starts[i + 1] if i + 1 < len(hull) else x_hi
+        if seg_start < seg_end:
+            segments.append(EnvelopeSegment(seg_start, seg_end, line))
+    if not segments:  # single line active across a degenerate hull
+        segments.append(EnvelopeSegment(x_lo, x_hi, hull[0]))
+    # Re-anchor endpoints exactly (guards against fp drift in max()).
+    first = segments[0]
+    segments[0] = EnvelopeSegment(x_lo, first.x_end, first.line)
+    last = segments[-1]
+    segments[-1] = EnvelopeSegment(last.x_start, x_hi, last.line)
+    return Envelope(segments, "lower" if lower else "upper")
+
+
+def lower_envelope(lines: Sequence[Line], x_lo: float, x_hi: float) -> Envelope:
+    """Pointwise minimum of *lines* over ``[x_lo, x_hi]``."""
+    return _build(lines, x_lo, x_hi, lower=True)
+
+
+def upper_envelope(lines: Sequence[Line], x_lo: float, x_hi: float) -> Envelope:
+    """Pointwise maximum of *lines* over ``[x_lo, x_hi]``."""
+    return _build(lines, x_lo, x_hi, lower=False)

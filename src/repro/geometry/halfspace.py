@@ -1,0 +1,145 @@
+"""Half-space utilities: STB distances and the 2-D validity polytope.
+
+Two related-work constructions from §2 of the paper:
+
+* **STB sensitivity radius** (Soliman et al. [20]): each constraint "tuple
+  ``a`` must keep scoring at least tuple ``b``" is the half-space
+  ``(a − b) · q' ≥ 0`` in query-vector space; the radius ρ of the largest
+  ball around ``q`` inside all such half-spaces is the minimum
+  point-to-hyperplane distance.  :func:`halfspace_distance` computes one
+  such distance; the :mod:`repro.stb` package assembles the full radius.
+
+* **Validity polytope** (Figure 3, footnote 1): the region of query space
+  where the current top-k remains valid is the intersection of the same
+  half-spaces with the ``[0, 1]`` box.  In two query dimensions we
+  materialise it exactly with scipy/qhull
+  (:func:`validity_polytope_2d`), which the tests use to cross-check the
+  immutable regions: the IR bounds are precisely where the axis-parallel
+  lines through ``q`` exit the polytope.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._util import EPS, require
+from ..errors import GeometryError
+
+__all__ = [
+    "halfspace_distance",
+    "axis_exit_distance",
+    "validity_polytope_2d",
+]
+
+
+def halfspace_distance(
+    query: np.ndarray, ahead: np.ndarray, behind: np.ndarray
+) -> float:
+    """Distance from *query* to the hyperplane ``(ahead − behind) · q' = 0``.
+
+    *ahead* currently scores at least *behind* under *query*; the returned
+    distance is how far the query vector can move (in Euclidean norm,
+    within the query subspace) before the order could flip.  Returns
+    ``inf`` when the tuples coincide on the query dimensions (their order
+    can never flip).
+    """
+    ahead_arr = np.asarray(ahead, dtype=np.float64)
+    behind_arr = np.asarray(behind, dtype=np.float64)
+    query_arr = np.asarray(query, dtype=np.float64)
+    require(
+        ahead_arr.shape == behind_arr.shape == query_arr.shape,
+        "query, ahead and behind must have identical shapes",
+    )
+    normal = ahead_arr - behind_arr
+    norm = float(np.linalg.norm(normal))
+    if norm < EPS:
+        return float("inf")
+    margin = float(np.dot(normal, query_arr))
+    if margin < 0.0:
+        raise GeometryError("'ahead' does not actually score >= 'behind' at q")
+    return margin / norm
+
+
+def axis_exit_distance(
+    query: np.ndarray,
+    normals: Sequence[np.ndarray],
+    dim: int,
+    direction: int,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> float:
+    """How far ``q`` can move along ``±e_dim`` before violating a constraint.
+
+    Each *normal* ``w`` encodes the constraint ``w · q' ≥ 0`` (all satisfied
+    at *query*).  Moving by ``t`` in direction ``direction ∈ {+1, −1}``
+    along axis *dim* keeps constraint ``w`` satisfied while
+    ``w · q + t · direction · w[dim] ≥ 0``.  The result is additionally
+    clipped to the ``[lo, hi]`` box on that axis.  This is the exact
+    geometric counterpart of an immutable-region bound and serves as an
+    independent oracle in the tests.
+    """
+    require(direction in (1, -1), "direction must be +1 or -1")
+    query_arr = np.asarray(query, dtype=np.float64)
+    if direction > 0:
+        limit = hi - query_arr[dim]
+    else:
+        limit = query_arr[dim] - lo
+    best = float(limit)
+    for normal in normals:
+        w = np.asarray(normal, dtype=np.float64)
+        rate = direction * float(w[dim])
+        if rate >= 0.0:
+            continue  # moving this way only increases the margin
+        margin = float(np.dot(w, query_arr))
+        if margin < 0.0:
+            raise GeometryError("constraint already violated at q")
+        best = min(best, margin / (-rate))
+    return best
+
+
+def validity_polytope_2d(
+    query: np.ndarray, normals: Sequence[np.ndarray]
+) -> List[Tuple[float, float]]:
+    """Vertices of the 2-D validity polytope around *query* (CCW order).
+
+    Intersects the half-planes ``w · q' ≥ 0`` with the unit box using
+    scipy/qhull (``HalfspaceIntersection``).  Requires scipy; only
+    supported for exactly two query dimensions — the paper notes (§2) that
+    materialising this polytope is feasible in 2–3 dimensions only, which
+    is precisely why immutable regions isolate one dimension at a time.
+    """
+    try:
+        from scipy.spatial import ConvexHull, HalfspaceIntersection
+    except ImportError as exc:  # pragma: no cover - scipy present in CI
+        raise GeometryError("validity_polytope_2d requires scipy") from exc
+
+    query_arr = np.asarray(query, dtype=np.float64)
+    require(query_arr.shape == (2,), "validity_polytope_2d expects 2 dimensions")
+
+    # scipy expects A x + b <= 0 rows; w·q' >= 0 becomes (-w)·q' + 0 <= 0.
+    rows = [(-np.asarray(w, dtype=np.float64), 0.0) for w in normals]
+    rows.append((np.array([1.0, 0.0]), -1.0))  # q1 <= 1
+    rows.append((np.array([0.0, 1.0]), -1.0))  # q2 <= 1
+    rows.append((np.array([-1.0, 0.0]), 0.0))  # q1 >= 0
+    rows.append((np.array([0.0, -1.0]), 0.0))  # q2 >= 0
+    halfspaces = np.array([[a[0], a[1], b] for a, b in rows], dtype=np.float64)
+
+    interior = query_arr.copy()
+    margins = halfspaces[:, :2] @ interior + halfspaces[:, 2]
+    if np.any(margins >= -EPS):
+        # q sits on (or numerically at) a constraint boundary; nudge toward
+        # the deepest interior point via a tiny Chebyshev-style retreat.
+        interior = interior - 1e-9 * np.sign(halfspaces[:, :2]).sum(axis=0)
+        margins = halfspaces[:, :2] @ interior + halfspaces[:, 2]
+        if np.any(margins >= 0.0):
+            raise GeometryError(
+                "query lies on the validity boundary; polytope is degenerate"
+            )
+
+    intersection = HalfspaceIntersection(halfspaces, interior)
+    points = intersection.intersections
+    hull = ConvexHull(points)
+    ordered = points[hull.vertices]
+    return [(float(x), float(y)) for x, y in ordered]

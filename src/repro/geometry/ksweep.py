@@ -1,0 +1,256 @@
+"""Kinetic k-level sweep: perturbation events of a moving top-k.
+
+Given a set of lines (tuples under a varying weight ``δq_j``), the top-k at
+deviation ``x`` consists of the k lines with the highest value at ``x``.
+As ``x`` grows, the ranking changes through pairwise crossings; the paper
+(§1, §6) calls a crossing a *perturbation* when it
+
+* reorders two members of the top-k (``kind="reorder"``), or
+* swaps the k-th member with the line just below it — a *composition*
+  change (``kind="composition"``).
+
+Crossings entirely below the top-k are tracked (the order must stay
+consistent) but are not perturbations.
+
+The sweep is the exact, event-driven counterpart of the paper's plane-sweep
++ lower-envelope machinery (Figure 9): it maintains the value ordering of
+the active lines, advances from crossing to crossing in increasing ``x``,
+and emits perturbation events until the horizon ``x_max`` or an event quota
+(``φ+1``) is hit.  As a by-product it yields the *k-level* — the score of
+the k-th best line as a piecewise-linear function — which Phase 2/3 of the
+φ>0 algorithms use for their threshold-line termination tests.
+
+Every pair of non-parallel lines crosses exactly once, so the sweep
+performs at most ``n·(n−1)/2`` swaps; the active sets in CPT are tiny
+(k result lines plus the few accepted candidates), making this far cheaper
+than the candidate examination the paper measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .._util import require
+from ..errors import GeometryError
+from .envelope import Envelope, EnvelopeSegment
+from .line import Line
+
+__all__ = [
+    "BOUNDARY_RTOL",
+    "PerturbationEvent",
+    "KLevelFunction",
+    "SweepResult",
+    "sweep_topk_events",
+]
+
+#: Relative tolerance around ``x_max`` within which a crossing is treated
+#: as a *boundary tie* rather than a perturbation.  Tuples supported only
+#: by the swept dimension all score exactly 0 when its weight reaches 0, so
+#: their pairwise crossings sit mathematically *at* the domain endpoint;
+#: floating point rounds them 1–2 ULP to either side.  Snapping a band of
+#: 1e-12 (ten thousand times wider than the rounding error, a million times
+#: narrower than any genuine event in continuous data) to the boundary
+#: makes every algorithm — pruned or not — agree with exact arithmetic.
+BOUNDARY_RTOL = 1e-12
+
+
+@dataclass(frozen=True)
+class PerturbationEvent:
+    """A top-k perturbation at deviation :attr:`x`.
+
+    Attributes
+    ----------
+    x:
+        Deviation at which the crossing occurs.
+    kind:
+        ``"reorder"`` (swap inside the top-k) or ``"composition"`` (the
+        rising line enters the top-k, the falling line drops out).
+    rising_id / falling_id:
+        Tuple ids of the overtaking and overtaken lines.
+    topk_after:
+        Tuple ids of the top-k, best first, immediately after the event.
+    """
+
+    x: float
+    kind: str
+    rising_id: int
+    falling_id: int
+    topk_after: Tuple[int, ...]
+
+
+#: Alias kept for discoverability: the k-level is represented as an
+#: :class:`~repro.geometry.envelope.Envelope` with ``kind="klevel"``.
+KLevelFunction = Envelope
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of :func:`sweep_topk_events`.
+
+    Attributes
+    ----------
+    events:
+        Emitted perturbation events in increasing-x order.
+    klevel:
+        The k-th-best value as a piecewise-linear function on
+        ``[x_min, x_stop]``.
+    x_stop:
+        Where the sweep stopped: ``x_max``, or the x of the final emitted
+        event when the event quota truncated the sweep.
+    truncated:
+        Whether the event quota stopped the sweep before ``x_max``.
+    initial_topk:
+        Top-k ids (best first) at ``x_min``.
+    """
+
+    events: List[PerturbationEvent]
+    klevel: KLevelFunction
+    x_stop: float
+    truncated: bool
+    initial_topk: Tuple[int, ...]
+
+
+def sweep_topk_events(
+    lines: Sequence[Line],
+    k: int,
+    x_max: float,
+    x_min: float = 0.0,
+    count_reorderings: bool = True,
+    max_events: Optional[int] = None,
+) -> SweepResult:
+    """Enumerate top-k perturbation events of *lines* over ``[x_min, x_max]``.
+
+    Parameters
+    ----------
+    lines:
+        The active lines; tuple ids must be unique.
+    k:
+        Top-k size (capped at ``len(lines)``).
+    x_min, x_max:
+        Sweep interval.  Ordering at ``x_min`` follows the library total
+        order (ties by id), so exact ties at the query point surface as
+        immediate events at ``x_min``; crossings exactly at ``x_max`` are
+        boundary ties and are not reported.
+    count_reorderings:
+        When false, reorder crossings still update the maintained order but
+        are not emitted as events (the paper's §7.4 composition-only mode).
+    max_events:
+        Stop after emitting this many events (the φ>0 algorithms pass
+        ``φ+1``); the k-level is then only materialised up to the final
+        event's x, which is all the termination tests need.
+    """
+    require(len(lines) > 0, "sweep needs at least one line")
+    require(x_min < x_max, "x_min must be < x_max")
+    require(k >= 1, "k must be >= 1")
+    if max_events is not None:
+        require(max_events >= 1, "max_events must be >= 1 when given")
+    ids = [line.tuple_id for line in lines]
+    if len(set(ids)) != len(ids):
+        raise GeometryError("line tuple ids must be unique")
+
+    # Initial order uses the library total order (value desc, id asc on
+    # exact ties) — the same ranking TA produces at the query point.  A
+    # line tied with the one above it but growing faster then crosses at
+    # exactly x_min, surfacing as an immediate (zero-width-region) event,
+    # which matches the φ=0 path's Lemma 1 semantics for ties with d_k.
+    order: List[Line] = sorted(lines, key=lambda l: (-l.value_at(x_min), l.tuple_id))
+    k_eff = min(k, len(order))
+    initial_topk = tuple(line.tuple_id for line in order[:k_eff])
+
+    events: List[PerturbationEvent] = []
+    klevel_raw: List[Tuple[float, float, Line]] = []
+    x_current = x_min
+    truncated = False
+
+    def emit_klevel(x_from: float, x_to: float) -> None:
+        if x_to <= x_from:
+            return
+        kth_line = order[k_eff - 1]
+        if klevel_raw and klevel_raw[-1][2].tuple_id == kth_line.tuple_id:
+            prev_from, _, prev_line = klevel_raw[-1]
+            klevel_raw[-1] = (prev_from, x_to, prev_line)
+        else:
+            klevel_raw.append((x_from, x_to, kth_line))
+
+    # Event queue over adjacent pairs with lazy invalidation: each heap
+    # entry records the crossing x it was computed for; on pop we recompute
+    # the *current* pair's crossing and discard stale entries (the pair
+    # changed through an intervening swap — its fresh crossing, if any, was
+    # re-pushed at swap time).  Crossings exactly at x_max are excluded: at
+    # a closed domain endpoint the lines merely tie, and the library's
+    # convention (matching the φ=0 path's strict bound updates) is that a
+    # tie at the boundary does not perturb the result.
+
+    boundary = x_max - BOUNDARY_RTOL * abs(x_max)
+
+    def pair_crossing(pos: int) -> Optional[float]:
+        x = order[pos + 1].overtakes_at(order[pos])
+        if x is None or x >= boundary:
+            return None
+        # Exact arithmetic guarantees x >= x_current for adjacent pairs;
+        # clamp tiny negative drift from floating point.
+        return max(x, x_current)
+
+    heap: List[Tuple[float, int]] = []
+    for pos in range(len(order) - 1):
+        x = pair_crossing(pos)
+        if x is not None:
+            heapq.heappush(heap, (x, pos))
+
+    while heap:
+        best_x, best_pos = heapq.heappop(heap)
+        current = pair_crossing(best_pos)
+        if current is None or current != max(best_x, x_current):
+            continue  # stale entry; the live crossing was pushed separately
+        best_x = max(best_x, x_current)
+
+        emit_klevel(x_current, best_x)
+        x_current = best_x
+
+        rising = order[best_pos + 1]
+        falling = order[best_pos]
+        order[best_pos], order[best_pos + 1] = rising, falling
+        for neighbour in (best_pos - 1, best_pos, best_pos + 1):
+            if 0 <= neighbour < len(order) - 1:
+                x = pair_crossing(neighbour)
+                if x is not None:
+                    heapq.heappush(heap, (x, neighbour))
+
+        if best_pos + 1 <= k_eff - 1:
+            kind = "reorder"
+        elif best_pos == k_eff - 1:
+            kind = "composition"
+        else:
+            kind = None
+        if kind is not None and (kind != "reorder" or count_reorderings):
+            events.append(
+                PerturbationEvent(
+                    x=x_current,
+                    kind=kind,
+                    rising_id=rising.tuple_id,
+                    falling_id=falling.tuple_id,
+                    topk_after=tuple(line.tuple_id for line in order[:k_eff]),
+                )
+            )
+            if max_events is not None and len(events) >= max_events:
+                truncated = True
+                break
+
+    x_stop = x_current if truncated else x_max
+    emit_klevel(x_current, x_stop)
+    if not klevel_raw:
+        # Degenerate zero-width domain (quota hit exactly at x_min); give
+        # the k-level a representative point segment at x_stop.
+        klevel_raw.append((x_min, x_stop if x_stop > x_min else x_max, order[k_eff - 1]))
+        x_stop = klevel_raw[-1][1]
+    segments = [EnvelopeSegment(a, b, line) for a, b, line in klevel_raw]
+    klevel = Envelope(segments, "klevel")
+    return SweepResult(
+        events=events,
+        klevel=klevel,
+        x_stop=x_stop,
+        truncated=truncated,
+        initial_topk=initial_topk,
+    )

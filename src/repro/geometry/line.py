@@ -1,0 +1,75 @@
+"""Lines in score–coordinate space.
+
+A tuple ``d`` under deviation ``x = δq_j`` scores
+``S(d, q) + x · d_j`` — a line whose intercept is the tuple's current score
+and whose slope is its j-th coordinate (paper Figure 4).  For leftward
+(negative-deviation) processing the library mirrors the axis
+(``x' = −δq_j``), which simply negates the slope; see
+:meth:`Line.mirrored`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import GeometryError
+
+__all__ = ["Line"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """The line ``y = intercept + x · slope`` tagged with its tuple id.
+
+    Ordering of lines at a point follows the library-wide rule: higher value
+    first, then higher slope (the line that is about to be higher wins the
+    tie), then lower tuple id.
+    """
+
+    tuple_id: int
+    intercept: float
+    slope: float
+
+    def value_at(self, x: float) -> float:
+        """Line value at *x*."""
+        return self.intercept + x * self.slope
+
+    def mirrored(self) -> "Line":
+        """The same tuple's line in mirrored (leftward) coordinates."""
+        return Line(self.tuple_id, self.intercept, -self.slope)
+
+    def intersection_x(self, other: "Line") -> Optional[float]:
+        """x-coordinate where the two lines meet; ``None`` when parallel.
+
+        Parallel lines with equal intercepts are *coincident*; we still
+        return ``None`` because they never swap order.
+        """
+        denom = other.slope - self.slope
+        if denom == 0.0:
+            return None
+        return (self.intercept - other.intercept) / denom
+
+    def overtakes_at(self, upper: "Line") -> Optional[float]:
+        """x where *self* (currently below) overtakes *upper*, if ever.
+
+        Returns the crossing x only when *self* grows strictly faster than
+        *upper* (otherwise it never catches up from below and the result is
+        ``None``).  The caller is responsible for knowing that *self* is
+        indeed below *upper* at the x it cares about.
+        """
+        if self.slope <= upper.slope:
+            return None
+        x = self.intersection_x(upper)
+        if x is None:  # pragma: no cover - slope check rules this out
+            raise GeometryError("parallel lines cannot overtake")
+        return x
+
+    def sort_key(self, x: float) -> tuple:
+        """Sort key implementing the ordering at ``x`` (use with ascending sort).
+
+        Higher value first; on exact value ties the line with the larger
+        slope is considered higher (it is higher immediately to the right of
+        ``x``); final tie-break on ascending tuple id keeps the order total.
+        """
+        return (-self.value_at(x), -self.slope, self.tuple_id)

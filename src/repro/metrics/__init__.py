@@ -1,0 +1,34 @@
+"""Measurement substrate: access counters, simulated disk model, timers.
+
+The paper reports four metrics per experiment (§7.1):
+
+* number of *evaluated candidates* per query dimension — tuples checked
+  against the k-th result tuple via Lemma 1;
+* I/O cost in seconds — dominated by random accesses that fetch the exact
+  coordinates of evaluated candidates, plus sorted accesses on the inverted
+  lists;
+* CPU cost in seconds;
+* memory footprint in bytes.
+
+This package provides the counters every other subsystem reports into
+(:class:`~repro.metrics.counters.AccessCounters`,
+:class:`~repro.metrics.counters.EvaluationCounters`), the configurable cost
+model that converts access counts into simulated I/O seconds
+(:class:`~repro.metrics.diskmodel.DiskModel`), analytic memory-footprint
+accounting mirroring §7.2 (:mod:`~repro.metrics.footprint`), and a phase
+timer (:class:`~repro.metrics.timer.PhaseTimer`).
+"""
+
+from .counters import AccessCounters, EvaluationCounters
+from .diskmodel import DiskModel
+from .footprint import FootprintModel, MemoryFootprint
+from .timer import PhaseTimer
+
+__all__ = [
+    "AccessCounters",
+    "EvaluationCounters",
+    "DiskModel",
+    "FootprintModel",
+    "MemoryFootprint",
+    "PhaseTimer",
+]

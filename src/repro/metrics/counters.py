@@ -1,0 +1,119 @@
+"""Access and evaluation counters.
+
+Counters are plain mutable objects threaded through the storage and core
+layers.  The storage substrate increments :class:`AccessCounters` whenever
+an inverted-list entry is read (sorted access) or a tuple is fetched from
+the tuple store (random access).  The core algorithms increment
+:class:`EvaluationCounters` whenever a candidate is evaluated against the
+k-th result tuple via Lemma 1 — the paper's primary cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccessCounters", "EvaluationCounters"]
+
+
+@dataclass
+class AccessCounters:
+    """Counts of storage-level accesses.
+
+    Attributes
+    ----------
+    sorted_accesses:
+        Entries read from inverted lists top-down (TA probing, Phase 3
+        resumption).
+    random_accesses:
+        Tuple fetches from the external tuple store (score computation for a
+        newly encountered tuple, candidate coordinate lookup).
+    """
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+
+    def record_sorted(self, count: int = 1) -> None:
+        """Record *count* sorted accesses."""
+        self.sorted_accesses += count
+
+    def record_random(self, count: int = 1) -> None:
+        """Record *count* random accesses."""
+        self.random_accesses += count
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.sorted_accesses = 0
+        self.random_accesses = 0
+
+    def snapshot(self) -> "AccessCounters":
+        """Return an independent copy of the current counts."""
+        return AccessCounters(self.sorted_accesses, self.random_accesses)
+
+    def delta_from(self, earlier: "AccessCounters") -> "AccessCounters":
+        """Return the counts accumulated since *earlier* (a prior snapshot)."""
+        return AccessCounters(
+            self.sorted_accesses - earlier.sorted_accesses,
+            self.random_accesses - earlier.random_accesses,
+        )
+
+    def merged_with(self, other: "AccessCounters") -> "AccessCounters":
+        """Return the element-wise sum of two counter objects."""
+        return AccessCounters(
+            self.sorted_accesses + other.sorted_accesses,
+            self.random_accesses + other.random_accesses,
+        )
+
+
+@dataclass
+class EvaluationCounters:
+    """Counts of algorithm-level work.
+
+    Attributes
+    ----------
+    evaluated_candidates:
+        Candidate tuples checked against the k-th result tuple via Lemma 1.
+        The paper reports this per query dimension; callers snapshot/delta
+        around each dimension to obtain the per-dimension figure.
+    result_comparisons:
+        Consecutive-result-pair checks performed in Phase 1.
+    termination_checks:
+        Thresholding termination-condition evaluations (Algorithm 3 lines
+        10/16 and their φ>0 analogues).
+    pruned_candidates:
+        Candidates eliminated without evaluation by Lemmata 2–4.
+    phase3_tuples:
+        Tuples pulled by the resumed TA scan in Phase 3.
+    """
+
+    evaluated_candidates: int = 0
+    result_comparisons: int = 0
+    termination_checks: int = 0
+    pruned_candidates: int = 0
+    phase3_tuples: int = 0
+
+    _FIELDS = (
+        "evaluated_candidates",
+        "result_comparisons",
+        "termination_checks",
+        "pruned_candidates",
+        "phase3_tuples",
+    )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> "EvaluationCounters":
+        """Return an independent copy of the current counts."""
+        clone = EvaluationCounters()
+        for name in self._FIELDS:
+            setattr(clone, name, getattr(self, name))
+        return clone
+
+    def delta_from(self, earlier: "EvaluationCounters") -> "EvaluationCounters":
+        """Return the counts accumulated since *earlier* (a prior snapshot)."""
+        delta = EvaluationCounters()
+        for name in self._FIELDS:
+            setattr(delta, name, getattr(self, name) - getattr(earlier, name))
+        return delta

@@ -1,0 +1,67 @@
+"""Simulated disk cost model.
+
+The paper measures wall-clock I/O time on a physical disk holding the
+inverted lists and the external tuple file.  We have no such disk, so we
+substitute an explicit, configurable cost model (documented in DESIGN.md §4):
+
+* a *random access* (fetching one tuple's coordinates from the external
+  file) costs a seek plus a small transfer — dominated by the seek;
+* *sorted accesses* (reading inverted-list entries top-down) are sequential
+  and amortised into page reads of :attr:`~DiskModel.entries_per_page`
+  entries each.
+
+The defaults (5 ms per random access, 0.1 ms per sequential page) reflect a
+commodity 2012-era hard disk, matching the paper's hardware generation.  The
+figures in the paper compare *methods against each other*; any reasonable
+constants preserve those ratios because all methods share the model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._util import require
+from .counters import AccessCounters
+
+__all__ = ["DiskModel"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Converts access counts to simulated I/O seconds.
+
+    Parameters
+    ----------
+    random_access_ms:
+        Cost of one random tuple fetch, in milliseconds.
+    page_read_ms:
+        Cost of reading one sequential inverted-list page, in milliseconds.
+    entries_per_page:
+        Number of inverted-list entries per page; sorted accesses are
+        amortised into ``ceil(accesses / entries_per_page)`` page reads.
+    """
+
+    random_access_ms: float = 5.0
+    page_read_ms: float = 0.1
+    entries_per_page: int = 256
+
+    def __post_init__(self) -> None:
+        require(self.random_access_ms >= 0.0, "random_access_ms must be >= 0")
+        require(self.page_read_ms >= 0.0, "page_read_ms must be >= 0")
+        require(self.entries_per_page >= 1, "entries_per_page must be >= 1")
+
+    def page_reads(self, sorted_accesses: int) -> int:
+        """Number of sequential page reads implied by *sorted_accesses*."""
+        require(sorted_accesses >= 0, "sorted_accesses must be >= 0")
+        return math.ceil(sorted_accesses / self.entries_per_page)
+
+    def io_seconds(self, counters: AccessCounters) -> float:
+        """Simulated I/O time in seconds for the given access counts."""
+        random_cost = counters.random_accesses * self.random_access_ms
+        sequential_cost = self.page_reads(counters.sorted_accesses) * self.page_read_ms
+        return (random_cost + sequential_cost) / 1000.0
+
+    def io_milliseconds(self, counters: AccessCounters) -> float:
+        """Simulated I/O time in milliseconds for the given access counts."""
+        return self.io_seconds(counters) * 1000.0

@@ -1,0 +1,113 @@
+"""Analytic memory-footprint accounting (paper Figure 10(d)).
+
+The paper describes exactly what each method keeps in memory (§7.1 System
+Model and §7.2):
+
+* **Scan** caches, for every tuple in the candidate list ``C(q)``, its score
+  and a pointer into the external tuple file — *not* the full coordinate
+  vector.
+* **Thres** additionally builds, per query dimension, the sort lists ``SLS``
+  (score order) and ``SLj`` (j-th coordinate order) over all candidates.
+* **Prune** uses the on-the-fly space optimisation of §5.1: per query
+  dimension it retains only the top-scoring ``C0_j`` tuple and the
+  max-j-coordinate ``CH_j`` tuple (``φ+1`` of each for φ>0), plus the shared
+  ``CL`` candidates.
+* **CPT** uses the same optimisation and builds its sort lists only over the
+  candidates that survive pruning.
+
+We account bytes analytically with the conventional sizes the paper's
+Kbyte-scale numbers imply: an 8-byte score, an 8-byte pointer/id, and
+8 bytes per sort-list entry (a reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require
+
+__all__ = ["MemoryFootprint", "FootprintModel"]
+
+_SCORE_BYTES = 8
+_POINTER_BYTES = 8
+_SORT_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """A memory-footprint figure broken into its constituents (bytes)."""
+
+    candidate_bytes: int
+    sort_list_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint in bytes."""
+        return self.candidate_bytes + self.sort_list_bytes
+
+    @property
+    def total_kbytes(self) -> float:
+        """Total footprint in kilobytes (the paper's Figure 10(d) unit)."""
+        return self.total_bytes / 1024.0
+
+
+class FootprintModel:
+    """Computes the per-method memory footprint from candidate-set sizes.
+
+    Parameters
+    ----------
+    score_bytes, pointer_bytes, sort_entry_bytes:
+        Per-entry sizes; defaults follow the conventional 8-byte layout.
+    """
+
+    def __init__(
+        self,
+        score_bytes: int = _SCORE_BYTES,
+        pointer_bytes: int = _POINTER_BYTES,
+        sort_entry_bytes: int = _SORT_ENTRY_BYTES,
+    ) -> None:
+        require(score_bytes > 0, "score_bytes must be positive")
+        require(pointer_bytes > 0, "pointer_bytes must be positive")
+        require(sort_entry_bytes > 0, "sort_entry_bytes must be positive")
+        self.score_bytes = score_bytes
+        self.pointer_bytes = pointer_bytes
+        self.sort_entry_bytes = sort_entry_bytes
+
+    def _candidate_entry(self) -> int:
+        return self.score_bytes + self.pointer_bytes
+
+    def scan(self, n_candidates: int) -> MemoryFootprint:
+        """Scan: one score+pointer entry per candidate in ``C(q)``."""
+        require(n_candidates >= 0, "n_candidates must be >= 0")
+        return MemoryFootprint(n_candidates * self._candidate_entry(), 0)
+
+    def thres(self, n_candidates: int, qlen: int) -> MemoryFootprint:
+        """Thres: Scan's entries plus ``SLS``/``SLj`` built over all candidates.
+
+        ``SLS`` is shared across dimensions; one coordinate-sorted ``SLj``
+        exists per query dimension.
+        """
+        require(n_candidates >= 0, "n_candidates must be >= 0")
+        require(qlen >= 1, "qlen must be >= 1")
+        base = self.scan(n_candidates)
+        sort_lists = (1 + qlen) * n_candidates * self.sort_entry_bytes
+        return MemoryFootprint(base.candidate_bytes, sort_lists)
+
+    def prune(self, n_cl: int, qlen: int, phi: int = 0) -> MemoryFootprint:
+        """Prune with the §5.1 space optimisation.
+
+        Keeps all ``CL`` candidates (shared) plus, per query dimension,
+        ``φ+1`` retained tuples from each of ``C0_j`` and ``CH_j``.
+        """
+        require(n_cl >= 0, "n_cl must be >= 0")
+        require(qlen >= 1, "qlen must be >= 1")
+        require(phi >= 0, "phi must be >= 0")
+        retained = 2 * (phi + 1) * qlen
+        return MemoryFootprint((n_cl + retained) * self._candidate_entry(), 0)
+
+    def cpt(self, n_cl: int, qlen: int, phi: int = 0) -> MemoryFootprint:
+        """CPT: Prune's retained set plus sort lists over surviving candidates."""
+        base = self.prune(n_cl, qlen, phi)
+        survivors = n_cl + 2 * (phi + 1)
+        sort_lists = (1 + qlen) * survivors * self.sort_entry_bytes
+        return MemoryFootprint(base.candidate_bytes, sort_lists)

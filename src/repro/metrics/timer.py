@@ -1,0 +1,73 @@
+"""Phase timing for CPU-cost measurement.
+
+The paper reports CPU seconds per experiment and, in §7.2, the cost of each
+of Scan's three phases separately.  :class:`PhaseTimer` accumulates
+``perf_counter`` time under named phases, supports nesting-free re-entry
+(the same phase can be entered repeatedly and times accumulate), and exposes
+totals for reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from ..errors import ValidationError
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("phase2"):
+    ...     pass
+    >>> timer.seconds("phase2") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time under *name*."""
+        if not name:
+            raise ValidationError("phase name must be non-empty")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add *seconds* to phase *name* directly (used when merging timers)."""
+        if seconds < 0.0:
+            raise ValidationError("seconds must be >= 0")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds for phase *name* (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def total_seconds(self) -> float:
+        """Sum over all phases."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the phase → seconds mapping."""
+        return dict(self._totals)
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Accumulate every phase of *other* into this timer."""
+        for name, seconds in other.as_dict().items():
+            self.add(name, seconds)
+
+    def reset(self) -> None:
+        """Forget all accumulated times."""
+        self._totals.clear()

@@ -1,0 +1,13 @@
+"""STB comparator: the sensitivity radius of Soliman et al. (paper §2, [20]).
+
+The closest related work formulates a side-problem (STB): the maximal
+radius ρ around the query vector, in query space, within which the top-k
+result is preserved.  The paper contrasts immutable regions against it:
+STB scans *all* non-result tuples, yields a single radius rather than
+per-dimension ranges, and supports neither perturbation reporting nor
+φ > 0.  We implement it as a baseline and cross-check.
+"""
+
+from .radius import STBResult, stb_radius
+
+__all__ = ["STBResult", "stb_radius"]

@@ -1,0 +1,102 @@
+"""Sensitivity radius ρ (STB) — scan-based, as described in paper §2.
+
+Every non-result tuple ``d_β`` induces the half-space
+``(d_k − d_β) · q' ≥ 0`` in which the k-th result tuple keeps its lead, and
+every consecutive result pair ``(d_α, d_{α+1})`` induces
+``(d_α − d_{α+1}) · q' ≥ 0``.  The preserved region is their intersection;
+ρ is the distance from ``q`` to its nearest bounding hyperplane, so the
+ball ``B(q, ρ)`` is the largest within which no perturbation can occur.
+
+Relationship to immutable regions (verified by the tests): each immutable
+region is at least as wide as the ball along its axis — ``l_j ≤ −ρ`` and
+``u_j ≥ ρ`` (clipped to the weight domain) — because the axis-parallel
+segment of length ρ lies inside the ball.  The converse fails: the ball
+says nothing about how far a *single* weight may move, which is the
+paper's motivation for per-dimension regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._util import require
+from ..datasets.base import Dataset
+from ..geometry.halfspace import halfspace_distance
+from ..topk.query import Query
+from ..topk.result import TopKResult
+
+__all__ = ["STBResult", "stb_radius"]
+
+
+@dataclass(frozen=True)
+class STBResult:
+    """The STB radius and the pair of tuples realising it.
+
+    ``examined`` counts the non-result tuples scanned — all of them, which
+    is the cost profile the paper contrasts CPT against.
+    """
+
+    radius: float
+    limiting_ahead: Optional[int]
+    limiting_behind: Optional[int]
+    examined: int
+
+
+def stb_radius(
+    dataset: Dataset,
+    query: Query,
+    k: int,
+    count_reorderings: bool = True,
+) -> STBResult:
+    """Compute ρ by scanning every non-result tuple.
+
+    Parameters
+    ----------
+    count_reorderings:
+        When true (the default, matching our problem formulation), order
+        changes inside the result are perturbations too, adding the
+        consecutive-pair hyperplanes to the scan.
+    """
+    require(k >= 1, "k must be >= 1")
+    from ..core.brute import brute_force_topk
+
+    scores = dataset.scores(query.dims, query.weights)
+    result = brute_force_topk(dataset, query, k)
+
+    query_vec = query.weights
+    dims = query.dims
+    rows = {tid: dataset.values_at(tid, dims) for tid in result.ids}
+
+    best = float("inf")
+    ahead_id: Optional[int] = None
+    behind_id: Optional[int] = None
+
+    if count_reorderings:
+        for first, second in zip(result.ids, result.ids[1:]):
+            distance = halfspace_distance(query_vec, rows[first], rows[second])
+            if distance < best:
+                best, ahead_id, behind_id = distance, first, second
+
+    kth = result.kth_id
+    kth_row = rows[kth]
+    examined = 0
+    in_result = set(result.ids)
+    for tuple_id in range(dataset.n_tuples):
+        if tuple_id in in_result:
+            continue
+        examined += 1
+        distance = halfspace_distance(
+            query_vec, kth_row, dataset.values_at(tuple_id, dims)
+        )
+        if distance < best:
+            best, ahead_id, behind_id = distance, kth, tuple_id
+
+    return STBResult(
+        radius=best,
+        limiting_ahead=ahead_id,
+        limiting_behind=behind_id,
+        examined=examined,
+    )

@@ -1,0 +1,16 @@
+"""Storage substrate: inverted lists, tuple store, index.
+
+Mirrors the paper's system model (§3, §7.1): the dataset is indexed by one
+inverted list per dimension, each sorted by coordinate value in descending
+order and holding ``(tuple_id, value)`` entries for the tuples with a
+non-zero coordinate; full tuples live in an external file reached by random
+access.  Both structures report their accesses into
+:class:`~repro.metrics.AccessCounters`, from which the
+:class:`~repro.metrics.DiskModel` derives simulated I/O time.
+"""
+
+from .index import InvertedIndex
+from .inverted_list import InvertedList, ListCursor
+from .tuple_store import TupleStore
+
+__all__ = ["InvertedIndex", "InvertedList", "ListCursor", "TupleStore"]

@@ -1,0 +1,65 @@
+"""Inverted index: one sorted list per dimension over a dataset.
+
+Lists are built lazily (a 180k-term corpus only ever materialises the lists
+its queries touch) and cached.  The index is shared across queries and
+methods; scan state lives in per-run :class:`~repro.storage.ListCursor`
+objects created by :meth:`InvertedIndex.cursors_for`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..datasets.base import Dataset
+from ..errors import StorageError
+from .inverted_list import InvertedList, ListCursor
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """Lazy per-dimension inverted lists over a :class:`Dataset`."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        self._lists: Dict[int, InvertedList] = {}
+
+    @property
+    def dataset(self) -> Dataset:
+        """The indexed dataset."""
+        return self._dataset
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the indexed data space."""
+        return self._dataset.n_dims
+
+    def list_for(self, dim: int) -> InvertedList:
+        """The inverted list of *dim* (built on first access)."""
+        dim = int(dim)
+        if not 0 <= dim < self._dataset.n_dims:
+            raise StorageError(
+                f"dimension {dim} out of range [0, {self._dataset.n_dims})"
+            )
+        cached = self._lists.get(dim)
+        if cached is None:
+            ids, values = self._dataset.column(dim)
+            cached = InvertedList(dim, ids, values)
+            self._lists[dim] = cached
+        return cached
+
+    def cursors_for(self, dims: Iterable[int] | np.ndarray) -> Dict[int, ListCursor]:
+        """Fresh scan cursors for the given dimensions (one TA run's state)."""
+        return {int(dim): ListCursor(self.list_for(int(dim))) for dim in dims}
+
+    def built_dimensions(self) -> list[int]:
+        """Dimensions whose lists have been materialised so far."""
+        return sorted(self._lists)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(n_dims={self.n_dims}, "
+            f"built={len(self._lists)} lists)"
+        )

@@ -1,0 +1,159 @@
+"""Inverted lists and scan cursors.
+
+An :class:`InvertedList` for dimension ``j`` holds ``(tuple_id, value)``
+entries for every tuple with a non-zero j-th coordinate, sorted by value
+descending (ties broken by ascending id — the library-wide total order).
+The list itself is immutable; scan state lives in :class:`ListCursor`, so
+several algorithms (TA, Phase 3 resumption, tests) can walk the same list
+independently.
+
+Sorted accesses are charged to an :class:`~repro.metrics.AccessCounters`
+by the cursor on every :meth:`ListCursor.pull`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .._util import require, stable_desc_order
+from ..errors import StorageError
+from ..metrics.counters import AccessCounters
+
+__all__ = ["InvertedList", "ListCursor"]
+
+
+class InvertedList:
+    """Immutable per-dimension posting list, sorted by value descending."""
+
+    def __init__(self, dim: int, ids: np.ndarray, values: np.ndarray) -> None:
+        require(dim >= 0, "dimension must be non-negative")
+        ids_arr = np.ascontiguousarray(ids, dtype=np.int64)
+        values_arr = np.ascontiguousarray(values, dtype=np.float64)
+        if ids_arr.shape != values_arr.shape or ids_arr.ndim != 1:
+            raise StorageError("ids and values must be 1-D arrays of equal length")
+        order = stable_desc_order(values_arr, ids_arr)
+        self._dim = int(dim)
+        self._ids = ids_arr[order]
+        self._values = values_arr[order]
+        self._ids.setflags(write=False)
+        self._values.setflags(write=False)
+        self._positions: Optional[Dict[int, int]] = None
+
+    @property
+    def dim(self) -> int:
+        """The dimension this list indexes."""
+        return self._dim
+
+    @property
+    def size(self) -> int:
+        """Number of entries (tuples with a non-zero coordinate here)."""
+        return int(self._ids.size)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Tuple ids in list order (read-only view)."""
+        return self._ids
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values in list order, descending (read-only view)."""
+        return self._values
+
+    def entry(self, position: int) -> Tuple[int, float]:
+        """The ``(tuple_id, value)`` entry at *position*."""
+        if not 0 <= position < self.size:
+            raise StorageError(
+                f"position {position} out of range [0, {self.size}) in L{self._dim}"
+            )
+        return int(self._ids[position]), float(self._values[position])
+
+    def key_at(self, position: int) -> float:
+        """Sorting key at *position*; 0.0 past the end (exhausted ⇒ t_j = 0)."""
+        if position >= self.size:
+            return 0.0
+        if position < 0:
+            raise StorageError("position must be non-negative")
+        return float(self._values[position])
+
+    def position_of(self, tuple_id: int) -> Optional[int]:
+        """Position of *tuple_id* in this list, or ``None`` if absent.
+
+        Used by Phase 3's sorted-access shortcut: if TA's cursor has passed
+        this position, the tuple was encountered via sorted access in this
+        list.  The id → position map is built lazily on first use.
+        """
+        if self._positions is None:
+            self._positions = {
+                int(tid): pos for pos, tid in enumerate(self._ids)
+            }
+        return self._positions.get(int(tuple_id))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"InvertedList(dim={self._dim}, size={self.size})"
+
+
+class ListCursor:
+    """A mutable scan position over an :class:`InvertedList`.
+
+    The cursor starts at the top (highest value).  :meth:`peek_key` returns
+    the sorting key of the *next* entry — the paper's ``t_j`` threshold
+    component — without consuming it; :meth:`pull` consumes the entry and
+    charges one sorted access.
+    """
+
+    def __init__(self, inverted_list: InvertedList) -> None:
+        self._list = inverted_list
+        self._position = 0
+
+    @property
+    def inverted_list(self) -> InvertedList:
+        """The underlying list."""
+        return self._list
+
+    @property
+    def dim(self) -> int:
+        """The dimension being scanned."""
+        return self._list.dim
+
+    @property
+    def position(self) -> int:
+        """Number of entries consumed so far."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the whole list has been consumed."""
+        return self._position >= self._list.size
+
+    def peek_key(self) -> float:
+        """The next entry's value (``t_j``); 0.0 once exhausted."""
+        return self._list.key_at(self._position)
+
+    def pull(self, counters: AccessCounters) -> Tuple[int, float]:
+        """Consume and return the next ``(tuple_id, value)`` entry."""
+        if self.exhausted:
+            raise StorageError(f"cursor over L{self.dim} is exhausted")
+        entry = self._list.entry(self._position)
+        self._position += 1
+        counters.record_sorted()
+        return entry
+
+    def has_passed(self, tuple_id: int) -> bool:
+        """Whether *tuple_id*'s entry was already consumed via sorted access.
+
+        Returns ``False`` when the tuple has no entry in this list (its
+        coordinate is zero here).
+        """
+        pos = self._list.position_of(tuple_id)
+        return pos is not None and pos < self._position
+
+    def __repr__(self) -> str:
+        return (
+            f"ListCursor(dim={self.dim}, position={self._position}, "
+            f"size={self._list.size})"
+        )

@@ -1,0 +1,28 @@
+"""Top-k substrate: queries, results, and the Threshold Algorithm.
+
+Implements the random-access variant of Fagin's Threshold Algorithm (TA)
+described in §2 of the paper, extended in two paper-mandated ways:
+
+* it retains the **candidate list** ``C(q)`` — every tuple encountered but
+  not in the final top-k, in decreasing score order (Figure 2);
+* it is **resumable**: Phase 3 of the region algorithms continues the
+  sorted-list scan from exactly where top-k computation stopped
+  (Algorithm 2 line 5, "Resume TA to produce the next candidate").
+
+Two probing strategies are provided: classic round-robin (used in the
+paper's Figure 2 trace) and the max-impact policy of §7.1 ("probing the
+list Lj with the largest product qj × dαj").
+"""
+
+from .query import Query
+from .result import CandidateList, TopKResult
+from .ta import TAOutcome, TATraceStep, ThresholdAlgorithm
+
+__all__ = [
+    "Query",
+    "TopKResult",
+    "CandidateList",
+    "ThresholdAlgorithm",
+    "TAOutcome",
+    "TATraceStep",
+]

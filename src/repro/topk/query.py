@@ -1,0 +1,141 @@
+"""Sparse subspace query vectors.
+
+A query is a vector ``q`` in ``[0, 1]^m`` with ``qlen << m`` non-zero
+weights (paper §3).  We store only the non-zero part: a sorted array of
+query dimensions and the matching weights.  The score of a tuple is the dot
+product over the query dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from .._util import as_float_array
+from ..errors import QueryError
+
+__all__ = ["Query"]
+
+
+class Query:
+    """An immutable sparse query vector.
+
+    Parameters
+    ----------
+    dims:
+        Query dimensions (unique non-negative integers); stored sorted.
+    weights:
+        Matching positive weights in ``(0, 1]``.
+    """
+
+    __slots__ = ("_dims", "_weights", "_weight_by_dim")
+
+    def __init__(self, dims: Iterable[int], weights: Iterable[float]) -> None:
+        dims_arr = np.ascontiguousarray(dims, dtype=np.int64)
+        weights_arr = as_float_array(weights, "weights")
+        if dims_arr.ndim != 1:
+            raise QueryError("dims must be one-dimensional")
+        if dims_arr.size != weights_arr.size:
+            raise QueryError("dims and weights must have equal length")
+        if dims_arr.size == 0:
+            raise QueryError("a query needs at least one non-zero weight")
+        if dims_arr.min() < 0:
+            raise QueryError("query dimensions must be non-negative")
+        if np.unique(dims_arr).size != dims_arr.size:
+            raise QueryError("query dimensions must be unique")
+        if weights_arr.min() <= 0.0 or weights_arr.max() > 1.0:
+            raise QueryError("query weights must lie in (0, 1]")
+        order = np.argsort(dims_arr)
+        self._dims = dims_arr[order]
+        self._weights = weights_arr[order]
+        self._dims.setflags(write=False)
+        self._weights.setflags(write=False)
+        self._weight_by_dim: Dict[int, float] = {
+            int(d): float(w) for d, w in zip(self._dims, self._weights)
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, float]) -> "Query":
+        """Build a query from a ``{dimension: weight}`` mapping."""
+        if not mapping:
+            raise QueryError("a query needs at least one non-zero weight")
+        dims = list(mapping.keys())
+        weights = [mapping[d] for d in dims]
+        return cls(dims, weights)
+
+    @classmethod
+    def from_dense(cls, vector: Iterable[float]) -> "Query":
+        """Build a query from a dense weight vector (zeros dropped)."""
+        dense = np.asarray(vector, dtype=np.float64)
+        dims = np.nonzero(dense)[0]
+        return cls(dims, dense[dims])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> np.ndarray:
+        """Sorted query dimensions (read-only view)."""
+        return self._dims
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Weights aligned with :attr:`dims` (read-only view)."""
+        return self._weights
+
+    @property
+    def qlen(self) -> int:
+        """Number of query dimensions (the paper's ``qlen``)."""
+        return self._dims.size
+
+    def weight_of(self, dim: int) -> float:
+        """Weight of *dim* (0.0 if *dim* is not a query dimension)."""
+        return self._weight_by_dim.get(int(dim), 0.0)
+
+    def has_dim(self, dim: int) -> bool:
+        """Whether *dim* carries a non-zero weight."""
+        return int(dim) in self._weight_by_dim
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        """Iterate ``(dimension, weight)`` pairs in dimension order."""
+        return zip((int(d) for d in self._dims), (float(w) for w in self._weights))
+
+    def with_weight(self, dim: int, weight: float) -> "Query":
+        """A new query equal to this one with *dim*'s weight replaced.
+
+        Used by tests and examples to re-evaluate the top-k after moving a
+        weight inside/outside an immutable region.  The new weight must stay
+        in ``(0, 1]`` — a zero weight would change ``qlen`` and hence the
+        query subspace itself.
+        """
+        if not self.has_dim(dim):
+            raise QueryError(f"dimension {dim} is not a query dimension")
+        mapping = dict(self.items())
+        mapping[int(dim)] = float(weight)
+        return Query.from_mapping(mapping)
+
+    def score(self, coordinates: np.ndarray) -> float:
+        """Dot-product score given the tuple's coordinates at :attr:`dims`."""
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.shape != self._weights.shape:
+            raise QueryError(
+                f"expected {self._weights.size} coordinates, got {coords.size}"
+            )
+        return float(np.dot(self._weights, coords))
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._dims, other._dims)
+            and np.array_equal(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._dims.tobytes(), self._weights.tobytes()))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{d}: {w:.4g}" for d, w in self.items())
+        return f"Query({{{pairs}}})"

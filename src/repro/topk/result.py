@@ -1,0 +1,168 @@
+"""Top-k result and candidate list containers.
+
+``R(q)`` is the list of the k highest-scoring tuples in decreasing score
+order; ``C(q)`` holds every tuple encountered by TA but not in the final
+result, also in decreasing score order (paper §3, Figure 2).  Both use the
+library-wide total order: score descending, tuple id ascending on ties.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AlgorithmError
+
+__all__ = ["ScoredTuple", "TopKResult", "CandidateList"]
+
+#: (sort_key, tuple_id, score); sort_key = (-score, tuple_id) so ascending
+#: list order equals the library's descending-score order.
+ScoredTuple = Tuple[Tuple[float, int], int, float]
+
+
+def _key(tuple_id: int, score: float) -> Tuple[float, int]:
+    return (-score, tuple_id)
+
+
+class TopKResult:
+    """The ordered top-k result ``R(q)``.
+
+    Constructed once by TA (immutable afterwards).  Exposes positional
+    access — Phase 1 iterates consecutive pairs — and membership tests.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[int, float]]) -> None:
+        ordered = sorted(entries, key=lambda e: _key(e[0], e[1]))
+        self._ids: List[int] = [int(tid) for tid, _ in ordered]
+        self._scores: List[float] = [float(score) for _, score in ordered]
+        if len(set(self._ids)) != len(self._ids):
+            raise AlgorithmError("duplicate tuple id in top-k result")
+        self._id_set = set(self._ids)
+
+    @property
+    def k(self) -> int:
+        """Result size (may be < requested k when the dataset is small)."""
+        return len(self._ids)
+
+    @property
+    def ids(self) -> List[int]:
+        """Tuple ids in decreasing score order (copy)."""
+        return list(self._ids)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Scores aligned with :attr:`ids`."""
+        return np.asarray(self._scores, dtype=np.float64)
+
+    def id_at(self, rank: int) -> int:
+        """Tuple id at 0-based *rank* (0 = best)."""
+        return self._ids[rank]
+
+    def score_at(self, rank: int) -> float:
+        """Score at 0-based *rank*."""
+        return self._scores[rank]
+
+    @property
+    def kth_id(self) -> int:
+        """Id of the last (k-th) result tuple ``d_k``."""
+        if not self._ids:
+            raise AlgorithmError("empty result has no k-th tuple")
+        return self._ids[-1]
+
+    @property
+    def kth_score(self) -> float:
+        """Score of the last result tuple, ``S(d_k, q)``."""
+        if not self._scores:
+            raise AlgorithmError("empty result has no k-th score")
+        return self._scores[-1]
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return int(tuple_id) in self._id_set
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return iter(zip(self._ids, self._scores))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopKResult):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"d{tid}:{s:.4g}" for tid, s in self)
+        return f"TopKResult([{inner}])"
+
+
+class CandidateList:
+    """The candidate list ``C(q)``: encountered non-result tuples, score-sorted.
+
+    Supports incremental insertion (TA evictions, Phase 3 discoveries) while
+    keeping decreasing-score order, and O(1) membership tests.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[ScoredTuple] = []
+        self._id_set: set[int] = set()
+
+    def insert(self, tuple_id: int, score: float) -> None:
+        """Insert a tuple; raises if the id is already present."""
+        tuple_id = int(tuple_id)
+        if tuple_id in self._id_set:
+            raise AlgorithmError(f"tuple {tuple_id} already in candidate list")
+        entry: ScoredTuple = (_key(tuple_id, score), tuple_id, float(score))
+        bisect.insort(self._entries, entry)
+        self._id_set.add(tuple_id)
+
+    def remove(self, tuple_id: int) -> None:
+        """Remove a tuple by id (used when TA promotes a candidate into R)."""
+        tuple_id = int(tuple_id)
+        if tuple_id not in self._id_set:
+            raise AlgorithmError(f"tuple {tuple_id} not in candidate list")
+        for pos, (_, tid, _) in enumerate(self._entries):
+            if tid == tuple_id:
+                del self._entries[pos]
+                break
+        self._id_set.discard(tuple_id)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return int(tuple_id) in self._id_set
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(tuple_id, score)`` in decreasing score order."""
+        return iter((tid, score) for _, tid, score in self._entries)
+
+    @property
+    def ids(self) -> List[int]:
+        """Tuple ids in decreasing score order."""
+        return [tid for _, tid, _ in self._entries]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Scores in decreasing order, aligned with :attr:`ids`."""
+        return np.asarray([score for _, _, score in self._entries], dtype=np.float64)
+
+    def score_of(self, tuple_id: int) -> float:
+        """Score of a member tuple."""
+        tuple_id = int(tuple_id)
+        for _, tid, score in self._entries:
+            if tid == tuple_id:
+                return score
+        raise AlgorithmError(f"tuple {tuple_id} not in candidate list")
+
+    def top(self) -> Tuple[int, float]:
+        """The highest-scoring candidate as ``(id, score)``."""
+        if not self._entries:
+            raise AlgorithmError("candidate list is empty")
+        _, tid, score = self._entries[0]
+        return tid, score
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"d{tid}:{s:.4g}" for tid, s in self)
+        return f"CandidateList([{inner}])"

@@ -1,0 +1,336 @@
+"""Random-access Threshold Algorithm (TA), resumable.
+
+Implements the TA variant of §2: ``qlen`` inverted lists are probed via
+sorted access; every newly encountered tuple is fetched from the tuple
+store via random access to compute its full score; the search terminates
+when the k-th best score reaches the threshold ``S(t, q) = Σ q_j · t_j``
+built from the lists' next sorting keys.
+
+Deviations from a textbook TA, both required by the paper:
+
+* the candidate list ``C(q)`` (encountered, non-result tuples, score
+  descending) is retained and returned;
+* the algorithm object stays alive after :meth:`run` so Phase 3 of the
+  region algorithms can :meth:`resume_next` the scan from the exact list
+  positions where top-k computation stopped.
+
+Probing strategies
+------------------
+``round_robin``
+    Classic TA; matches the paper's Figure 2 trace.
+``max_impact``
+    The §7.1 enhancement after Persin: probe the list with the largest
+    ``q_j × (next entry value)``.  (The paper phrases it via the last pulled
+    document's value; since list values decrease monotonically the next
+    entry's value induces the same priority order one step earlier.)
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .._util import require
+from ..errors import AlgorithmError, QueryError
+from ..metrics.counters import AccessCounters
+from ..storage.index import InvertedIndex
+from ..storage.inverted_list import ListCursor
+from ..storage.tuple_store import TupleStore
+from .query import Query
+from .result import CandidateList, TopKResult
+
+__all__ = ["ThresholdAlgorithm", "TAOutcome", "TATraceStep"]
+
+_PROBING_STRATEGIES = ("round_robin", "max_impact")
+
+
+@dataclass(frozen=True)
+class TATraceStep:
+    """One row of a TA execution trace (paper Figure 2)."""
+
+    step: int
+    operation: str  # "initialise" | "sorted_access" | "terminate"
+    dim: Optional[int]
+    tuple_id: Optional[int]
+    score: Optional[float]
+    thresholds: Dict[int, float]
+    threshold_score: float
+    result_ids: List[int]
+    candidate_ids: List[int]
+
+
+@dataclass
+class TAOutcome:
+    """The product of a TA run.
+
+    Attributes
+    ----------
+    result:
+        The top-k result ``R(q)`` (may hold fewer than k tuples when fewer
+        were encountered — only tuples with a positive score qualify).
+    candidates:
+        The candidate list ``C(q)``.  Phase 3 resumption inserts newly
+        discovered tuples into this same object.
+    trace:
+        Step-by-step trace when requested, else ``None``.
+    """
+
+    result: TopKResult
+    candidates: CandidateList
+    trace: Optional[List[TATraceStep]] = None
+    sorted_access_depths: Dict[int, int] = field(default_factory=dict)
+
+
+class ThresholdAlgorithm:
+    """Resumable random-access TA over an inverted index.
+
+    Parameters
+    ----------
+    index:
+        The inverted index over the dataset.
+    query:
+        Sparse query vector; one cursor is opened per query dimension.
+    k:
+        Result size.
+    counters:
+        Access counters charged for sorted and random accesses.
+    store:
+        Tuple store for random accesses (constructed from the index's
+        dataset when omitted).
+    probing:
+        ``"round_robin"`` or ``"max_impact"``.
+    record_trace:
+        Whether to record a Figure-2-style execution trace.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        query: Query,
+        k: int,
+        counters: Optional[AccessCounters] = None,
+        store: Optional[TupleStore] = None,
+        probing: str = "round_robin",
+        record_trace: bool = False,
+    ) -> None:
+        require(k >= 1, "k must be >= 1")
+        if probing not in _PROBING_STRATEGIES:
+            raise QueryError(
+                f"unknown probing strategy {probing!r}; "
+                f"expected one of {_PROBING_STRATEGIES}"
+            )
+        self._index = index
+        self._query = query
+        self._k = int(k)
+        self._counters = counters if counters is not None else AccessCounters()
+        self._store = (
+            store if store is not None else TupleStore(index.dataset, self._counters)
+        )
+        self._cursors: Dict[int, ListCursor] = index.cursors_for(query.dims)
+        self._dims: List[int] = [int(d) for d in query.dims]
+        self._probing = probing
+        self._rr_next = 0
+        self._seen: Set[int] = set()
+        self._scores: Dict[int, float] = {}
+        # All encountered tuples as (sort_key, id, score), ascending by
+        # sort_key = (-score, id)  ⇒  descending score with id tie-break.
+        self._encountered: List[Tuple[Tuple[float, int], int, float]] = []
+        self._trace: Optional[List[TATraceStep]] = [] if record_trace else None
+        self._outcome: Optional[TAOutcome] = None
+
+    # ------------------------------------------------------------------
+    # Public state accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def query(self) -> Query:
+        """The query being processed."""
+        return self._query
+
+    @property
+    def k(self) -> int:
+        """Requested result size."""
+        return self._k
+
+    @property
+    def counters(self) -> AccessCounters:
+        """The access counters charged by this run."""
+        return self._counters
+
+    @property
+    def store(self) -> TupleStore:
+        """The tuple store used for random accesses."""
+        return self._store
+
+    @property
+    def outcome(self) -> TAOutcome:
+        """The outcome of :meth:`run` (raises before the run)."""
+        if self._outcome is None:
+            raise AlgorithmError("ThresholdAlgorithm.run() has not been called")
+        return self._outcome
+
+    def thresholds(self) -> Dict[int, float]:
+        """Current ``t_j`` per query dimension (next sorting keys)."""
+        return {dim: cursor.peek_key() for dim, cursor in self._cursors.items()}
+
+    def threshold_component(self, dim: int) -> float:
+        """Current ``t_j`` for a single dimension."""
+        return self._cursors[dim].peek_key()
+
+    def threshold_score(self) -> float:
+        """Score of the fictitious threshold tuple, ``Σ q_j · t_j``."""
+        return sum(
+            self._query.weight_of(dim) * cursor.peek_key()
+            for dim, cursor in self._cursors.items()
+        )
+
+    def score_of(self, tuple_id: int) -> float:
+        """Cached score of an already-encountered tuple."""
+        try:
+            return self._scores[int(tuple_id)]
+        except KeyError as exc:
+            raise AlgorithmError(f"tuple {tuple_id} has not been encountered") from exc
+
+    def has_seen(self, tuple_id: int) -> bool:
+        """Whether the tuple has been encountered (R, C, or Phase 3)."""
+        return int(tuple_id) in self._seen
+
+    def encountered_via_sorted_access(self, tuple_id: int, dim: int) -> bool:
+        """Whether *tuple_id*'s entry in ``L_dim`` was consumed via sorted access.
+
+        Drives the Phase 3 shortcut: if true for the k-th result tuple, all
+        tuples with a larger coordinate in *dim* were already encountered.
+        """
+        return self._cursors[dim].has_passed(tuple_id)
+
+    @property
+    def all_exhausted(self) -> bool:
+        """Whether every query-dimension list has been fully consumed."""
+        return all(cursor.exhausted for cursor in self._cursors.values())
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def _choose_dim(self) -> int:
+        """Pick the next list to probe; raises if all lists are exhausted."""
+        if self.all_exhausted:
+            raise AlgorithmError("all inverted lists are exhausted")
+        if self._probing == "round_robin":
+            n = len(self._dims)
+            for offset in range(n):
+                idx = (self._rr_next + offset) % n
+                dim = self._dims[idx]
+                if not self._cursors[dim].exhausted:
+                    self._rr_next = (idx + 1) % n
+                    return dim
+            raise AlgorithmError("round-robin found no live cursor")  # unreachable
+        # max_impact: largest q_j × next value; ties to the lower dimension.
+        best_dim = -1
+        best_priority = -1.0
+        for dim in self._dims:
+            cursor = self._cursors[dim]
+            if cursor.exhausted:
+                continue
+            priority = self._query.weight_of(dim) * cursor.peek_key()
+            if priority > best_priority:
+                best_priority = priority
+                best_dim = dim
+        return best_dim
+
+    # ------------------------------------------------------------------
+    # Core run
+    # ------------------------------------------------------------------
+
+    def _kth_score(self) -> Optional[float]:
+        if len(self._encountered) < self._k:
+            return None
+        return self._encountered[self._k - 1][2]
+
+    def _terminated(self) -> bool:
+        kth = self._kth_score()
+        if kth is not None and kth >= self.threshold_score():
+            return True
+        return self.all_exhausted
+
+    def _record(self, operation: str, dim=None, tuple_id=None, score=None) -> None:
+        if self._trace is None:
+            return
+        result_ids = [tid for _, tid, _ in self._encountered[: self._k]]
+        candidate_ids = [tid for _, tid, _ in self._encountered[self._k :]]
+        self._trace.append(
+            TATraceStep(
+                step=len(self._trace) + 1,
+                operation=operation,
+                dim=dim,
+                tuple_id=tuple_id,
+                score=score,
+                thresholds=self.thresholds(),
+                threshold_score=self.threshold_score(),
+                result_ids=result_ids,
+                candidate_ids=candidate_ids,
+            )
+        )
+
+    def _encounter(self, tuple_id: int) -> float:
+        """Fetch a new tuple, score it and register it; returns the score."""
+        score = self._store.score(tuple_id, self._query)
+        self._seen.add(tuple_id)
+        self._scores[tuple_id] = score
+        entry = ((-score, tuple_id), tuple_id, score)
+        bisect.insort(self._encountered, entry)
+        return score
+
+    def run(self) -> TAOutcome:
+        """Execute TA to termination and return ``R(q)`` and ``C(q)``."""
+        if self._outcome is not None:
+            raise AlgorithmError("ThresholdAlgorithm.run() may only be called once")
+        self._record("initialise")
+        while not self._terminated():
+            dim = self._choose_dim()
+            tuple_id, _value = self._cursors[dim].pull(self._counters)
+            if tuple_id in self._seen:
+                continue
+            score = self._encounter(tuple_id)
+            self._record("sorted_access", dim=dim, tuple_id=tuple_id, score=score)
+        self._record("terminate")
+
+        result = TopKResult(
+            [(tid, score) for _, tid, score in self._encountered[: self._k]]
+        )
+        candidates = CandidateList()
+        for _, tid, score in self._encountered[self._k :]:
+            candidates.insert(tid, score)
+        self._outcome = TAOutcome(
+            result=result,
+            candidates=candidates,
+            trace=self._trace,
+            sorted_access_depths={
+                dim: cursor.position for dim, cursor in self._cursors.items()
+            },
+        )
+        return self._outcome
+
+    # ------------------------------------------------------------------
+    # Phase 3 resumption
+    # ------------------------------------------------------------------
+
+    def resume_next(self) -> Optional[Tuple[int, float]]:
+        """Continue the scan and return the next *new* tuple ``(id, score)``.
+
+        The tuple is scored (one random access), registered in the outcome's
+        candidate list, and returned.  Returns ``None`` when every list is
+        exhausted — no unseen tuple with a positive score remains.
+        """
+        if self._outcome is None:
+            raise AlgorithmError("run() must complete before resume_next()")
+        while not self.all_exhausted:
+            dim = self._choose_dim()
+            tuple_id, _value = self._cursors[dim].pull(self._counters)
+            if tuple_id in self._seen:
+                continue
+            score = self._encounter(tuple_id)
+            self._outcome.candidates.insert(tuple_id, score)
+            return tuple_id, score
+        return None

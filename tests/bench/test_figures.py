@@ -1,0 +1,78 @@
+"""Tests for the Figure 6 scatter-series extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvertedIndex, Query, generate_correlated, generate_text_corpus, sample_queries
+from repro.bench.figures import score_coordinate_series
+
+
+@pytest.fixture(scope="module")
+def wsj_setup():
+    data, stats = generate_text_corpus(n_docs=2_000, vocab_size=600, seed=3)
+    index = InvertedIndex(data)
+    query = sample_queries(
+        data, qlen=4, n_queries=1, seed=4, weight_scheme="idf", idf=stats.idf,
+        min_column_nnz=30,
+    )[0]
+    return index, query
+
+
+class TestScatterSeries:
+    def test_result_points_count(self, wsj_setup):
+        index, query = wsj_setup
+        series = score_coordinate_series(index, query, 10, int(query.dims[0]))
+        assert len(series.result) == 10
+
+    def test_points_carry_true_scores(self, wsj_setup):
+        index, query = wsj_setup
+        dim = int(query.dims[0])
+        series = score_coordinate_series(index, query, 10, dim)
+        scores = index.dataset.scores(query.dims, query.weights)
+        top = sorted(scores, reverse=True)[:10]
+        assert sorted((s for _, s in series.result), reverse=True) == pytest.approx(top)
+
+    def test_partition_coordinates(self, wsj_setup):
+        index, query = wsj_setup
+        dim = int(query.dims[0])
+        series = score_coordinate_series(index, query, 10, dim)
+        # C0 points sit on the y-axis; CH/CL points have positive coordinates.
+        assert all(c == 0.0 for c, _ in series.candidates_c0)
+        assert all(c > 0.0 for c, _ in series.candidates_ch)
+        assert all(c > 0.0 for c, _ in series.candidates_cl)
+
+    def test_ch_points_lie_on_score_line(self, wsj_setup):
+        """CH tuples have score = q_j * coordinate (the Figure 6 'slope')."""
+        index, query = wsj_setup
+        dim = int(query.dims[0])
+        weight = query.weight_of(dim)
+        series = score_coordinate_series(index, query, 10, dim)
+        for coord, score in series.candidates_ch:
+            assert score == pytest.approx(weight * coord)
+
+    def test_figure6_contrast_between_families(self):
+        """Text data: mass on axes/slope; correlated data: interior mass."""
+        text, stats = generate_text_corpus(n_docs=2_000, vocab_size=600, seed=5)
+        text_index = InvertedIndex(text)
+        text_query = sample_queries(
+            text, qlen=4, n_queries=1, seed=6, weight_scheme="idf",
+            idf=stats.idf, min_column_nnz=30,
+        )[0]
+        text_series = score_coordinate_series(
+            text_index, text_query, 10, int(text_query.dims[0])
+        )
+
+        corr = generate_correlated(n_tuples=5_000, n_dims=8, seed=5)
+        corr_index = InvertedIndex(corr)
+        corr_query = sample_queries(corr, qlen=4, n_queries=1, seed=6)[0]
+        corr_series = score_coordinate_series(
+            corr_index, corr_query, 10, int(corr_query.dims[0])
+        )
+
+        text_axis_mass = len(text_series.candidates_c0) + len(text_series.candidates_ch)
+        assert text_axis_mass > len(text_series.candidates_cl)
+        assert len(corr_series.candidates_cl) > (
+            len(corr_series.candidates_c0) + len(corr_series.candidates_ch)
+        )

@@ -1,0 +1,138 @@
+"""Tests for the benchmark harness (runner, aggregation, tables, scaling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, InvertedIndex, sample_queries
+from repro.bench import ExperimentRunner, bench_scale, format_series_table, query_count, write_figure
+from repro.bench.harness import MethodAggregate
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def runner_setup():
+    rng = np.random.default_rng(2)
+    dense = rng.random((200, 6)) * (rng.random((200, 6)) < 0.5)
+    data = Dataset.from_dense(dense)
+    index = InvertedIndex(data)
+    workload = sample_queries(data, qlen=3, n_queries=3, seed=1, min_column_nnz=10)
+    return ExperimentRunner(index), workload
+
+
+class TestExperimentRunner:
+    def test_aggregate_fields(self, runner_setup):
+        runner, workload = runner_setup
+        aggregate = runner.run_point("scan", workload, k=5)
+        assert aggregate.method == "scan"
+        assert aggregate.n_queries == 3
+        assert aggregate.evaluated_per_dim >= 0.0
+        assert aggregate.io_seconds >= 0.0
+        assert aggregate.cpu_seconds >= 0.0
+        assert aggregate.memory_kbytes >= 0.0
+        assert "ta" in aggregate.phase_seconds
+
+    def test_method_ordering_preserved_in_aggregate(self, runner_setup):
+        runner, workload = runner_setup
+        scan = runner.run_point("scan", workload, k=5)
+        cpt = runner.run_point("cpt", workload, k=5)
+        assert cpt.evaluated_per_dim <= scan.evaluated_per_dim
+
+    def test_unknown_method_rejected(self, runner_setup):
+        runner, workload = runner_setup
+        with pytest.raises(ValidationError):
+            runner.run_point("magic", workload, k=5)
+
+    def test_metric_lookup(self, runner_setup):
+        runner, workload = runner_setup
+        aggregate = runner.run_point("scan", workload, k=5)
+        assert aggregate.metric("io_seconds") == aggregate.io_seconds
+
+    def test_phi_and_iterative_forwarded(self, runner_setup):
+        runner, workload = runner_setup
+        one_off = runner.run_point("cpt", workload, k=5, phi=1, iterative=False)
+        iterative = runner.run_point("cpt", workload, k=5, phi=1, iterative=True)
+        assert one_off.n_queries == iterative.n_queries
+
+
+class TestTables:
+    @staticmethod
+    def _fake_aggregate(method, value):
+        return MethodAggregate(
+            method=method,
+            n_queries=1,
+            evaluated_per_dim=value,
+            io_seconds=value / 10,
+            cpu_seconds=value / 100,
+            memory_kbytes=value * 2,
+            phase3_tuples=0.0,
+            pruned_candidates=0.0,
+            candidates_total=value * 3,
+        )
+
+    def test_format_series_table(self):
+        grid = {
+            ("scan", 2): self._fake_aggregate("scan", 100.0),
+            ("cpt", 2): self._fake_aggregate("cpt", 1.0),
+        }
+        text = format_series_table(
+            "T", "qlen", [2], ["scan", "cpt"], grid, "evaluated_per_dim"
+        )
+        assert "100" in text and "qlen" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        grid = {("scan", 2): self._fake_aggregate("scan", 1.0)}
+        text = format_series_table(
+            "T", "qlen", [2], ["scan", "cpt"], grid, "io_seconds"
+        )
+        assert "—" in text
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            format_series_table("T", "x", [1], ["scan"], {}, "nope")
+
+    def test_write_figure_creates_file(self, tmp_path):
+        grid = {("scan", 2): self._fake_aggregate("scan", 5.0)}
+        text = write_figure(
+            tmp_path,
+            "figX",
+            "Title",
+            "qlen",
+            [2],
+            ["scan"],
+            grid,
+            metrics=("evaluated_per_dim",),
+            notes="a note",
+        )
+        assert (tmp_path / "figX.txt").read_text() == text
+        assert "a note" in text
+
+
+class TestScaling:
+    def test_default_scale_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().name == "small"
+
+    def test_scale_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert bench_scale().wsj_docs == 20_000
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValidationError):
+            bench_scale()
+
+    def test_query_count_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "17")
+        assert query_count() == 17
+
+    def test_query_count_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "0")
+        with pytest.raises(ValidationError):
+            query_count()
+
+    def test_query_count_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_QUERIES", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert query_count() == bench_scale().default_queries

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's running example and small data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, InvertedIndex, Query
+
+# ----------------------------------------------------------------------
+# The paper's running example (Figure 1):
+#   d1 = (0.8, 0.32), d2 = (0.7, 0.5), d3 = (0.1, 0.8), d4 = (0.1, 0.6)
+#   q = (0.8, 0.5), k = 2  ->  R(q) = [d2, d1]
+# Library ids are zero-based: paper d1 -> id 0, ..., d4 -> id 3.
+# ----------------------------------------------------------------------
+
+RUNNING_EXAMPLE_ROWS = [
+    [0.8, 0.32],
+    [0.7, 0.5],
+    [0.1, 0.8],
+    [0.1, 0.6],
+]
+
+
+@pytest.fixture()
+def example_dataset() -> Dataset:
+    """The Figure 1 dataset."""
+    return Dataset.from_dense(RUNNING_EXAMPLE_ROWS)
+
+
+@pytest.fixture()
+def example_index(example_dataset: Dataset) -> InvertedIndex:
+    """Inverted index over the Figure 1 dataset."""
+    return InvertedIndex(example_dataset)
+
+
+@pytest.fixture()
+def example_query() -> Query:
+    """The Figure 1 query q = (0.8, 0.5)."""
+    return Query([0, 1], [0.8, 0.5])
+
+
+def random_sparse_dataset(
+    rng: np.random.Generator,
+    n_tuples: int,
+    n_dims: int,
+    density: float = 0.6,
+) -> Dataset:
+    """Continuous-valued random sparse dataset (general position w.p. 1)."""
+    dense = rng.random((n_tuples, n_dims))
+    dense *= rng.random((n_tuples, n_dims)) < density
+    return Dataset.from_dense(dense)
+
+
+def random_query(
+    rng: np.random.Generator, dataset: Dataset, qlen: int
+) -> Query:
+    """Random query over dimensions that have at least one non-zero entry."""
+    eligible = [d for d in range(dataset.n_dims) if dataset.column_nnz(d) > 0]
+    assert len(eligible) >= qlen, "dataset too sparse for requested qlen"
+    dims = sorted(rng.choice(eligible, size=qlen, replace=False).tolist())
+    weights = rng.uniform(0.2, 0.9, size=qlen)
+    return Query(dims, weights)

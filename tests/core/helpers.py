@@ -1,0 +1,38 @@
+"""Helpers for core-layer tests: build a live RunContext like the engine does."""
+
+from __future__ import annotations
+
+from repro import Dataset, InvertedIndex, Query
+from repro.core.context import RunContext
+from repro.metrics import AccessCounters, EvaluationCounters, PhaseTimer
+from repro.storage import TupleStore
+from repro.topk import ThresholdAlgorithm
+
+
+def make_context(
+    dataset: Dataset,
+    query: Query,
+    k: int,
+    phi: int = 0,
+    count_reorderings: bool = True,
+    probing: str = "round_robin",
+) -> RunContext:
+    """Run TA and assemble a RunContext exactly as the engine would."""
+    index = InvertedIndex(dataset)
+    access = AccessCounters()
+    store = TupleStore(dataset, access)
+    ta = ThresholdAlgorithm(index, query, k, counters=access, store=store, probing=probing)
+    outcome = ta.run()
+    return RunContext(
+        index=index,
+        query=query,
+        k=k,
+        phi=phi,
+        count_reorderings=count_reorderings,
+        ta=ta,
+        outcome=outcome,
+        store=store,
+        access=access,
+        evals=EvaluationCounters(),
+        timer=PhaseTimer(),
+    )

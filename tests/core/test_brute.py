@@ -1,0 +1,103 @@
+"""Tests for the brute-force oracle itself (internal consistency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    Query,
+    brute_force_bounds_phi0,
+    brute_force_sequence,
+    brute_force_sequences,
+    brute_force_topk,
+)
+
+
+@pytest.fixture()
+def data_and_query():
+    rng = np.random.default_rng(9)
+    dense = rng.random((50, 4)) * (rng.random((50, 4)) < 0.8)
+    data = Dataset.from_dense(dense)
+    return data, Query([0, 2], [0.5, 0.7])
+
+
+class TestBruteTopK:
+    def test_matches_numpy_argsort(self, data_and_query):
+        data, query = data_and_query
+        result = brute_force_topk(data, query, 5)
+        scores = data.scores(query.dims, query.weights)
+        expected = list(np.lexsort((np.arange(50), -scores))[:5])
+        assert result.ids == [int(i) for i in expected]
+
+    def test_k_exceeds_matching_tuples(self, data_and_query):
+        """Only positive-score (matching) tuples are rankable — TA semantics."""
+        data, query = data_and_query
+        scores = data.scores(query.dims, query.weights)
+        matching = int(np.count_nonzero(scores > 0.0))
+        assert len(brute_force_topk(data, query, 500)) == matching
+
+    def test_zero_score_tuples_excluded(self):
+        data = Dataset.from_dense([[0.5, 0.0], [0.0, 0.9], [0.0, 0.0]])
+        result = brute_force_topk(data, Query([0], [0.5]), 3)
+        assert result.ids == [0]
+
+
+class TestBruteBoundsPhi0:
+    def test_consistent_with_sweep_sequence(self, data_and_query):
+        data, query = data_and_query
+        for dim in (0, 2):
+            lo, hi = brute_force_bounds_phi0(data, query, 5, dim)
+            seq = brute_force_sequence(data, query, 5, dim, phi=0)
+            assert seq.current.lower.delta == pytest.approx(lo)
+            assert seq.current.upper.delta == pytest.approx(hi)
+
+    def test_moving_inside_preserves_topk(self, data_and_query):
+        """At any deviation strictly inside the bounds, the top-k is stable."""
+        data, query = data_and_query
+        base = brute_force_topk(data, query, 5)
+        for dim in (0, 2):
+            lo, hi = brute_force_bounds_phi0(data, query, 5, dim)
+            for fraction in (0.25, 0.75):
+                delta = lo + fraction * (hi - lo)
+                if not lo < delta < hi:
+                    continue
+                moved = query.with_weight(dim, query.weight_of(dim) + delta)
+                assert brute_force_topk(data, moved, 5).ids == base.ids
+
+    def test_moving_past_bound_perturbs_topk(self, data_and_query):
+        data, query = data_and_query
+        base = brute_force_topk(data, query, 5)
+        eps = 1e-7
+        for dim in (0, 2):
+            lo, hi = brute_force_bounds_phi0(data, query, 5, dim)
+            weight = query.weight_of(dim)
+            if hi < 1.0 - weight - eps:  # crossing bound, not domain limit
+                moved = query.with_weight(dim, weight + hi + eps)
+                assert brute_force_topk(data, moved, 5).ids != base.ids
+            if lo > -weight + eps:
+                moved = query.with_weight(dim, weight + lo - eps)
+                assert brute_force_topk(data, moved, 5).ids != base.ids
+
+
+class TestBruteSequences:
+    def test_regions_report_correct_results(self, data_and_query):
+        """Recomputing the top-k at each region's midpoint matches its label."""
+        data, query = data_and_query
+        sequences = brute_force_sequences(data, query, 5, phi=2)
+        for dim, seq in sequences.items():
+            weight = query.weight_of(dim)
+            for region in seq:
+                mid = (region.lower.delta + region.upper.delta) / 2.0
+                if not region.contains(mid):
+                    continue
+                new_weight = weight + mid
+                if not 0.0 < new_weight <= 1.0:
+                    continue
+                moved = query.with_weight(dim, new_weight)
+                assert brute_force_topk(data, moved, 5).ids == list(region.result_ids)
+
+    def test_sequences_keyed_by_query_dims(self, data_and_query):
+        data, query = data_and_query
+        assert set(brute_force_sequences(data, query, 3)) == {0, 2}

@@ -1,0 +1,152 @@
+"""Tests for candidate partitioning (C0/CH/CL) and the pruning selectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.core.candidates import partition_candidates, pruned_pool
+
+from .helpers import make_context
+
+
+@pytest.fixture()
+def structured_context():
+    """A dataset engineered so C(q) contains all three candidate classes.
+
+    Query dims 0 and 1.  Tuple roles (k=2 over scores with q=(0.6, 0.6)):
+      - ids 0, 1: clear top-2 result;
+      - id 2: non-zero only in dim 1  -> C0 for dim 0, CH for dim 1;
+      - id 3: non-zero only in dim 0  -> CH for dim 0, C0 for dim 1;
+      - id 4: non-zero in both        -> CL for both dims.
+    """
+    data = Dataset.from_dense(
+        [
+            [0.94, 0.93, 0.0],
+            [0.92, 0.92, 0.0],
+            [0.00, 0.95, 0.0],
+            [0.95, 0.00, 0.0],
+            [0.93, 0.89, 0.0],
+        ]
+    )
+    query = Query([0, 1], [0.6, 0.6])
+    ctx = make_context(data, query, k=2)
+    assert set(ctx.outcome.candidates.ids) == {2, 3, 4}
+    return ctx
+
+
+class TestPartition:
+    def test_partition_dim0(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        assert [r.tuple_id for r in partition.c0] == [2]
+        assert [r.tuple_id for r in partition.ch] == [3]
+        assert [r.tuple_id for r in partition.cl] == [4]
+
+    def test_partition_dim1(self, structured_context):
+        partition = partition_candidates(structured_context, 1)
+        assert [r.tuple_id for r in partition.c0] == [3]
+        assert [r.tuple_id for r in partition.ch] == [2]
+        assert [r.tuple_id for r in partition.cl] == [4]
+
+    def test_records_carry_scores_and_coords(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        cl_record = partition.cl[0]
+        assert cl_record.score == pytest.approx(0.6 * 0.93 + 0.6 * 0.89)
+        assert cl_record.coord == pytest.approx(0.93)
+
+    def test_partition_total(self, structured_context):
+        assert partition_candidates(structured_context, 0).total == 3
+
+    def test_partition_is_free_of_io(self, structured_context):
+        before = structured_context.access.random_accesses
+        partition_candidates(structured_context, 0)
+        assert structured_context.access.random_accesses == before
+
+
+class TestSelectors:
+    @staticmethod
+    def _context_with_candidates(rows, candidate_ids):
+        """Build a context, force-inserting unencountered rows into C(q)."""
+        data = Dataset.from_dense(rows)
+        query = Query([0, 1], [0.6, 0.6])
+        ctx = make_context(data, query, k=2)
+        scores = data.scores(query.dims, query.weights)
+        for tid in candidate_ids:
+            if tid not in ctx.outcome.candidates:
+                ctx.outcome.candidates.insert(tid, float(scores[tid]))
+        return ctx
+
+    def test_best_c0_by_score(self):
+        ctx = self._context_with_candidates(
+            [
+                [0.9, 0.9],   # result
+                [0.85, 0.8],  # result
+                [0.0, 0.7],   # C0 for dim 0, score 0.42
+                [0.0, 0.5],   # C0 for dim 0, score 0.30
+            ],
+            candidate_ids=[2, 3],
+        )
+        partition = partition_candidates(ctx, 0)
+        assert [r.tuple_id for r in partition.best_c0(1)] == [2]
+        assert [r.tuple_id for r in partition.best_c0(2)] == [2, 3]
+
+    def test_best_ch_by_coordinate(self):
+        ctx = self._context_with_candidates(
+            [
+                [0.9, 0.9],
+                [0.85, 0.8],
+                [0.5, 0.0],  # CH for dim 0, coord 0.5
+                [0.6, 0.0],  # CH for dim 0, coord 0.6  <- best
+            ],
+            candidate_ids=[2, 3],
+        )
+        partition = partition_candidates(ctx, 0)
+        assert [r.tuple_id for r in partition.best_ch(1)] == [3]
+        assert [r.tuple_id for r in partition.best_ch(2)] == [3, 2]
+
+    def test_selectors_handle_empty_sets(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        # Asking for more than available returns what exists.
+        assert len(partition.best_c0(5)) == 1
+        assert len(partition.best_ch(5)) == 1
+
+
+class TestPrunedPool:
+    def test_both_sides_phi0(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        pool = pruned_pool(partition, phi=0, side="both")
+        assert {r.tuple_id for r in pool} == {2, 3, 4}
+
+    def test_left_excludes_ch(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        pool = pruned_pool(partition, phi=0, side="left")
+        assert {r.tuple_id for r in pool} == {2, 4}
+
+    def test_right_excludes_c0(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        pool = pruned_pool(partition, phi=0, side="right")
+        assert {r.tuple_id for r in pool} == {3, 4}
+
+    def test_pool_sorted_by_score(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        pool = pruned_pool(partition, phi=0, side="both")
+        scores = [r.score for r in pool]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_phi_scales_retention(self):
+        """With φ>0 the pool keeps φ+1 tuples from each prunable set."""
+        rows = [[0.9, 0.9], [0.85, 0.8]]
+        rows += [[0.0, 0.5 + 0.02 * i] for i in range(5)]  # five C0-for-dim0
+        rows += [[0.3 + 0.02 * i, 0.0] for i in range(5)]  # five CH-for-dim0
+        ctx = TestSelectors._context_with_candidates(rows, list(range(2, 12)))
+        partition = partition_candidates(ctx, 0)
+        assert len(partition.c0) == 5 and len(partition.ch) == 5
+        assert len(pruned_pool(partition, phi=0, side="both")) == 2
+        pool3 = pruned_pool(partition, phi=2, side="both")
+        assert len(pool3) == 6
+
+    def test_bad_side_rejected(self, structured_context):
+        partition = partition_candidates(structured_context, 0)
+        with pytest.raises(Exception):
+            pruned_pool(partition, phi=0, side="up")

@@ -1,0 +1,126 @@
+"""Tests for the footnote-1 concurrent-deviation guarantee."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Query, brute_force_topk, compute_immutable_regions
+from repro.core.concurrent import (
+    concurrent_deviation_safe,
+    cross_polytope_margin,
+    sensitivity_profile,
+)
+from repro.core.regions import Bound, BoundKind, ImmutableRegion
+from repro.errors import QueryError
+
+from ..conftest import random_query, random_sparse_dataset
+
+
+def make_region(dim, weight, lo, hi, closed=False):
+    if closed:
+        lower, upper = Bound(lo, BoundKind.DOMAIN), Bound(hi, BoundKind.DOMAIN)
+    else:
+        lower = Bound(lo, BoundKind.COMPOSITION, rising_id=1, falling_id=2)
+        upper = Bound(hi, BoundKind.REORDER, rising_id=1, falling_id=2)
+    return ImmutableRegion(dim=dim, weight=weight, lower=lower, upper=upper,
+                           result_ids=(1, 2))
+
+
+class TestMargin:
+    def test_zero_deviation_has_zero_margin(self):
+        regions = {0: make_region(0, 0.5, -0.2, 0.3)}
+        assert cross_polytope_margin(regions, {0: 0.0}) == 0.0
+
+    def test_margin_is_weighted_l1(self):
+        regions = {
+            0: make_region(0, 0.5, -0.2, 0.4),
+            1: make_region(1, 0.5, -0.1, 0.2),
+        }
+        margin = cross_polytope_margin(regions, {0: 0.2, 1: -0.05})
+        assert margin == pytest.approx(0.2 / 0.4 + 0.05 / 0.1)
+
+    def test_full_axis_reach_is_margin_one(self):
+        regions = {0: make_region(0, 0.5, -0.2, 0.4)}
+        assert cross_polytope_margin(regions, {0: 0.4}) == pytest.approx(1.0)
+
+    def test_zero_width_side_is_infinite(self):
+        regions = {0: make_region(0, 0.5, -0.2, 0.0)}
+        assert cross_polytope_margin(regions, {0: 0.1}) == float("inf")
+
+    def test_missing_region_rejected(self):
+        with pytest.raises(QueryError):
+            cross_polytope_margin({}, {0: 0.1})
+
+
+class TestSafety:
+    def test_interior_point_safe(self):
+        regions = {
+            0: make_region(0, 0.5, -0.2, 0.4),
+            1: make_region(1, 0.5, -0.1, 0.2),
+        }
+        assert concurrent_deviation_safe(regions, {0: 0.1, 1: 0.05})
+
+    def test_beyond_hull_not_certified(self):
+        regions = {
+            0: make_region(0, 0.5, -0.2, 0.4),
+            1: make_region(1, 0.5, -0.1, 0.2),
+        }
+        assert not concurrent_deviation_safe(regions, {0: 0.3, 1: 0.15})
+
+    def test_open_boundary_not_certified(self):
+        regions = {0: make_region(0, 0.5, -0.2, 0.4, closed=False)}
+        assert not concurrent_deviation_safe(regions, {0: 0.4})
+
+    def test_closed_boundary_certified(self):
+        regions = {0: make_region(0, 0.5, -0.5, 0.5, closed=True)}
+        assert concurrent_deviation_safe(regions, {0: 0.5})
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_certified_deviations_really_preserve_topk(self, seed):
+        """The guarantee holds against from-scratch recomputation."""
+        rng = np.random.default_rng(seed)
+        data = random_sparse_dataset(rng, 60, 5, density=0.7)
+        query = random_query(rng, data, qlen=3)
+        k = 4
+        computation = compute_immutable_regions(data, query, k, method="cpt")
+        base = computation.result.ids
+        regions = {int(d): computation.region(int(d)) for d in query.dims}
+
+        for _ in range(20):
+            # Random direction, scaled strictly inside the cross-polytope.
+            raw = {int(d): float(rng.uniform(-1, 1)) for d in query.dims}
+            margin = cross_polytope_margin(regions, raw)
+            if margin in (0.0, float("inf")):
+                continue
+            scale = float(rng.uniform(0.05, 0.95)) / margin
+            deviations = {d: v * scale for d, v in raw.items()}
+            assert concurrent_deviation_safe(regions, deviations)
+            new_weights = {
+                int(d): query.weight_of(int(d)) + deviations[int(d)]
+                for d in query.dims
+            }
+            if any(not 0.0 < w <= 1.0 for w in new_weights.values()):
+                continue
+            moved = Query(list(new_weights), list(new_weights.values()))
+            assert brute_force_topk(data, moved, k).ids == base
+
+
+class TestSensitivityProfile:
+    def test_inverse_width(self):
+        regions = {
+            0: make_region(0, 0.5, -0.2, 0.3),  # width 0.5
+            1: make_region(1, 0.5, -0.05, 0.05),  # width 0.1
+        }
+        profile = sensitivity_profile(regions)
+        assert profile[0] == pytest.approx(2.0)
+        assert profile[1] == pytest.approx(10.0)
+        assert profile[1] > profile[0]  # narrower region = more sensitive
+
+    def test_zero_width_is_infinite(self):
+        regions = {0: make_region(0, 0.5, 0.0, 0.0, closed=True)}
+        assert sensitivity_profile(regions)[0] == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            sensitivity_profile({})

@@ -1,0 +1,157 @@
+"""Unit tests for RunContext, DimensionView and WorkingBounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.core.context import WorkingBounds
+from repro.core.lemma1 import OrderConstraint
+from repro.core.regions import BoundKind
+from repro.geometry import Line
+
+from .helpers import make_context
+
+
+class TestDimensionView:
+    def test_view_fields_running_example(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        view = ctx.view(0)
+        assert view.dim == 0
+        assert view.weight == pytest.approx(0.8)
+        assert view.dk_id == 0  # d1
+        assert view.dk_score == pytest.approx(0.8)
+        assert view.dk_coord == pytest.approx(0.8)
+        assert view.result_ids == (1, 0)
+        assert view.domain_lower == pytest.approx(-0.8)
+        assert view.domain_upper == pytest.approx(0.2)
+
+    def test_view_cached(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        assert ctx.view(0) is ctx.view(0)
+        ctx.invalidate_views()
+        assert ctx.view(0) is not None
+
+    def test_result_lines_and_mirroring(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        view = ctx.view(0)
+        lines = view.result_lines()
+        assert [l.tuple_id for l in lines] == [1, 0]
+        assert lines[0].intercept == pytest.approx(0.81)
+        assert lines[0].slope == pytest.approx(0.7)
+        mirrored = view.result_lines(mirrored=True)
+        assert mirrored[0].slope == pytest.approx(-0.7)
+
+    def test_kth_line(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        line = ctx.view(0).kth_line()
+        assert line == Line(0, ctx.view(0).dk_score, 0.8)
+
+
+class TestCandidateAccess:
+    def test_candidate_records_score_order(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 1)
+        records = ctx.candidate_records(0)
+        scores = [r.score for r in records]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_query_coords_cached_and_correct(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        coords = ctx.candidate_query_coords(2)
+        assert coords.tolist() == pytest.approx([0.1, 0.8])
+        assert ctx.candidate_query_coords(2) is coords  # cached object
+
+    def test_evaluation_charges_io_and_counter(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        view = ctx.view(0)
+        bounds = WorkingBounds(view)
+        record = ctx.candidate_records(0)[0]
+        before = ctx.access.random_accesses
+        moved = ctx.evaluate_against_kth(view, record, bounds)
+        assert moved  # d3 tightens the lower bound
+        assert ctx.access.random_accesses == before + 1
+        assert ctx.evals.evaluated_candidates == 1
+
+    def test_charge_candidate_evaluation_returns_coord(
+        self, example_dataset, example_query
+    ):
+        ctx = make_context(example_dataset, example_query, 2)
+        coord = ctx.charge_candidate_evaluation(2, 1)
+        assert coord == pytest.approx(0.8)
+        assert ctx.evals.evaluated_candidates == 1
+
+
+class TestWorkingBounds:
+    def make_bounds(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        return WorkingBounds(ctx.view(0))
+
+    def test_starts_at_domain(self, example_dataset, example_query):
+        bounds = self.make_bounds(example_dataset, example_query)
+        assert bounds.lower.kind == BoundKind.DOMAIN
+        assert bounds.upper.kind == BoundKind.DOMAIN
+
+    def test_upper_tightening(self, example_dataset, example_query):
+        bounds = self.make_bounds(example_dataset, example_query)
+        moved = bounds.apply(
+            OrderConstraint("upper", 0.05), rising_id=7, falling_id=8,
+            kind=BoundKind.COMPOSITION,
+        )
+        assert moved and bounds.upper.delta == 0.05
+        # A weaker constraint must not loosen it back.
+        assert not bounds.apply(
+            OrderConstraint("upper", 0.1), rising_id=9, falling_id=8,
+            kind=BoundKind.COMPOSITION,
+        )
+        assert bounds.upper.rising_id == 7
+
+    def test_lower_tightening(self, example_dataset, example_query):
+        bounds = self.make_bounds(example_dataset, example_query)
+        assert bounds.apply(
+            OrderConstraint("lower", -0.1), rising_id=7, falling_id=8,
+            kind=BoundKind.REORDER,
+        )
+        assert bounds.lower.delta == -0.1
+        assert bounds.lower.kind == BoundKind.REORDER
+
+    def test_none_constraint_ignored(self, example_dataset, example_query):
+        bounds = self.make_bounds(example_dataset, example_query)
+        assert not bounds.apply(None, rising_id=1, falling_id=2, kind="reorder")
+        assert not bounds.apply(
+            OrderConstraint("none", 0.0), rising_id=1, falling_id=2, kind="reorder"
+        )
+
+    def test_out_of_domain_crossing_keeps_domain_bound(
+        self, example_dataset, example_query
+    ):
+        bounds = self.make_bounds(example_dataset, example_query)
+        # Crossing beyond 1 - q_j = 0.2: not binding.
+        assert not bounds.apply(
+            OrderConstraint("upper", 0.7), rising_id=1, falling_id=2,
+            kind=BoundKind.COMPOSITION,
+        )
+        assert bounds.upper.kind == BoundKind.DOMAIN
+
+
+class TestResumption:
+    def test_resume_counts_phase3(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        pulled = ctx.resume_next_candidate()
+        assert pulled is not None
+        assert ctx.evals.phase3_tuples == 1
+        # Exhausting returns None without incrementing.
+        while ctx.resume_next_candidate() is not None:
+            pass
+        count = ctx.evals.phase3_tuples
+        assert ctx.resume_next_candidate() is None
+        assert ctx.evals.phase3_tuples == count
+
+    def test_threshold_totals(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, 2)
+        total = ctx.threshold_total()
+        manual = sum(
+            ctx.query.weight_of(d) * ctx.threshold_component(d)
+            for d in (0, 1)
+        )
+        assert total == pytest.approx(manual)

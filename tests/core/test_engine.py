@@ -1,0 +1,207 @@
+"""Engine API and metrics-accounting tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    DiskModel,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Query,
+    compute_immutable_regions,
+)
+from repro.core.engine import derive_neighbour_result
+from repro.core.regions import Bound, BoundKind
+from repro.errors import AlgorithmError, QueryError
+
+
+@pytest.fixture()
+def small_index():
+    rng = np.random.default_rng(1)
+    dense = rng.random((80, 5)) * (rng.random((80, 5)) < 0.6)
+    return InvertedIndex(Dataset.from_dense(dense))
+
+
+class TestEngineValidation:
+    def test_unknown_method_rejected(self, small_index):
+        with pytest.raises(QueryError):
+            ImmutableRegionEngine(small_index, method="magic")
+
+    def test_bad_k_rejected(self, small_index):
+        engine = ImmutableRegionEngine(small_index)
+        with pytest.raises(Exception):
+            engine.compute(Query([0], [0.5]), k=0)
+
+    def test_bad_phi_rejected(self, small_index):
+        engine = ImmutableRegionEngine(small_index)
+        with pytest.raises(Exception):
+            engine.compute(Query([0], [0.5]), k=1, phi=-1)
+
+    def test_empty_result_rejected(self):
+        data = Dataset.from_dense([[0.0, 0.5]])
+        engine = ImmutableRegionEngine(InvertedIndex(data))
+        with pytest.raises(AlgorithmError, match="no tuple"):
+            engine.compute(Query([0], [0.5]), k=1)
+
+    def test_non_query_dim_lookup_rejected(self, small_index):
+        computation = ImmutableRegionEngine(small_index).compute(
+            Query([0, 1], [0.5, 0.5]), k=3
+        )
+        with pytest.raises(QueryError):
+            computation.region(4)
+
+
+class TestComputationOutputs:
+    def test_sequences_cover_all_query_dims(self, small_index):
+        query = Query([0, 2, 4], [0.4, 0.5, 0.6])
+        computation = ImmutableRegionEngine(small_index).compute(query, k=5)
+        assert set(computation.sequences) == {0, 2, 4}
+
+    def test_regions_contain_zero(self, small_index):
+        query = Query([0, 1], [0.4, 0.7])
+        computation = ImmutableRegionEngine(small_index).compute(query, k=5)
+        for dim in (0, 1):
+            region = computation.region(dim)
+            assert region.lower.delta <= 0.0 <= region.upper.delta
+
+    def test_bounds_within_weight_domain(self, small_index):
+        query = Query([0, 1], [0.4, 0.7])
+        computation = ImmutableRegionEngine(small_index).compute(query, k=5)
+        for dim in (0, 1):
+            seq = computation.sequence(dim)
+            weight = query.weight_of(dim)
+            lo, hi = seq.span
+            assert lo >= -weight - 1e-12
+            assert hi <= 1.0 - weight + 1e-12
+
+    def test_phi_sequences_have_expected_max_regions(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        computation = ImmutableRegionEngine(small_index, method="cpt").compute(
+            query, k=5, phi=2
+        )
+        for dim in (0, 1):
+            assert len(computation.sequence(dim)) <= 2 * 2 + 1
+
+    def test_result_matches_region_result(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        computation = ImmutableRegionEngine(small_index).compute(query, k=5)
+        for dim in (0, 1):
+            assert list(computation.region(dim).result_ids) == computation.result.ids
+
+
+class TestMetricsAccounting:
+    def test_ta_and_region_access_split(self, small_index):
+        computation = ImmutableRegionEngine(small_index, method="scan").compute(
+            Query([0, 1], [0.5, 0.5]), k=5
+        )
+        metrics = computation.metrics
+        assert metrics.ta_access.random_accesses > 0
+        # Scan fetches every evaluated candidate from disk.
+        assert (
+            metrics.region_access.random_accesses
+            >= metrics.evals.evaluated_candidates
+        )
+
+    def test_io_seconds_follow_disk_model(self, small_index):
+        slow = DiskModel(random_access_ms=50.0)
+        fast = DiskModel(random_access_ms=0.5)
+        query = Query([0, 1], [0.5, 0.5])
+        slow_run = ImmutableRegionEngine(
+            small_index, method="scan", disk_model=slow
+        ).compute(query, k=5)
+        fast_run = ImmutableRegionEngine(
+            small_index, method="scan", disk_model=fast
+        ).compute(query, k=5)
+        assert slow_run.metrics.io_seconds > fast_run.metrics.io_seconds
+
+    def test_phase_seconds_keys(self, small_index):
+        computation = ImmutableRegionEngine(small_index).compute(
+            Query([0, 1], [0.5, 0.5]), k=5
+        )
+        seconds = computation.metrics.phase_seconds
+        assert "ta" in seconds
+        assert "phase2" in seconds
+        assert computation.metrics.cpu_seconds >= 0.0
+
+    def test_evaluated_per_dim_sums_to_total(self, small_index):
+        computation = ImmutableRegionEngine(small_index, method="scan").compute(
+            Query([0, 1], [0.5, 0.5]), k=5
+        )
+        metrics = computation.metrics
+        assert (
+            sum(metrics.evaluated_per_dim.values())
+            == metrics.evals.evaluated_candidates
+        )
+
+    def test_memory_footprint_ordering(self, small_index):
+        """Thres keeps the largest structures; Prune the smallest (sparse data)."""
+        query = Query([0, 1], [0.5, 0.5])
+        footprints = {
+            method: ImmutableRegionEngine(small_index, method=method)
+            .compute(query, k=5)
+            .metrics.memory.total_bytes
+            for method in ("scan", "prune", "thres", "cpt")
+        }
+        assert footprints["thres"] >= footprints["scan"]
+
+    def test_cache_rows_reduces_io(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        cold = ImmutableRegionEngine(small_index, method="scan").compute(query, k=5)
+        warm = ImmutableRegionEngine(
+            small_index, method="scan", cache_rows=True
+        ).compute(query, k=5)
+        assert (
+            warm.metrics.region_access.random_accesses
+            <= cold.metrics.region_access.random_accesses
+        )
+
+
+class TestDeriveNeighbourResult:
+    def test_reorder_swaps(self):
+        bound = Bound(0.1, BoundKind.REORDER, rising_id=5, falling_id=3)
+        assert derive_neighbour_result([1, 3, 5], bound) == [1, 5, 3]
+
+    def test_composition_replaces_kth(self):
+        bound = Bound(0.1, BoundKind.COMPOSITION, rising_id=9, falling_id=5)
+        assert derive_neighbour_result([1, 3, 5], bound) == [1, 3, 9]
+
+    def test_domain_returns_none(self):
+        assert derive_neighbour_result([1, 2], Bound(0.1, BoundKind.DOMAIN)) is None
+
+    def test_top_tuple_cannot_rise(self):
+        bound = Bound(0.1, BoundKind.REORDER, rising_id=1, falling_id=3)
+        with pytest.raises(AlgorithmError):
+            derive_neighbour_result([1, 3], bound)
+
+
+class TestConvenienceWrapper:
+    def test_accepts_dataset_or_index(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        from_index = compute_immutable_regions(small_index, query, k=3)
+        from_data = compute_immutable_regions(small_index.dataset, query, k=3)
+        assert from_index.result.ids == from_data.result.ids
+        for dim in (0, 1):
+            assert from_index.region(dim).lower.delta == pytest.approx(
+                from_data.region(dim).lower.delta
+            )
+
+    def test_iterative_flag_forwarded(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        computation = compute_immutable_regions(
+            small_index, query, k=3, phi=1, method="cpt", iterative=True
+        )
+        assert computation.iterative
+
+    def test_scan_defaults_to_iterative_for_phi(self, small_index):
+        query = Query([0, 1], [0.5, 0.5])
+        computation = compute_immutable_regions(
+            small_index, query, k=3, phi=1, method="scan"
+        )
+        assert computation.iterative
+        oneoff = compute_immutable_regions(
+            small_index, query, k=3, phi=1, method="cpt"
+        )
+        assert not oneoff.iterative

@@ -1,0 +1,84 @@
+"""Unit tests for Lemma 1 constraint computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lemma1 import (
+    ConstraintSide,
+    constraint_against,
+    crossing_delta,
+    order_constraint,
+)
+from repro.errors import AlgorithmError
+
+
+class TestOrderConstraint:
+    def test_case_a_upper_bound(self):
+        """behind has larger coordinate: it catches up as q_j grows."""
+        constraint = order_constraint(0.81, 0.7, 0.80, 0.8)
+        assert constraint.side == ConstraintSide.UPPER
+        assert constraint.delta == pytest.approx(0.1)
+        assert constraint.restricts_upper and not constraint.restricts_lower
+
+    def test_case_b_lower_bound(self):
+        """behind has smaller coordinate: it catches up as q_j shrinks."""
+        constraint = order_constraint(0.80, 0.8, 0.48, 0.1)
+        assert constraint.side == ConstraintSide.LOWER
+        assert constraint.delta == pytest.approx(-16.0 / 35.0)
+
+    def test_equal_coordinates_no_constraint(self):
+        constraint = order_constraint(0.9, 0.5, 0.4, 0.5)
+        assert constraint.side == ConstraintSide.NONE
+
+    def test_tied_scores_give_zero_crossing(self):
+        constraint = order_constraint(0.5, 0.2, 0.5, 0.7)
+        assert constraint.side == ConstraintSide.UPPER
+        assert constraint.delta == 0.0
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(AlgorithmError):
+            order_constraint(0.4, 0.2, 0.5, 0.7)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_crossing_point_is_exact(self, seed):
+        """At delta just below/above the crossing, the order holds/flips."""
+        rng = np.random.default_rng(seed)
+        ahead_score = float(rng.uniform(0.5, 1.0))
+        behind_score = float(rng.uniform(0.0, ahead_score))
+        ahead_coord, behind_coord = rng.uniform(0.0, 1.0, size=2)
+        if ahead_coord == behind_coord:
+            return
+        constraint = order_constraint(ahead_score, ahead_coord, behind_score, behind_coord)
+        delta = constraint.delta
+        eps = 1e-6
+        inside = delta - eps if constraint.side == ConstraintSide.UPPER else delta + eps
+        outside = delta + eps if constraint.side == ConstraintSide.UPPER else delta - eps
+        gap_inside = (ahead_score + inside * ahead_coord) - (
+            behind_score + inside * behind_coord
+        )
+        gap_outside = (ahead_score + outside * ahead_coord) - (
+            behind_score + outside * behind_coord
+        )
+        assert gap_inside > 0.0
+        assert gap_outside < 0.0
+
+
+class TestCrossingDelta:
+    def test_matches_formula(self):
+        assert crossing_delta(0.81, 0.7, 0.80, 0.8) == pytest.approx(0.1)
+
+    def test_equal_coordinates_rejected(self):
+        with pytest.raises(AlgorithmError):
+            crossing_delta(0.8, 0.5, 0.4, 0.5)
+
+
+class TestConstraintAgainst:
+    def test_returns_none_for_parallel(self):
+        assert constraint_against(0.9, 0.5, 0.5, 0.5) is None
+
+    def test_returns_constraint_otherwise(self):
+        constraint = constraint_against(0.9, 0.5, 0.5, 0.9)
+        assert constraint is not None
+        assert constraint.side == ConstraintSide.UPPER

@@ -1,0 +1,171 @@
+"""Unit tests for the one-off φ≥0 machinery internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.core.phi import ActiveTopK, SideOutcome, assemble_sequence, one_off_side
+from repro.core.regions import Bound, BoundKind
+from repro.errors import AlgorithmError
+from repro.geometry import Line
+from repro.geometry.ksweep import PerturbationEvent
+
+from .helpers import make_context
+
+
+class TestActiveTopK:
+    def make(self, k=2, x_max=1.0, max_events=3):
+        lines = [Line(1, 0.9, 0.1), Line(2, 0.8, 0.2)]
+        return ActiveTopK(lines, k=k, x_max=x_max, count_reorderings=True,
+                          max_events=max_events)
+
+    def test_initial_no_events(self):
+        active = self.make()
+        assert active.events == []
+        assert active.horizon == 1.0
+
+    def test_add_crossing_line_creates_event(self):
+        active = self.make()
+        riser = Line(3, 0.5, 0.9)
+        assert active.crosses(riser)
+        active.add_line(riser)
+        assert len(active.events) >= 1
+        assert active.events[0].rising_id == 3
+
+    def test_add_non_crossing_line_no_event(self):
+        active = self.make()
+        low = Line(3, 0.1, 0.11)
+        assert not active.crosses(low)
+
+    def test_duplicate_line_rejected(self):
+        active = self.make()
+        with pytest.raises(AlgorithmError):
+            active.add_line(Line(1, 0.2, 0.2))
+
+    def test_horizon_tightens_with_quota(self):
+        active = ActiveTopK(
+            [Line(1, 0.9, 0.0)], k=1, x_max=1.0, count_reorderings=True,
+            max_events=1,
+        )
+        before = active.horizon
+        active.add_line(Line(2, 0.5, 0.9))  # crosses at ~0.444
+        assert active.horizon < before
+        assert active.horizon == pytest.approx(active.events[0].x)
+
+    def test_klevel_reflects_added_lines(self):
+        active = ActiveTopK(
+            [Line(1, 0.9, 0.0)], k=1, x_max=1.0, count_reorderings=True,
+            max_events=5,
+        )
+        active.add_line(Line(2, 0.5, 0.9))
+        # Beyond the crossing the k-level follows the new line.
+        assert active.klevel.value_at(0.9) == pytest.approx(0.5 + 0.9 * 0.9)
+
+
+def event(x, kind="composition", rising=9, falling=1, topk=(9,)):
+    return PerturbationEvent(
+        x=x, kind=kind, rising_id=rising, falling_id=falling, topk_after=topk
+    )
+
+
+class TestAssembleSequence:
+    def test_no_events_single_domain_region(self):
+        seq = assemble_sequence(
+            dim=0,
+            weight=0.5,
+            phi=2,
+            result_ids=(1, 2),
+            left=SideOutcome(events=[], domain=0.5),
+            right=SideOutcome(events=[], domain=0.5),
+        )
+        assert len(seq) == 1
+        region = seq.current
+        assert region.lower.delta == -0.5 and region.lower.kind == BoundKind.DOMAIN
+        assert region.upper.delta == 0.5 and region.upper.kind == BoundKind.DOMAIN
+
+    def test_full_quota_truncates_outermost(self):
+        """With φ+1 events per side, the (φ+1)-th only caps region φ."""
+        right = SideOutcome(
+            events=[event(0.1, topk=(9, 2)), event(0.2, topk=(9, 8))],
+            domain=0.5,
+        )
+        seq = assemble_sequence(
+            dim=0, weight=0.5, phi=1, result_ids=(1, 2),
+            left=SideOutcome(events=[], domain=0.5), right=right,
+        )
+        # current + exactly one region to the right (capped at 0.2).
+        assert len(seq) == 2
+        outer = seq.regions[-1]
+        assert outer.lower.delta == pytest.approx(0.1)
+        assert outer.upper.delta == pytest.approx(0.2)
+        assert outer.result_ids == (9, 2)
+
+    def test_partial_events_extend_to_domain(self):
+        right = SideOutcome(events=[event(0.1, topk=(9, 2))], domain=0.5)
+        seq = assemble_sequence(
+            dim=0, weight=0.5, phi=2, result_ids=(1, 2),
+            left=SideOutcome(events=[], domain=0.5), right=right,
+        )
+        outer = seq.regions[-1]
+        assert outer.upper.delta == pytest.approx(0.5)
+        assert outer.upper.kind == BoundKind.DOMAIN
+
+    def test_left_events_mirrored_to_negative_deltas(self):
+        left = SideOutcome(events=[event(0.2, topk=(9, 2))], domain=0.5)
+        seq = assemble_sequence(
+            dim=0, weight=0.5, phi=1, result_ids=(1, 2),
+            left=left, right=SideOutcome(events=[], domain=0.5),
+        )
+        assert seq.current.lower.delta == pytest.approx(-0.2)
+        leftmost = seq.regions[0]
+        assert leftmost.result_ids == (9, 2)
+        assert leftmost.lower.delta == pytest.approx(-0.5)
+
+    def test_current_index_counts_left_regions(self):
+        left = SideOutcome(events=[event(0.2, topk=(9, 2))], domain=0.5)
+        right = SideOutcome(events=[event(0.1, topk=(8, 1))], domain=0.5)
+        seq = assemble_sequence(
+            dim=0, weight=0.5, phi=1, result_ids=(1, 2), left=left, right=right
+        )
+        assert seq.current_index == 1
+        assert len(seq) == 3
+
+    def test_zero_domain_side(self):
+        """weight == 1 leaves no room on the right: upper bound pinned at 0."""
+        seq = assemble_sequence(
+            dim=0, weight=1.0, phi=1, result_ids=(1,),
+            left=SideOutcome(events=[], domain=1.0),
+            right=SideOutcome(events=[], domain=0.0),
+        )
+        assert seq.current.upper.delta == 0.0
+
+
+class TestOneOffSide:
+    def test_zero_weight_domain_short_circuits(self):
+        data = Dataset.from_dense([[1.0, 0.5], [0.9, 0.4]])
+        query = Query([0, 1], [1.0, 0.5])  # weight 1.0: right domain is 0
+        ctx = make_context(data, query, 1)
+        ctx.phi = 1
+        view = ctx.view(0)
+        outcome = one_off_side(ctx, view, mirrored=False, policy="cpt")
+        assert outcome.domain == 0.0
+        assert outcome.events == []
+
+    def test_phase3_discovers_unseen_riser(self):
+        """A tuple TA never met still produces its event via resumption."""
+        rng = np.random.default_rng(23)
+        dense = rng.random((60, 3)) * (rng.random((60, 3)) < 0.8)
+        data = Dataset.from_dense(dense)
+        query = Query([0, 1], [0.6, 0.6])
+        from repro import brute_force_sequence, compute_immutable_regions
+
+        computation = compute_immutable_regions(data, query, 3, method="cpt", phi=2)
+        for dim in (0, 1):
+            oracle = brute_force_sequence(data, query, 3, dim, phi=2)
+            got = [(round(r.lower.delta, 9), round(r.upper.delta, 9))
+                   for r in computation.sequence(dim)]
+            expected = [(round(r.lower.delta, 9), round(r.upper.delta, 9))
+                        for r in oracle]
+            assert got == expected

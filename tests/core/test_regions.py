@@ -1,0 +1,134 @@
+"""Unit tests for Bound / ImmutableRegion / RegionSequence datatypes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.regions import Bound, BoundKind, ImmutableRegion, RegionSequence
+from repro.errors import AlgorithmError
+
+
+def region(lo, hi, dim=0, weight=0.5, result=(1, 2), lo_kind=None, hi_kind=None):
+    lower = (
+        Bound(lo, BoundKind.DOMAIN)
+        if lo_kind is None
+        else Bound(lo, lo_kind, rising_id=7, falling_id=8)
+    )
+    upper = (
+        Bound(hi, BoundKind.DOMAIN)
+        if hi_kind is None
+        else Bound(hi, hi_kind, rising_id=7, falling_id=8)
+    )
+    return ImmutableRegion(dim=dim, weight=weight, lower=lower, upper=upper, result_ids=result)
+
+
+class TestBound:
+    def test_domain_bound_closed(self):
+        assert Bound(0.5, BoundKind.DOMAIN).closed
+
+    def test_crossing_bound_open(self):
+        bound = Bound(0.1, BoundKind.REORDER, rising_id=1, falling_id=2)
+        assert not bound.closed
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Bound(0.1, "weird")
+
+    def test_domain_with_provenance_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Bound(0.1, BoundKind.DOMAIN, rising_id=1, falling_id=2)
+
+    def test_crossing_without_provenance_rejected(self):
+        with pytest.raises(AlgorithmError):
+            Bound(0.1, BoundKind.COMPOSITION)
+
+    def test_repr(self):
+        assert "reorder" in repr(Bound(0.1, BoundKind.REORDER, rising_id=1, falling_id=2))
+        assert "domain" in repr(Bound(0.1, BoundKind.DOMAIN))
+
+
+class TestImmutableRegion:
+    def test_width(self):
+        assert region(-0.2, 0.3).width == pytest.approx(0.5)
+
+    def test_weight_interval(self):
+        assert region(-0.2, 0.3, weight=0.5).weight_interval == pytest.approx((0.3, 0.8))
+
+    def test_contains_interior(self):
+        assert region(-0.2, 0.3).contains(0.0)
+
+    def test_open_crossing_bounds_excluded(self):
+        r = region(-0.2, 0.3, lo_kind=BoundKind.REORDER, hi_kind=BoundKind.COMPOSITION)
+        assert not r.contains(-0.2)
+        assert not r.contains(0.3)
+        assert r.contains(0.29999)
+
+    def test_closed_domain_bounds_included(self):
+        r = region(-0.5, 0.5)
+        assert r.contains(-0.5) and r.contains(0.5)
+
+    def test_contains_weight(self):
+        r = region(-0.2, 0.3, weight=0.5)
+        assert r.contains_weight(0.5)
+        assert not r.contains_weight(0.9)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(AlgorithmError):
+            region(0.3, -0.2)
+
+    def test_zero_width_allowed(self):
+        assert region(0.1, 0.1).width == 0.0
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(Exception):
+            region(-0.1, 0.1, weight=0.0)
+
+
+class TestRegionSequence:
+    def make_sequence(self):
+        left = region(-0.5, -0.1, result=(2, 3), hi_kind=BoundKind.COMPOSITION)
+        mid = region(-0.1, 0.2, result=(1, 2), lo_kind=BoundKind.COMPOSITION,
+                     hi_kind=BoundKind.REORDER)
+        right = region(0.2, 0.5, result=(2, 1), lo_kind=BoundKind.REORDER)
+        return RegionSequence(dim=0, weight=0.5, regions=(left, mid, right), current_index=1)
+
+    def test_current(self):
+        seq = self.make_sequence()
+        assert seq.current.result_ids == (1, 2)
+
+    def test_span(self):
+        assert self.make_sequence().span == pytest.approx((-0.5, 0.5))
+
+    def test_region_for(self):
+        seq = self.make_sequence()
+        assert seq.region_for(-0.3).result_ids == (2, 3)
+        assert seq.region_for(0.0).result_ids == (1, 2)
+        assert seq.region_for(0.4).result_ids == (2, 1)
+
+    def test_region_for_at_crossing_resolves_right(self):
+        seq = self.make_sequence()
+        assert seq.region_for(0.2).result_ids == (2, 1)
+
+    def test_region_for_outside_rejected(self):
+        with pytest.raises(AlgorithmError):
+            self.make_sequence().region_for(0.9)
+
+    def test_non_contiguous_rejected(self):
+        left = region(-0.5, -0.2, result=(2, 3))
+        mid = region(-0.1, 0.2, result=(1, 2))
+        with pytest.raises(AlgorithmError):
+            RegionSequence(dim=0, weight=0.5, regions=(left, mid), current_index=1)
+
+    def test_current_must_contain_zero(self):
+        r = region(0.1, 0.3)
+        with pytest.raises(AlgorithmError):
+            RegionSequence(dim=0, weight=0.5, regions=(r,), current_index=0)
+
+    def test_iteration_and_len(self):
+        seq = self.make_sequence()
+        assert len(seq) == 3
+        assert [r.result_ids for r in seq] == [(2, 3), (1, 2), (2, 1)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            RegionSequence(dim=0, weight=0.5, regions=(), current_index=0)

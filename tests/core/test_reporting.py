@@ -1,0 +1,91 @@
+"""Tests for computation serialisation and text rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import compute_immutable_regions
+from repro.core.reporting import (
+    bound_to_dict,
+    computation_to_dict,
+    region_to_dict,
+    render_report,
+    render_slider,
+    sequence_to_dict,
+)
+from repro.core.regions import Bound, BoundKind
+
+
+@pytest.fixture()
+def computation(example_dataset, example_query):
+    return compute_immutable_regions(example_dataset, example_query, k=2, phi=1)
+
+
+class TestDictConversion:
+    def test_bound_dict_domain(self):
+        payload = bound_to_dict(Bound(0.2, BoundKind.DOMAIN))
+        assert payload == {"delta": 0.2, "kind": "domain", "closed": True}
+
+    def test_bound_dict_crossing(self):
+        payload = bound_to_dict(
+            Bound(0.1, BoundKind.REORDER, rising_id=3, falling_id=4)
+        )
+        assert payload["rising_id"] == 3
+        assert payload["falling_id"] == 4
+        assert not payload["closed"]
+
+    def test_region_dict_fields(self, computation):
+        payload = region_to_dict(computation.region(0))
+        assert payload["dim"] == 0
+        assert payload["weight"] == pytest.approx(0.8)
+        assert payload["result_ids"] == [1, 0]
+        assert payload["width"] == pytest.approx(0.1 + 16 / 35)
+
+    def test_sequence_dict(self, computation):
+        payload = sequence_to_dict(computation.sequence(0))
+        assert payload["current_index"] == 1
+        assert len(payload["regions"]) == 3
+
+    def test_computation_dict_json_safe(self, computation):
+        payload = computation_to_dict(computation)
+        text = json.dumps(payload)  # must not raise
+        restored = json.loads(text)
+        assert restored["result_ids"] == [1, 0]
+        assert restored["k"] == 2
+        assert restored["sequences"]["0"]["regions"][1]["result_ids"] == [1, 0]
+        assert restored["metrics"]["io_seconds"] >= 0.0
+
+    def test_metrics_match_object(self, computation):
+        payload = computation_to_dict(computation)
+        assert (
+            payload["metrics"]["evaluated_candidates"]
+            == computation.metrics.evals.evaluated_candidates
+        )
+
+
+class TestRendering:
+    def test_slider_marks_present(self, computation):
+        slider = render_slider(computation.region(0))
+        assert "[" in slider and "]" in slider and "|" in slider
+        assert slider.startswith("0 ") and slider.endswith(" 1")
+
+    def test_slider_width_validated(self, computation):
+        with pytest.raises(Exception):
+            render_slider(computation.region(0), width=3)
+
+    def test_report_lists_all_dims(self, computation):
+        report = render_report(computation)
+        assert "dim 0" in report and "dim 1" in report
+        assert "top-2: [1, 0]" in report
+
+    def test_report_marks_current_region(self, computation):
+        report = render_report(computation)
+        assert " * " in report  # the current-region marker
+
+    def test_report_composition_only_label(self, example_dataset, example_query):
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, count_reorderings=False
+        )
+        assert "composition-only" in render_report(computation)

@@ -1,0 +1,180 @@
+"""Golden tests: every number from the paper's running example.
+
+Figure 1 (dataset, query, IRs), Figure 5 (Scan phase trace values), and the
+§1 φ=1 walk-through.  Paper tuples d1..d4 map to library ids 0..3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import METHODS, ImmutableRegionEngine, compute_immutable_regions
+from repro.core.regions import BoundKind
+
+# Exact golden values from the paper.
+IR1 = (-16.0 / 35.0, 0.1)
+IR2 = (-1.0 / 18.0, 0.5)
+
+
+@pytest.fixture(params=METHODS)
+def computation(request, example_dataset, example_query):
+    return compute_immutable_regions(
+        example_dataset, example_query, k=2, method=request.param
+    )
+
+
+class TestFigure1:
+    def test_result_is_d2_d1(self, computation):
+        assert computation.result.ids == [1, 0]
+
+    def test_scores(self, computation):
+        assert computation.result.scores.tolist() == pytest.approx([0.81, 0.80])
+
+    def test_ir1(self, computation):
+        region = computation.region(0)
+        assert region.lower.delta == pytest.approx(IR1[0])
+        assert region.upper.delta == pytest.approx(IR1[1])
+
+    def test_ir2(self, computation):
+        region = computation.region(1)
+        assert region.lower.delta == pytest.approx(IR2[0])
+        assert region.upper.delta == pytest.approx(IR2[1])
+
+    def test_ir1_slider_interface(self, computation):
+        """The l_j/u_j marks of the Figure 1 slide bars, in absolute weights."""
+        lo, hi = computation.immutable_interval(0)
+        assert lo == pytest.approx(0.8 - 16.0 / 35.0)
+        assert hi == pytest.approx(0.9)
+
+    def test_ir2_upper_is_domain_bound(self, computation):
+        """IR2's upper end is the weight domain limit 1 - q2 (closed)."""
+        region = computation.region(1)
+        assert region.upper.kind == BoundKind.DOMAIN
+        assert region.upper.closed
+
+    def test_ir1_bounds_are_crossings(self, computation):
+        region = computation.region(0)
+        # u1 = 0.1: d1 (id 0) overtakes d2 (id 1) — a reordering.
+        assert region.upper.kind == BoundKind.REORDER
+        assert region.upper.rising_id == 0
+        assert region.upper.falling_id == 1
+        # l1 = -16/35: d3 (id 2) overtakes d1 (id 0) — composition change.
+        assert region.lower.kind == BoundKind.COMPOSITION
+        assert region.lower.rising_id == 2
+        assert region.lower.falling_id == 0
+
+
+class TestFigure5PhaseValues:
+    """Intermediate values of the Scan trace in Figure 5."""
+
+    def test_phase1_interim_ir1(self, example_dataset, example_query):
+        from repro.core.context import WorkingBounds
+        from repro.core.scan import phase1_reorderings
+        from repro.storage import InvertedIndex
+
+        engine = ImmutableRegionEngine(InvertedIndex(example_dataset), method="scan")
+        computation = engine.compute(example_query, k=2)
+        # Phase 1 alone gives IR1 = [-0.8, 0.1): reproduce via the raw phase.
+        # Rebuild a context through a fresh engine internals run:
+        from repro.core import engine as engine_mod  # noqa: F401  (doc import)
+
+        # Direct check of the documented interim bounds via Lemma 1:
+        # maintain S(d1) <= S(d2): crossing at 0.1 (upper); no lower reorder.
+        region = computation.region(0)
+        assert region.upper.delta == pytest.approx(0.1)
+
+    def test_phase2_values_dim0(self, example_dataset, example_query):
+        """d3 constrains IR1's lower bound to -16/35 but not the upper."""
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="scan"
+        )
+        region = computation.region(0)
+        assert region.lower.delta == pytest.approx(-16.0 / 35.0)
+        assert region.lower.rising_id == 2
+
+    def test_phase3_no_resume_needed(self, example_dataset, example_query):
+        """Figure 5: the Phase 3 tests pass without resuming TA, so d4 is
+        never fetched and exactly one candidate (d3) is ever evaluated per
+        dimension by Scan.  (Round-robin probing, matching the Figure 2
+        trace that produced C(q) = [d3].)"""
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="scan", probing="round_robin"
+        )
+        assert computation.metrics.evals.phase3_tuples == 0
+        assert computation.metrics.evaluated_per_dim == {0: 1, 1: 1}
+
+    def test_max_impact_probing_same_regions(self, example_dataset, example_query):
+        """§7.1's probing enhancement changes the trace but never the regions."""
+        rr = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="scan", probing="round_robin"
+        )
+        mi = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="scan", probing="max_impact"
+        )
+        for dim in (0, 1):
+            assert rr.region(dim).lower.delta == pytest.approx(mi.region(dim).lower.delta)
+            assert rr.region(dim).upper.delta == pytest.approx(mi.region(dim).upper.delta)
+
+
+class TestPhi1WalkThrough:
+    """§1: regions for up to φ=1 perturbations on q1."""
+
+    @pytest.fixture(params=METHODS)
+    def sequence(self, request, example_dataset, example_query):
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method=request.param, phi=1
+        )
+        return computation.sequence(0)
+
+    def test_three_regions(self, sequence):
+        assert len(sequence) == 3
+
+    def test_left_region(self, sequence):
+        region = sequence.regions[0]
+        assert region.lower.delta == pytest.approx(-0.55)
+        assert region.upper.delta == pytest.approx(-16.0 / 35.0)
+        assert list(region.result_ids) == [1, 2]  # [d2, d3]
+
+    def test_current_region(self, sequence):
+        region = sequence.current
+        assert region.lower.delta == pytest.approx(-16.0 / 35.0)
+        assert region.upper.delta == pytest.approx(0.1)
+        assert list(region.result_ids) == [1, 0]  # [d2, d1]
+
+    def test_right_region_capped_by_domain(self, sequence):
+        region = sequence.regions[2]
+        assert region.lower.delta == pytest.approx(0.1)
+        assert region.upper.delta == pytest.approx(0.2)  # 1 - q1
+        assert region.upper.kind == BoundKind.DOMAIN
+        assert list(region.result_ids) == [0, 1]  # [d1, d2]
+
+    def test_current_index(self, sequence):
+        assert sequence.current_index == 1
+
+    def test_region_lookup_by_delta(self, sequence):
+        assert sequence.region_for(-0.5).result_ids == (1, 2)
+        assert sequence.region_for(0.0).result_ids == (1, 0)
+        assert sequence.region_for(0.15).result_ids == (0, 1)
+
+
+class TestNeighbourResults:
+    def test_next_result_above_dim0(self, example_dataset, example_query):
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="cpt"
+        )
+        # Past u1 = 0.1 the order flips to [d1, d2].
+        assert computation.next_result_above(0) == [0, 1]
+
+    def test_next_result_below_dim0(self, example_dataset, example_query):
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="cpt"
+        )
+        # Past l1 = -16/35 d3 replaces d1: [d2, d3].
+        assert computation.next_result_below(0) == [1, 2]
+
+    def test_next_result_above_dim1_is_domain(self, example_dataset, example_query):
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="cpt"
+        )
+        # IR2's upper bound is the domain limit: no further result exists.
+        assert computation.next_result_above(1) is None

@@ -1,0 +1,143 @@
+"""Behavioural tests for the φ=0 phases (Algorithms 1–2) and method costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    InvertedIndex,
+    Query,
+    brute_force_bounds_phi0,
+    compute_immutable_regions,
+)
+from repro.core.context import WorkingBounds
+from repro.core.regions import BoundKind
+from repro.core.scan import phase1_reorderings
+
+from .helpers import make_context
+
+
+class TestPhase1:
+    def test_interim_bounds_running_example(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, k=2)
+        view = ctx.view(0)
+        bounds = WorkingBounds(view)
+        phase1_reorderings(ctx, view, bounds)
+        # Figure 5 Phase 1: IR1 = [-0.8, 0.1).
+        assert bounds.lower.delta == pytest.approx(-0.8)
+        assert bounds.lower.kind == BoundKind.DOMAIN
+        assert bounds.upper.delta == pytest.approx(0.1)
+        assert bounds.upper.kind == BoundKind.REORDER
+
+    def test_interim_bounds_dim1(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, k=2)
+        view = ctx.view(1)
+        bounds = WorkingBounds(view)
+        phase1_reorderings(ctx, view, bounds)
+        # Figure 5 Phase 1: IR2 = (-1/18, 0.5].
+        assert bounds.lower.delta == pytest.approx(-1.0 / 18.0)
+        assert bounds.upper.delta == pytest.approx(0.5)
+
+    def test_k1_has_no_reorder_constraints(self):
+        data = Dataset.from_dense([[0.9, 0.2], [0.1, 0.8]])
+        ctx = make_context(data, Query([0, 1], [0.5, 0.5]), k=1)
+        view = ctx.view(0)
+        bounds = WorkingBounds(view)
+        phase1_reorderings(ctx, view, bounds)
+        assert bounds.lower.kind == BoundKind.DOMAIN
+        assert bounds.upper.kind == BoundKind.DOMAIN
+        assert ctx.evals.result_comparisons == 0
+
+    def test_result_comparison_count(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, k=2)
+        view = ctx.view(0)
+        phase1_reorderings(ctx, view, WorkingBounds(view))
+        assert ctx.evals.result_comparisons == 1  # k-1 pairs
+
+
+class TestPhase3:
+    def test_resume_discovers_unseen_constraint(self):
+        """A tuple never encountered by TA must still bound the region.
+
+        Construct data where TA (round-robin) stops before an unseen tuple
+        that nonetheless limits the lower bound of dimension 0.
+        """
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            dense = rng.random((40, 4)) * (rng.random((40, 4)) < 0.7)
+            data = Dataset.from_dense(dense)
+            dims = [d for d in range(4) if data.column_nnz(d) > 0][:2]
+            if len(dims) < 2:
+                continue
+            query = Query(dims, [0.6, 0.6])
+            computation = compute_immutable_regions(
+                data, query, k=3, method="scan", probing="round_robin"
+            )
+            for dim in dims:
+                expected = brute_force_bounds_phi0(data, query, 3, dim)
+                region = computation.region(dim)
+                assert region.lower.delta == pytest.approx(expected[0])
+                assert region.upper.delta == pytest.approx(expected[1])
+
+    def test_phase3_inserts_into_candidates_for_later_dims(
+        self, example_dataset, example_query
+    ):
+        """§4: tuples found in Phase 3 join C(q) for the next dimension."""
+        computation = compute_immutable_regions(
+            example_dataset, example_query, k=2, method="scan", probing="max_impact"
+        )
+        # With max-impact probing TA terminates with an empty C(q); Phase 3
+        # of dim 0 must then discover d3 (id 2), which is subsequently
+        # evaluated as a normal candidate for dim 1.
+        assert computation.metrics.evals.phase3_tuples >= 1
+        assert computation.metrics.evaluated_per_dim[1] >= 1
+        # Regions are still exact.
+        assert computation.region(0).lower.delta == pytest.approx(-16.0 / 35.0)
+
+
+class TestMethodCostOrdering:
+    """CPT evaluates no more candidates than Prune/Thres, which beat Scan."""
+
+    @pytest.fixture(scope="class")
+    def workload_costs(self):
+        rng = np.random.default_rng(5)
+        dense = rng.random((300, 8)) * (rng.random((300, 8)) < 0.35)
+        data = Dataset.from_dense(dense)
+        index = InvertedIndex(data)
+        dims = [d for d in range(8) if data.column_nnz(d) > 5][:4]
+        query = Query(dims, [0.5] * len(dims))
+        costs = {}
+        bounds = {}
+        for method in ("scan", "prune", "thres", "cpt"):
+            computation = compute_immutable_regions(
+                index, query, k=10, method=method, probing="round_robin"
+            )
+            costs[method] = computation.metrics.evals.evaluated_candidates
+            bounds[method] = {
+                dim: (
+                    computation.region(dim).lower.delta,
+                    computation.region(dim).upper.delta,
+                )
+                for dim in dims
+            }
+        return costs, bounds
+
+    def test_all_methods_agree_on_bounds(self, workload_costs):
+        _, bounds = workload_costs
+        reference = bounds["scan"]
+        for method in ("prune", "thres", "cpt"):
+            for dim, (lo, hi) in bounds[method].items():
+                assert lo == pytest.approx(reference[dim][0])
+                assert hi == pytest.approx(reference[dim][1])
+
+    def test_scan_is_most_expensive(self, workload_costs):
+        costs, _ = workload_costs
+        assert costs["scan"] >= costs["prune"]
+        assert costs["scan"] >= costs["thres"]
+
+    def test_cpt_is_cheapest(self, workload_costs):
+        costs, _ = workload_costs
+        assert costs["cpt"] <= costs["prune"]
+        assert costs["cpt"] <= costs["thres"]

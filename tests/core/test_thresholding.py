@@ -1,0 +1,111 @@
+"""Behavioural tests for Algorithm 3 (candidate thresholding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.core.context import WorkingBounds
+from repro.core.scan import phase1_reorderings
+from repro.core.thresholding import thresholding_phase2
+
+from .helpers import make_context
+
+
+def run_thresholding(data, query, k, dim):
+    """Phase 1 + thresholded Phase 2 over the full candidate list."""
+    ctx = make_context(data, query, k)
+    view = ctx.view(dim)
+    bounds = WorkingBounds(view)
+    phase1_reorderings(ctx, view, bounds)
+    pool = ctx.candidate_records(dim)
+    thresholding_phase2(ctx, view, bounds, pool)
+    return ctx, bounds
+
+
+def run_scan_phase2(data, query, k, dim):
+    ctx = make_context(data, query, k)
+    view = ctx.view(dim)
+    bounds = WorkingBounds(view)
+    phase1_reorderings(ctx, view, bounds)
+    for record in ctx.candidate_records(dim):
+        ctx.evaluate_against_kth(view, record, bounds)
+    return ctx, bounds
+
+
+@pytest.fixture(scope="module")
+def crowded():
+    """A dataset whose TA run leaves a large candidate list."""
+    rng = np.random.default_rng(17)
+    dense = 0.5 + 0.5 * rng.random((300, 4))  # high values: TA digs deep
+    data = Dataset.from_dense(dense)
+    return data, Query([0, 1, 2], [0.5, 0.6, 0.4])
+
+
+class TestCorrectness:
+    def test_same_bounds_as_exhaustive_phase2(self, crowded):
+        data, query = crowded
+        for dim in (0, 1, 2):
+            _, thres_bounds = run_thresholding(data, query, 8, dim)
+            _, scan_bounds = run_scan_phase2(data, query, 8, dim)
+            assert thres_bounds.lower.delta == pytest.approx(scan_bounds.lower.delta)
+            assert thres_bounds.upper.delta == pytest.approx(scan_bounds.upper.delta)
+
+    def test_empty_pool_is_noop(self, example_dataset, example_query):
+        ctx = make_context(example_dataset, example_query, k=4)  # all tuples in R
+        view = ctx.view(0)
+        bounds = WorkingBounds(view)
+        thresholding_phase2(ctx, view, bounds, [])
+        assert bounds.lower.delta == view.domain_lower
+        assert bounds.upper.delta == view.domain_upper
+        assert ctx.evals.evaluated_candidates == 0
+
+
+class TestEarlyTermination:
+    def test_evaluates_fewer_than_exhaustive(self, crowded):
+        data, query = crowded
+        thres_total = scan_total = 0
+        for dim in (0, 1, 2):
+            thres_ctx, _ = run_thresholding(data, query, 8, dim)
+            scan_ctx, _ = run_scan_phase2(data, query, 8, dim)
+            thres_total += thres_ctx.evals.evaluated_candidates
+            scan_total += scan_ctx.evals.evaluated_candidates
+        assert scan_total > 0
+        assert thres_total < scan_total
+
+    def test_termination_checks_recorded(self, crowded):
+        data, query = crowded
+        ctx, _ = run_thresholding(data, query, 8, 0)
+        assert ctx.evals.termination_checks > 0
+
+    def test_no_candidate_evaluated_twice(self, crowded):
+        """Round-robin pulls may surface a tuple in two lists; the charge
+        happens once."""
+        data, query = crowded
+        ctx, _ = run_thresholding(data, query, 8, 0)
+        n_candidates = len(ctx.outcome.candidates)
+        assert ctx.evals.evaluated_candidates <= n_candidates
+
+
+class TestParallelCandidates:
+    def test_candidates_at_dk_coordinate_never_constrain(self):
+        """Tuples sharing d_k's j-coordinate are parallel lines — skipped."""
+        data = Dataset.from_dense(
+            [
+                [0.9, 0.8],
+                [0.8, 0.7],
+                [0.5, 0.7],  # same dim-1 coordinate as d_k (id 1)
+            ]
+        )
+        query = Query([0, 1], [0.5, 0.5])
+        ctx = make_context(data, query, 2)
+        if 2 not in ctx.outcome.candidates:
+            ctx.outcome.candidates.insert(2, 0.5 * 0.5 + 0.5 * 0.7)
+        view = ctx.view(1)
+        assert view.dk_id == 1
+        bounds = WorkingBounds(view)
+        thresholding_phase2(ctx, view, bounds, ctx.candidate_records(1))
+        # The parallel candidate must not have set either bound.
+        assert bounds.lower.rising_id != 2
+        assert bounds.upper.rising_id != 2

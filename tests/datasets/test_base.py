@@ -1,0 +1,150 @@
+"""Unit tests for the sparse Dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def small() -> Dataset:
+    return Dataset.from_dense(
+        [
+            [0.5, 0.0, 0.25],
+            [0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.75],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_dense_shape(self, small):
+        assert small.n_tuples == 3
+        assert small.n_dims == 3
+        assert small.nnz == 4
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_dense([1.0, 2.0])
+
+    def test_from_rows(self):
+        data = Dataset.from_rows([([2, 0], [0.3, 0.1]), ([], [])], n_dims=4)
+        assert data.n_tuples == 2
+        assert data.value(0, 0) == pytest.approx(0.1)
+        assert data.value(0, 2) == pytest.approx(0.3)
+        assert data.row(1)[0].size == 0
+
+    def test_from_rows_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_rows([([1], [0.1, 0.2])], n_dims=3)
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_dense([[1.5]])
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.array([0, 1]), np.array([5]), np.array([0.5]), n_dims=3)
+
+    def test_rejects_duplicate_columns_in_row(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                np.array([0, 2]),
+                np.array([1, 1]),
+                np.array([0.2, 0.3]),
+                n_dims=3,
+            )
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.array([0, 2]), np.array([0]), np.array([0.5]), n_dims=2)
+
+    def test_density(self, small):
+        assert small.density == pytest.approx(4 / 9)
+
+
+class TestRowAccess:
+    def test_row_contents(self, small):
+        dims, vals = small.row(0)
+        assert dims.tolist() == [0, 2]
+        assert vals.tolist() == [0.5, 0.25]
+
+    def test_empty_row(self, small):
+        dims, vals = small.row(1)
+        assert dims.size == 0 and vals.size == 0
+
+    def test_row_out_of_range(self, small):
+        with pytest.raises(DatasetError):
+            small.row(3)
+
+    def test_value_present(self, small):
+        assert small.value(2, 1) == pytest.approx(1.0)
+
+    def test_value_absent_is_zero(self, small):
+        assert small.value(0, 1) == 0.0
+
+    def test_values_at_mixed(self, small):
+        out = small.values_at(0, np.array([0, 1, 2]))
+        assert out.tolist() == [0.5, 0.0, 0.25]
+
+    def test_values_at_all_absent(self, small):
+        out = small.values_at(1, np.array([0, 1, 2]))
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestColumnAccess:
+    def test_column_contents(self, small):
+        ids, vals = small.column(2)
+        assert ids.tolist() == [0, 2]
+        assert vals.tolist() == [0.25, 0.75]
+
+    def test_column_cached_identity(self, small):
+        assert small.column(2) is small.column(2)
+
+    def test_column_nnz(self, small):
+        assert small.column_nnz(1) == 1
+        assert small.column_nnz(0) == 1
+
+    def test_column_out_of_range(self, small):
+        with pytest.raises(DatasetError):
+            small.column(3)
+
+    def test_empty_column(self):
+        data = Dataset.from_rows([([0], [0.5])], n_dims=3)
+        ids, vals = data.column(2)
+        assert ids.size == 0
+
+
+class TestScoring:
+    def test_score_of_matches_manual(self, small):
+        dims = np.array([0, 2])
+        weights = np.array([0.5, 0.4])
+        assert small.score_of(0, dims, weights) == pytest.approx(0.5 * 0.5 + 0.4 * 0.25)
+
+    def test_scores_vector(self, small):
+        dims = np.array([1, 2])
+        weights = np.array([1.0, 1.0])
+        scores = small.scores(dims, weights)
+        assert scores.tolist() == pytest.approx([0.25, 0.0, 1.75])
+
+    def test_scores_match_dense_dot(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((20, 6)) * (rng.random((20, 6)) < 0.5)
+        data = Dataset.from_dense(dense)
+        dims = np.array([1, 3, 4])
+        weights = np.array([0.3, 0.6, 0.9])
+        expected = dense[:, dims] @ weights
+        assert np.allclose(data.scores(dims, weights), expected)
+
+
+class TestExport:
+    def test_to_dense_round_trip(self, small):
+        dense = small.to_dense()
+        again = Dataset.from_dense(dense)
+        assert np.array_equal(again.to_dense(), dense)
+
+    def test_repr_mentions_shape(self, small):
+        assert "n_tuples=3" in repr(small)

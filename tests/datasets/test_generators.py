@@ -1,0 +1,133 @@
+"""Tests for the three dataset generators (WSJ-like, KB-like, ST-like)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    generate_correlated,
+    generate_image_features,
+    generate_independent,
+    generate_text_corpus,
+)
+from repro.errors import ValidationError
+
+
+class TestCorrelatedST:
+    def test_shape(self):
+        data = generate_correlated(n_tuples=500, n_dims=8, seed=1)
+        assert data.n_tuples == 500
+        assert data.n_dims == 8
+
+    def test_values_in_unit_cube(self):
+        data = generate_correlated(n_tuples=300, n_dims=5, seed=2)
+        dense = data.to_dense()
+        assert dense.min() >= 0.0 and dense.max() <= 1.0
+
+    def test_deterministic_seed(self):
+        a = generate_correlated(50, 4, seed=3).to_dense()
+        b = generate_correlated(50, 4, seed=3).to_dense()
+        assert np.array_equal(a, b)
+
+    def test_pairwise_correlation_near_rho(self):
+        data = generate_correlated(n_tuples=6000, n_dims=6, rho=0.5, seed=4)
+        dense = data.to_dense()
+        corr = np.corrcoef(dense.T)
+        off_diag = corr[~np.eye(6, dtype=bool)]
+        # Clipping attenuates the correlation slightly; 0.5 +- 0.1 is fine.
+        assert abs(float(off_diag.mean()) - 0.5) < 0.1
+
+    def test_zero_rho_near_independent(self):
+        data = generate_correlated(n_tuples=6000, n_dims=4, rho=0.0, seed=5)
+        corr = np.corrcoef(data.to_dense().T)
+        off_diag = corr[~np.eye(4, dtype=bool)]
+        assert abs(float(off_diag.mean())) < 0.05
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValidationError):
+            generate_correlated(10, 4, rho=1.0)
+        with pytest.raises(ValidationError):
+            generate_correlated(10, 4, rho=-0.2)
+
+
+class TestIndependent:
+    def test_dense_and_uniform(self):
+        data = generate_independent(n_tuples=1000, n_dims=3, seed=0)
+        dense = data.to_dense()
+        assert data.density > 0.99
+        assert 0.4 < dense.mean() < 0.6
+
+
+class TestTextCorpusWSJ:
+    def test_shape_and_stats(self):
+        data, stats = generate_text_corpus(n_docs=300, vocab_size=500, seed=0)
+        assert data.n_tuples == 300
+        assert data.n_dims == 500
+        assert stats.n_docs == 300
+        assert stats.document_frequency.shape == (500,)
+
+    def test_extreme_sparsity(self):
+        data, _ = generate_text_corpus(n_docs=400, vocab_size=2000, seed=1)
+        # Each doc touches ~100 distinct terms out of 2000.
+        assert data.density < 0.1
+
+    def test_values_in_unit_interval(self):
+        data, _ = generate_text_corpus(n_docs=200, vocab_size=300, seed=2)
+        _, _, values = data.csr_arrays
+        assert values.min() > 0.0 and values.max() <= 1.0
+
+    def test_zipf_head_heavier_than_tail(self):
+        _, stats = generate_text_corpus(n_docs=500, vocab_size=1000, seed=3)
+        df = stats.document_frequency
+        assert df[:50].sum() > df[500:].sum()
+
+    def test_idf_zero_for_unused_terms(self):
+        _, stats = generate_text_corpus(n_docs=100, vocab_size=5000, seed=4)
+        unused = stats.document_frequency == 0
+        assert unused.any()
+        assert np.all(stats.idf[unused] == 0.0)
+
+    def test_deterministic_seed(self):
+        a, _ = generate_text_corpus(100, 200, seed=5)
+        b, _ = generate_text_corpus(100, 200, seed=5)
+        assert np.array_equal(a.csr_arrays[2], b.csr_arrays[2])
+
+    def test_rejects_tiny_corpus(self):
+        with pytest.raises(ValidationError):
+            generate_text_corpus(n_docs=1, vocab_size=10)
+
+
+class TestImageFeaturesKB:
+    def test_shape(self):
+        data = generate_image_features(n_tuples=200, n_dims=50, seed=0)
+        assert data.n_tuples == 200
+        assert data.n_dims == 50
+
+    def test_partial_sparsity(self):
+        data = generate_image_features(
+            n_tuples=300, n_dims=100, sparsity=0.8, seed=1
+        )
+        assert 0.02 < data.density < 0.35
+
+    def test_values_in_unit_interval(self):
+        data = generate_image_features(n_tuples=100, n_dims=40, seed=2)
+        _, _, values = data.csr_arrays
+        assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_moderate_correlation_from_factors(self):
+        dense = generate_image_features(
+            n_tuples=3000, n_dims=30, rank=3, sparsity=0.0, noise_std=0.2, seed=3
+        ).to_dense()
+        corr = np.corrcoef(dense.T)
+        off_diag = np.abs(corr[~np.eye(30, dtype=bool)])
+        # Low-rank structure should induce clearly non-zero typical correlation.
+        assert float(np.median(off_diag)) > 0.1
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            generate_image_features(10, 5, rank=6)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValidationError):
+            generate_image_features(10, 5, sparsity=1.0)

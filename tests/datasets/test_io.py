@@ -1,0 +1,51 @@
+"""Tests for dataset persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.datasets import load_dataset, save_dataset
+from repro.errors import DatasetError
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        data = Dataset.from_dense([[0.1, 0.0], [0.0, 0.9]])
+        path = tmp_path / "data.npz"
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        assert loaded.n_dims == data.n_dims
+        assert np.array_equal(loaded.to_dense(), data.to_dense())
+
+    def test_round_trip_preserves_trailing_empty_dims(self, tmp_path):
+        data = Dataset.from_rows([([0], [0.5])], n_dims=10)
+        path = tmp_path / "data.npz"
+        save_dataset(data, path)
+        assert load_dataset(path).n_dims == 10
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_malformed_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong_key=np.array([1]))
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_wrong_version(self, tmp_path):
+        data = Dataset.from_dense([[0.5]])
+        path = tmp_path / "data.npz"
+        indptr, indices, values = data.csr_arrays
+        np.savez(
+            path,
+            format_version=np.int64(99),
+            indptr=indptr,
+            indices=indices,
+            values=values,
+            n_dims=np.int64(1),
+        )
+        with pytest.raises(DatasetError, match="version"):
+            load_dataset(path)

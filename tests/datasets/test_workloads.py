@@ -1,0 +1,150 @@
+"""Tests for query workload samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, generate_text_corpus, sample_queries
+from repro.datasets.workloads import column_frequencies
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_text_corpus(n_docs=400, vocab_size=600, seed=0)
+
+
+class TestColumnFrequencies:
+    def test_matches_column_nnz(self):
+        data = Dataset.from_dense([[0.5, 0.0], [0.3, 0.2], [0.0, 0.0]])
+        freq = column_frequencies(data)
+        assert freq.tolist() == [2, 1]
+
+
+class TestSampleQueries:
+    def test_workload_size_and_qlen(self, corpus):
+        data, _ = corpus
+        workload = sample_queries(data, qlen=4, n_queries=10, seed=1)
+        assert len(workload) == 10
+        assert all(q.qlen == 4 for q in workload)
+
+    def test_deterministic_seed(self, corpus):
+        data, _ = corpus
+        a = sample_queries(data, qlen=3, n_queries=5, seed=2)
+        b = sample_queries(data, qlen=3, n_queries=5, seed=2)
+        assert all(qa == qb for qa, qb in zip(a, b))
+
+    def test_different_seeds_differ(self, corpus):
+        data, _ = corpus
+        a = sample_queries(data, qlen=3, n_queries=5, seed=3)
+        b = sample_queries(data, qlen=3, n_queries=5, seed=4)
+        assert any(qa != qb for qa, qb in zip(a, b))
+
+    def test_min_column_nnz_respected(self, corpus):
+        data, _ = corpus
+        freq = column_frequencies(data)
+        workload = sample_queries(
+            data, qlen=4, n_queries=20, seed=5, min_column_nnz=30
+        )
+        for query in workload:
+            assert all(freq[d] >= 30 for d in query.dims)
+
+    def test_weight_range_respected(self, corpus):
+        data, _ = corpus
+        workload = sample_queries(
+            data, qlen=4, n_queries=20, seed=6, min_weight=0.3, max_weight=0.6
+        )
+        for query in workload:
+            assert query.weights.min() >= 0.3
+            assert query.weights.max() <= 0.6
+
+    def test_equal_weight_scheme(self, corpus):
+        data, _ = corpus
+        workload = sample_queries(
+            data, qlen=4, n_queries=5, seed=7, weight_scheme="equal", equal_weight=0.5
+        )
+        for query in workload:
+            assert np.all(query.weights == 0.5)
+
+    def test_idf_scheme_orders_weights_by_idf(self, corpus):
+        data, stats = corpus
+        workload = sample_queries(
+            data, qlen=4, n_queries=10, seed=8, weight_scheme="idf", idf=stats.idf
+        )
+        for query in workload:
+            idf_vals = stats.idf[query.dims]
+            order_by_idf = np.argsort(idf_vals)
+            order_by_weight = np.argsort(query.weights)
+            assert np.array_equal(order_by_idf, order_by_weight)
+
+    def test_idf_scheme_requires_idf(self, corpus):
+        data, _ = corpus
+        with pytest.raises(QueryError, match="idf"):
+            sample_queries(data, qlen=2, n_queries=1, weight_scheme="idf")
+
+    def test_df_weighted_prefers_frequent_terms(self, corpus):
+        data, _ = corpus
+        freq = column_frequencies(data)
+        uniform = sample_queries(
+            data, qlen=4, n_queries=50, seed=9, dim_scheme="uniform",
+            min_column_nnz=1,
+        )
+        weighted = sample_queries(
+            data, qlen=4, n_queries=50, seed=9, dim_scheme="df_weighted",
+            min_column_nnz=1,
+        )
+        mean_uniform = np.mean([freq[q.dims].mean() for q in uniform])
+        mean_weighted = np.mean([freq[q.dims].mean() for q in weighted])
+        assert mean_weighted > mean_uniform
+
+    def test_mixed_scheme_combines_frequent_and_rare(self, corpus):
+        data, _ = corpus
+        freq = column_frequencies(data)
+        mixed = sample_queries(
+            data, qlen=4, n_queries=40, seed=11, dim_scheme="mixed",
+            min_column_nnz=1,
+        )
+        uniform = sample_queries(
+            data, qlen=4, n_queries=40, seed=11, dim_scheme="uniform",
+            min_column_nnz=1,
+        )
+        weighted = sample_queries(
+            data, qlen=4, n_queries=40, seed=11, dim_scheme="df_weighted",
+            min_column_nnz=1,
+        )
+        mean = lambda wl: np.mean([freq[q.dims].mean() for q in wl])
+        assert mean(uniform) < mean(mixed) < mean(weighted)
+
+    def test_mixed_scheme_dims_unique(self, corpus):
+        data, _ = corpus
+        for query in sample_queries(
+            data, qlen=5, n_queries=20, seed=12, dim_scheme="mixed",
+            min_column_nnz=1,
+        ):
+            assert len(set(query.dims.tolist())) == query.qlen
+
+    def test_mixed_scheme_qlen_one(self, corpus):
+        data, _ = corpus
+        workload = sample_queries(
+            data, qlen=1, n_queries=5, seed=13, dim_scheme="mixed",
+            min_column_nnz=1,
+        )
+        assert all(q.qlen == 1 for q in workload)
+
+    def test_unknown_schemes_rejected(self, corpus):
+        data, _ = corpus
+        with pytest.raises(QueryError):
+            sample_queries(data, qlen=2, n_queries=1, dim_scheme="nope")
+        with pytest.raises(QueryError):
+            sample_queries(data, qlen=2, n_queries=1, weight_scheme="nope")
+
+    def test_impossible_qlen_rejected(self):
+        data = Dataset.from_dense([[0.5, 0.5]])
+        with pytest.raises(QueryError):
+            sample_queries(data, qlen=5, n_queries=1, min_column_nnz=1)
+
+    def test_no_eligible_dims_rejected(self):
+        data = Dataset.from_dense([[0.5, 0.5]])
+        with pytest.raises(QueryError):
+            sample_queries(data, qlen=1, n_queries=1, min_column_nnz=10)

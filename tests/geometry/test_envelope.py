@@ -1,0 +1,126 @@
+"""Unit tests for lower/upper envelopes, cross-checked against naive min/max."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Envelope, EnvelopeSegment, Line, lower_envelope, upper_envelope
+
+
+def naive_extreme(lines, x, lower):
+    values = [line.value_at(x) for line in lines]
+    return min(values) if lower else max(values)
+
+
+class TestLowerEnvelope:
+    def test_single_line(self):
+        env = lower_envelope([Line(1, 0.5, 0.2)], 0.0, 1.0)
+        assert len(env) == 1
+        assert env.value_at(0.7) == pytest.approx(0.5 + 0.7 * 0.2)
+
+    def test_two_crossing_lines(self):
+        flat = Line(1, 0.5, 0.0)
+        steep = Line(2, 0.0, 1.0)
+        env = lower_envelope([flat, steep], 0.0, 1.0)
+        # steep is lower before x=0.5, flat after.
+        assert env.value_at(0.2) == pytest.approx(0.2)
+        assert env.value_at(0.8) == pytest.approx(0.5)
+        assert len(env) == 2
+
+    def test_dominated_line_absent(self):
+        low = Line(1, 0.1, 0.1)
+        high = Line(2, 0.9, 0.1)  # parallel, always above
+        env = lower_envelope([low, high], 0.0, 1.0)
+        assert all(seg.line.tuple_id == 1 for seg in env.segments)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_naive_min(self, seed):
+        rng = np.random.default_rng(seed)
+        lines = [
+            Line(i, float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for i in range(12)
+        ]
+        env = lower_envelope(lines, 0.0, 2.0)
+        for x in np.linspace(0.0, 2.0, 41):
+            assert env.value_at(float(x)) == pytest.approx(
+                naive_extreme(lines, float(x), lower=True), abs=1e-12
+            )
+
+    def test_domain_endpoints_exact(self):
+        env = lower_envelope([Line(1, 0.5, 0.3)], 0.25, 0.75)
+        assert env.x_lo == 0.25
+        assert env.x_hi == 0.75
+
+
+class TestUpperEnvelope:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_naive_max(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        lines = [
+            Line(i, float(rng.uniform(0, 1)), float(rng.uniform(-1, 1)))
+            for i in range(10)
+        ]
+        env = upper_envelope(lines, -1.0, 1.0)
+        for x in np.linspace(-1.0, 1.0, 41):
+            assert env.value_at(float(x)) == pytest.approx(
+                naive_extreme(lines, float(x), lower=False), abs=1e-12
+            )
+
+
+class TestEnvelopeQueries:
+    def test_value_outside_domain_rejected(self):
+        env = lower_envelope([Line(1, 0.5, 0.0)], 0.0, 1.0)
+        with pytest.raises(GeometryError):
+            env.value_at(1.5)
+
+    def test_segment_at_breakpoint(self):
+        flat = Line(1, 0.5, 0.0)
+        steep = Line(2, 0.0, 1.0)
+        env = lower_envelope([flat, steep], 0.0, 1.0)
+        segment = env.segment_at(0.5)
+        assert segment.x_start <= 0.5 <= segment.x_end
+
+    def test_breakpoints_sorted(self):
+        rng = np.random.default_rng(3)
+        lines = [Line(i, float(rng.random()), float(rng.random())) for i in range(8)]
+        env = lower_envelope(lines, 0.0, 1.0)
+        points = env.breakpoints
+        assert points == sorted(points)
+        assert points[0] == 0.0 and points[-1] == 1.0
+
+    def test_line_stays_below_true(self):
+        env = lower_envelope([Line(1, 1.0, 0.0)], 0.0, 1.0)
+        assert env.line_stays_below(Line(9, 0.5, 0.2))
+
+    def test_line_stays_below_false_on_crossing(self):
+        env = lower_envelope([Line(1, 1.0, 0.0)], 0.0, 1.0)
+        assert not env.line_stays_below(Line(9, 0.5, 0.8))
+
+    def test_line_touching_counts_as_not_below(self):
+        env = lower_envelope([Line(1, 1.0, 0.0)], 0.0, 1.0)
+        assert not env.line_stays_below(Line(9, 0.0, 1.0))
+
+
+class TestEnvelopeValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            lower_envelope([], 0.0, 1.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(Exception):
+            lower_envelope([Line(1, 0.5, 0.0)], 1.0, 0.0)
+
+    def test_non_contiguous_segments_rejected(self):
+        segs = [
+            EnvelopeSegment(0.0, 0.4, Line(1, 0.5, 0.0)),
+            EnvelopeSegment(0.5, 1.0, Line(2, 0.5, 0.0)),
+        ]
+        with pytest.raises(GeometryError):
+            Envelope(segs, "lower")
+
+    def test_bad_kind_rejected(self):
+        segs = [EnvelopeSegment(0.0, 1.0, Line(1, 0.5, 0.0))]
+        with pytest.raises(Exception):
+            Envelope(segs, "sideways")

@@ -1,0 +1,117 @@
+"""Tests for half-space utilities and the qhull validity polytope."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.halfspace import (
+    axis_exit_distance,
+    halfspace_distance,
+    validity_polytope_2d,
+)
+
+
+class TestHalfspaceDistance:
+    def test_simple_distance(self):
+        q = np.array([1.0, 0.0])
+        ahead = np.array([1.0, 0.0])
+        behind = np.array([0.0, 0.0])
+        # Normal (1, 0); margin 1; ||normal|| = 1.
+        assert halfspace_distance(q, ahead, behind) == pytest.approx(1.0)
+
+    def test_diagonal_normal(self):
+        q = np.array([0.5, 0.5])
+        ahead = np.array([1.0, 1.0])
+        behind = np.array([0.0, 0.0])
+        assert halfspace_distance(q, ahead, behind) == pytest.approx(
+            1.0 / np.sqrt(2.0)
+        )
+
+    def test_identical_tuples_give_inf(self):
+        q = np.array([0.3, 0.7])
+        row = np.array([0.5, 0.5])
+        assert halfspace_distance(q, row, row) == float("inf")
+
+    def test_wrong_order_rejected(self):
+        q = np.array([1.0, 0.0])
+        ahead = np.array([0.0, 0.0])
+        behind = np.array([1.0, 0.0])
+        with pytest.raises(GeometryError):
+            halfspace_distance(q, ahead, behind)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            halfspace_distance(np.array([1.0]), np.array([1.0, 0.0]), np.array([0.0]))
+
+
+class TestAxisExitDistance:
+    def test_unconstrained_hits_box(self):
+        q = np.array([0.3, 0.5])
+        assert axis_exit_distance(q, [], dim=0, direction=1) == pytest.approx(0.7)
+        assert axis_exit_distance(q, [], dim=0, direction=-1) == pytest.approx(0.3)
+
+    def test_constraint_binds(self):
+        q = np.array([0.5, 0.5])
+        # Constraint: -q0 + q1 >= 0, i.e. q0 <= q1; moving +e0 exits at t=0.
+        normal = np.array([-1.0, 1.0])
+        assert axis_exit_distance(q, [normal], dim=0, direction=1) == pytest.approx(0.0)
+        # Moving -e0 only increases the margin: box limit applies.
+        assert axis_exit_distance(q, [normal], dim=0, direction=-1) == pytest.approx(0.5)
+
+    def test_violated_constraint_rejected(self):
+        q = np.array([0.5, 0.2])
+        normal = np.array([-1.0, 1.0])  # margin -0.3 at q
+        with pytest.raises(GeometryError):
+            axis_exit_distance(q, [normal], dim=0, direction=1)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(Exception):
+            axis_exit_distance(np.array([0.5]), [], dim=0, direction=0)
+
+
+class TestValidityPolytope2D:
+    def test_unconstrained_is_unit_box(self):
+        vertices = validity_polytope_2d(np.array([0.5, 0.5]), [])
+        assert len(vertices) == 4
+        xs = sorted(v[0] for v in vertices)
+        ys = sorted(v[1] for v in vertices)
+        assert xs[0] == pytest.approx(0.0) and xs[-1] == pytest.approx(1.0)
+        assert ys[0] == pytest.approx(0.0) and ys[-1] == pytest.approx(1.0)
+
+    def test_halfplane_cuts_box(self):
+        # q0 >= q1 keeps the lower-right triangle.
+        vertices = validity_polytope_2d(np.array([0.7, 0.3]), [np.array([1.0, -1.0])])
+        for x, y in vertices:
+            assert x >= y - 1e-9
+
+    def test_axis_exit_matches_polytope_edge(self):
+        q = np.array([0.6, 0.4])
+        normals = [np.array([1.0, -0.5])]  # q0 >= 0.5*q1
+        exit_left = axis_exit_distance(q, normals, dim=0, direction=-1)
+        vertices = validity_polytope_2d(q, normals)
+        # Walking left from q, the polytope boundary is at q0 - exit_left.
+        boundary_x = q[0] - exit_left
+        min_x_at_qy = min(
+            x for x, y in vertices if abs(y - q[1]) < 0.5
+        )  # loose check: boundary not left of polytope's min x
+        assert boundary_x >= min_x_at_qy - 1e-9
+
+    def test_query_must_be_2d(self):
+        with pytest.raises(Exception):
+            validity_polytope_2d(np.array([0.5, 0.5, 0.5]), [])
+
+    def test_boundary_query_still_works(self):
+        # q exactly on a constraint boundary: the polytope is still
+        # full-dimensional, so a nudged interior point must succeed.
+        vertices = validity_polytope_2d(np.array([0.5, 0.5]), [np.array([1.0, -1.0])])
+        assert len(vertices) >= 3
+
+    def test_degenerate_polytope_rejected(self):
+        # Opposing half-planes force q0 == q1: no full-dimensional interior.
+        with pytest.raises(GeometryError):
+            validity_polytope_2d(
+                np.array([0.5, 0.5]),
+                [np.array([1.0, -1.0]), np.array([-1.0, 1.0])],
+            )

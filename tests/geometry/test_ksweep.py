@@ -1,0 +1,168 @@
+"""Kinetic k-level sweep tests, cross-checked against dense re-ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Line, sweep_topk_events
+
+
+def rank_ids(lines, k, x):
+    """Top-k ids at x by direct evaluation (library tie-break)."""
+    ordered = sorted(lines, key=lambda l: l.sort_key(x))
+    return tuple(line.tuple_id for line in ordered[:k])
+
+
+class TestBasicSweep:
+    def test_no_events_for_parallel_lines(self):
+        lines = [Line(1, 0.9, 0.5), Line(2, 0.5, 0.5)]
+        result = sweep_topk_events(lines, 1, 1.0)
+        assert result.events == []
+        assert result.initial_topk == (1,)
+        assert result.x_stop == 1.0
+
+    def test_single_composition_event(self):
+        upper = Line(1, 0.9, 0.0)
+        riser = Line(2, 0.5, 1.0)
+        result = sweep_topk_events([upper, riser], 1, 1.0)
+        assert len(result.events) == 1
+        event = result.events[0]
+        assert event.kind == "composition"
+        assert event.x == pytest.approx(0.4)
+        assert event.rising_id == 2 and event.falling_id == 1
+        assert event.topk_after == (2,)
+
+    def test_reorder_event_inside_topk(self):
+        a = Line(1, 0.9, 0.0)
+        b = Line(2, 0.5, 1.0)
+        result = sweep_topk_events([a, b], 2, 1.0)
+        assert len(result.events) == 1
+        assert result.events[0].kind == "reorder"
+        assert result.events[0].topk_after == (2, 1)
+
+    def test_event_beyond_xmax_ignored(self):
+        a = Line(1, 0.9, 0.0)
+        b = Line(2, 0.5, 1.0)
+        result = sweep_topk_events([a, b], 1, 0.3)
+        assert result.events == []
+
+    def test_swap_below_topk_not_emitted(self):
+        lines = [
+            Line(1, 1.0, 0.0),
+            Line(2, 0.5, 0.0),
+            Line(3, 0.4, 0.3),  # crosses line 2 below the top-1
+        ]
+        result = sweep_topk_events(lines, 1, 1.0)
+        assert result.events == []
+
+    def test_count_reorderings_false_suppresses_reorders(self):
+        a = Line(1, 0.9, 0.0)
+        b = Line(2, 0.5, 1.0)
+        result = sweep_topk_events([a, b], 2, 1.0, count_reorderings=False)
+        assert result.events == []
+
+    def test_composition_still_counted_without_reorders(self):
+        lines = [Line(1, 0.9, 0.2), Line(2, 0.8, 0.1), Line(3, 0.2, 1.0)]
+        result = sweep_topk_events(lines, 2, 1.0, count_reorderings=False)
+        assert all(e.kind == "composition" for e in result.events)
+        assert len(result.events) == 1  # line 3 entering over line 2
+
+
+class TestQuota:
+    def test_max_events_truncates(self):
+        # Distinct crossings: 2 over 1 at x=0.4, then 3 over 2 at x=1.0.
+        lines = [Line(1, 0.9, 0.0), Line(2, 0.7, 0.5), Line(3, 0.2, 1.0)]
+        full = sweep_topk_events(lines, 1, 2.0)
+        truncated = sweep_topk_events(lines, 1, 2.0, max_events=1)
+        assert len(full.events) == 2
+        assert len(truncated.events) == 1
+        assert truncated.truncated
+        assert truncated.x_stop == truncated.events[-1].x
+
+    def test_klevel_domain_ends_at_stop(self):
+        lines = [Line(1, 0.9, 0.0), Line(2, 0.7, 0.5), Line(3, 0.2, 1.0)]
+        truncated = sweep_topk_events(lines, 1, 2.0, max_events=1)
+        assert truncated.klevel.x_hi == pytest.approx(truncated.x_stop)
+
+    def test_concurrent_crossings_collapse_to_one_change(self):
+        # All three lines meet at x = 0.6; the top-1 flips 1 -> 3 directly,
+        # so exactly one composition event is semantically correct.
+        lines = [Line(1, 0.9, 0.0), Line(2, 0.6, 0.5), Line(3, 0.3, 1.0)]
+        result = sweep_topk_events(lines, 1, 2.0)
+        assert len(result.events) == 1
+        assert result.events[0].topk_after == (3,)
+
+
+class TestKLevel:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_klevel_matches_kth_value(self, seed, k):
+        rng = np.random.default_rng(seed)
+        lines = [
+            Line(i, float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for i in range(9)
+        ]
+        result = sweep_topk_events(lines, k, 1.5)
+        for x in np.linspace(0.0, 1.5, 31):
+            values = sorted((l.value_at(float(x)) for l in lines), reverse=True)
+            assert result.klevel.value_at(float(x)) == pytest.approx(
+                values[k - 1], abs=1e-9
+            )
+
+
+class TestEventsAgainstDenseRanking:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_topk_after_matches_reranking(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        lines = [
+            Line(i, float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for i in range(10)
+        ]
+        k = int(rng.integers(1, 5))
+        result = sweep_topk_events(lines, k, 1.0)
+        xs = [e.x for e in result.events]
+        assert xs == sorted(xs)
+        for event, next_x in zip(result.events, xs[1:] + [1.0]):
+            midpoint = (event.x + next_x) / 2.0
+            assert event.topk_after == rank_ids(lines, k, midpoint)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_event_count_complete(self, seed):
+        """Every change visible in a dense x-scan appears as an event."""
+        rng = np.random.default_rng(400 + seed)
+        lines = [
+            Line(i, float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+            for i in range(8)
+        ]
+        k = 3
+        result = sweep_topk_events(lines, k, 1.0)
+        previous = rank_ids(lines, k, 0.0)
+        changes = 0
+        for x in np.linspace(1e-9, 1.0, 2001):
+            current = rank_ids(lines, k, float(x))
+            if current != previous:
+                changes += 1
+                previous = current
+        # The dense scan may merge events closer than its step; the sweep
+        # can only find at least as many.
+        assert len(result.events) >= changes
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(GeometryError):
+            sweep_topk_events([Line(1, 0.5, 0.0), Line(1, 0.4, 0.1)], 1, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            sweep_topk_events([], 1, 1.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(Exception):
+            sweep_topk_events([Line(1, 0.5, 0.0)], 1, 0.0)
+
+    def test_k_capped_at_line_count(self):
+        result = sweep_topk_events([Line(1, 0.5, 0.0)], 5, 1.0)
+        assert result.initial_topk == (1,)

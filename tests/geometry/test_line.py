@@ -1,0 +1,68 @@
+"""Unit tests for Line in score-coordinate space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Line
+
+
+class TestLineBasics:
+    def test_value_at(self):
+        line = Line(1, 0.5, 0.2)
+        assert line.value_at(0.0) == pytest.approx(0.5)
+        assert line.value_at(2.0) == pytest.approx(0.9)
+        assert line.value_at(-1.0) == pytest.approx(0.3)
+
+    def test_mirrored_negates_slope(self):
+        line = Line(1, 0.5, 0.2).mirrored()
+        assert line.slope == pytest.approx(-0.2)
+        assert line.intercept == pytest.approx(0.5)
+        assert line.tuple_id == 1
+
+    def test_double_mirror_is_identity(self):
+        line = Line(1, 0.5, 0.2)
+        assert line.mirrored().mirrored() == line
+
+
+class TestIntersection:
+    def test_intersection_x(self):
+        a = Line(1, 1.0, 0.0)
+        b = Line(2, 0.0, 0.5)
+        assert a.intersection_x(b) == pytest.approx(2.0)
+        assert b.intersection_x(a) == pytest.approx(2.0)
+
+    def test_parallel_returns_none(self):
+        assert Line(1, 1.0, 0.3).intersection_x(Line(2, 0.5, 0.3)) is None
+
+    def test_coincident_returns_none(self):
+        assert Line(1, 1.0, 0.3).intersection_x(Line(2, 1.0, 0.3)) is None
+
+    def test_overtakes_at_requires_steeper_slope(self):
+        lower = Line(1, 0.0, 0.5)
+        upper = Line(2, 1.0, 0.1)
+        assert lower.overtakes_at(upper) == pytest.approx(2.5)
+        # The flat line never overtakes the steep one from below.
+        assert upper.overtakes_at(lower) is None
+
+    def test_equal_slopes_never_overtake(self):
+        assert Line(1, 0.0, 0.5).overtakes_at(Line(2, 1.0, 0.5)) is None
+
+
+class TestSortKey:
+    def test_orders_by_value_desc(self):
+        a, b = Line(1, 0.9, 0.0), Line(2, 0.5, 0.0)
+        assert a.sort_key(0.0) < b.sort_key(0.0)
+
+    def test_value_tie_orders_by_slope_desc(self):
+        steep, flat = Line(1, 0.5, 0.9), Line(2, 0.5, 0.1)
+        assert steep.sort_key(0.0) < flat.sort_key(0.0)
+
+    def test_full_tie_orders_by_id(self):
+        a, b = Line(1, 0.5, 0.5), Line(2, 0.5, 0.5)
+        assert a.sort_key(0.0) < b.sort_key(0.0)
+
+    def test_key_respects_position(self):
+        steep, flat = Line(1, 0.0, 1.0), Line(2, 0.5, 0.0)
+        assert flat.sort_key(0.0) < steep.sort_key(0.0)
+        assert steep.sort_key(1.0) < flat.sort_key(1.0)

@@ -1,0 +1,116 @@
+"""Cross-cutting invariants of the cost accounting.
+
+The figures only make sense if the counters mean what the paper means by
+them; these tests pin the relationships between evaluations, random
+accesses, and the simulated I/O across methods and modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    METHODS,
+    DiskModel,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    generate_text_corpus,
+    sample_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data, stats = generate_text_corpus(n_docs=2_500, vocab_size=700, seed=13)
+    index = InvertedIndex(data)
+    workload = sample_queries(
+        data, qlen=4, n_queries=3, seed=14, weight_scheme="idf", idf=stats.idf,
+        min_column_nnz=25,
+    )
+    return index, workload
+
+
+class TestEvaluationToIOCoupling:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_region_random_accesses_match_work(self, setup, method):
+        """Region-phase random accesses = evaluations + Phase 3 score fetches."""
+        index, workload = setup
+        engine = ImmutableRegionEngine(index, method=method)
+        for query in workload:
+            metrics = engine.compute(query, 10).metrics
+            expected = metrics.evals.evaluated_candidates + metrics.evals.phase3_tuples
+            assert metrics.region_access.random_accesses == expected
+
+    def test_io_seconds_monotone_in_accesses(self, setup):
+        index, workload = setup
+        model = DiskModel()
+        engine_scan = ImmutableRegionEngine(index, method="scan", disk_model=model)
+        engine_cpt = ImmutableRegionEngine(index, method="cpt", disk_model=model)
+        for query in workload:
+            scan = engine_scan.compute(query, 10).metrics
+            cpt = engine_cpt.compute(query, 10).metrics
+            if (
+                scan.region_access.random_accesses
+                > cpt.region_access.random_accesses
+            ):
+                assert scan.io_seconds > cpt.io_seconds
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_ta_cost_identical_across_methods(self, setup, method):
+        """TA runs before any method-specific work: its cost is shared."""
+        index, workload = setup
+        baseline = ImmutableRegionEngine(index, method="scan")
+        engine = ImmutableRegionEngine(index, method=method)
+        for query in workload:
+            a = baseline.compute(query, 10).metrics.ta_access
+            b = engine.compute(query, 10).metrics.ta_access
+            assert (a.sorted_accesses, a.random_accesses) == (
+                b.sorted_accesses,
+                b.random_accesses,
+            )
+
+
+class TestPrunedAccounting:
+    def test_pruned_plus_evaluated_covers_candidates(self, setup):
+        """For Prune (no thresholding), every candidate is either pruned or
+        evaluated, per dimension."""
+        index, workload = setup
+        engine = ImmutableRegionEngine(index, method="prune")
+        for query in workload:
+            metrics = engine.compute(query, 10).metrics
+            qlen = query.qlen
+            # Each dimension partitions |C| candidates into pruned + pool;
+            # pool members are all evaluated (plus Phase 3 discoveries can
+            # only add).  Totals are per-run sums over dimensions.
+            total_seen = (
+                metrics.evals.pruned_candidates + metrics.evals.evaluated_candidates
+            )
+            assert total_seen >= qlen * min(1, metrics.candidates_total)
+
+    def test_phase3_never_negative_and_bounded(self, setup):
+        index, workload = setup
+        n = index.dataset.n_tuples
+        for method in METHODS:
+            engine = ImmutableRegionEngine(index, method=method)
+            for query in workload:
+                metrics = engine.compute(query, 10).metrics
+                assert 0 <= metrics.evals.phase3_tuples <= n
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self, setup):
+        index, workload = setup
+        engine = ImmutableRegionEngine(index, method="cpt")
+        query = workload[0]
+        first = engine.compute(query, 10)
+        second = engine.compute(query, 10)
+        assert first.result.ids == second.result.ids
+        assert (
+            first.metrics.evals.evaluated_candidates
+            == second.metrics.evals.evaluated_candidates
+        )
+        assert first.metrics.io_seconds == second.metrics.io_seconds
+        for dim in (int(d) for d in query.dims):
+            assert first.region(dim).lower.delta == second.region(dim).lower.delta
+            assert first.region(dim).upper.delta == second.region(dim).upper.delta

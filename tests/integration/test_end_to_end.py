@@ -1,0 +1,157 @@
+"""End-to-end integration tests over the three paper dataset families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    METHODS,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    brute_force_bounds_phi0,
+    generate_correlated,
+    generate_image_features,
+    generate_text_corpus,
+    sample_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def wsj_like():
+    data, stats = generate_text_corpus(n_docs=1200, vocab_size=400, seed=7)
+    return InvertedIndex(data), stats
+
+
+@pytest.fixture(scope="module")
+def st_like():
+    return InvertedIndex(generate_correlated(n_tuples=1500, n_dims=8, seed=7))
+
+
+@pytest.fixture(scope="module")
+def kb_like():
+    return InvertedIndex(
+        generate_image_features(n_tuples=800, n_dims=60, seed=7)
+    )
+
+
+def run_all_methods(index, query, k, phi=0):
+    outputs = {}
+    for method in METHODS:
+        engine = ImmutableRegionEngine(index, method=method)
+        outputs[method] = engine.compute(query, k, phi=phi)
+    return outputs
+
+
+def assert_methods_agree(outputs, dims):
+    reference = outputs["scan"]
+    for method, computation in outputs.items():
+        assert computation.result.ids == reference.result.ids
+        for dim in dims:
+            got = computation.sequence(int(dim))
+            expected = reference.sequence(int(dim))
+            assert len(got) == len(expected), method
+            for region_got, region_expected in zip(got, expected):
+                assert region_got.lower.delta == pytest.approx(
+                    region_expected.lower.delta
+                ), method
+                assert region_got.upper.delta == pytest.approx(
+                    region_expected.upper.delta
+                ), method
+                assert region_got.result_ids == region_expected.result_ids, method
+
+
+class TestTextCorpusFamily:
+    def test_methods_agree_phi0(self, wsj_like):
+        index, _ = wsj_like
+        workload = sample_queries(
+            index.dataset, qlen=3, n_queries=4, seed=1, min_column_nnz=40
+        )
+        for query in workload:
+            outputs = run_all_methods(index, query, k=10)
+            assert_methods_agree(outputs, query.dims)
+
+    def test_methods_agree_phi2(self, wsj_like):
+        index, _ = wsj_like
+        workload = sample_queries(
+            index.dataset, qlen=3, n_queries=2, seed=2, min_column_nnz=40
+        )
+        for query in workload:
+            outputs = run_all_methods(index, query, k=5, phi=2)
+            assert_methods_agree(outputs, query.dims)
+
+    def test_bounds_match_oracle(self, wsj_like):
+        index, _ = wsj_like
+        workload = sample_queries(
+            index.dataset, qlen=2, n_queries=2, seed=3, min_column_nnz=40
+        )
+        for query in workload:
+            computation = ImmutableRegionEngine(index, method="cpt").compute(
+                query, k=10
+            )
+            for dim in (int(d) for d in query.dims):
+                lo, hi = brute_force_bounds_phi0(index.dataset, query, 10, dim)
+                assert computation.region(dim).lower.delta == pytest.approx(lo)
+                assert computation.region(dim).upper.delta == pytest.approx(hi)
+
+    def test_pruning_effective_on_sparse_text(self, wsj_like):
+        """Figure 10's qualitative claim: Prune evaluates far fewer
+        candidates than Scan on WSJ-like data."""
+        index, _ = wsj_like
+        workload = sample_queries(
+            index.dataset, qlen=4, n_queries=5, seed=4, min_column_nnz=40
+        )
+        scan_total = prune_total = 0
+        for query in workload:
+            outputs = run_all_methods(index, query, k=10)
+            scan_total += outputs["scan"].metrics.evals.evaluated_candidates
+            prune_total += outputs["prune"].metrics.evals.evaluated_candidates
+        assert prune_total < scan_total / 3
+
+
+class TestCorrelatedFamily:
+    def test_methods_agree(self, st_like):
+        workload = sample_queries(
+            st_like.dataset, qlen=4, n_queries=3, seed=5, min_column_nnz=40
+        )
+        for query in workload:
+            outputs = run_all_methods(st_like, query, k=10)
+            assert_methods_agree(outputs, query.dims)
+
+    def test_pruning_ineffective_on_correlated_data(self, st_like):
+        """Figure 11's qualitative claim: Prune ≈ Scan when CL dominates."""
+        workload = sample_queries(
+            st_like.dataset, qlen=4, n_queries=4, seed=6, min_column_nnz=40
+        )
+        scan_total = prune_total = cpt_total = 0
+        for query in workload:
+            outputs = run_all_methods(st_like, query, k=10)
+            scan_total += outputs["scan"].metrics.evals.evaluated_candidates
+            prune_total += outputs["prune"].metrics.evals.evaluated_candidates
+            cpt_total += outputs["cpt"].metrics.evals.evaluated_candidates
+        assert prune_total > scan_total * 0.9  # pruning removes almost nothing
+        assert cpt_total < scan_total  # thresholding still helps
+
+
+class TestImageFamily:
+    def test_methods_agree(self, kb_like):
+        workload = sample_queries(
+            kb_like.dataset, qlen=4, n_queries=3, seed=8, min_column_nnz=30
+        )
+        for query in workload:
+            outputs = run_all_methods(kb_like, query, k=10)
+            assert_methods_agree(outputs, query.dims)
+
+    def test_composition_only_mode(self, kb_like):
+        workload = sample_queries(
+            kb_like.dataset, qlen=3, n_queries=2, seed=9, min_column_nnz=30
+        )
+        for query in workload:
+            for method in METHODS:
+                engine = ImmutableRegionEngine(
+                    kb_like, method=method, count_reorderings=False
+                )
+                computation = engine.compute(query, k=8)
+                for dim in (int(d) for d in query.dims):
+                    region = computation.region(dim)
+                    assert region.lower.delta <= 0.0 <= region.upper.delta

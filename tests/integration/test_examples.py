@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example runs end-to-end and self-validates.
+
+The examples assert their own correctness internally (golden values,
+prediction-vs-recomputation checks), so a clean exit is a meaningful test.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_discovered():
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "text_retrieval.py",
+        "hotel_sensitivity.py",
+        "phi_exploration.py",
+        "validity_polytope.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their findings"
+
+
+def test_quickstart_prints_golden_values():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "IR1 = (-16/35, 0.1)" in completed.stdout

@@ -1,0 +1,75 @@
+"""Unit tests for access/evaluation counters."""
+
+from __future__ import annotations
+
+from repro.metrics import AccessCounters, EvaluationCounters
+
+
+class TestAccessCounters:
+    def test_starts_at_zero(self):
+        counters = AccessCounters()
+        assert counters.sorted_accesses == 0
+        assert counters.random_accesses == 0
+
+    def test_record_defaults_to_one(self):
+        counters = AccessCounters()
+        counters.record_sorted()
+        counters.record_random()
+        assert (counters.sorted_accesses, counters.random_accesses) == (1, 1)
+
+    def test_record_count(self):
+        counters = AccessCounters()
+        counters.record_sorted(5)
+        counters.record_random(3)
+        assert (counters.sorted_accesses, counters.random_accesses) == (5, 3)
+
+    def test_reset(self):
+        counters = AccessCounters(4, 2)
+        counters.reset()
+        assert (counters.sorted_accesses, counters.random_accesses) == (0, 0)
+
+    def test_snapshot_is_independent(self):
+        counters = AccessCounters(1, 1)
+        snap = counters.snapshot()
+        counters.record_sorted()
+        assert snap.sorted_accesses == 1
+        assert counters.sorted_accesses == 2
+
+    def test_delta_from(self):
+        counters = AccessCounters(10, 5)
+        snap = counters.snapshot()
+        counters.record_sorted(3)
+        counters.record_random(2)
+        delta = counters.delta_from(snap)
+        assert (delta.sorted_accesses, delta.random_accesses) == (3, 2)
+
+    def test_merged_with(self):
+        merged = AccessCounters(1, 2).merged_with(AccessCounters(3, 4))
+        assert (merged.sorted_accesses, merged.random_accesses) == (4, 6)
+
+
+class TestEvaluationCounters:
+    def test_all_fields_start_zero(self):
+        evals = EvaluationCounters()
+        assert evals.evaluated_candidates == 0
+        assert evals.result_comparisons == 0
+        assert evals.termination_checks == 0
+        assert evals.pruned_candidates == 0
+        assert evals.phase3_tuples == 0
+
+    def test_snapshot_and_delta(self):
+        evals = EvaluationCounters()
+        evals.evaluated_candidates = 7
+        snap = evals.snapshot()
+        evals.evaluated_candidates += 5
+        evals.phase3_tuples += 2
+        delta = evals.delta_from(snap)
+        assert delta.evaluated_candidates == 5
+        assert delta.phase3_tuples == 2
+        assert delta.result_comparisons == 0
+
+    def test_reset(self):
+        evals = EvaluationCounters()
+        evals.pruned_candidates = 9
+        evals.reset()
+        assert evals.pruned_candidates == 0

@@ -1,0 +1,60 @@
+"""Unit tests for the simulated disk cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics import AccessCounters, DiskModel
+
+
+class TestDiskModelValidation:
+    def test_rejects_negative_random_cost(self):
+        with pytest.raises(ValidationError):
+            DiskModel(random_access_ms=-1.0)
+
+    def test_rejects_negative_page_cost(self):
+        with pytest.raises(ValidationError):
+            DiskModel(page_read_ms=-0.1)
+
+    def test_rejects_zero_page_size(self):
+        with pytest.raises(ValidationError):
+            DiskModel(entries_per_page=0)
+
+
+class TestPageReads:
+    def test_zero_accesses(self):
+        assert DiskModel(entries_per_page=256).page_reads(0) == 0
+
+    def test_exact_page(self):
+        assert DiskModel(entries_per_page=256).page_reads(256) == 1
+
+    def test_partial_page_rounds_up(self):
+        assert DiskModel(entries_per_page=256).page_reads(257) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            DiskModel().page_reads(-1)
+
+
+class TestIOSeconds:
+    def test_random_only(self):
+        model = DiskModel(random_access_ms=5.0, page_read_ms=0.0)
+        assert model.io_seconds(AccessCounters(0, 100)) == pytest.approx(0.5)
+
+    def test_sequential_only(self):
+        model = DiskModel(random_access_ms=0.0, page_read_ms=0.1, entries_per_page=100)
+        assert model.io_seconds(AccessCounters(1000, 0)) == pytest.approx(0.001)
+
+    def test_mixed(self):
+        model = DiskModel(random_access_ms=5.0, page_read_ms=0.1, entries_per_page=256)
+        counters = AccessCounters(sorted_accesses=512, random_accesses=10)
+        # 10 * 5ms + 2 pages * 0.1ms = 50.2 ms
+        assert model.io_milliseconds(counters) == pytest.approx(50.2)
+
+    def test_random_access_dominates_default_model(self):
+        """A random access must be far costlier than an amortised sorted one."""
+        model = DiskModel()
+        random_cost = model.io_seconds(AccessCounters(0, 1))
+        sorted_cost = model.io_seconds(AccessCounters(1, 0))
+        assert random_cost > 10 * sorted_cost

@@ -1,0 +1,75 @@
+"""Unit tests for the analytic memory-footprint model (Figure 10(d))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics import FootprintModel
+
+
+@pytest.fixture()
+def model() -> FootprintModel:
+    return FootprintModel()
+
+
+class TestScanFootprint:
+    def test_scales_with_candidates(self, model):
+        assert model.scan(100).total_bytes == 100 * 16
+
+    def test_no_sort_lists(self, model):
+        assert model.scan(100).sort_list_bytes == 0
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValidationError):
+            model.scan(-1)
+
+
+class TestThresFootprint:
+    def test_adds_sort_lists(self, model):
+        fp = model.thres(100, qlen=4)
+        assert fp.candidate_bytes == 100 * 16
+        # SLS plus one SLj per dimension: (1 + 4) * 100 entries.
+        assert fp.sort_list_bytes == 5 * 100 * 8
+
+    def test_larger_than_scan(self, model):
+        assert model.thres(50, 2).total_bytes > model.scan(50).total_bytes
+
+
+class TestPruneFootprint:
+    def test_retains_two_per_dim_phi0(self, model):
+        fp = model.prune(n_cl=0, qlen=4, phi=0)
+        assert fp.candidate_bytes == 2 * 4 * 16
+
+    def test_phi_scales_retained(self, model):
+        phi0 = model.prune(0, 4, phi=0).total_bytes
+        phi9 = model.prune(0, 4, phi=9).total_bytes
+        assert phi9 == 10 * phi0
+
+    def test_cl_dominates_when_correlated(self, model):
+        """On correlated data CL is large, so Prune saves almost nothing."""
+        scan = model.scan(1000).total_bytes
+        prune = model.prune(n_cl=1000, qlen=4, phi=0).total_bytes
+        assert prune >= scan
+
+
+class TestCPTFootprint:
+    def test_between_prune_and_thres_on_sparse_data(self, model):
+        """When pruning works (tiny CL), CPT sits far below Thres."""
+        cpt = model.cpt(n_cl=5, qlen=4, phi=0).total_bytes
+        thres = model.thres(1000, qlen=4).total_bytes
+        assert cpt < thres / 10
+
+    def test_kbyte_conversion(self, model):
+        fp = model.scan(64)  # 64 * 16 bytes = 1 KiB
+        assert fp.total_kbytes == pytest.approx(1.0)
+
+
+class TestModelValidation:
+    def test_rejects_zero_entry_sizes(self):
+        with pytest.raises(ValidationError):
+            FootprintModel(score_bytes=0)
+        with pytest.raises(ValidationError):
+            FootprintModel(pointer_bytes=0)
+        with pytest.raises(ValidationError):
+            FootprintModel(sort_entry_bytes=0)

@@ -1,0 +1,76 @@
+"""Unit tests for the phase timer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.metrics import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().seconds("phase2") == 0.0
+
+    def test_accumulates_time(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            time.sleep(0.002)
+        assert timer.seconds("work") >= 0.001
+
+    def test_reentry_accumulates(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("work"):
+                pass
+        timer.add("work", 1.0)
+        assert timer.seconds("work") >= 1.0
+
+    def test_total_sums_phases(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total_seconds() == pytest.approx(3.0)
+
+    def test_as_dict_is_copy(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        snapshot = timer.as_dict()
+        snapshot["a"] = 99.0
+        assert timer.seconds("a") == pytest.approx(1.0)
+
+    def test_merge(self):
+        first = PhaseTimer()
+        first.add("a", 1.0)
+        second = PhaseTimer()
+        second.add("a", 2.0)
+        second.add("b", 3.0)
+        first.merge(second)
+        assert first.seconds("a") == pytest.approx(3.0)
+        assert first.seconds("b") == pytest.approx(3.0)
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        timer.reset()
+        assert timer.total_seconds() == 0.0
+
+    def test_empty_name_rejected(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValidationError):
+            with timer.phase(""):
+                pass
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValidationError):
+            PhaseTimer().add("a", -1.0)
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("work"):
+                raise RuntimeError("boom")
+        assert timer.seconds("work") >= 0.0
+        assert "work" in timer.as_dict()

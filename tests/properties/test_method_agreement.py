@@ -1,0 +1,149 @@
+"""Property-based tests: every method equals the brute-force oracle.
+
+Datasets are drawn with continuous values (general position with
+probability 1), so exact equality of bounds and per-region results is the
+expected behaviour — see DESIGN.md on ties and coincident crossings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    METHODS,
+    Dataset,
+    Query,
+    brute_force_sequences,
+    compute_immutable_regions,
+)
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def dataset_query_k(draw, max_n=60, max_m=6, max_k=8):
+    """A random sparse dataset with a valid query over it."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(5, max_n))
+    m = draw(st.integers(2, max_m))
+    density = draw(st.floats(0.3, 1.0))
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    data = Dataset.from_dense(dense)
+    eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    if len(eligible) < 2:
+        dense[:, :2] = rng.random((n, 2))
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    qlen = draw(st.integers(2, min(4, len(eligible))))
+    dims = sorted(rng.choice(eligible, size=qlen, replace=False).tolist())
+    weights = rng.uniform(0.2, 0.9, size=qlen)
+    k = draw(st.integers(1, max_k))
+    return data, Query(dims, weights), k
+
+
+def normalised(sequence, as_set):
+    out = []
+    for region in sequence:
+        ids = frozenset(region.result_ids) if as_set else tuple(region.result_ids)
+        out.append((round(region.lower.delta, 9), round(region.upper.delta, 9), ids))
+    return out
+
+
+def assert_matches_oracle(data, query, k, phi, count_reorderings, methods=METHODS):
+    oracle = brute_force_sequences(
+        data, query, k, phi=phi, count_reorderings=count_reorderings
+    )
+    for method in methods:
+        computation = compute_immutable_regions(
+            data,
+            query,
+            k,
+            method=method,
+            phi=phi,
+            count_reorderings=count_reorderings,
+        )
+        for dim in query.dims:
+            dim = int(dim)
+            got = normalised(computation.sequence(dim), as_set=not count_reorderings)
+            expected = normalised(oracle[dim], as_set=not count_reorderings)
+            assert got == expected, (
+                f"method={method} dim={dim} phi={phi} cr={count_reorderings}\n"
+                f"got      {got}\nexpected {expected}"
+            )
+
+
+class TestPhi0Agreement:
+    @given(case=dataset_query_k())
+    @settings(**SETTINGS)
+    def test_all_methods_match_oracle(self, case):
+        data, query, k = case
+        assert_matches_oracle(data, query, k, phi=0, count_reorderings=True)
+
+    @given(case=dataset_query_k())
+    @settings(**SETTINGS)
+    def test_composition_only_matches_oracle(self, case):
+        data, query, k = case
+        assert_matches_oracle(data, query, k, phi=0, count_reorderings=False)
+
+
+class TestPhiPositiveAgreement:
+    @given(case=dataset_query_k(max_n=40), phi=st.integers(1, 4))
+    @settings(**SETTINGS)
+    def test_one_off_methods_match_oracle(self, case, phi):
+        data, query, k = case
+        assert_matches_oracle(data, query, k, phi=phi, count_reorderings=True)
+
+    @given(case=dataset_query_k(max_n=30), phi=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_composition_only_phi_matches_oracle(self, case, phi):
+        data, query, k = case
+        assert_matches_oracle(data, query, k, phi=phi, count_reorderings=False)
+
+
+class TestIterativeAgreement:
+    @given(case=dataset_query_k(max_n=30), phi=st.integers(1, 3))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_iterative_equals_one_off(self, case, phi):
+        """Figure 15's premise: both regimes produce identical regions."""
+        data, query, k = case
+        for method in ("prune", "cpt"):
+            one_off = compute_immutable_regions(
+                data, query, k, method=method, phi=phi, iterative=False
+            )
+            iterative = compute_immutable_regions(
+                data, query, k, method=method, phi=phi, iterative=True
+            )
+            for dim in query.dims:
+                dim = int(dim)
+                assert normalised(one_off.sequence(dim), False) == normalised(
+                    iterative.sequence(dim), False
+                )
+
+
+class TestProbingInvariance:
+    @given(case=dataset_query_k(max_n=40))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_probing_strategy_never_changes_regions(self, case):
+        data, query, k = case
+        rr = compute_immutable_regions(
+            data, query, k, method="cpt", probing="round_robin"
+        )
+        mi = compute_immutable_regions(
+            data, query, k, method="cpt", probing="max_impact"
+        )
+        for dim in query.dims:
+            dim = int(dim)
+            assert normalised(rr.sequence(dim), False) == normalised(
+                mi.sequence(dim), False
+            )

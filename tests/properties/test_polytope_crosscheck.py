@@ -1,0 +1,96 @@
+"""Cross-validation against an independent geometric oracle (qhull path).
+
+For 2-dimensional queries the validity region is a polygon in query space
+(paper Figure 3).  The immutable-region bounds must coincide with the exit
+points of the axis-parallel rays through q — computed here from raw
+half-space constraints via :func:`axis_exit_distance`, a code path that
+shares nothing with Lemma 1 / the sweep.  The qhull polytope itself is
+also materialised and checked to contain every region's interior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Query, brute_force_topk, compute_immutable_regions
+from repro.geometry.halfspace import axis_exit_distance, validity_polytope_2d
+
+from ..conftest import random_sparse_dataset
+
+
+def validity_normals(data, query, k):
+    """All half-space normals of the validity region (order + composition)."""
+    result = brute_force_topk(data, query, k)
+    rows = {tid: data.values_at(tid, query.dims) for tid in result.ids}
+    normals = []
+    for ahead, behind in zip(result.ids, result.ids[1:]):
+        normals.append(rows[ahead] - rows[behind])
+    kth_row = rows[result.kth_id]
+    scores = data.scores(query.dims, query.weights)
+    for tid in range(data.n_tuples):
+        if tid in result or scores[tid] <= 0.0:
+            continue
+        normals.append(kth_row - data.values_at(tid, query.dims))
+    return normals
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_bounds_match_halfspace_ray_exits(seed):
+    rng = np.random.default_rng(seed)
+    data = random_sparse_dataset(rng, 50, 2, density=0.9)
+    if data.column_nnz(0) == 0 or data.column_nnz(1) == 0:
+        pytest.skip("degenerate dataset")
+    query = Query([0, 1], rng.uniform(0.25, 0.85, size=2))
+    k = int(rng.integers(1, 6))
+
+    computation = compute_immutable_regions(data, query, k, method="cpt")
+    normals = validity_normals(data, query, k)
+    weights = query.weights
+
+    for axis, dim in enumerate((0, 1)):
+        region = computation.region(dim)
+        up = axis_exit_distance(weights, normals, dim=axis, direction=1)
+        down = axis_exit_distance(weights, normals, dim=axis, direction=-1)
+        assert region.upper.delta == pytest.approx(up, abs=1e-9)
+        assert region.lower.delta == pytest.approx(-down, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_polytope_contains_region_interiors(seed):
+    rng = np.random.default_rng(100 + seed)
+    data = random_sparse_dataset(rng, 40, 2, density=0.9)
+    if data.column_nnz(0) == 0 or data.column_nnz(1) == 0:
+        pytest.skip("degenerate dataset")
+    query = Query([0, 1], rng.uniform(0.3, 0.8, size=2))
+    k = 3
+
+    computation = compute_immutable_regions(data, query, k, method="cpt")
+    normals = validity_normals(data, query, k)
+    try:
+        vertices = validity_polytope_2d(query.weights, normals)
+    except Exception:
+        pytest.skip("degenerate polytope (query on boundary)")
+    polygon = np.asarray(vertices)
+
+    def inside(point):
+        """Point-in-convex-polygon via sign of cross products (CCW hull)."""
+        n = len(polygon)
+        for i in range(n):
+            a, b = polygon[i], polygon[(i + 1) % n]
+            cross = (b[0] - a[0]) * (point[1] - a[1]) - (b[1] - a[1]) * (
+                point[0] - a[0]
+            )
+            if cross < -1e-9:
+                return False
+        return True
+
+    for axis, dim in enumerate((0, 1)):
+        region = computation.region(dim)
+        for fraction in (0.25, 0.5, 0.75):
+            delta = region.lower.delta + fraction * region.width
+            if not region.contains(delta):
+                continue
+            point = query.weights.copy()
+            point[axis] += delta
+            assert inside(point), (dim, delta)

@@ -1,0 +1,125 @@
+"""Property tests of the *meaning* of regions: re-running the query agrees.
+
+For any deviation inside a region, recomputing the top-k from scratch must
+give exactly the region's annotated result; just past an (open) crossing
+bound it must give the neighbouring region's result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Query, brute_force_topk, compute_immutable_regions
+
+from .test_method_agreement import dataset_query_k
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def recompute_topk(data, query, k, dim, delta):
+    weight = query.weight_of(dim) + delta
+    if not 0.0 < weight <= 1.0:
+        return None
+    return brute_force_topk(data, query.with_weight(dim, weight), k).ids
+
+
+class TestInsideRegion:
+    @given(case=dataset_query_k(max_n=50))
+    @settings(**SETTINGS)
+    def test_result_constant_inside_current_region(self, case):
+        data, query, k = case
+        computation = compute_immutable_regions(data, query, k, method="cpt")
+        for dim in (int(d) for d in query.dims):
+            region = computation.region(dim)
+            for fraction in (0.1, 0.5, 0.9):
+                delta = region.lower.delta + fraction * region.width
+                if not region.contains(delta):
+                    continue
+                ids = recompute_topk(data, query, k, dim, delta)
+                if ids is None:
+                    continue
+                assert ids == list(region.result_ids)
+
+    @given(case=dataset_query_k(max_n=35), phi=st.integers(1, 3))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_phi_region_annotation_correct(self, case, phi):
+        data, query, k = case
+        computation = compute_immutable_regions(data, query, k, method="cpt", phi=phi)
+        for dim in (int(d) for d in query.dims):
+            for region in computation.sequence(dim):
+                mid = (region.lower.delta + region.upper.delta) / 2.0
+                if not region.contains(mid):
+                    continue
+                ids = recompute_topk(data, query, k, dim, mid)
+                if ids is None:
+                    continue
+                assert ids == list(region.result_ids)
+
+
+class TestPastBound:
+    @given(case=dataset_query_k(max_n=50))
+    @settings(**SETTINGS)
+    def test_region_is_maximal(self, case):
+        """Just past a crossing bound the top-k differs (the region is the
+        *widest* preserving range, not merely a safe one)."""
+        data, query, k = case
+        computation = compute_immutable_regions(data, query, k, method="cpt")
+        base = computation.result.ids
+        eps = 1e-9
+        for dim in (int(d) for d in query.dims):
+            region = computation.region(dim)
+            if not region.upper.closed:
+                # Nudge past the crossing proportionally to its magnitude.
+                delta = region.upper.delta + max(eps, abs(region.upper.delta) * 1e-9)
+                ids = recompute_topk(data, query, k, dim, delta * (1 + 1e-12))
+                if ids is not None and ids == base:
+                    # Floating point may need a slightly larger nudge.
+                    ids = recompute_topk(data, query, k, dim, region.upper.delta + 1e-6)
+                    if ids is None:
+                        continue
+                    # A 1e-6 nudge may legitimately cross into deeper regions,
+                    # but it must not still equal the base result unless the
+                    # crossing sits further than 1e-6 past the bound.
+                    if ids == base:
+                        continue
+                assert ids is None or ids != base or region.upper.closed
+
+
+class TestWidthSanity:
+    @given(case=dataset_query_k())
+    @settings(**SETTINGS)
+    def test_region_nonnegative_width_and_contains_zero(self, case):
+        data, query, k = case
+        computation = compute_immutable_regions(data, query, k, method="cpt")
+        for dim in (int(d) for d in query.dims):
+            region = computation.region(dim)
+            assert region.width >= 0.0
+            assert region.lower.delta <= 0.0 <= region.upper.delta
+
+    @given(case=dataset_query_k())
+    @settings(**SETTINGS)
+    def test_composition_only_regions_at_least_as_wide(self, case):
+        """Ignoring reorderings can only widen the current region (§7.4)."""
+        data, query, k = case
+        strict = compute_immutable_regions(
+            data, query, k, method="cpt", count_reorderings=True
+        )
+        loose = compute_immutable_regions(
+            data, query, k, method="cpt", count_reorderings=False
+        )
+        for dim in (int(d) for d in query.dims):
+            assert (
+                loose.region(dim).lower.delta
+                <= strict.region(dim).lower.delta + 1e-12
+            )
+            assert (
+                loose.region(dim).upper.delta
+                >= strict.region(dim).upper.delta - 1e-12
+            )

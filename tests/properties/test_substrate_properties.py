@@ -1,0 +1,141 @@
+"""Property-based tests for the data/storage/top-k substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, InvertedIndex, Query, ThresholdAlgorithm, brute_force_topk
+from repro.metrics import AccessCounters
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sparse_matrix(draw, max_n=40, max_m=8):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_m))
+    density = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    return rng.random((n, m)) * (rng.random((n, m)) < density)
+
+
+class TestDatasetInvariants:
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_dense_round_trip(self, dense):
+        data = Dataset.from_dense(dense)
+        assert np.array_equal(data.to_dense(), dense)
+
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_nnz_matches_dense(self, dense):
+        data = Dataset.from_dense(dense)
+        assert data.nnz == int(np.count_nonzero(dense))
+
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_value_agrees_with_dense(self, dense):
+        data = Dataset.from_dense(dense)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            i = int(rng.integers(0, data.n_tuples))
+            j = int(rng.integers(0, data.n_dims))
+            assert data.value(i, j) == dense[i, j]
+
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_row_and_column_views_consistent(self, dense):
+        data = Dataset.from_dense(dense)
+        # Sum over rows == sum over columns == dense sum.
+        row_sum = sum(float(vals.sum()) for _, vals in
+                      (data.row(i) for i in range(data.n_tuples)))
+        col_sum = sum(float(data.column(j)[1].sum()) for j in range(data.n_dims))
+        assert abs(row_sum - col_sum) < 1e-9
+        assert abs(row_sum - float(dense.sum())) < 1e-9
+
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_values_at_matches_dense_gather(self, dense):
+        data = Dataset.from_dense(dense)
+        dims = np.arange(data.n_dims)
+        for i in range(min(5, data.n_tuples)):
+            assert np.array_equal(data.values_at(i, dims), dense[i])
+
+
+class TestInvertedListInvariants:
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_lists_sorted_and_complete(self, dense):
+        data = Dataset.from_dense(dense)
+        index = InvertedIndex(data)
+        for j in range(data.n_dims):
+            posting = index.list_for(j)
+            assert np.all(np.diff(posting.values) <= 0)
+            assert posting.size == data.column_nnz(j)
+            for pos in range(posting.size):
+                tid, value = posting.entry(pos)
+                assert data.value(tid, j) == value
+
+    @given(dense=sparse_matrix())
+    @settings(**SETTINGS)
+    def test_tie_order_ascending_ids(self, dense):
+        data = Dataset.from_dense(dense)
+        index = InvertedIndex(data)
+        for j in range(data.n_dims):
+            posting = index.list_for(j)
+            for a, b in zip(range(posting.size), range(1, posting.size)):
+                va, vb = posting.values[a], posting.values[b]
+                if va == vb:
+                    assert posting.ids[a] < posting.ids[b]
+
+
+class TestTAInvariants:
+    @given(dense=sparse_matrix(max_n=50), k=st.integers(1, 12),
+           seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_ta_equals_oracle_for_any_query(self, dense, k, seed):
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(data.n_dims) if data.column_nnz(d) > 0]
+        if not eligible:
+            return
+        rng = np.random.default_rng(seed)
+        qlen = int(rng.integers(1, min(4, len(eligible)) + 1))
+        dims = sorted(rng.choice(eligible, size=qlen, replace=False).tolist())
+        query = Query(dims, rng.uniform(0.1, 1.0, size=qlen))
+        outcome = ThresholdAlgorithm(InvertedIndex(data), query, k).run()
+        oracle = brute_force_topk(data, query, k)
+        assert outcome.result.ids == oracle.ids
+
+    @given(dense=sparse_matrix(max_n=50), seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_candidates_never_outscore_kth(self, dense, seed):
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(data.n_dims) if data.column_nnz(d) > 0]
+        if not eligible:
+            return
+        rng = np.random.default_rng(seed)
+        dims = sorted(
+            rng.choice(eligible, size=min(3, len(eligible)), replace=False).tolist()
+        )
+        query = Query(dims, rng.uniform(0.1, 1.0, size=len(dims)))
+        counters = AccessCounters()
+        outcome = ThresholdAlgorithm(
+            InvertedIndex(data), query, 5, counters=counters
+        ).run()
+        if len(outcome.result) == 0:
+            return
+        kth = outcome.result.kth_score
+        kth_id = outcome.result.kth_id
+        for tid, score in outcome.candidates:
+            assert (score, -tid) <= (kth, -kth_id) or score < kth
+        # Every sorted access implies at most one random access per tuple.
+        assert counters.random_accesses <= counters.sorted_accesses or (
+            counters.sorted_accesses == 0
+        )

@@ -1,0 +1,102 @@
+"""Tests for the STB sensitivity radius and its relation to immutable regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query, brute_force_topk, compute_immutable_regions, stb_radius
+
+
+@pytest.fixture()
+def data_and_query():
+    rng = np.random.default_rng(21)
+    dense = rng.random((60, 4)) * (rng.random((60, 4)) < 0.8)
+    return Dataset.from_dense(dense), Query([0, 1, 2], [0.5, 0.6, 0.4])
+
+
+class TestRadiusBasics:
+    def test_radius_positive(self, data_and_query):
+        data, query = data_and_query
+        result = stb_radius(data, query, k=5)
+        assert result.radius > 0.0
+
+    def test_examined_counts_all_non_result(self, data_and_query):
+        data, query = data_and_query
+        result = stb_radius(data, query, k=5)
+        matching = int(np.count_nonzero(data.scores(query.dims, query.weights) > 0))
+        assert result.examined == data.n_tuples - min(5, matching)
+
+    def test_limiting_pair_reported(self, data_and_query):
+        data, query = data_and_query
+        result = stb_radius(data, query, k=5)
+        assert result.limiting_ahead is not None
+        assert result.limiting_behind is not None
+        assert result.limiting_ahead != result.limiting_behind
+
+    def test_composition_only_radius_at_least_strict(self, data_and_query):
+        data, query = data_and_query
+        strict = stb_radius(data, query, k=5, count_reorderings=True)
+        loose = stb_radius(data, query, k=5, count_reorderings=False)
+        assert loose.radius >= strict.radius
+
+
+class TestBallPreservesResult:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_points_inside_ball_preserve_topk(self, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((50, 3)) * (rng.random((50, 3)) < 0.9)
+        data = Dataset.from_dense(dense)
+        query = Query([0, 1, 2], [0.5, 0.5, 0.5])
+        k = 4
+        base = brute_force_topk(data, query, k)
+        rho = stb_radius(data, query, k).radius
+        for _ in range(10):
+            direction = rng.standard_normal(3)
+            direction /= np.linalg.norm(direction)
+            step = 0.9 * rho * direction
+            new_weights = query.weights + step
+            if np.any(new_weights <= 0.0) or np.any(new_weights > 1.0):
+                continue
+            moved = Query(query.dims, new_weights)
+            assert brute_force_topk(data, moved, k).ids == base.ids
+
+
+class TestRelationToImmutableRegions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regions_at_least_as_wide_as_radius_along_axes(self, seed):
+        """The ρ-ball's axis segment lies inside each immutable region.
+
+        This is the geometric containment the paper's footnote 1 relies on:
+        per-axis regions extend at least ρ (clipped to the weight domain).
+        """
+        rng = np.random.default_rng(100 + seed)
+        dense = rng.random((40, 3)) * (rng.random((40, 3)) < 0.9)
+        data = Dataset.from_dense(dense)
+        query = Query([0, 1, 2], [0.5, 0.6, 0.4])
+        k = 3
+        rho = stb_radius(data, query, k).radius
+        computation = compute_immutable_regions(data, query, k, method="cpt")
+        for dim in (0, 1, 2):
+            region = computation.region(dim)
+            weight = query.weight_of(dim)
+            upper_reach = min(rho, 1.0 - weight)
+            lower_reach = min(rho, weight)
+            assert region.upper.delta >= upper_reach - 1e-9
+            assert region.lower.delta <= -lower_reach + 1e-9
+
+    def test_region_can_exceed_radius(self):
+        """STB's single radius is pessimistic per-axis: find a case where an
+        immutable region extends strictly beyond ρ."""
+        rng = np.random.default_rng(7)
+        found = False
+        for _ in range(20):
+            dense = rng.random((40, 3)) * (rng.random((40, 3)) < 0.9)
+            data = Dataset.from_dense(dense)
+            query = Query([0, 1, 2], [0.5, 0.6, 0.4])
+            rho = stb_radius(data, query, 3).radius
+            computation = compute_immutable_regions(data, query, 3, method="cpt")
+            for dim in (0, 1, 2):
+                if computation.region(dim).upper.delta > rho * 1.5:
+                    found = True
+        assert found

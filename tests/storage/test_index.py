@@ -1,0 +1,64 @@
+"""Unit tests for the inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dataset, InvertedIndex
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    data = Dataset.from_dense(
+        [
+            [0.8, 0.32, 0.0],
+            [0.7, 0.5, 0.0],
+            [0.1, 0.8, 0.0],
+            [0.1, 0.6, 0.0],
+        ]
+    )
+    return InvertedIndex(data)
+
+
+class TestListBuilding:
+    def test_list_matches_figure1(self, index):
+        """L1 from the paper's Figure 1: d1, d2, d3, d4 by value desc."""
+        l1 = index.list_for(0)
+        assert l1.ids.tolist() == [0, 1, 2, 3]
+        assert l1.values.tolist() == [0.8, 0.7, 0.1, 0.1]
+        l2 = index.list_for(1)
+        assert l2.ids.tolist() == [2, 3, 1, 0]
+        assert l2.values.tolist() == [0.8, 0.6, 0.5, 0.32]
+
+    def test_lists_are_cached(self, index):
+        assert index.list_for(0) is index.list_for(0)
+
+    def test_lazy_building(self, index):
+        assert index.built_dimensions() == []
+        index.list_for(1)
+        assert index.built_dimensions() == [1]
+
+    def test_empty_dimension_gives_empty_list(self, index):
+        assert index.list_for(2).size == 0
+
+    def test_out_of_range_dim(self, index):
+        with pytest.raises(StorageError):
+            index.list_for(3)
+        with pytest.raises(StorageError):
+            index.list_for(-1)
+
+
+class TestCursors:
+    def test_cursors_for_returns_fresh_state(self, index):
+        from repro.metrics import AccessCounters
+
+        counters = AccessCounters()
+        cursors = index.cursors_for([0, 1])
+        assert set(cursors) == {0, 1}
+        cursors[0].pull(counters)
+        fresh = index.cursors_for([0])
+        assert fresh[0].position == 0
+
+    def test_n_dims(self, index):
+        assert index.n_dims == 3

@@ -1,0 +1,112 @@
+"""Unit tests for inverted lists and cursors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.metrics import AccessCounters
+from repro.storage import InvertedList, ListCursor
+
+
+@pytest.fixture()
+def posting_list() -> InvertedList:
+    # Deliberately unsorted input; constructor must sort by value desc.
+    return InvertedList(
+        dim=3,
+        ids=np.array([10, 11, 12, 13]),
+        values=np.array([0.2, 0.9, 0.5, 0.9]),
+    )
+
+
+class TestInvertedList:
+    def test_sorted_descending(self, posting_list):
+        assert posting_list.values.tolist() == [0.9, 0.9, 0.5, 0.2]
+
+    def test_ties_broken_by_ascending_id(self, posting_list):
+        assert posting_list.ids.tolist() == [11, 13, 12, 10]
+
+    def test_entry(self, posting_list):
+        assert posting_list.entry(2) == (12, 0.5)
+
+    def test_entry_out_of_range(self, posting_list):
+        with pytest.raises(StorageError):
+            posting_list.entry(4)
+
+    def test_key_at_inside(self, posting_list):
+        assert posting_list.key_at(0) == 0.9
+
+    def test_key_at_past_end_is_zero(self, posting_list):
+        assert posting_list.key_at(4) == 0.0
+        assert posting_list.key_at(100) == 0.0
+
+    def test_key_at_negative_rejected(self, posting_list):
+        with pytest.raises(StorageError):
+            posting_list.key_at(-1)
+
+    def test_position_of(self, posting_list):
+        assert posting_list.position_of(12) == 2
+        assert posting_list.position_of(999) is None
+
+    def test_size_and_len(self, posting_list):
+        assert posting_list.size == 4
+        assert len(posting_list) == 4
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(StorageError):
+            InvertedList(0, np.array([1, 2]), np.array([0.5]))
+
+    def test_empty_list(self):
+        empty = InvertedList(0, np.array([], dtype=np.int64), np.array([]))
+        assert empty.size == 0
+        assert empty.key_at(0) == 0.0
+
+
+class TestListCursor:
+    def test_peek_does_not_consume(self, posting_list):
+        cursor = ListCursor(posting_list)
+        assert cursor.peek_key() == 0.9
+        assert cursor.position == 0
+
+    def test_pull_consumes_and_counts(self, posting_list):
+        counters = AccessCounters()
+        cursor = ListCursor(posting_list)
+        assert cursor.pull(counters) == (11, 0.9)
+        assert cursor.position == 1
+        assert counters.sorted_accesses == 1
+
+    def test_pull_order_matches_list(self, posting_list):
+        counters = AccessCounters()
+        cursor = ListCursor(posting_list)
+        pulled = [cursor.pull(counters)[0] for _ in range(4)]
+        assert pulled == [11, 13, 12, 10]
+
+    def test_exhausted(self, posting_list):
+        counters = AccessCounters()
+        cursor = ListCursor(posting_list)
+        for _ in range(4):
+            cursor.pull(counters)
+        assert cursor.exhausted
+        assert cursor.peek_key() == 0.0
+        with pytest.raises(StorageError):
+            cursor.pull(counters)
+
+    def test_has_passed(self, posting_list):
+        counters = AccessCounters()
+        cursor = ListCursor(posting_list)
+        assert not cursor.has_passed(11)
+        cursor.pull(counters)
+        assert cursor.has_passed(11)
+        assert not cursor.has_passed(13)
+
+    def test_has_passed_absent_tuple(self, posting_list):
+        cursor = ListCursor(posting_list)
+        assert not cursor.has_passed(999)
+
+    def test_independent_cursors(self, posting_list):
+        counters = AccessCounters()
+        first = ListCursor(posting_list)
+        second = ListCursor(posting_list)
+        first.pull(counters)
+        assert second.position == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the tuple store's I/O accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.metrics import AccessCounters
+from repro.storage import TupleStore
+
+
+@pytest.fixture()
+def store_setup():
+    data = Dataset.from_dense([[0.5, 0.0, 0.3], [0.1, 0.9, 0.0]])
+    counters = AccessCounters()
+    return data, counters, TupleStore(data, counters)
+
+
+class TestCharging:
+    def test_fetch_charges_one_random_access(self, store_setup):
+        _, counters, store = store_setup
+        store.fetch(0, np.array([0, 2]))
+        assert counters.random_accesses == 1
+
+    def test_fetch_value_charges(self, store_setup):
+        _, counters, store = store_setup
+        assert store.fetch_value(0, 2) == pytest.approx(0.3)
+        assert counters.random_accesses == 1
+
+    def test_repeated_fetches_charge_again_without_cache(self, store_setup):
+        _, counters, store = store_setup
+        store.fetch_value(0, 0)
+        store.fetch_value(0, 0)
+        assert counters.random_accesses == 2
+
+    def test_score_fetches_once(self, store_setup):
+        _, counters, store = store_setup
+        query = Query([0, 2], [0.5, 0.5])
+        score = store.score(0, query)
+        assert score == pytest.approx(0.5 * 0.5 + 0.5 * 0.3)
+        assert counters.random_accesses == 1
+
+    def test_peek_is_free(self, store_setup):
+        _, counters, store = store_setup
+        assert store.peek_value(1, 1) == pytest.approx(0.9)
+        store.peek_values(1, np.array([0, 1]))
+        assert counters.random_accesses == 0
+
+
+class TestRowCache:
+    def test_cache_makes_repeats_free(self):
+        data = Dataset.from_dense([[0.5, 0.2]])
+        counters = AccessCounters()
+        store = TupleStore(data, counters, cache_rows=True)
+        store.fetch_value(0, 0)
+        store.fetch_value(0, 1)
+        store.fetch(0, np.array([0, 1]))
+        assert counters.random_accesses == 1
+
+    def test_cache_distinct_tuples_each_charge(self):
+        data = Dataset.from_dense([[0.5], [0.7]])
+        counters = AccessCounters()
+        store = TupleStore(data, counters, cache_rows=True)
+        store.fetch_value(0, 0)
+        store.fetch_value(1, 0)
+        assert counters.random_accesses == 2
+
+
+class TestValues:
+    def test_fetch_returns_correct_coordinates(self, store_setup):
+        _, _, store = store_setup
+        out = store.fetch(1, np.array([0, 1, 2]))
+        assert out.tolist() == pytest.approx([0.1, 0.9, 0.0])

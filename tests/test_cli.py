@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.method == "cpt"
+        assert args.phi == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--method", "magic"])
+
+    def test_family_choices(self):
+        args = build_parser().parse_args(["regions", "--family", "st"])
+        assert args.family == "st"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["regions", "--family", "nope"])
+
+
+class TestDemo:
+    def test_demo_prints_figure1(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "top-2: [1, 0]" in out
+        assert "-0.457143" in out  # -16/35
+        assert "+0.100000" in out
+
+    def test_demo_phi(self, capsys):
+        assert main(["demo", "--phi", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[1, 2]" in out  # the left φ=1 region's result
+
+
+class TestRegions:
+    def test_regions_st_report(self, capsys):
+        assert main(["regions", "--family", "st", "--qlen", "3", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Immutable regions" in out
+        assert "cost:" in out
+
+    def test_regions_json_round_trip(self, capsys):
+        assert main(
+            ["regions", "--family", "st", "--qlen", "3", "--k", "5", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 5
+        assert len(payload["sequences"]) == 3
+
+    def test_composition_only_flag(self, capsys):
+        assert main(
+            [
+                "regions",
+                "--family",
+                "st",
+                "--qlen",
+                "3",
+                "--k",
+                "5",
+                "--composition-only",
+            ]
+        ) == 0
+        assert "composition-only" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_lists_all_methods(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--family",
+                "st",
+                "--qlen",
+                "3",
+                "--k",
+                "5",
+                "--queries",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for method in ("scan", "prune", "thres", "cpt"):
+            assert method in out

@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in public docstrings.
+
+The package docstring and the engine docstring both carry runnable
+examples (the Figure 1 quickstart); keeping them under test guarantees the
+documentation never drifts from the API.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.engine
+import repro.metrics.timer
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.engine, repro.metrics.timer],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the example must actually exist

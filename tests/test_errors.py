@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    DatasetError,
+    GeometryError,
+    QueryError,
+    ReproError,
+    StorageError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ValidationError, DatasetError, QueryError, StorageError,
+         GeometryError, AlgorithmError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", [ValidationError, DatasetError, QueryError])
+    def test_validation_family_is_value_error(self, exc):
+        """Input-validation failures stay catchable as plain ValueError."""
+        assert issubclass(exc, ValueError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (DatasetError, QueryError, StorageError, GeometryError,
+                    AlgorithmError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_library_raises_its_own_types(self):
+        """Spot-check that public entry points raise from the hierarchy."""
+        import repro
+
+        with pytest.raises(QueryError):
+            repro.Query([], [])
+        with pytest.raises(DatasetError):
+            repro.Dataset.from_dense([[2.0]])
+        data = repro.Dataset.from_dense([[0.5]])
+        with pytest.raises(StorageError):
+            repro.InvertedIndex(data).list_for(5)

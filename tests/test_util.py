@@ -1,0 +1,86 @@
+"""Unit tests for repro._util helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import as_float_array, check_unit_interval, pairs, require, stable_desc_order
+from repro.errors import ValidationError
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_validation_error(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_validation_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            require(False, "boom")
+
+
+class TestAsFloatArray:
+    def test_converts_list(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            as_float_array([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            as_float_array([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            as_float_array([float("inf")])
+
+
+class TestCheckUnitInterval:
+    def test_accepts_bounds(self):
+        check_unit_interval(np.array([0.0, 0.5, 1.0]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_unit_interval(np.array([-0.1]))
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_unit_interval(np.array([1.01]))
+
+    def test_empty_ok(self):
+        check_unit_interval(np.array([]))
+
+
+class TestStableDescOrder:
+    def test_simple_descending(self):
+        order = stable_desc_order([0.1, 0.9, 0.5], [0, 1, 2])
+        assert order.tolist() == [1, 2, 0]
+
+    def test_ties_broken_by_ascending_id(self):
+        order = stable_desc_order([0.5, 0.5, 0.5], [7, 3, 5])
+        # positions of ids 3, 5, 7
+        assert order.tolist() == [1, 2, 0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            stable_desc_order([1.0], [1, 2])
+
+    def test_empty(self):
+        assert stable_desc_order([], []).size == 0
+
+
+class TestPairs:
+    def test_consecutive(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (2, 3)]
+
+    def test_single_element(self):
+        assert list(pairs([1])) == []
+
+    def test_empty(self):
+        assert list(pairs([])) == []

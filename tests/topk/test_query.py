@@ -1,0 +1,115 @@
+"""Unit tests for the sparse Query vector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Query
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_dims_sorted(self):
+        q = Query([5, 1, 3], [0.1, 0.2, 0.3])
+        assert q.dims.tolist() == [1, 3, 5]
+        assert q.weights.tolist() == [0.2, 0.3, 0.1]
+
+    def test_qlen(self):
+        assert Query([0, 1], [0.5, 0.5]).qlen == 2
+
+    def test_from_mapping(self):
+        q = Query.from_mapping({2: 0.4, 0: 0.6})
+        assert q.dims.tolist() == [0, 2]
+        assert q.weight_of(2) == pytest.approx(0.4)
+
+    def test_from_dense_drops_zeros(self):
+        q = Query.from_dense([0.0, 0.5, 0.0, 0.25])
+        assert q.dims.tolist() == [1, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Query([], [])
+        with pytest.raises(QueryError):
+            Query.from_mapping({})
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(QueryError):
+            Query([1, 1], [0.5, 0.5])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0], [0.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0], [-0.5])
+
+    def test_weight_above_one_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0], [1.5])
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(QueryError):
+            Query([-1], [0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0, 1], [0.5])
+
+
+class TestAccessors:
+    def test_weight_of_absent_dim_is_zero(self):
+        assert Query([0], [0.5]).weight_of(7) == 0.0
+
+    def test_has_dim(self):
+        q = Query([2, 4], [0.5, 0.5])
+        assert q.has_dim(2) and not q.has_dim(3)
+
+    def test_items_order(self):
+        q = Query([4, 2], [0.1, 0.9])
+        assert list(q.items()) == [(2, 0.9), (4, 0.1)]
+
+    def test_score(self):
+        q = Query([0, 1], [0.8, 0.5])
+        assert q.score(np.array([0.7, 0.5])) == pytest.approx(0.81)
+
+    def test_score_wrong_length(self):
+        with pytest.raises(QueryError):
+            Query([0, 1], [0.5, 0.5]).score(np.array([1.0]))
+
+
+class TestWithWeight:
+    def test_replaces_weight(self):
+        q = Query([0, 1], [0.8, 0.5]).with_weight(0, 0.3)
+        assert q.weight_of(0) == pytest.approx(0.3)
+        assert q.weight_of(1) == pytest.approx(0.5)
+
+    def test_original_unchanged(self):
+        q = Query([0], [0.8])
+        q.with_weight(0, 0.2)
+        assert q.weight_of(0) == pytest.approx(0.8)
+
+    def test_non_query_dim_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0], [0.8]).with_weight(1, 0.5)
+
+    def test_zero_new_weight_rejected(self):
+        with pytest.raises(QueryError):
+            Query([0], [0.8]).with_weight(0, 0.0)
+
+
+class TestEquality:
+    def test_equal_queries(self):
+        assert Query([0, 1], [0.5, 0.6]) == Query([1, 0], [0.6, 0.5])
+
+    def test_unequal_weights(self):
+        assert Query([0], [0.5]) != Query([0], [0.6])
+
+    def test_hashable(self):
+        assert len({Query([0], [0.5]), Query([0], [0.5])}) == 1
+
+    def test_immutable_views(self):
+        q = Query([0], [0.5])
+        with pytest.raises(ValueError):
+            q.weights[0] = 0.9

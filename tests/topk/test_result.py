@@ -1,0 +1,109 @@
+"""Unit tests for TopKResult and CandidateList containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CandidateList, TopKResult
+from repro.errors import AlgorithmError
+
+
+class TestTopKResult:
+    def test_orders_by_score_desc(self):
+        result = TopKResult([(1, 0.5), (2, 0.9), (3, 0.7)])
+        assert result.ids == [2, 3, 1]
+
+    def test_tie_broken_by_ascending_id(self):
+        result = TopKResult([(9, 0.5), (1, 0.5)])
+        assert result.ids == [1, 9]
+
+    def test_kth_accessors(self):
+        result = TopKResult([(1, 0.9), (2, 0.4)])
+        assert result.kth_id == 2
+        assert result.kth_score == pytest.approx(0.4)
+
+    def test_rank_accessors(self):
+        result = TopKResult([(1, 0.9), (2, 0.4)])
+        assert result.id_at(0) == 1
+        assert result.score_at(1) == pytest.approx(0.4)
+
+    def test_membership(self):
+        result = TopKResult([(1, 0.9)])
+        assert 1 in result and 2 not in result
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(AlgorithmError):
+            TopKResult([(1, 0.5), (1, 0.6)])
+
+    def test_empty_result(self):
+        result = TopKResult([])
+        assert len(result) == 0
+        with pytest.raises(AlgorithmError):
+            _ = result.kth_id
+
+    def test_equality_by_order(self):
+        assert TopKResult([(1, 0.9), (2, 0.4)]) == TopKResult([(2, 0.4), (1, 0.9)])
+        assert TopKResult([(1, 0.9)]) != TopKResult([(2, 0.9)])
+
+    def test_iteration_yields_pairs(self):
+        result = TopKResult([(1, 0.9), (2, 0.4)])
+        assert list(result) == [(1, 0.9), (2, 0.4)]
+
+
+class TestCandidateList:
+    def test_insert_keeps_score_order(self):
+        candidates = CandidateList()
+        candidates.insert(1, 0.3)
+        candidates.insert(2, 0.8)
+        candidates.insert(3, 0.5)
+        assert candidates.ids == [2, 3, 1]
+
+    def test_tie_broken_by_id(self):
+        candidates = CandidateList()
+        candidates.insert(9, 0.5)
+        candidates.insert(2, 0.5)
+        assert candidates.ids == [2, 9]
+
+    def test_duplicate_insert_rejected(self):
+        candidates = CandidateList()
+        candidates.insert(1, 0.5)
+        with pytest.raises(AlgorithmError):
+            candidates.insert(1, 0.6)
+
+    def test_membership_and_len(self):
+        candidates = CandidateList()
+        candidates.insert(4, 0.2)
+        assert 4 in candidates
+        assert len(candidates) == 1
+
+    def test_remove(self):
+        candidates = CandidateList()
+        candidates.insert(1, 0.5)
+        candidates.insert(2, 0.6)
+        candidates.remove(1)
+        assert candidates.ids == [2]
+        with pytest.raises(AlgorithmError):
+            candidates.remove(1)
+
+    def test_top(self):
+        candidates = CandidateList()
+        candidates.insert(1, 0.5)
+        candidates.insert(2, 0.9)
+        assert candidates.top() == (2, 0.9)
+
+    def test_top_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            CandidateList().top()
+
+    def test_score_of(self):
+        candidates = CandidateList()
+        candidates.insert(5, 0.44)
+        assert candidates.score_of(5) == pytest.approx(0.44)
+        with pytest.raises(AlgorithmError):
+            candidates.score_of(6)
+
+    def test_iteration_descending(self):
+        candidates = CandidateList()
+        for tid, score in [(1, 0.1), (2, 0.9), (3, 0.5)]:
+            candidates.insert(tid, score)
+        assert [tid for tid, _ in candidates] == [2, 3, 1]

@@ -1,0 +1,184 @@
+"""Threshold Algorithm tests, including the paper's Figure 2 golden trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, InvertedIndex, Query, ThresholdAlgorithm, brute_force_topk
+from repro.errors import AlgorithmError, QueryError
+from repro.metrics import AccessCounters
+
+
+class TestFigure2GoldenTrace:
+    """The paper's Figure 2: TA execution on the running example.
+
+    Paper tuples d1..d4 are library ids 0..3; round-robin probing.
+    """
+
+    @pytest.fixture()
+    def trace(self, example_index, example_query):
+        ta = ThresholdAlgorithm(
+            example_index, example_query, k=2, probing="round_robin", record_trace=True
+        )
+        ta.run()
+        return ta.outcome.trace
+
+    def test_step1_initialisation(self, trace):
+        step = trace[0]
+        assert step.operation == "initialise"
+        assert step.thresholds == {0: 0.8, 1: 0.8}
+        assert step.threshold_score == pytest.approx(1.04)
+        assert step.result_ids == [] and step.candidate_ids == []
+
+    def test_step2_processes_d1_on_l1(self, trace):
+        step = trace[1]
+        assert (step.dim, step.tuple_id) == (0, 0)
+        assert step.score == pytest.approx(0.8)
+        assert step.threshold_score == pytest.approx(0.96)
+        assert step.result_ids == [0]
+
+    def test_step3_processes_d3_on_l2(self, trace):
+        step = trace[2]
+        assert (step.dim, step.tuple_id) == (1, 2)
+        assert step.score == pytest.approx(0.48)
+        assert step.threshold_score == pytest.approx(0.86)
+        assert step.result_ids == [0, 2]
+
+    def test_step4_processes_d2_on_l1(self, trace):
+        step = trace[3]
+        assert (step.dim, step.tuple_id) == (0, 1)
+        assert step.score == pytest.approx(0.81)
+        assert step.threshold_score == pytest.approx(0.38)
+        assert step.result_ids == [1, 0]
+        assert step.candidate_ids == [2]
+
+    def test_step5_terminates(self, trace):
+        assert trace[4].operation == "terminate"
+        assert len(trace) == 5
+
+
+class TestTAOutcome:
+    def test_result_and_candidates(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        outcome = ta.run()
+        assert outcome.result.ids == [1, 0]
+        assert outcome.result.kth_score == pytest.approx(0.8)
+        assert outcome.candidates.ids == [2]
+
+    def test_d4_never_encountered(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        ta.run()
+        assert not ta.has_seen(3)
+
+    def test_counters_charged(self, example_index, example_query):
+        counters = AccessCounters()
+        ta = ThresholdAlgorithm(example_index, example_query, k=2, counters=counters)
+        ta.run()
+        assert counters.sorted_accesses == 3  # d1, d3, d2 pulls
+        assert counters.random_accesses == 3  # one score fetch each
+
+    def test_run_twice_rejected(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        ta.run()
+        with pytest.raises(AlgorithmError):
+            ta.run()
+
+    def test_outcome_before_run_rejected(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        with pytest.raises(AlgorithmError):
+            _ = ta.outcome
+
+    def test_unknown_probing_rejected(self, example_index, example_query):
+        with pytest.raises(QueryError):
+            ThresholdAlgorithm(example_index, example_query, k=2, probing="nope")
+
+    def test_sorted_access_tracking(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        ta.run()
+        # d2 (id 1) was pulled from L1 via sorted access; d1 (id 0) too.
+        assert ta.encountered_via_sorted_access(1, 0)
+        assert ta.encountered_via_sorted_access(0, 0)
+        # d1's L2 entry was never reached by sorted access.
+        assert not ta.encountered_via_sorted_access(0, 1)
+
+
+class TestTAAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("probing", ["round_robin", "max_impact"])
+    def test_matches_exhaustive_topk(self, seed, probing):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((60, 6)) * (rng.random((60, 6)) < 0.6)
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(6) if data.column_nnz(d) > 0]
+        dims = sorted(rng.choice(eligible, size=min(3, len(eligible)), replace=False))
+        query = Query(dims, rng.uniform(0.2, 0.9, size=len(dims)))
+        k = int(rng.integers(1, 10))
+        ta = ThresholdAlgorithm(InvertedIndex(data), query, k, probing=probing)
+        outcome = ta.run()
+        expected = brute_force_topk(data, query, k)
+        # TA only returns tuples with positive scores; compare the prefix.
+        assert outcome.result.ids == expected.ids[: len(outcome.result)]
+        for tid, score in outcome.result:
+            assert score == pytest.approx(
+                float(data.scores(query.dims, query.weights)[tid])
+            )
+
+    def test_k_larger_than_matching_tuples(self):
+        data = Dataset.from_dense([[0.5, 0.0], [0.0, 0.0], [0.2, 0.0]])
+        query = Query([0], [0.5])
+        ta = ThresholdAlgorithm(InvertedIndex(data), query, k=5)
+        outcome = ta.run()
+        # Only two tuples have positive scores on the query dimension.
+        assert outcome.result.ids == [0, 2]
+
+    def test_candidates_sorted_desc(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=1)
+        outcome = ta.run()
+        scores = outcome.candidates.scores
+        assert np.all(np.diff(scores) <= 0)
+
+
+class TestResumeNext:
+    def test_resume_finds_d4(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        outcome = ta.run()
+        pulled = ta.resume_next()
+        # Resumption should eventually surface d4 (id 3) or d3 first if unseen.
+        assert pulled is not None
+        tid, score = pulled
+        assert tid == 3
+        assert score == pytest.approx(0.8 * 0.1 + 0.5 * 0.6)
+        assert 3 in outcome.candidates
+
+    def test_resume_exhausts_to_none(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        ta.run()
+        assert ta.resume_next() is not None  # d4
+        assert ta.resume_next() is None
+        assert ta.all_exhausted
+
+    def test_resume_before_run_rejected(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        with pytest.raises(AlgorithmError):
+            ta.resume_next()
+
+    def test_thresholds_after_resume(self, example_index, example_query):
+        ta = ThresholdAlgorithm(example_index, example_query, k=2)
+        ta.run()
+        while ta.resume_next() is not None:
+            pass
+        assert ta.threshold_score() == 0.0
+
+
+class TestMaxImpactProbing:
+    def test_prefers_high_impact_list(self, example_index, example_query):
+        ta = ThresholdAlgorithm(
+            example_index, example_query, k=2, probing="max_impact", record_trace=True
+        )
+        ta.run()
+        trace = ta.outcome.trace
+        # q1*0.8 = 0.64 > q2*0.8 = 0.4, and after pulling d1 still
+        # q1*0.7 = 0.56 > 0.4: the first two pulls hit L1.
+        assert trace[1].dim == 0
+        assert trace[2].dim == 0
