@@ -65,6 +65,13 @@ from .errors import (
     ValidationError,
 )
 from .metrics.counters import AccessCounters, EvaluationCounters
+from .service import (
+    BatchResult,
+    QueryService,
+    RegionCache,
+    ServiceStats,
+    region_cache_key,
+)
 from .metrics.diskmodel import DiskModel
 from .metrics.footprint import FootprintModel, MemoryFootprint
 from .stb.radius import STBResult, stb_radius
@@ -108,6 +115,12 @@ __all__ = [
     "concurrent_deviation_safe",
     "cross_polytope_margin",
     "sensitivity_profile",
+    # service
+    "QueryService",
+    "BatchResult",
+    "RegionCache",
+    "ServiceStats",
+    "region_cache_key",
     # comparators
     "STBResult",
     "stb_radius",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands:
+Four subcommands:
 
 ``demo``
     Run the paper's Figure 1 running example and print the region report.
@@ -11,6 +11,11 @@ Three subcommands:
 ``compare``
     Run all four methods on the same workload and print the cost table —
     a one-command miniature of the paper's evaluation.
+``batch``
+    Push a whole query workload through the pooled, cached
+    :class:`~repro.service.QueryService` and print throughput, latency
+    percentiles, cache hit rate, and per-method cost rollups; ``--repeat``
+    re-runs the workload to show cache-hit scaling.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from .datasets.image import generate_image_features
 from .datasets.synthetic import generate_correlated
 from .datasets.text import generate_text_corpus
 from .datasets.workloads import sample_queries
+from .service import EXECUTORS, QueryService
 from .storage.index import InvertedIndex
 from .topk.query import Query
 
@@ -122,6 +128,71 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    data, idf = _build_dataset(args.family, args.seed)
+    workload = sample_queries(
+        data,
+        qlen=args.qlen,
+        n_queries=args.queries,
+        seed=args.seed,
+        weight_scheme="idf" if idf is not None else "uniform",
+        idf=idf,
+        min_column_nnz=20,
+    )
+    service = QueryService(
+        InvertedIndex(data),
+        method=args.method,
+        executor=args.executor,
+        max_workers=args.workers,
+        cache_capacity=args.cache_size,
+    )
+    passes = []
+    for index in range(args.repeat):
+        result = service.run_batch(workload, k=args.k, phi=args.phi)
+        passes.append(result.stats)
+        if not args.json:
+            print(f"pass {index + 1}/{args.repeat} — {result.stats.render()}")
+            print()
+    cache_stats = service.cache.stats()
+    if args.json:
+        json.dump(
+            {
+                "family": args.family,
+                "method": args.method,
+                "executor": args.executor,
+                "workers": args.workers,
+                "k": args.k,
+                "phi": args.phi,
+                "qlen": args.qlen,
+                "passes": [stats.as_dict() for stats in passes],
+                "cache": {
+                    "hits": cache_stats.hits,
+                    "misses": cache_stats.misses,
+                    "evictions": cache_stats.evictions,
+                    "size": cache_stats.size,
+                    "hit_rate": cache_stats.hit_rate,
+                },
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        print(
+            f"cache over all passes: {cache_stats.hits} hits / "
+            f"{cache_stats.lookups} lookups ({cache_stats.hit_rate:.1%}), "
+            f"{cache_stats.size} entries resident"
+        )
+        if args.repeat > 1 and passes[0].wall_seconds > 0:
+            speedup = passes[0].wall_seconds / max(passes[-1].wall_seconds, 1e-12)
+            print(
+                f"repeat speedup: pass 1 took {passes[0].wall_seconds:.3f} s, "
+                f"pass {args.repeat} took {passes[-1].wall_seconds:.3f} s "
+                f"({speedup:.1f}x)"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -158,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
     common(compare)
     compare.add_argument("--queries", type=int, default=5)
     compare.set_defaults(handler=_cmd_compare)
+
+    batch = sub.add_parser(
+        "batch", help="run a query workload through the pooled QueryService"
+    )
+    common(batch)
+    batch.add_argument("--queries", type=int, default=100, help="workload size")
+    batch.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: executor's)"
+    )
+    batch.add_argument("--executor", choices=EXECUTORS, default="thread")
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="passes over the workload (later passes exercise the cache)",
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=1024, help="RegionCache capacity"
+    )
+    batch.add_argument("--json", action="store_true", help="emit JSON")
+    batch.set_defaults(handler=_cmd_batch)
     return parser
 
 

@@ -171,6 +171,12 @@ def derive_neighbour_result(result_ids: list[int], bound: Bound) -> Optional[lis
         return None
     new_ids = list(result_ids)
     if bound.kind == BoundKind.REORDER:
+        if bound.rising_id not in new_ids:
+            raise AlgorithmError(
+                f"reorder bound's rising tuple {bound.rising_id} is not in the "
+                f"result {new_ids}; the bound's provenance is inconsistent "
+                "with the result it claims to perturb"
+            )
         pos = new_ids.index(bound.rising_id)
         if pos == 0:
             raise AlgorithmError("top tuple cannot rise further")
@@ -182,6 +188,13 @@ def derive_neighbour_result(result_ids: list[int], bound: Bound) -> Optional[lis
 
 class ImmutableRegionEngine:
     """Computes immutable regions for subspace top-k queries.
+
+    An engine is reusable and safely shareable across worker threads: its
+    attributes are read-only configuration, and every :meth:`compute` call
+    creates its own counters, :class:`TupleStore`, and :class:`PhaseTimer`
+    (the shared :class:`InvertedIndex` serialises its lazy list builds
+    internally).  :class:`repro.service.QueryService` relies on this to run
+    one engine per method against a whole workload concurrently.
 
     Parameters
     ----------

@@ -1,0 +1,28 @@
+"""Traffic-serving layer: batched, cached, pooled query execution.
+
+The :mod:`repro.core` engine answers one query at a time.  This package
+turns it into a service: :class:`QueryService` executes whole workloads
+through a ``concurrent.futures`` pool against one shared
+:class:`~repro.storage.index.InvertedIndex`, with an LRU
+:class:`RegionCache` absorbing repeated queries and
+:class:`ServiceStats` reporting throughput, tail latency, cache hit
+rate, and per-method cost rollups.
+"""
+
+from .cache import CacheKey, CacheStats, RegionCache, region_cache_key
+from .service import EXECUTORS, BatchResult, QueryService
+from .stats import MethodRollup, QueryRecord, ServiceStats, percentile
+
+__all__ = [
+    "BatchResult",
+    "CacheKey",
+    "CacheStats",
+    "EXECUTORS",
+    "MethodRollup",
+    "QueryRecord",
+    "QueryService",
+    "RegionCache",
+    "ServiceStats",
+    "percentile",
+    "region_cache_key",
+]

@@ -1,0 +1,152 @@
+"""LRU cache of finished region computations.
+
+Traffic against a search service is heavily repetitive: popular queries
+recur, and refinement UIs re-issue the same query while a user drags a
+slider.  Since a :class:`~repro.core.engine.RegionComputation` is fully
+determined by the query vector and the engine configuration, the service
+can replay it instead of recomputing — the batching analogue of the
+"materialise per-query work into reusable state" move of the reverse
+top-k indexing literature.
+
+The cache key captures *everything* the engine output depends on:
+``(dims, weights, k, phi, method, count_reorderings)``.  Weights are
+compared exactly (bit-for-bit) — two queries with weights differing in
+the last ulp are different queries and may have different regions.
+
+Cached computations are shared objects: callers must treat them as
+immutable (the library never mutates a finished computation).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .._util import require
+from ..core.engine import RegionComputation
+from ..topk.query import Query
+
+__all__ = ["CacheKey", "CacheStats", "RegionCache", "region_cache_key"]
+
+#: ``(dims, weights, k, phi, method, count_reorderings)``.
+CacheKey = Tuple[
+    Tuple[int, ...], Tuple[float, ...], int, int, str, bool
+]
+
+
+def region_cache_key(
+    query: Query,
+    k: int,
+    phi: int,
+    method: str,
+    count_reorderings: bool = True,
+) -> CacheKey:
+    """The cache key of one (query, engine configuration) pair."""
+    return (
+        tuple(int(d) for d in query.dims),
+        tuple(float(w) for w in query.weights),
+        int(k),
+        int(phi),
+        str(method),
+        bool(count_reorderings),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class RegionCache:
+    """A bounded, thread-safe LRU cache of region computations.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached computations; the least recently *used*
+        entry is evicted when a put exceeds it.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        require(capacity >= 1, "cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[CacheKey, RegionComputation]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[RegionComputation]:
+        """The cached computation for *key*, or ``None`` (counts a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def peek(self, key: CacheKey) -> Optional[RegionComputation]:
+        """Like :meth:`get` but without touching recency or hit counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: CacheKey, computation: RegionComputation) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry if over capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = computation
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> CacheStats:
+        """Snapshot of hit/miss/eviction counts and occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"RegionCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

@@ -1,0 +1,359 @@
+"""A batch/concurrent query service over one shared inverted index.
+
+:class:`QueryService` is the first piece of traffic-serving architecture
+on top of the single-query :class:`~repro.core.engine.ImmutableRegionEngine`:
+
+* **shared state** — one :class:`~repro.storage.index.InvertedIndex` and
+  one engine per method serve every query; engines are stateless between
+  runs (all run state is created inside ``compute``), so one engine can
+  answer many queries concurrently;
+* **batching** — :meth:`run_batch` takes a whole
+  :class:`~repro.datasets.workloads.QueryWorkload` (or any iterable of
+  queries) and returns the computations in input order plus a
+  :class:`~repro.service.stats.ServiceStats` readout;
+* **caching** — finished computations land in an LRU
+  :class:`~repro.service.cache.RegionCache`; repeated queries replay
+  instead of recomputing;
+* **single-flight** — duplicate queries *within* a batch are submitted
+  once and share the result, so a hot query costs one engine run no
+  matter how often it appears;
+* **pooling** — batches run through a ``concurrent.futures`` executor:
+  ``"thread"`` (default; the engines share the in-process index) or
+  ``"process"`` (each worker rebuilds the engines from the dataset —
+  useful on multi-core machines where the GIL binds), with
+  ``"sequential"`` as the no-pool baseline.  The pool is created on
+  first use and reused across batches (process workers keep their
+  engines and inverted lists warm); ``close()`` — or using the service
+  as a context manager — shuts it down.
+
+All stats accounting happens on the calling thread, so
+:class:`ServiceStats` needs no locks; worker tasks only run engines.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .._util import require
+from ..core.engine import ImmutableRegionEngine, METHODS, RegionComputation
+from ..datasets.base import Dataset
+from ..errors import QueryError
+from ..metrics.diskmodel import DiskModel
+from ..storage.index import InvertedIndex
+from ..topk.query import Query
+from .cache import CacheKey, RegionCache, region_cache_key
+from .stats import ServiceStats
+
+__all__ = ["BatchResult", "EXECUTORS", "QueryService"]
+
+#: Supported execution strategies for :meth:`QueryService.run_batch`.
+EXECUTORS = ("sequential", "thread", "process")
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  Workers rebuild the engines from the dataset
+# (pickled once per worker via the initializer) instead of unpickling a
+# shared index per task; module-level functions keep the tasks picklable.
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _process_worker_init(dataset: Dataset, engine_kwargs: Dict) -> None:
+    _WORKER_STATE["index"] = InvertedIndex(dataset)
+    _WORKER_STATE["engine_kwargs"] = engine_kwargs
+    _WORKER_STATE["engines"] = {}
+
+
+def _process_worker_compute(
+    method: str, query: Query, k: int, phi: int
+) -> Tuple[RegionComputation, float]:
+    engines: Dict[str, ImmutableRegionEngine] = _WORKER_STATE["engines"]
+    engine = engines.get(method)
+    if engine is None:
+        engine = engines[method] = ImmutableRegionEngine(
+            _WORKER_STATE["index"], method=method, **_WORKER_STATE["engine_kwargs"]
+        )
+    start = time.perf_counter()
+    computation = engine.compute(query, k, phi=phi)
+    return computation, time.perf_counter() - start
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one :meth:`QueryService.run_batch` call.
+
+    ``computations[i]`` answers the i-th input query — identical to what
+    a dedicated ``ImmutableRegionEngine.compute`` call would return for
+    it (cache hits replay a previous identical run).
+    """
+
+    computations: List[RegionComputation]
+    stats: ServiceStats = field(default_factory=ServiceStats)
+
+    def __len__(self) -> int:
+        return len(self.computations)
+
+    def __iter__(self) -> Iterator[RegionComputation]:
+        return iter(self.computations)
+
+    def __getitem__(self, index: int) -> RegionComputation:
+        return self.computations[index]
+
+
+class QueryService:
+    """Executes query batches against one shared index with caching.
+
+    Parameters
+    ----------
+    data:
+        The dataset to serve, or a prebuilt :class:`InvertedIndex` over it.
+    method:
+        Default region-computation method for queries that don't override it.
+    executor:
+        ``"thread"`` (default), ``"process"``, or ``"sequential"``.
+    max_workers:
+        Pool size for the pooled executors (``None``: the executor default).
+    cache_capacity:
+        LRU capacity of the shared :class:`RegionCache`.
+    count_reorderings, probing, disk_model:
+        Forwarded to every engine (see :class:`ImmutableRegionEngine`).
+    """
+
+    def __init__(
+        self,
+        data: Dataset | InvertedIndex,
+        method: str = "cpt",
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        cache_capacity: int = 1024,
+        count_reorderings: bool = True,
+        probing: str = "max_impact",
+        disk_model: Optional[DiskModel] = None,
+    ) -> None:
+        require(method in METHODS, f"unknown method {method!r}")
+        require(executor in EXECUTORS, f"unknown executor {executor!r}")
+        if max_workers is not None:
+            require(max_workers >= 1, "max_workers must be >= 1")
+        self.index = data if isinstance(data, InvertedIndex) else InvertedIndex(data)
+        self.method = method
+        self.executor = executor
+        self.max_workers = max_workers
+        self.count_reorderings = count_reorderings
+        self.probing = probing
+        self.disk_model = disk_model if disk_model is not None else DiskModel()
+        self.cache = RegionCache(cache_capacity)
+        self._engines: Dict[str, ImmutableRegionEngine] = {}
+        self._engines_lock = Lock()
+        self._pool: Optional[Executor] = None
+
+    # ------------------------------------------------------------------
+
+    def _engine_kwargs(self) -> Dict:
+        return {
+            "probing": self.probing,
+            "disk_model": self.disk_model,
+            "count_reorderings": self.count_reorderings,
+        }
+
+    def engine_for(self, method: str) -> ImmutableRegionEngine:
+        """The shared (lazily built) engine of one method."""
+        require(method in METHODS, f"unknown method {method!r}")
+        with self._engines_lock:
+            engine = self._engines.get(method)
+            if engine is None:
+                engine = self._engines[method] = ImmutableRegionEngine(
+                    self.index, method=method, **self._engine_kwargs()
+                )
+            return engine
+
+    def execute(
+        self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
+    ) -> RegionComputation:
+        """Answer one query through the cache (compute on miss)."""
+        method = self.method if method is None else method
+        key = region_cache_key(query, k, phi, method, self.count_reorderings)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        computation = self.engine_for(method).compute(query, k, phi=phi)
+        self.cache.put(key, computation)
+        return computation
+
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        queries: Iterable[Query],
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+    ) -> BatchResult:
+        """Answer every query of a workload; results come in input order.
+
+        Accepts a :class:`QueryWorkload` or any iterable of queries.
+        Per-query latencies measure engine time for computed queries and
+        lookup time for cache hits; ``stats.wall_seconds`` covers the
+        whole batch including scheduling.
+        """
+        batch = list(queries)
+        require(len(batch) >= 1, "batch must contain at least one query")
+        for query in batch:
+            if not isinstance(query, Query):
+                raise QueryError(f"batch items must be Query objects, got {query!r}")
+        method = self.method if method is None else method
+        require(method in METHODS, f"unknown method {method!r}")
+
+        stats = ServiceStats()
+        start = time.perf_counter()
+        if self.executor == "sequential":
+            computations = self._run_sequential(batch, k, phi, method, stats)
+        else:
+            computations = self._run_pooled(batch, k, phi, method, stats)
+        stats.wall_seconds = time.perf_counter() - start
+        return BatchResult(computations=computations, stats=stats)
+
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self,
+        batch: List[Query],
+        k: int,
+        phi: int,
+        method: str,
+        stats: ServiceStats,
+    ) -> List[RegionComputation]:
+        engine = self.engine_for(method)
+        computations: List[RegionComputation] = []
+        for query in batch:
+            key = region_cache_key(query, k, phi, method, self.count_reorderings)
+            lookup_start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                stats.record(method, time.perf_counter() - lookup_start, True)
+                computations.append(cached)
+                continue
+            compute_start = time.perf_counter()
+            computation = engine.compute(query, k, phi=phi)
+            seconds = time.perf_counter() - compute_start
+            self.cache.put(key, computation)
+            stats.record(method, seconds, False, metrics=computation.metrics)
+            computations.append(computation)
+        return computations
+
+    def _get_pool(self) -> Executor:
+        """The service's executor, created on first use and reused.
+
+        Reuse matters most in process mode: workers are spawned and the
+        dataset pickled into them once per service, not once per batch,
+        and worker-side engines/inverted lists stay warm across batches.
+        """
+        if self._pool is None:
+            if self.executor == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_process_worker_init,
+                    initargs=(self.index.dataset, self._engine_kwargs()),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-query"
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the cache survives)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _submit(
+        self, pool: Executor, method: str, query: Query, k: int, phi: int
+    ) -> "Future[Tuple[RegionComputation, float]]":
+        if self.executor == "process":
+            return pool.submit(_process_worker_compute, method, query, k, phi)
+        engine = self.engine_for(method)
+
+        def task() -> Tuple[RegionComputation, float]:
+            task_start = time.perf_counter()
+            computation = engine.compute(query, k, phi=phi)
+            return computation, time.perf_counter() - task_start
+
+        return pool.submit(task)
+
+    def _run_pooled(
+        self,
+        batch: List[Query],
+        k: int,
+        phi: int,
+        method: str,
+        stats: ServiceStats,
+    ) -> List[RegionComputation]:
+        # Thread workers race on lazy list builds only; warming the
+        # workload's dimensions up front keeps worker latencies honest.
+        if self.executor == "thread":
+            for query in batch:
+                self.index.warm(query.dims)
+
+        keys: List[CacheKey] = [
+            region_cache_key(query, k, phi, method, self.count_reorderings)
+            for query in batch
+        ]
+        slots: List[Optional[RegionComputation]] = [None] * len(batch)
+        in_flight: Dict[CacheKey, "Future[Tuple[RegionComputation, float]]"] = {}
+        owner_of: Dict[CacheKey, int] = {}  # key -> index that pays for the run
+
+        pool = self._get_pool()
+        for i, (query, key) in enumerate(zip(batch, keys)):
+            if key in in_flight:
+                # Single-flight duplicate: resolved below, once the owner's
+                # run lands in the cache (keeps RegionCache counters in
+                # step with ServiceStats — the duplicate is a cache hit).
+                continue
+            lookup_start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                stats.record(method, time.perf_counter() - lookup_start, True)
+                slots[i] = cached
+                continue
+            in_flight[key] = self._submit(pool, method, query, k, phi)
+            owner_of[key] = i
+
+        # Owners precede their duplicates (owner_of holds the first index
+        # of each key), so by the time a duplicate resolves, the owner's
+        # put has happened and the lookup below registers a cache hit.
+        for i, key in enumerate(keys):
+            if slots[i] is not None:
+                continue
+            computation, seconds = in_flight[key].result()
+            if owner_of[key] == i:
+                self.cache.put(key, computation)
+                stats.record(method, seconds, False, metrics=computation.metrics)
+                slots[i] = computation
+            else:
+                lookup_start = time.perf_counter()
+                replay = self.cache.get(key)
+                # The owner's entry can only be missing if this batch alone
+                # overflowed the LRU capacity; the in-flight result still
+                # answers the query either way.
+                slots[i] = computation if replay is None else replay
+                stats.record(method, time.perf_counter() - lookup_start, True)
+
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(method={self.method!r}, executor={self.executor!r}, "
+            f"max_workers={self.max_workers}, cache={self.cache!r})"
+        )

@@ -1,0 +1,228 @@
+"""Workload-level statistics for the batch query service.
+
+The figures of the source paper average per-query metrics over a
+workload (see :class:`~repro.bench.harness.MethodAggregate`); a *service*
+additionally cares about operational metrics: throughput, tail latency,
+and how much of the traffic the cache absorbed.  :class:`ServiceStats`
+collects both views incrementally — one :meth:`record` per answered
+query — so the service can aggregate across threads without keeping the
+computations alive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .._util import require
+from ..core.engine import RunMetrics
+
+__all__ = ["MethodRollup", "QueryRecord", "ServiceStats", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (``q`` in [0, 100]).
+
+    Nearest-rank keeps the answer an actually observed latency, which is
+    what operators expect from a p95 readout; an empty sample reads 0.0.
+    """
+    require(0.0 <= q <= 100.0, "percentile must lie in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One answered query: where it went and what it cost the service."""
+
+    method: str
+    seconds: float
+    cache_hit: bool
+
+
+@dataclass
+class MethodRollup:
+    """Incremental mean of :class:`RunMetrics` over one method's traffic.
+
+    Only *freshly computed* queries contribute — a cache hit replays a
+    computation without doing its work, so folding it in would
+    double-count cost the service never paid.
+    """
+
+    method: str
+    n_queries: int = 0
+    evaluated_per_dim: float = 0.0
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    memory_kbytes: float = 0.0
+    candidates_total: float = 0.0
+
+    def add(self, metrics: RunMetrics) -> None:
+        """Fold one computation's metrics into the running means."""
+        self.n_queries += 1
+        n = self.n_queries
+
+        def roll(mean: float, value: float) -> float:
+            return mean + (value - mean) / n
+
+        self.evaluated_per_dim = roll(
+            self.evaluated_per_dim, metrics.evaluated_per_dim_mean
+        )
+        self.io_seconds = roll(self.io_seconds, metrics.io_seconds)
+        self.cpu_seconds = roll(self.cpu_seconds, metrics.cpu_seconds)
+        self.memory_kbytes = roll(self.memory_kbytes, metrics.memory.total_kbytes)
+        self.candidates_total = roll(
+            self.candidates_total, float(metrics.candidates_total)
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe representation (means over this method's traffic)."""
+        return {
+            "n_queries": self.n_queries,
+            "evaluated_per_dim": self.evaluated_per_dim,
+            "io_seconds": self.io_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "memory_kbytes": self.memory_kbytes,
+            "candidates_total": self.candidates_total,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Operational and algorithmic statistics of one service run.
+
+    Attributes
+    ----------
+    records:
+        One :class:`QueryRecord` per answered query, in completion order.
+    wall_seconds:
+        End-to-end wall-clock of the batch (set by the service; includes
+        scheduling and cache lookups, not just engine time).
+    rollups:
+        Per-method :class:`RunMetrics` means over freshly computed queries.
+    """
+
+    records: List[QueryRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    rollups: Dict[str, MethodRollup] = field(default_factory=dict)
+
+    def record(
+        self,
+        method: str,
+        seconds: float,
+        cache_hit: bool,
+        metrics: Optional[RunMetrics] = None,
+    ) -> None:
+        """Account one answered query; pass *metrics* for fresh computations."""
+        self.records.append(QueryRecord(method, float(seconds), bool(cache_hit)))
+        if metrics is not None:
+            rollup = self.rollups.get(method)
+            if rollup is None:
+                rollup = self.rollups[method] = MethodRollup(method)
+            rollup.add(metrics)
+
+    # ------------------------------------------------------------------
+    # Derived readouts
+    # ------------------------------------------------------------------
+
+    @property
+    def n_queries(self) -> int:
+        """Total answered queries."""
+        return len(self.records)
+
+    @property
+    def n_cache_hits(self) -> int:
+        """Queries served without running an engine."""
+        return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def n_computed(self) -> int:
+        """Queries that ran an engine."""
+        return self.n_queries - self.n_cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of the batch served from the cache."""
+        return self.n_cache_hits / self.n_queries if self.records else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Answered queries per wall-clock second."""
+        return self.n_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile over all answered queries."""
+        return percentile([record.seconds for record in self.records], q)
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        """Median per-query latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        """95th-percentile per-query latency."""
+        return self.latency_percentile(95.0)
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean per-query latency."""
+        if not self.records:
+            return 0.0
+        return sum(record.seconds for record in self.records) / self.n_queries
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        """JSON-safe summary (drops the raw per-query records)."""
+        return {
+            "n_queries": self.n_queries,
+            "n_computed": self.n_computed,
+            "n_cache_hits": self.n_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "latency_seconds": {
+                "mean": self.mean_latency_seconds,
+                "p50": self.p50_latency_seconds,
+                "p95": self.p95_latency_seconds,
+            },
+            "methods": {
+                name: rollup.as_dict() for name, rollup in sorted(self.rollups.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Fixed-width text report (the ``repro batch`` output)."""
+        lines = [
+            f"{self.n_queries} queries in {self.wall_seconds:.3f} s "
+            f"— {self.throughput_qps:.1f} q/s",
+            f"latency: mean {self.mean_latency_seconds * 1000:.2f} ms, "
+            f"p50 {self.p50_latency_seconds * 1000:.2f} ms, "
+            f"p95 {self.p95_latency_seconds * 1000:.2f} ms",
+            f"cache: {self.n_cache_hits}/{self.n_queries} served from cache "
+            f"({self.cache_hit_rate:.1%}); {self.n_computed} computed",
+        ]
+        if self.rollups:
+            lines.append("")
+            lines.append(
+                f"{'method':>8} | {'queries':>7} | {'eval/dim':>9} | "
+                f"{'I/O (s)':>9} | {'CPU (ms)':>9} | {'cand.':>7}"
+            )
+            lines.append("-" * 64)
+            for name in sorted(self.rollups):
+                rollup = self.rollups[name]
+                lines.append(
+                    f"{name:>8} | {rollup.n_queries:>7} | "
+                    f"{rollup.evaluated_per_dim:>9.2f} | "
+                    f"{rollup.io_seconds:>9.4f} | "
+                    f"{rollup.cpu_seconds * 1000:>9.3f} | "
+                    f"{rollup.candidates_total:>7.1f}"
+                )
+        return "\n".join(lines)

@@ -8,6 +8,7 @@ objects created by :meth:`InvertedIndex.cursors_for`.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable
 
 import numpy as np
@@ -20,11 +21,18 @@ __all__ = ["InvertedIndex"]
 
 
 class InvertedIndex:
-    """Lazy per-dimension inverted lists over a :class:`Dataset`."""
+    """Lazy per-dimension inverted lists over a :class:`Dataset`.
+
+    The index is safe to share across threads: a built list is immutable,
+    and the lazy build itself is serialised by an internal lock so two
+    concurrent first touches of the same dimension cannot race (see
+    :mod:`repro.service`, which runs many engines against one index).
+    """
 
     def __init__(self, dataset: Dataset) -> None:
         self._dataset = dataset
         self._lists: Dict[int, InvertedList] = {}
+        self._build_lock = threading.Lock()
 
     @property
     def dataset(self) -> Dataset:
@@ -45,14 +53,35 @@ class InvertedIndex:
             )
         cached = self._lists.get(dim)
         if cached is None:
-            ids, values = self._dataset.column(dim)
-            cached = InvertedList(dim, ids, values)
-            self._lists[dim] = cached
+            with self._build_lock:
+                cached = self._lists.get(dim)
+                if cached is None:
+                    ids, values = self._dataset.column(dim)
+                    cached = InvertedList(dim, ids, values)
+                    self._lists[dim] = cached
         return cached
+
+    def warm(self, dims: Iterable[int] | np.ndarray) -> None:
+        """Pre-build the lists of *dims* (e.g. a workload's dimensions).
+
+        Warming before a multi-threaded batch keeps the build lock out of
+        the hot path and makes per-query latencies comparable.
+        """
+        for dim in dims:
+            self.list_for(int(dim))
 
     def cursors_for(self, dims: Iterable[int] | np.ndarray) -> Dict[int, ListCursor]:
         """Fresh scan cursors for the given dimensions (one TA run's state)."""
         return {int(dim): ListCursor(self.list_for(int(dim))) for dim in dims}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_build_lock"]  # locks don't pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._build_lock = threading.Lock()
 
     def built_dimensions(self) -> list[int]:
         """Dimensions whose lists have been materialised so far."""

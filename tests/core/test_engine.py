@@ -176,6 +176,11 @@ class TestDeriveNeighbourResult:
         with pytest.raises(AlgorithmError):
             derive_neighbour_result([1, 3], bound)
 
+    def test_reorder_rising_id_missing_raises_algorithm_error(self):
+        bound = Bound(0.1, BoundKind.REORDER, rising_id=99, falling_id=3)
+        with pytest.raises(AlgorithmError, match="rising tuple 99"):
+            derive_neighbour_result([1, 3, 5], bound)
+
 
 class TestConvenienceWrapper:
     def test_accepts_dataset_or_index(self, small_index):

@@ -6,6 +6,7 @@ prediction-vs-recomputation checks), so a clean exit is a meaningful test.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,7 +14,24 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run_example(name: str, timeout: int = 180) -> subprocess.CompletedProcess:
+    """Run one example with the in-repo package importable, like the docs say."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else f"{SRC_DIR}{os.pathsep}{existing}"
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
 
 
 def test_all_examples_discovered():
@@ -23,26 +41,17 @@ def test_all_examples_discovered():
         "hotel_sensitivity.py",
         "phi_exploration.py",
         "validity_polytope.py",
+        "batch_service.py",
     }
 
 
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_example_runs_clean(name):
-    completed = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / name)],
-        capture_output=True,
-        text=True,
-        timeout=180,
-    )
+    completed = _run_example(name)
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), "examples must print their findings"
 
 
 def test_quickstart_prints_golden_values():
-    completed = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        capture_output=True,
-        text=True,
-        timeout=60,
-    )
+    completed = _run_example("quickstart.py", timeout=60)
     assert "IR1 = (-16/35, 0.1)" in completed.stdout

@@ -1,0 +1,121 @@
+"""Tests for the LRU region cache and its key function."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Query
+from repro.errors import ValidationError
+from repro.service import RegionCache, region_cache_key
+
+
+class TestRegionCacheKey:
+    def test_identical_queries_share_a_key(self):
+        a = region_cache_key(Query([0, 3], [0.5, 0.7]), 10, 0, "cpt", True)
+        b = region_cache_key(Query([3, 0], [0.7, 0.5]), 10, 0, "cpt", True)
+        assert a == b  # Query sorts dims; same vector either way
+
+    def test_key_captures_every_engine_input(self):
+        base = region_cache_key(Query([0, 3], [0.5, 0.7]), 10, 0, "cpt", True)
+        variants = [
+            region_cache_key(Query([0, 4], [0.5, 0.7]), 10, 0, "cpt", True),
+            region_cache_key(Query([0, 3], [0.5, 0.6]), 10, 0, "cpt", True),
+            region_cache_key(Query([0, 3], [0.5, 0.7]), 11, 0, "cpt", True),
+            region_cache_key(Query([0, 3], [0.5, 0.7]), 10, 1, "cpt", True),
+            region_cache_key(Query([0, 3], [0.5, 0.7]), 10, 0, "scan", True),
+            region_cache_key(Query([0, 3], [0.5, 0.7]), 10, 0, "cpt", False),
+        ]
+        assert all(variant != base for variant in variants)
+        assert len(set(variants)) == len(variants)
+
+    def test_weights_compared_exactly(self):
+        a = region_cache_key(Query([0], [0.5]), 5, 0, "cpt", True)
+        b = region_cache_key(Query([0], [0.5 + 1e-16]), 5, 0, "cpt", True)
+        # 0.5 + 1e-16 rounds back to 0.5 in float64: genuinely the same query.
+        assert (0.5 + 1e-16 == 0.5) == (a == b)
+        c = region_cache_key(Query([0], [0.5000001]), 5, 0, "cpt", True)
+        assert c != a
+
+
+class TestRegionCache:
+    def test_put_get_round_trip(self):
+        cache = RegionCache(capacity=4)
+        key = region_cache_key(Query([0], [0.5]), 5, 0, "cpt", True)
+        marker = object()
+        cache.put(key, marker)
+        assert cache.get(key) is marker
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = RegionCache(capacity=4)
+        key = region_cache_key(Query([0], [0.5]), 5, 0, "cpt", True)
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 0
+        assert stats.hit_rate == 0.0
+
+    def test_lru_eviction_order(self):
+        cache = RegionCache(capacity=2)
+        keys = [
+            region_cache_key(Query([0], [w]), 5, 0, "cpt", True)
+            for w in (0.1, 0.2, 0.3)
+        ]
+        cache.put(keys[0], "a")
+        cache.put(keys[1], "b")
+        assert cache.get(keys[0]) == "a"  # refresh key 0's recency
+        cache.put(keys[2], "c")  # evicts key 1, the LRU entry
+        assert keys[1] not in cache
+        assert cache.get(keys[0]) == "a"
+        assert cache.get(keys[2]) == "c"
+        assert cache.stats().evictions == 1
+
+    def test_peek_does_not_touch_counters(self):
+        cache = RegionCache(capacity=2)
+        key = region_cache_key(Query([0], [0.5]), 5, 0, "cpt", True)
+        cache.put(key, "a")
+        assert cache.peek(key) == "a"
+        assert cache.peek(("nope",)) is None
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = RegionCache(capacity=2)
+        key = region_cache_key(Query([0], [0.5]), 5, 0, "cpt", True)
+        cache.put(key, "a")
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            RegionCache(capacity=0)
+
+    def test_thread_safety_under_contention(self):
+        cache = RegionCache(capacity=64)
+        keys = [
+            region_cache_key(Query([0], [0.01 + 0.001 * i]), 5, 0, "cpt", True)
+            for i in range(32)
+        ]
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for _ in range(200):
+                    for i, key in enumerate(keys):
+                        cache.put(key, (worker, i))
+                        got = cache.get(key)
+                        assert got is None or isinstance(got, tuple)
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,224 @@
+"""Tests for the batch QueryService: caching, pooling, equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Query,
+    QueryService,
+    sample_queries,
+)
+from repro.core.reporting import computation_to_dict
+from repro.errors import QueryError, ValidationError
+from repro.service import EXECUTORS
+
+from ..conftest import random_sparse_dataset
+
+
+@pytest.fixture(scope="module")
+def service_dataset():
+    rng = np.random.default_rng(901)
+    return random_sparse_dataset(rng, n_tuples=400, n_dims=8, density=0.7)
+
+
+@pytest.fixture(scope="module")
+def service_index(service_dataset):
+    return InvertedIndex(service_dataset)
+
+
+@pytest.fixture(scope="module")
+def workload(service_dataset):
+    return sample_queries(
+        service_dataset, qlen=3, n_queries=12, seed=55, min_column_nnz=5
+    )
+
+
+def strip_timing(payload: dict) -> dict:
+    """Drop the wall-clock metrics; everything else must match exactly."""
+    payload["metrics"] = {
+        name: value
+        for name, value in payload["metrics"].items()
+        if name != "cpu_seconds"
+    }
+    return payload
+
+
+class TestConstruction:
+    def test_accepts_dataset_or_index(self, service_dataset, service_index):
+        assert QueryService(service_dataset).index.dataset is not None
+        assert QueryService(service_index).index is service_index
+
+    def test_rejects_unknown_method_and_executor(self, service_index):
+        with pytest.raises(ValidationError):
+            QueryService(service_index, method="magic")
+        with pytest.raises(ValidationError):
+            QueryService(service_index, executor="fiber")
+        with pytest.raises(ValidationError):
+            QueryService(service_index, max_workers=0)
+
+    def test_engines_shared_per_method(self, service_index):
+        service = QueryService(service_index)
+        assert service.engine_for("cpt") is service.engine_for("cpt")
+        assert service.engine_for("scan") is not service.engine_for("cpt")
+
+
+class TestCacheBehaviour:
+    def test_hit_on_identical_query(self, service_index, workload):
+        service = QueryService(service_index, executor="sequential")
+        first = service.execute(workload[0], k=5)
+        again = service.execute(workload[0], k=5)
+        assert again is first  # replayed, not recomputed
+        assert service.cache.stats().hits == 1
+
+    def test_miss_on_changed_phi_method_and_k(self, service_index, workload):
+        service = QueryService(service_index, executor="sequential")
+        service.execute(workload[0], k=5)
+        service.execute(workload[0], k=5, phi=1)
+        service.execute(workload[0], k=5, method="scan")
+        service.execute(workload[0], k=6)
+        stats = service.cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == 4
+        assert len(service.cache) == 4
+
+    def test_batch_repeat_is_fully_cached(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=4)
+        cold = service.run_batch(workload, k=5)
+        warm = service.run_batch(workload, k=5)
+        assert cold.stats.cache_hit_rate == 0.0
+        assert warm.stats.cache_hit_rate == 1.0
+        assert warm.stats.n_computed == 0
+        for a, b in zip(cold, warm):
+            assert a is b  # the very same computation objects replayed
+
+    def test_single_flight_dedups_within_a_batch(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=4)
+        duplicated = [workload[0], workload[1]] * 3
+        batch = service.run_batch(duplicated, k=5)
+        assert batch.stats.n_computed == 2
+        assert batch.stats.n_cache_hits == 4
+        assert batch[0] is batch[2] is batch[4]
+        assert batch[1] is batch[3] is batch[5]
+
+    def test_dedup_accounting_agrees_with_cache_counters(
+        self, service_index, workload
+    ):
+        # The ServiceStats hit count and the RegionCache lifetime counters
+        # must tell the same story, whichever executor ran the batch.
+        duplicated = [workload[0], workload[1]] * 3
+        for executor in ("sequential", "thread"):
+            service = QueryService(service_index, executor=executor, max_workers=4)
+            batch = service.run_batch(duplicated, k=5)
+            cache_stats = service.cache.stats()
+            assert batch.stats.n_cache_hits == cache_stats.hits == 4
+            assert batch.stats.n_computed == cache_stats.misses == 2
+
+    def test_lru_capacity_respected_under_batches(self, service_index, workload):
+        service = QueryService(service_index, cache_capacity=4)
+        service.run_batch(workload, k=5)
+        assert len(service.cache) == 4
+        assert service.cache.stats().evictions == len(workload) - 4
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_batch_matches_per_query_engine(
+        self, service_index, workload, executor
+    ):
+        max_workers = 2 if executor != "sequential" else None
+        service = QueryService(
+            service_index, method="cpt", executor=executor, max_workers=max_workers
+        )
+        queries = list(workload)[: 6 if executor == "process" else len(workload)]
+        batch = service.run_batch(queries, k=5)
+        engine = ImmutableRegionEngine(service_index, method="cpt")
+        assert len(batch) == len(queries)
+        for query, computation in zip(queries, batch):
+            reference = engine.compute(query, 5)
+            assert strip_timing(computation_to_dict(reference)) == strip_timing(
+                computation_to_dict(computation)
+            )
+
+    def test_method_and_phi_overrides_flow_through(self, service_index, workload):
+        service = QueryService(service_index, method="cpt")
+        batch = service.run_batch(list(workload)[:3], k=5, phi=1, method="thres")
+        for computation in batch:
+            assert computation.method == "thres"
+            assert computation.phi == 1
+
+    def test_results_keep_input_order(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=4)
+        queries = list(workload)
+        batch = service.run_batch(queries, k=5)
+        for query, computation in zip(queries, batch):
+            assert computation.query == query
+
+
+class TestBatchStats:
+    def test_stats_account_every_query(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=4)
+        batch = service.run_batch(workload, k=5)
+        stats = batch.stats
+        assert stats.n_queries == len(workload)
+        assert stats.wall_seconds > 0.0
+        assert stats.throughput_qps > 0.0
+        assert stats.p95_latency_seconds >= stats.p50_latency_seconds >= 0.0
+        rollup = stats.rollups["cpt"]
+        assert rollup.n_queries == stats.n_computed == len(workload)
+        assert rollup.evaluated_per_dim >= 0.0
+        assert rollup.io_seconds > 0.0
+
+    def test_rollups_split_by_method(self, service_index, workload):
+        service = QueryService(service_index, executor="sequential")
+        service_queries = list(workload)[:4]
+        cpt = service.run_batch(service_queries, k=5, method="cpt")
+        scan = service.run_batch(service_queries, k=5, method="scan")
+        assert set(cpt.stats.rollups) == {"cpt"}
+        assert set(scan.stats.rollups) == {"scan"}
+        assert scan.stats.rollups["scan"].n_queries == 4
+
+    def test_empty_batch_rejected(self, service_index):
+        service = QueryService(service_index)
+        with pytest.raises(ValidationError):
+            service.run_batch([], k=5)
+
+    def test_non_query_items_rejected(self, service_index):
+        service = QueryService(service_index)
+        with pytest.raises(QueryError):
+            service.run_batch([Query([0], [0.5]), "q2"], k=5)
+
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_batches(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=2)
+        service.run_batch(list(workload)[:2], k=5)
+        first_pool = service._pool
+        assert first_pool is not None
+        service.run_batch(list(workload)[2:4], k=5)
+        assert service._pool is first_pool
+
+    def test_close_is_idempotent_and_recoverable(self, service_index, workload):
+        service = QueryService(service_index, executor="thread", max_workers=2)
+        service.run_batch(list(workload)[:2], k=5)
+        service.close()
+        service.close()
+        assert service._pool is None
+        # A closed service can serve again (a fresh pool is created) and
+        # keeps its warm cache.
+        batch = service.run_batch(list(workload)[:2], k=5)
+        assert batch.stats.cache_hit_rate == 1.0
+
+    def test_context_manager_closes_pool(self, service_index, workload):
+        with QueryService(service_index, executor="thread", max_workers=2) as service:
+            service.run_batch(list(workload)[:2], k=5)
+            assert service._pool is not None
+        assert service._pool is None
+
+    def test_sequential_service_never_builds_a_pool(self, service_index, workload):
+        service = QueryService(service_index, executor="sequential")
+        service.run_batch(list(workload)[:2], k=5)
+        assert service._pool is None

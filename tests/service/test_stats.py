@@ -1,0 +1,113 @@
+"""Tests for the service statistics aggregator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ImmutableRegionEngine, InvertedIndex, Query
+from repro.errors import ValidationError
+from repro.service import MethodRollup, ServiceStats, percentile
+
+from ..conftest import RUNNING_EXAMPLE_ROWS
+
+
+class TestPercentile:
+    def test_empty_reads_zero(self):
+        assert percentile([], 95.0) == 0.0
+
+    def test_nearest_rank_is_an_observed_value(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50.0) == 3.0
+        assert percentile(values, 95.0) == 5.0
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_range_validated(self):
+        with pytest.raises(ValidationError):
+            percentile([1.0], 101.0)
+
+
+class TestServiceStats:
+    def test_empty_stats_read_zero(self):
+        stats = ServiceStats()
+        assert stats.n_queries == 0
+        assert stats.cache_hit_rate == 0.0
+        assert stats.throughput_qps == 0.0
+        assert stats.p50_latency_seconds == 0.0
+        assert stats.mean_latency_seconds == 0.0
+
+    def test_counts_and_hit_rate(self):
+        stats = ServiceStats()
+        stats.record("cpt", 0.010, False)
+        stats.record("cpt", 0.000, True)
+        stats.record("scan", 0.020, False)
+        stats.record("cpt", 0.000, True)
+        assert stats.n_queries == 4
+        assert stats.n_cache_hits == 2
+        assert stats.n_computed == 2
+        assert stats.cache_hit_rate == 0.5
+
+    def test_throughput_uses_wall_clock(self):
+        stats = ServiceStats()
+        for _ in range(10):
+            stats.record("cpt", 0.001, False)
+        stats.wall_seconds = 2.0
+        assert stats.throughput_qps == pytest.approx(5.0)
+
+    def test_latency_percentiles(self):
+        stats = ServiceStats()
+        for ms in range(1, 101):
+            stats.record("cpt", ms / 1000.0, False)
+        assert stats.p50_latency_seconds == pytest.approx(0.050)
+        assert stats.p95_latency_seconds == pytest.approx(0.095)
+
+    def test_rollups_only_count_fresh_computations(self):
+        from repro import Dataset
+
+        engine = ImmutableRegionEngine(
+            InvertedIndex(Dataset.from_dense(RUNNING_EXAMPLE_ROWS)), method="cpt"
+        )
+        computation = engine.compute(Query([0, 1], [0.8, 0.5]), k=2)
+        stats = ServiceStats()
+        stats.record("cpt", 0.01, False, metrics=computation.metrics)
+        stats.record("cpt", 0.00, True)  # cache hit: no metrics, no rollup
+        assert stats.rollups["cpt"].n_queries == 1
+        assert stats.rollups["cpt"].candidates_total == float(
+            computation.metrics.candidates_total
+        )
+
+    def test_rollup_incremental_mean_matches_batch_mean(self):
+        rollup = MethodRollup("cpt")
+
+        class FakeMemory:
+            total_kbytes = 2.0
+
+        class FakeMetrics:
+            evaluated_per_dim_mean = 0.0
+            io_seconds = 0.0
+            cpu_seconds = 0.0
+            memory = FakeMemory()
+            candidates_total = 0
+
+        values = [3.0, 5.0, 10.0]
+        for value in values:
+            metrics = FakeMetrics()
+            metrics.evaluated_per_dim_mean = value
+            metrics.io_seconds = value / 10.0
+            rollup.add(metrics)
+        assert rollup.n_queries == 3
+        assert rollup.evaluated_per_dim == pytest.approx(sum(values) / 3)
+        assert rollup.io_seconds == pytest.approx(sum(values) / 30.0)
+
+    def test_as_dict_and_render(self):
+        stats = ServiceStats()
+        stats.record("cpt", 0.010, False)
+        stats.record("cpt", 0.000, True)
+        stats.wall_seconds = 0.5
+        payload = stats.as_dict()
+        assert payload["n_queries"] == 2
+        assert payload["cache_hit_rate"] == 0.5
+        assert payload["latency_seconds"]["p95"] == pytest.approx(0.010)
+        text = stats.render()
+        assert "2 queries" in text
+        assert "50.0%" in text
