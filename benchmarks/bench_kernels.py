@@ -1,0 +1,257 @@
+"""Scalar vs vector hot-path benchmark, feeding ``BENCH_hotpath.json``.
+
+Unlike the figure benches (pytest-benchmark suites reproducing the paper's
+plots), this is a standalone script tracking the repo's own performance
+trajectory: it times the ``backend="scalar"`` reference loops against the
+``backend="vector"`` array kernels and writes a machine-readable summary
+to the repo root so future PRs can compare against it.
+
+Two layers are measured:
+
+* **kernels** — the isolated scoring and partitioning primitives on the
+  main-memory (``cache_rows``) path at the headline configuration
+  (n=50k, qlen=4, k=10): batch gather + matvec vs a per-tuple
+  fetch-and-score loop, and mask partitioning over the candidate
+  coordinate matrix vs per-tuple classification;
+* **engine grid** — end-to-end ``ImmutableRegionEngine.compute`` across an
+  (n, qlen, k, φ) grid for both backends (the two pool-policy extremes,
+  Scan and CPT).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --check    # fail if
+        # the vector scoring kernel is not faster than scalar
+
+``--quick --check`` is the CI smoke job: a tiny grid plus the regression
+gate on the scoring kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ImmutableRegionEngine, InvertedIndex, Query
+from repro.datasets.synthetic import generate_correlated
+from repro.datasets.workloads import sample_queries
+from repro.kernels import gather_columns, partition_masks
+from repro.metrics import AccessCounters
+from repro.storage import TupleStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_hotpath.json"
+
+#: The acceptance configuration: main-memory scoring/partitioning path.
+HEADLINE = dict(n=50_000, qlen=4, k=10)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_scoring_kernel(data, query, ids, repeats: int) -> dict:
+    """Batch gather+matvec vs the per-tuple fetch-and-score loop."""
+
+    def scalar() -> None:
+        store = TupleStore(data, AccessCounters(), cache_rows=True)
+        for tid in ids:
+            store.score(int(tid), query)
+
+    def vector() -> None:
+        store = TupleStore(data, AccessCounters(), cache_rows=True)
+        store.score_many(ids, query)
+
+    scalar_s = _best_of(scalar, repeats)
+    vector_s = _best_of(vector, repeats)
+    return {
+        "batch_size": int(ids.size),
+        "scalar_seconds": scalar_s,
+        "vector_seconds": vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+
+
+def bench_partition_kernel(data, query, ids, repeats: int) -> dict:
+    """Mask partitioning over the coordinate matrix vs per-tuple classify."""
+    j_pos = 0
+
+    def scalar() -> None:
+        c0 = ch = cl = 0
+        for tid in ids:
+            coords = data.values_at(int(tid), query.dims)
+            if coords[j_pos] == 0.0:
+                c0 += 1
+            elif int(np.count_nonzero(coords)) == 1:
+                ch += 1
+            else:
+                cl += 1
+
+    def vector() -> None:
+        matrix = gather_columns(data, ids, query.dims)
+        partition_masks(matrix, j_pos)
+
+    scalar_s = _best_of(scalar, repeats)
+    vector_s = _best_of(vector, repeats)
+    return {
+        "batch_size": int(ids.size),
+        "scalar_seconds": scalar_s,
+        "vector_seconds": vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+
+
+def bench_engine_point(index, workload, k, phi, method, backend, repeats: int) -> float:
+    engine = ImmutableRegionEngine(
+        index, method=method, cache_rows=True, backend=backend
+    )
+    engine.compute(workload[0], k, phi=phi)  # warm lazy structures
+
+    def run() -> None:
+        for query in workload:
+            engine.compute(query, k, phi=phi)
+
+    return _best_of(run, repeats)
+
+
+def run_engine_grid(quick: bool, repeats: int) -> list:
+    if quick:
+        grid = [dict(n=2_000, qlen=3, k=5, phi=0)]
+        methods = ("cpt",)
+        n_queries = 3
+    else:
+        grid = [
+            dict(n=10_000, qlen=4, k=10, phi=0),
+            dict(n=50_000, qlen=4, k=10, phi=0),
+            dict(n=50_000, qlen=2, k=10, phi=0),
+            dict(n=50_000, qlen=6, k=10, phi=0),
+            dict(n=50_000, qlen=4, k=50, phi=0),
+            dict(n=50_000, qlen=4, k=10, phi=2),
+        ]
+        methods = ("scan", "cpt")
+        n_queries = 5
+    rows = []
+    datasets = {}
+    for point in grid:
+        n = point["n"]
+        if n not in datasets:
+            data = generate_correlated(n_tuples=n, n_dims=12, seed=0)
+            datasets[n] = (data, InvertedIndex(data))
+        data, index = datasets[n]
+        workload = sample_queries(
+            data, qlen=point["qlen"], n_queries=n_queries, seed=1, min_column_nnz=20
+        )
+        for method in methods:
+            scalar_s = bench_engine_point(
+                index, workload, point["k"], point["phi"], method, "scalar", repeats
+            )
+            vector_s = bench_engine_point(
+                index, workload, point["k"], point["phi"], method, "vector", repeats
+            )
+            row = dict(point)
+            row.update(
+                method=method,
+                n_queries=len(workload),
+                scalar_seconds=scalar_s,
+                vector_seconds=vector_s,
+                speedup=scalar_s / vector_s,
+            )
+            rows.append(row)
+            print(
+                f"engine n={row['n']:>6} qlen={row['qlen']} k={row['k']:>2} "
+                f"phi={row['phi']} {method:>4}: scalar {scalar_s:.3f}s "
+                f"vector {vector_s:.3f}s  ({row['speedup']:.2f}x)"
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny CI grid")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the vector scoring kernel beats scalar",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    # --- Kernel layer: the main-memory scoring/partitioning path ---------
+    head = dict(HEADLINE)
+    if args.quick:
+        head["n"] = 5_000
+    data = generate_correlated(n_tuples=head["n"], n_dims=12, seed=0)
+    query = sample_queries(
+        data, qlen=head["qlen"], n_queries=1, seed=1, min_column_nnz=20
+    )[0]
+    rng = np.random.default_rng(2)
+    batch = min(head["n"], 20_000 if not args.quick else 2_000)
+    ids = rng.choice(head["n"], size=batch, replace=False).astype(np.int64)
+    scoring = bench_scoring_kernel(data, query, ids, repeats)
+    partition = bench_partition_kernel(data, query, ids, repeats)
+    combined_scalar = scoring["scalar_seconds"] + partition["scalar_seconds"]
+    combined_vector = scoring["vector_seconds"] + partition["vector_seconds"]
+    kernels = {
+        "config": {**head, "cache_rows": True},
+        "scoring": scoring,
+        "partitioning": partition,
+        "scoring_partitioning_speedup": combined_scalar / combined_vector,
+    }
+    print(
+        f"kernel scoring     (batch {scoring['batch_size']}): "
+        f"scalar {scoring['scalar_seconds']:.4f}s vector "
+        f"{scoring['vector_seconds']:.4f}s  ({scoring['speedup']:.1f}x)"
+    )
+    print(
+        f"kernel partitioning(batch {partition['batch_size']}): "
+        f"scalar {partition['scalar_seconds']:.4f}s vector "
+        f"{partition['vector_seconds']:.4f}s  ({partition['speedup']:.1f}x)"
+    )
+    print(
+        f"scoring/partitioning path combined speedup: "
+        f"{kernels['scoring_partitioning_speedup']:.1f}x"
+    )
+
+    # --- Engine layer: (n, qlen, k, phi) grid ----------------------------
+    engine_rows = run_engine_grid(args.quick, repeats)
+
+    payload = {
+        "meta": {
+            "bench": "bench_kernels",
+            "mode": "quick" if args.quick else "full",
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "kernels": kernels,
+        "engine_grid": engine_rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check and scoring["speedup"] <= 1.0:
+        print(
+            "REGRESSION: vector scoring kernel is not faster than scalar "
+            f"({scoring['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from .core.brute import (
     brute_force_topk,
 )
 from .core.engine import (
+    BACKENDS,
     METHODS,
     ImmutableRegionEngine,
     RegionComputation,

@@ -50,10 +50,12 @@ class ExperimentRunner:
         index: InvertedIndex,
         disk_model: Optional[DiskModel] = None,
         probing: str = "max_impact",
+        backend: str = "vector",
     ) -> None:
         self.index = index
         self.disk_model = disk_model if disk_model is not None else DiskModel()
         self.probing = probing
+        self.backend = backend
 
     def run_point(
         self,
@@ -74,6 +76,7 @@ class ExperimentRunner:
             disk_model=self.disk_model,
             count_reorderings=count_reorderings,
             iterative=iterative,
+            backend=self.backend,
         )
         computations: List[RegionComputation] = [
             engine.compute(query, k, phi=phi) for query in workload

@@ -26,7 +26,12 @@ import sys
 from typing import List, Optional
 
 from .bench.harness import ExperimentRunner
-from .core.engine import METHODS, ImmutableRegionEngine, compute_immutable_regions
+from .core.engine import (
+    BACKENDS,
+    METHODS,
+    ImmutableRegionEngine,
+    compute_immutable_regions,
+)
 from .core.reporting import computation_to_dict, render_report
 from .datasets.base import Dataset
 from .datasets.image import generate_image_features
@@ -71,7 +76,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     query = Query([0, 1], [0.8, 0.5])
     computation = compute_immutable_regions(
-        data, query, k=2, method=args.method, phi=args.phi
+        data, query, k=2, method=args.method, phi=args.phi, backend=args.backend
     )
     print(render_report(computation))
     return 0
@@ -84,6 +89,7 @@ def _cmd_regions(args: argparse.Namespace) -> int:
         InvertedIndex(data),
         method=args.method,
         count_reorderings=not args.composition_only,
+        backend=args.backend,
     )
     computation = engine.compute(query, k=args.k, phi=args.phi)
     if args.json:
@@ -112,10 +118,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         idf=idf,
         min_column_nnz=20,
     )
-    runner = ExperimentRunner(index)
+    runner = ExperimentRunner(index, backend=args.backend)
     print(
         f"{args.family} family, k={args.k}, qlen={args.qlen}, "
-        f"phi={args.phi}, {args.queries} queries\n"
+        f"phi={args.phi}, {args.queries} queries "
+        f"({args.backend} backend)\n"
     )
     print(f"{'method':>8} | {'eval/dim':>10} | {'I/O (s)':>10} | {'CPU (ms)':>10}")
     print("-" * 48)
@@ -145,6 +152,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         cache_capacity=args.cache_size,
+        backend=args.backend,
     )
     passes = []
     for index in range(args.repeat):
@@ -159,6 +167,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             {
                 "family": args.family,
                 "method": args.method,
+                "backend": args.backend,
                 "executor": args.executor,
                 "workers": args.workers,
                 "k": args.k,
@@ -207,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--k", type=int, default=10)
         p.add_argument("--phi", type=int, default=0)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default="vector",
+            help="hot-path implementation: vectorized kernels (default) "
+            "or the scalar reference loops",
+        )
         if with_family:
             p.add_argument("--family", choices=_FAMILIES, default="wsj")
             p.add_argument("--qlen", type=int, default=4)

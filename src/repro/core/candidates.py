@@ -27,9 +27,15 @@ from typing import List
 import numpy as np
 
 from .._util import require
+from ..kernels.partition import partition_masks
 from .context import CandidateRecord, RunContext
 
-__all__ = ["CandidatePartition", "partition_candidates", "pruned_pool"]
+__all__ = [
+    "CandidatePartition",
+    "build_pruned_pool",
+    "partition_candidates",
+    "pruned_pool",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,8 @@ def partition_candidates(ctx: RunContext, dim: int) -> CandidatePartition:
     dim = int(dim)
     dims = ctx.query.dims
     j_pos = int(np.searchsorted(dims, dim))
+    if ctx.backend == "vector":
+        return _partition_vector(ctx, dim, j_pos)
     c0: List[CandidateRecord] = []
     ch: List[CandidateRecord] = []
     cl: List[CandidateRecord] = []
@@ -83,6 +91,28 @@ def partition_candidates(ctx: RunContext, dim: int) -> CandidatePartition:
             else:
                 cl.append(record)
     return CandidatePartition(dim=dim, c0=c0, ch=ch, cl=cl)
+
+
+def _partition_vector(ctx: RunContext, dim: int, j_pos: int) -> CandidatePartition:
+    """Mask-based split over the per-query candidate coordinate matrix.
+
+    Boolean-mask indexing preserves the candidate list's decreasing-score
+    order within each class, matching the scalar append loop exactly.
+    """
+    ids, scores, coords = ctx.candidate_arrays()
+    c0_mask, ch_mask, cl_mask = partition_masks(coords, j_pos)
+    column = coords[:, j_pos]
+
+    def records(mask: np.ndarray) -> List[CandidateRecord]:
+        selected = np.nonzero(mask)[0]
+        return [
+            CandidateRecord(int(ids[i]), float(scores[i]), float(column[i]))
+            for i in selected
+        ]
+
+    return CandidatePartition(
+        dim=dim, c0=records(c0_mask), ch=records(ch_mask), cl=records(cl_mask)
+    )
 
 
 def pruned_pool(
@@ -115,3 +145,45 @@ def pruned_pool(
         pool.extend(partition.best_ch(keep))
     pool.sort(key=lambda r: (-r.score, r.tuple_id))
     return pool
+
+
+def build_pruned_pool(
+    ctx: RunContext, dim: int, phi: int, side: str = "both"
+) -> tuple[List[CandidateRecord], int]:
+    """Partition + prune in one step; returns ``(pool, n_pruned)``.
+
+    The vector backend selects the surviving rows with boolean masks over
+    the candidate coordinate matrix and materialises *only* those records.
+    Selected row indices are ascending in candidate-list order, which *is*
+    the ``(-score, tuple_id)`` order the scalar pool's final sort
+    establishes — so the pools are identical, element for element.  The
+    ``CH_j`` selection ranks by ``(-coord, tuple_id)`` via lexsort (all
+    ``CH_j`` coordinates are strictly positive, so sign-of-zero quirks
+    cannot arise).
+    """
+    dim = int(dim)
+    if ctx.backend != "vector":
+        partition = partition_candidates(ctx, dim)
+        pool = pruned_pool(partition, phi=phi, side=side)
+        return pool, partition.total - len(pool)
+    require(phi >= 0, "phi must be >= 0")
+    require(side in ("left", "right", "both"), "side must be left/right/both")
+    ids, scores, coords = ctx.candidate_arrays()
+    j_pos = int(np.searchsorted(ctx.query.dims, dim))
+    c0_mask, ch_mask, cl_mask = partition_masks(coords, j_pos)
+    column = coords[:, j_pos]
+    keep = phi + 1
+    select = cl_mask.copy()
+    if side in ("left", "both"):
+        # best_c0: the first ``keep`` C0 rows in candidate (score) order.
+        select[np.nonzero(c0_mask)[0][:keep]] = True
+    if side in ("right", "both"):
+        ch_rows = np.nonzero(ch_mask)[0]
+        if ch_rows.size:
+            order = np.lexsort((ids[ch_rows], -column[ch_rows]))
+            select[ch_rows[order[:keep]]] = True
+    rows = np.nonzero(select)[0]
+    pool = [
+        CandidateRecord(int(ids[i]), float(scores[i]), float(column[i])) for i in rows
+    ]
+    return pool, int(ids.size) - len(pool)

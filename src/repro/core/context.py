@@ -20,31 +20,39 @@ accounting policy (mirroring §7.1–7.2 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..errors import AlgorithmError
 from ..geometry.line import Line
+from ..kernels.constraints import batch_crossings, first_max_index, first_min_index
 from ..metrics.counters import AccessCounters, EvaluationCounters
 from ..metrics.timer import PhaseTimer
 from ..storage.index import InvertedIndex
 from ..storage.tuple_store import TupleStore
 from ..topk.query import Query
-from ..topk.ta import TAOutcome, ThresholdAlgorithm
+from ..topk.ta import BACKENDS, TAOutcome, ThresholdAlgorithm
 from .lemma1 import constraint_against
 from .regions import Bound, BoundKind
 
-__all__ = ["DimensionView", "RunContext", "WorkingBounds", "CandidateRecord"]
+__all__ = [
+    "CandidateRecord",
+    "DimensionView",
+    "RunContext",
+    "WorkingBounds",
+    "apply_batch_constraints",
+]
 
 
-@dataclass(frozen=True)
-class CandidateRecord:
+class CandidateRecord(NamedTuple):
     """A candidate prepared for one dimension's processing.
 
     ``score`` is the cached current score; ``coord`` is the j-th coordinate
     as recorded on the fly (free, see module docstring) — the *evaluation*
-    of the candidate still charges its random access separately.
+    of the candidate still charges its random access separately.  (A
+    NamedTuple rather than a dataclass: pools of these are materialised by
+    the thousand on the hot path, and tuple construction is ~3× cheaper.)
     """
 
     tuple_id: int
@@ -88,6 +96,43 @@ class DimensionView:
         """The k-th result tuple's line."""
         return Line(
             self.dk_id, self.dk_score, -self.dk_coord if mirrored else self.dk_coord
+        )
+
+
+def apply_batch_constraints(
+    bounds: "WorkingBounds",
+    deltas: np.ndarray,
+    denoms: np.ndarray,
+    rising_ids,
+    falling_ids,
+    kind: str,
+) -> None:
+    """Tighten *bounds* with a whole batch of same-kind Lemma 1 constraints.
+
+    Sequential equivalence: a run of strict tightenings of the same kind
+    leaves the batch's extremal delta in place with its **first** achiever
+    as provenance — which is exactly what the first-occurrence argmin /
+    argmax reductions select.  ``rising_ids[i]`` / ``falling_ids[i]`` name
+    constraint ``i``'s behind/ahead tuples (``falling_ids`` may be a bare
+    int when one tuple — ``d_k`` — is ahead of the whole batch); positive
+    denominators restrict the upper bound, negative ones the lower (zero:
+    parallel lines, no constraint).
+    """
+
+    def falling(index: int) -> int:
+        if isinstance(falling_ids, int):
+            return falling_ids
+        return int(falling_ids[index])
+
+    upper_idx = first_min_index(deltas, denoms > 0.0)
+    if upper_idx is not None and deltas[upper_idx] < bounds.upper.delta:
+        bounds.upper = Bound(
+            float(deltas[upper_idx]), kind, int(rising_ids[upper_idx]), falling(upper_idx)
+        )
+    lower_idx = first_max_index(deltas, denoms < 0.0)
+    if lower_idx is not None and deltas[lower_idx] > bounds.lower.delta:
+        bounds.lower = Bound(
+            float(deltas[lower_idx]), kind, int(rising_ids[lower_idx]), falling(lower_idx)
         )
 
 
@@ -146,7 +191,12 @@ class RunContext:
         access: AccessCounters,
         evals: EvaluationCounters,
         timer: PhaseTimer,
+        backend: str = "vector",
     ) -> None:
+        if backend not in BACKENDS:
+            raise AlgorithmError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.index = index
         self.query = query
         self.k = k
@@ -158,11 +208,17 @@ class RunContext:
         self.access = access
         self.evals = evals
         self.timer = timer
+        self.backend = backend
         self._views: Dict[int, DimensionView] = {}
         # Query-dimension coordinates of encountered tuples, recorded once
         # per run.  The paper gathers these on the fly while TA holds each
         # fetched vector in memory, which is why reading them is free.
         self._query_coords: Dict[int, np.ndarray] = {}
+        # Vector backend: candidate ids/scores/coordinates as arrays, built
+        # in one gather and invalidated when Phase 3 grows the list.
+        self._candidate_arrays: Optional[
+            Tuple[int, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------
     # Per-dimension views
@@ -202,6 +258,25 @@ class RunContext:
     # Candidate access under the I/O accounting policy
     # ------------------------------------------------------------------
 
+    def candidate_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate ``(ids, scores, coords)`` arrays in candidate-list order.
+
+        ``coords`` is the per-query candidate coordinate matrix
+        (``n_candidates × qlen``) the vector kernels partition and evaluate
+        against; it is built in a single free gather (same accounting as
+        :meth:`candidate_query_coords`) and rebuilt when Phase 3 grows the
+        candidate list.
+        """
+        candidates = self.outcome.candidates
+        cached = self._candidate_arrays
+        if cached is not None and cached[0] == candidates.version:
+            return cached[1], cached[2], cached[3]
+        ids = np.asarray(candidates.ids, dtype=np.int64)
+        scores = candidates.scores
+        coords = self.store.peek_many(ids, self.query.dims)
+        self._candidate_arrays = (candidates.version, ids, scores, coords)
+        return ids, scores, coords
+
     def candidate_records(self, dim: int) -> List[CandidateRecord]:
         """All current candidates with their j-th coordinate, score order.
 
@@ -209,6 +284,13 @@ class RunContext:
         TA; see the module docstring).
         """
         j_pos = int(np.searchsorted(self.query.dims, int(dim)))
+        if self.backend == "vector":
+            ids, scores, coords = self.candidate_arrays()
+            column = coords[:, j_pos]
+            return [
+                CandidateRecord(int(tid), float(score), float(coord))
+                for tid, score, coord in zip(ids, scores, column)
+            ]
         return [
             CandidateRecord(tid, score, float(self.candidate_query_coords(tid)[j_pos]))
             for tid, score in self.outcome.candidates
@@ -245,6 +327,30 @@ class RunContext:
             rising_id=record.tuple_id,
             falling_id=view.dk_id,
             kind=BoundKind.COMPOSITION,
+        )
+
+    def evaluate_pool_against_kth(
+        self,
+        view: DimensionView,
+        records: List[CandidateRecord],
+        bounds: WorkingBounds,
+    ) -> None:
+        """Batch equivalent of :meth:`evaluate_against_kth` over a whole pool.
+
+        Charges one random access and one evaluation per record (in pool
+        order, exactly as the scalar loop would), evaluates every Lemma 1
+        constraint in one vectorized pass, and applies the two survivors
+        via :func:`apply_batch_constraints`.
+        """
+        if not records:
+            return
+        ids = np.asarray([r.tuple_id for r in records], dtype=np.int64)
+        scores = np.asarray([r.score for r in records], dtype=np.float64)
+        coords = self.store.fetch_many(ids, np.asarray([view.dim], dtype=np.int64))[:, 0]
+        self.evals.evaluated_candidates += len(records)
+        deltas, denoms = batch_crossings(view.dk_score, view.dk_coord, scores, coords)
+        apply_batch_constraints(
+            bounds, deltas, denoms, ids, view.dk_id, BoundKind.COMPOSITION
         )
 
     def charge_candidate_evaluation(self, tuple_id: int, dim: int) -> float:

@@ -39,7 +39,7 @@ from ..storage.index import InvertedIndex
 from ..storage.tuple_store import TupleStore
 from ..topk.query import Query
 from ..topk.result import TopKResult
-from ..topk.ta import ThresholdAlgorithm
+from ..topk.ta import BACKENDS, ThresholdAlgorithm
 from .context import RunContext
 from .iterative import compute_iterative_sequence
 from .phi import compute_phi_sequence
@@ -47,6 +47,7 @@ from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
 from .scan import compute_phi0_sequence
 
 __all__ = [
+    "BACKENDS",
     "METHODS",
     "ImmutableRegionEngine",
     "RegionComputation",
@@ -218,6 +219,12 @@ class ImmutableRegionEngine:
         Memory accounting model (Figure 10(d)).
     cache_rows:
         Model the main-memory setting: repeated fetches of a tuple are free.
+    backend:
+        ``"vector"`` (default) routes TA and the region phases through the
+        :mod:`repro.kernels` array kernels; ``"scalar"`` runs the reference
+        per-tuple loops.  Both backends produce bit-identical regions,
+        bounds, traces, and access-counter totals — the scalar path is kept
+        as the executable specification the kernels are tested against.
     """
 
     def __init__(
@@ -230,12 +237,18 @@ class ImmutableRegionEngine:
         iterative: Optional[bool] = None,
         footprint_model: Optional[FootprintModel] = None,
         cache_rows: bool = False,
+        backend: str = "vector",
     ) -> None:
         if method not in METHODS:
             raise QueryError(f"unknown method {method!r}; expected one of {METHODS}")
+        if backend not in BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.index = index
         self.method = method
         self.probing = probing
+        self.backend = backend
         self.disk_model = disk_model if disk_model is not None else DiskModel()
         self.count_reorderings = count_reorderings
         self.iterative = iterative
@@ -265,7 +278,13 @@ class ImmutableRegionEngine:
         timer = PhaseTimer()
         store = TupleStore(self.index.dataset, access, cache_rows=self.cache_rows)
         ta = ThresholdAlgorithm(
-            self.index, query, k, counters=access, store=store, probing=self.probing
+            self.index,
+            query,
+            k,
+            counters=access,
+            store=store,
+            probing=self.probing,
+            backend=self.backend,
         )
         with timer.phase("ta"):
             outcome = ta.run()
@@ -287,6 +306,7 @@ class ImmutableRegionEngine:
             access=access,
             evals=evals,
             timer=timer,
+            backend=self.backend,
         )
         policy = _POLICY_OF[self.method]
         use_iterative = self._use_iterative(phi)
@@ -329,11 +349,17 @@ class ImmutableRegionEngine:
     ) -> RunMetrics:
         region_access = ctx.access.delta_from(ta_access)
         candidates_total = len(ctx.outcome.candidates)
-        cl_union = 0
-        for tid, _score in ctx.outcome.candidates:
-            coords = ctx.candidate_query_coords(tid)
-            if int(np.count_nonzero(coords)) >= 2:
-                cl_union += 1
+        if self.backend == "vector":
+            _, _, coords_matrix = ctx.candidate_arrays()
+            cl_union = int(
+                np.count_nonzero(np.count_nonzero(coords_matrix, axis=1) >= 2)
+            )
+        else:
+            cl_union = 0
+            for tid, _score in ctx.outcome.candidates:
+                coords = ctx.candidate_query_coords(tid)
+                if int(np.count_nonzero(coords)) >= 2:
+                    cl_union += 1
         qlen = ctx.query.qlen
         model = self.footprint_model
         if self.method == "scan":

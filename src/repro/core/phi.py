@@ -36,12 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import AlgorithmError
 from ..geometry.ksweep import PerturbationEvent, sweep_topk_events
 from ..geometry.line import Line
-from .candidates import partition_candidates, pruned_pool
+from .candidates import build_pruned_pool
 from .context import CandidateRecord, DimensionView, RunContext
 from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
+from .thresholding import lexsort_records
 
 __all__ = [
     "SideOutcome",
@@ -75,12 +78,14 @@ class ActiveTopK:
         x_max: float,
         count_reorderings: bool,
         max_events: int,
+        backend: str = "vector",
     ) -> None:
         self._lines: List[Line] = list(lines)
         self._k = k
         self._x_max = x_max
         self._count_reorderings = count_reorderings
         self._max_events = max_events
+        self._backend = backend
         self._sweep = self._run_sweep()
 
     def _run_sweep(self):
@@ -90,6 +95,7 @@ class ActiveTopK:
             self._x_max,
             count_reorderings=self._count_reorderings,
             max_events=self._max_events,
+            backend=self._backend,
         )
 
     @property
@@ -154,7 +160,22 @@ def _plain_processing(
     pool: List[CandidateRecord],
     active: ActiveTopK,
 ) -> None:
-    """Scan/Prune-style Phase 2: evaluate every pool member."""
+    """Scan/Prune-style Phase 2: evaluate every pool member.
+
+    The vector backend prefetches every pool member's coordinate in one
+    batch (identical per-record charges, in pool order); the crossing test
+    against the evolving arrangement stays sequential — each accepted line
+    re-sweeps and can change the verdict for later candidates.
+    """
+    if ctx.backend == "vector" and pool:
+        ids = np.asarray([r.tuple_id for r in pool], dtype=np.int64)
+        coords = ctx.store.fetch_many(ids, np.asarray([view.dim], dtype=np.int64))[:, 0]
+        ctx.evals.evaluated_candidates += len(pool)
+        for record, coord in zip(pool, coords.tolist()):
+            line = Line(record.tuple_id, record.score, -coord if mirrored else coord)
+            if active.crosses(line):
+                active.add_line(line)
+        return
     for record in pool:
         _evaluate_record(ctx, view, record, mirrored, active)
 
@@ -191,8 +212,15 @@ def _thresholded_processing(
     def side_slope(record: CandidateRecord) -> float:
         return -record.coord if mirrored else record.coord
 
-    sls = _Pointer(sorted(pool, key=lambda r: (-r.score, r.tuple_id)))
-    sl_slope = _Pointer(sorted(pool, key=lambda r: (-side_slope(r), r.tuple_id)))
+    if ctx.backend == "vector" and pool:
+        ids = np.asarray([r.tuple_id for r in pool], dtype=np.int64)
+        scores = np.asarray([r.score for r in pool], dtype=np.float64)
+        slopes = np.asarray([side_slope(r) for r in pool], dtype=np.float64)
+        sls = _Pointer(lexsort_records(pool, scores, ids, descending=True))
+        sl_slope = _Pointer(lexsort_records(pool, slopes, ids, descending=True))
+    else:
+        sls = _Pointer(sorted(pool, key=lambda r: (-r.score, r.tuple_id)))
+        sl_slope = _Pointer(sorted(pool, key=lambda r: (-side_slope(r), r.tuple_id)))
     evaluated: set[int] = set()
 
     def evaluate(record: CandidateRecord) -> None:
@@ -225,9 +253,10 @@ def _side_pool(
 ) -> List[CandidateRecord]:
     if policy in ("all", "thres"):
         return ctx.candidate_records(view.dim)
-    partition = partition_candidates(ctx, view.dim)
-    pool = pruned_pool(partition, phi=ctx.phi, side="left" if mirrored else "right")
-    ctx.evals.pruned_candidates += partition.total - len(pool)
+    pool, n_pruned = build_pruned_pool(
+        ctx, view.dim, phi=ctx.phi, side="left" if mirrored else "right"
+    )
+    ctx.evals.pruned_candidates += n_pruned
     return pool
 
 
@@ -269,6 +298,7 @@ def one_off_side(
             x_max=domain,
             count_reorderings=ctx.count_reorderings,
             max_events=max_events,
+            backend=ctx.backend,
         )
     with ctx.timer.phase("phase2"):
         pool = _side_pool(ctx, view, mirrored, policy)

@@ -23,10 +23,19 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from .._util import pairs
 from ..errors import AlgorithmError
-from .candidates import partition_candidates, pruned_pool
-from .context import CandidateRecord, DimensionView, RunContext, WorkingBounds
+from ..kernels.constraints import batch_pair_crossings
+from .candidates import build_pruned_pool
+from .context import (
+    CandidateRecord,
+    DimensionView,
+    RunContext,
+    WorkingBounds,
+    apply_batch_constraints,
+)
 from .lemma1 import order_constraint
 from .regions import BoundKind, ImmutableRegion, RegionSequence
 from .thresholding import thresholding_phase2
@@ -40,8 +49,14 @@ def phase1_reorderings(ctx: RunContext, view: DimensionView, bounds: WorkingBoun
     """Phase 1 (Algorithm 1): widest range preserving the order inside R(q).
 
     Result coordinates are free reads (TA fetched the full vectors); each
-    consecutive pair contributes one Lemma 1 constraint.
+    consecutive pair contributes one Lemma 1 constraint.  The vector
+    backend evaluates all ``k−1`` pairs in one batch; the surviving bound
+    per side is the extremal delta with its first achiever as provenance,
+    exactly the state the sequential strict tightenings leave behind.
     """
+    if ctx.backend == "vector":
+        _phase1_vector(ctx, view, bounds)
+        return
     ranked = list(zip(view.result_ids, view.result_scores, view.result_coords))
     for (ahead_id, ahead_score, ahead_coord), (
         behind_id,
@@ -58,13 +73,33 @@ def phase1_reorderings(ctx: RunContext, view: DimensionView, bounds: WorkingBoun
         )
 
 
+def _phase1_vector(ctx: RunContext, view: DimensionView, bounds: WorkingBounds) -> None:
+    """Batch Phase 1 over the ``k−1`` consecutive result pairs."""
+    n = len(view.result_ids)
+    if n < 2:
+        return
+    ctx.evals.result_comparisons += n - 1
+    scores = np.asarray(view.result_scores, dtype=np.float64)
+    coords = np.asarray(view.result_coords, dtype=np.float64)
+    deltas, denoms = batch_pair_crossings(
+        scores[:-1], coords[:-1], scores[1:], coords[1:]
+    )
+    apply_batch_constraints(
+        bounds,
+        deltas,
+        denoms,
+        view.result_ids[1:],
+        view.result_ids[:-1],
+        BoundKind.REORDER,
+    )
+
+
 def _phase2_pool(ctx: RunContext, dim: int, policy: str) -> List[CandidateRecord]:
     """Build the Phase 2 candidate pool for *policy* (charging nothing yet)."""
     if policy in ("all", "thres"):
         return ctx.candidate_records(dim)
-    partition = partition_candidates(ctx, dim)
-    pool = pruned_pool(partition, phi=0, side="both")
-    ctx.evals.pruned_candidates += partition.total - len(pool)
+    pool, n_pruned = build_pruned_pool(ctx, dim, phi=0, side="both")
+    ctx.evals.pruned_candidates += n_pruned
     return pool
 
 
@@ -77,6 +112,9 @@ def phase2_candidates(
     pool = _phase2_pool(ctx, view.dim, policy)
     if policy in ("thres", "cpt"):
         thresholding_phase2(ctx, view, bounds, pool)
+        return
+    if ctx.backend == "vector":
+        ctx.evaluate_pool_against_kth(view, pool, bounds)
         return
     for record in pool:
         ctx.evaluate_against_kth(view, record, bounds)
@@ -94,6 +132,9 @@ def phase3_unseen(ctx: RunContext, view: DimensionView, bounds: WorkingBounds) -
     weight = view.weight
     # Sorted-access shortcut (§4): all tuples preceding d_k in L_j are seen.
     upper_needed = not ctx.ta.encountered_via_sorted_access(view.dk_id, view.dim)
+    if ctx.backend == "vector":
+        _phase3_vector(ctx, view, bounds, upper_needed)
+        return
 
     while True:
         ctx.evals.termination_checks += 1
@@ -128,6 +169,95 @@ def phase3_unseen(ctx: RunContext, view: DimensionView, bounds: WorkingBounds) -
             falling_id=view.dk_id,
             kind=BoundKind.COMPOSITION,
         )
+
+
+#: Phase 3 resumes in small speculative blocks: most dimensions stop after
+#: a handful of pulls, so blocks start small and double while the scan runs.
+_PHASE3_INITIAL_BLOCK = 32
+_PHASE3_MAX_BLOCK = 1024
+
+
+def _phase3_vector(
+    ctx: RunContext, view: DimensionView, bounds: WorkingBounds, upper_needed: bool
+) -> None:
+    """Blockwise Phase 3: plan pulls speculatively, replay the scalar loop.
+
+    The pull sequence depends only on cursor positions, so
+    :meth:`~repro.topk.ta.ThresholdAlgorithm.plan_block` can pre-compute a
+    block of pulls, its per-prefix thresholds, and the coordinates of every
+    prospective discovery in one gather.  The walk below then replays the
+    scalar loop's check → pull → constrain cycle exactly — including the
+    evolving bounds in the termination test — and commits pulls, charges,
+    and counters only up to the step where the scalar loop would stop.
+    """
+    ta = ctx.ta
+    weight = view.weight
+    j_idx = list(ta.query.dims).index(view.dim)
+    dk_score, dk_coord, dk_id = view.dk_score, view.dk_coord, view.dk_id
+    block = _PHASE3_INITIAL_BLOCK
+    pending_pull = False  # a check already demanded a pull; don't re-check
+
+    while True:
+        plan = ta.plan_block(block)
+        if plan is None:
+            # Every list exhausted: at most one more check, then the scalar
+            # loop returns (resume finds nothing either way).
+            if not pending_pull:
+                ctx.evals.termination_checks += 1
+            return
+        n_steps = len(plan.steps)
+        tj_prefix = plan.tj_prefix[j_idx]
+        totals = plan.totals
+        new_ids: List[int] = []
+        s = 0
+        while True:
+            if not pending_pull:
+                ctx.evals.termination_checks += 1
+                t_j = float(tj_prefix[s])
+                t_other = totals[s] - weight * t_j
+                need_pull = False
+                if upper_needed:
+                    capped = t_other + (weight + bounds.upper.delta) * t_j
+                    if capped > dk_score + bounds.upper.delta * dk_coord:
+                        need_pull = True
+                if not need_pull:
+                    capped = t_other + (weight + bounds.lower.delta) * t_j
+                    if capped > dk_score + bounds.lower.delta * dk_coord:
+                        need_pull = True
+                if not need_pull:
+                    ta.commit_block(plan, s, new_ids)
+                    return
+            # Consume planned pulls until the next unseen tuple.
+            found = None
+            while s < n_steps:
+                tid = plan.step_ids[s]
+                s += 1
+                if not ta.has_seen(tid):
+                    found = tid
+                    break
+            if found is None:
+                # Plan exhausted mid-search: commit it fully and replan.
+                ta.commit_block(plan, n_steps, new_ids)
+                pending_pull = True
+                break
+            pending_pull = False
+            row = plan.rows[plan.row_of[found]]
+            score = ta.query.score(row)
+            ta.register_encounter(found, score)
+            ctx.outcome.candidates.insert(found, score)
+            ctx.evals.phase3_tuples += 1
+            new_ids.append(found)
+            # The gathered row holds the j-th coordinate — the same free
+            # read as Algorithm 2's in-loop processing.
+            coord = float(row[j_idx])
+            constraint = order_constraint(dk_score, dk_coord, score, coord)
+            bounds.apply(
+                constraint,
+                rising_id=found,
+                falling_id=dk_id,
+                kind=BoundKind.COMPOSITION,
+            )
+        block = min(block * 2, _PHASE3_MAX_BLOCK)
 
 
 def compute_phi0_sequence(ctx: RunContext, dim: int, policy: str) -> RegionSequence:

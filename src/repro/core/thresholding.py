@@ -24,11 +24,66 @@ skipped without an evaluation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
 
 from .context import CandidateRecord, DimensionView, RunContext, WorkingBounds
 
-__all__ = ["thresholding_phase2"]
+__all__ = ["lexsort_records", "thresholding_phase2"]
+
+
+def lexsort_records(
+    pool: List[CandidateRecord],
+    keys,
+    ids: np.ndarray,
+    descending: bool = False,
+) -> List[CandidateRecord]:
+    """*pool* ordered by ``(key, tuple_id)`` — or ``(-key, tuple_id)``.
+
+    The ``np.lexsort`` equivalent of ``sorted(pool, key=...)``, built
+    without per-element key tuples.  ``+ 0.0`` canonicalises any -0.0 key
+    first: np.lexsort orders by IEEE sign bit where python's ``sorted()``
+    treats ±0.0 as equal ties (which the ascending-id tie-break then
+    resolves identically in both).
+    """
+    keys_arr = np.asarray(keys, dtype=np.float64) + 0.0
+    if descending:
+        keys_arr = -keys_arr
+    return [pool[i] for i in np.lexsort((ids, keys_arr))]
+
+
+def build_probe_orders(
+    pool: List[CandidateRecord], dk_coord: float, backend: str
+) -> Tuple[List[CandidateRecord], List[CandidateRecord], List[CandidateRecord]]:
+    """The ``SLS`` / ``SLj↑`` / ``SLj↓`` orderings of a pool.
+
+    The vector backend sorts via :func:`lexsort_records` — same total
+    order (primary key, ties by ascending tuple id) as the scalar
+    ``sorted(key=...)`` calls.
+    """
+    if backend == "vector" and pool:
+        ids = np.asarray([r.tuple_id for r in pool], dtype=np.int64)
+        scores = np.asarray([r.score for r in pool], dtype=np.float64)
+        coords = np.asarray([r.coord for r in pool], dtype=np.float64)
+        sls = lexsort_records(pool, scores, ids, descending=True)
+        up = np.nonzero(coords < dk_coord)[0]
+        sl_up = lexsort_records([pool[i] for i in up], coords[up], ids[up])
+        down = np.nonzero(coords > dk_coord)[0]
+        sl_down = lexsort_records(
+            [pool[i] for i in down], coords[down], ids[down], descending=True
+        )
+        return sls, sl_up, sl_down
+    sls = sorted(pool, key=lambda r: (-r.score, r.tuple_id))
+    sl_up = sorted(
+        (r for r in pool if r.coord < dk_coord),
+        key=lambda r: (r.coord, r.tuple_id),
+    )
+    sl_down = sorted(
+        (r for r in pool if r.coord > dk_coord),
+        key=lambda r: (-r.coord, r.tuple_id),
+    )
+    return sls, sl_up, sl_down
 
 
 class _ProbeList:
@@ -65,19 +120,12 @@ def thresholding_phase2(
     *pool* must be sorted by decreasing score (the natural ``C(q)`` order);
     it is the full candidate list for Thres and the pruned pool for CPT.
     """
-    sls = _ProbeList(sorted(pool, key=lambda r: (-r.score, r.tuple_id)))
-    sl_up = _ProbeList(
-        sorted(
-            (r for r in pool if r.coord < view.dk_coord),
-            key=lambda r: (r.coord, r.tuple_id),
-        )
+    sls_order, sl_up_order, sl_down_order = build_probe_orders(
+        pool, view.dk_coord, ctx.backend
     )
-    sl_down = _ProbeList(
-        sorted(
-            (r for r in pool if r.coord > view.dk_coord),
-            key=lambda r: (-r.coord, r.tuple_id),
-        )
-    )
+    sls = _ProbeList(sls_order)
+    sl_up = _ProbeList(sl_up_order)
+    sl_down = _ProbeList(sl_down_order)
 
     search_lower = True
     search_upper = True

@@ -32,8 +32,11 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .._util import require
 from ..errors import GeometryError
+from ..kernels.events import adjacent_crossings
 from .envelope import Envelope, EnvelopeSegment
 from .line import Line
 
@@ -119,6 +122,7 @@ def sweep_topk_events(
     x_min: float = 0.0,
     count_reorderings: bool = True,
     max_events: Optional[int] = None,
+    backend: str = "vector",
 ) -> SweepResult:
     """Enumerate top-k perturbation events of *lines* over ``[x_min, x_max]``.
 
@@ -140,6 +144,12 @@ def sweep_topk_events(
         Stop after emitting this many events (the φ>0 algorithms pass
         ``φ+1``); the k-level is then only materialised up to the final
         event's x, which is all the termination tests need.
+    backend:
+        ``"vector"`` seeds the event queue with one vectorized
+        adjacent-crossing pass (:mod:`repro.kernels.events`); ``"scalar"``
+        seeds it pair-by-pair.  The seeded queue is identical either way
+        (same crossings, same heap pop order), so the sweep itself — which
+        is event-driven and stays scalar — emits identical events.
     """
     require(len(lines) > 0, "sweep needs at least one line")
     require(x_min < x_max, "x_min must be < x_max")
@@ -194,10 +204,19 @@ def sweep_topk_events(
         return max(x, x_current)
 
     heap: List[Tuple[float, int]] = []
-    for pos in range(len(order) - 1):
-        x = pair_crossing(pos)
-        if x is not None:
-            heapq.heappush(heap, (x, pos))
+    if backend == "vector":
+        intercepts = np.fromiter(
+            (line.intercept for line in order), np.float64, len(order)
+        )
+        slopes = np.fromiter((line.slope for line in order), np.float64, len(order))
+        positions, xs = adjacent_crossings(intercepts, slopes, x_current, boundary)
+        heap = [(float(x), int(pos)) for x, pos in zip(xs, positions)]
+        heapq.heapify(heap)
+    else:
+        for pos in range(len(order) - 1):
+            x = pair_crossing(pos)
+            if x is not None:
+                heapq.heappush(heap, (x, pos))
 
     while heap:
         best_x, best_pos = heapq.heappop(heap)

@@ -1,0 +1,49 @@
+"""Array kernels for the hot paths of TA and region computation.
+
+The scalar reference implementations (``topk.ta``, ``core.scan``,
+``core.candidates``, ``geometry.ksweep``) iterate tuple-by-tuple in pure
+Python.  This package provides drop-in *batch* equivalents used by the
+``backend="vector"`` fast path:
+
+* :mod:`~repro.kernels.scoring` — columnar coordinate gathers and batch
+  score accumulation for newly encountered tuples;
+* :mod:`~repro.kernels.partition` — the C0/CH/CL candidate split as
+  boolean masks over a per-query candidate coordinate matrix;
+* :mod:`~repro.kernels.constraints` — Lemma 1 order constraints evaluated
+  over whole candidate pools at once;
+* :mod:`~repro.kernels.events` — vectorized adjacent-pair crossing
+  generation seeding the kinetic k-level sweep.
+
+Exactness contract
+------------------
+Every kernel performs, element-wise, the *same IEEE-754 operations in the
+same order* as its scalar counterpart.  That is what lets the engine route
+through the kernels by default while the property suite asserts
+bit-identical regions, bounds, access-counter totals, and TA traces
+between backends (``tests/properties/test_backend_parity.py``).  When
+changing a kernel, preserve the operation order — "mathematically equal"
+is not enough; a fused or re-associated sum can flip a termination
+comparison by one ULP and desynchronise the access accounting.
+"""
+
+from .constraints import (
+    batch_crossings,
+    batch_pair_crossings,
+    first_max_index,
+    first_min_index,
+)
+from .events import adjacent_crossings
+from .partition import partition_masks
+from .scoring import accumulate_scores, gather_columns, score_block
+
+__all__ = [
+    "accumulate_scores",
+    "adjacent_crossings",
+    "batch_crossings",
+    "batch_pair_crossings",
+    "first_max_index",
+    "first_min_index",
+    "gather_columns",
+    "partition_masks",
+    "score_block",
+]

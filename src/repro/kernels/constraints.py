@@ -1,0 +1,82 @@
+"""Batch Lemma 1 evaluation.
+
+A Lemma 1 constraint between an *ahead* and a *behind* tuple is a single
+crossing deviation ``δ* = (S_a − S_b) / (c_b − c_a)`` restricting the
+upper bound when the denominator is positive and the lower bound when it
+is negative (see :mod:`repro.core.lemma1`).  The kernel evaluates whole
+pools of such constraints at once and reduces them to the one constraint
+per side that the sequential scalar loop would have left in place.
+
+Sequential-equivalence: the scalar loop tightens a bound only on a
+*strict* improvement, so after processing a pool of same-kind constraints
+the surviving bound is the pool's extremal delta and its provenance is the
+**first** pool member attaining it.  ``np.argmin``/``np.argmax`` return
+first occurrences, and boolean-mask indexing preserves pool order, which
+is exactly that semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "batch_crossings",
+    "batch_pair_crossings",
+    "first_min_index",
+    "first_max_index",
+]
+
+
+def batch_crossings(
+    ahead_score: float,
+    ahead_coord: float,
+    behind_scores: np.ndarray,
+    behind_coords: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Crossing deltas of one ahead tuple against a batch of behind tuples.
+
+    Returns ``(deltas, denoms)`` where ``denoms = behind_coords −
+    ahead_coord``; entries with a zero denominator (parallel lines) carry a
+    meaningless delta and must be excluded via the sign of ``denoms``.
+    Element-wise the arithmetic matches
+    :func:`repro.core.lemma1.crossing_delta` exactly.
+    """
+    scores = np.asarray(behind_scores, dtype=np.float64)
+    coords = np.asarray(behind_coords, dtype=np.float64)
+    denoms = coords - ahead_coord
+    with np.errstate(divide="ignore", invalid="ignore"):
+        deltas = (ahead_score - scores) / denoms
+    return deltas, denoms
+
+
+def batch_pair_crossings(
+    ahead_scores: np.ndarray,
+    ahead_coords: np.ndarray,
+    behind_scores: np.ndarray,
+    behind_coords: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Crossing deltas of aligned (ahead, behind) pairs (Phase 1 batches)."""
+    denoms = np.asarray(behind_coords, np.float64) - np.asarray(ahead_coords, np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        deltas = (
+            np.asarray(ahead_scores, np.float64) - np.asarray(behind_scores, np.float64)
+        ) / denoms
+    return deltas, denoms
+
+
+def first_min_index(values: np.ndarray, mask: np.ndarray) -> Optional[int]:
+    """Index (into *values*) of the first occurrence of the masked minimum."""
+    candidates = np.nonzero(mask)[0]
+    if candidates.size == 0:
+        return None
+    return int(candidates[np.argmin(values[candidates])])
+
+
+def first_max_index(values: np.ndarray, mask: np.ndarray) -> Optional[int]:
+    """Index (into *values*) of the first occurrence of the masked maximum."""
+    candidates = np.nonzero(mask)[0]
+    if candidates.size == 0:
+        return None
+    return int(candidates[np.argmax(values[candidates])])

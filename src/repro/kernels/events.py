@@ -1,0 +1,60 @@
+"""Vectorized crossing-event generation for the kinetic k-level sweep.
+
+:func:`repro.geometry.ksweep.sweep_topk_events` seeds its event queue with
+the crossing of every adjacent pair in the initial value ordering — one
+Python ``Line.overtakes_at`` call per pair.  For large active sets (the
+φ>0 Scan/Thres pools) that seeding dominates; this kernel computes all
+adjacent crossings in one vectorized pass.
+
+Element-wise the arithmetic replays ``overtakes_at`` exactly: the lower
+line overtakes iff its slope is strictly larger, the crossing is
+``(i_lower − i_upper) / (s_upper − s_lower)``, crossings at or beyond the
+*boundary* are discarded, and survivors are clamped up to ``x_current``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["adjacent_crossings"]
+
+
+def adjacent_crossings(
+    intercepts: np.ndarray,
+    slopes: np.ndarray,
+    x_current: float,
+    boundary: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Crossings of every adjacent pair in an ordered line arrangement.
+
+    Parameters
+    ----------
+    intercepts, slopes:
+        Line parameters in the current top-down value ordering (index 0 is
+        the highest line).
+    x_current:
+        The sweep's current position; crossings are clamped to it.
+    boundary:
+        Exclusive right end (``x_max`` minus the boundary-tie tolerance).
+
+    Returns
+    -------
+    ``(positions, xs)`` — the adjacent-pair indices (pair ``p`` is lines
+    ``p`` and ``p+1``) that produce a live crossing, and the crossing x of
+    each, ready to seed the sweep's event heap.
+    """
+    inter = np.asarray(intercepts, dtype=np.float64)
+    slp = np.asarray(slopes, dtype=np.float64)
+    if inter.size < 2:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    upper_s, lower_s = slp[:-1], slp[1:]
+    overtaking = lower_s > upper_s
+    denom = upper_s - lower_s
+    with np.errstate(divide="ignore", invalid="ignore"):
+        xs = (inter[1:] - inter[:-1]) / denom
+    live = overtaking & (xs < boundary)
+    positions = np.nonzero(live)[0].astype(np.int64)
+    xs_live = np.maximum(xs[live], x_current)
+    return positions, xs_live

@@ -1,0 +1,46 @@
+"""Candidate partitioning as boolean masks (Lemmata 2–4 support).
+
+The scalar :func:`repro.core.candidates.partition_candidates` walks the
+candidate list tuple-by-tuple, reading each tuple's query coordinates from
+a per-run dict cache.  Given the per-query candidate coordinate matrix
+(built once per run by :class:`repro.core.context.RunContext`), the split
+reduces to two vectorized reductions:
+
+* ``C0_j`` — rows with a zero j-th coordinate;
+* ``CH_j`` — rows whose *only* non-zero query coordinate is the j-th;
+* ``CL_j`` — everything else (non-zero in ``j`` and elsewhere).
+
+Masks preserve the candidate list's decreasing-score order, so indexing a
+record array with them yields the same per-class ordering as the scalar
+append loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["partition_masks"]
+
+
+def partition_masks(
+    coords: np.ndarray, j_pos: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(c0, ch, cl)`` masks of a candidate coordinate matrix.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_candidates, qlen)`` matrix of candidate coordinates on the
+        query dimensions, rows in decreasing-score (candidate list) order.
+    j_pos:
+        Column index of the dimension being partitioned.
+    """
+    coords_arr = np.asarray(coords, dtype=np.float64)
+    coord_j = coords_arr[:, j_pos]
+    c0 = coord_j == 0.0
+    nonzero_rows = np.count_nonzero(coords_arr, axis=1)
+    ch = ~c0 & (nonzero_rows == 1)
+    cl = ~c0 & ~ch
+    return c0, ch, cl

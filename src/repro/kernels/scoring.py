@@ -1,0 +1,72 @@
+"""Batch coordinate gathers and score accumulation.
+
+The scalar path fetches one tuple at a time (``Dataset.values_at`` — a
+handful of numpy calls on length-``qlen`` arrays) and scores it with
+``Query.score``.  For a batch of B tuples the kernel instead performs one
+``searchsorted`` gather per query dimension into the dataset's cached
+column arrays — O(qlen) numpy calls total instead of O(B).
+
+Scores are accumulated dimension-by-dimension (``out += w_j * col_j``),
+which performs per element exactly the multiply-round/add-round sequence
+of a left-to-right scalar sum.  ``Query.score`` itself uses ``np.dot``
+(whose summation order is BLAS-defined), so code that needs scores
+bit-identical to the scalar path — the vectorized TA does — must score
+through :meth:`repro.topk.query.Query.score` on gathered rows; see
+:func:`gather_columns`'s guarantee that gathered *coordinates* are exact
+copies of the stored values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.base import Dataset
+
+__all__ = ["gather_columns", "accumulate_scores", "score_block"]
+
+
+def gather_columns(dataset: Dataset, ids: np.ndarray, dims: np.ndarray) -> np.ndarray:
+    """Coordinates of *ids* at *dims* as a dense ``(len(ids), len(dims))`` matrix.
+
+    Row ``i`` equals ``dataset.values_at(ids[i], dims)`` exactly: values are
+    copied from storage, never recomputed, so downstream arithmetic on a
+    gathered row is bit-identical to arithmetic on a scalar fetch.
+
+    Reads the dataset's cached column arrays (the same ones that back the
+    inverted lists), charging no I/O — callers account accesses themselves.
+    """
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    dims_arr = np.asarray(dims, dtype=np.int64)
+    out = np.zeros((ids_arr.size, dims_arr.size), dtype=np.float64)
+    if ids_arr.size == 0:
+        return out
+    for j, dim in enumerate(dims_arr):
+        col_ids, col_vals = dataset.column(int(dim))
+        if col_ids.size == 0:
+            continue
+        pos = np.searchsorted(col_ids, ids_arr)
+        inside = pos < col_ids.size
+        hit = inside.copy()
+        hit[inside] = col_ids[pos[inside]] == ids_arr[inside]
+        out[hit, j] = col_vals[pos[hit]]
+    return out
+
+
+def accumulate_scores(coords: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Row scores of a coordinate matrix under *weights*, accumulated in order.
+
+    Element-wise this performs ``((0.0 + w_0·c_0) + w_1·c_1) + ...`` — the
+    exact operation sequence of a left-to-right scalar accumulation over
+    the dimensions, independent of BLAS.
+    """
+    coords_arr = np.asarray(coords, dtype=np.float64)
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    out = np.zeros(coords_arr.shape[0], dtype=np.float64)
+    for j in range(weights_arr.size):
+        out += weights_arr[j] * coords_arr[:, j]
+    return out
+
+
+def score_block(dataset: Dataset, ids: np.ndarray, dims: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Scores of a batch of tuples against a sparse query (gather + matvec)."""
+    return accumulate_scores(gather_columns(dataset, ids, dims), weights)

@@ -39,7 +39,7 @@ from threading import Lock
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .._util import require
-from ..core.engine import ImmutableRegionEngine, METHODS, RegionComputation
+from ..core.engine import BACKENDS, ImmutableRegionEngine, METHODS, RegionComputation
 from ..datasets.base import Dataset
 from ..errors import QueryError
 from ..metrics.diskmodel import DiskModel
@@ -120,8 +120,11 @@ class QueryService:
         Pool size for the pooled executors (``None``: the executor default).
     cache_capacity:
         LRU capacity of the shared :class:`RegionCache`.
-    count_reorderings, probing, disk_model:
-        Forwarded to every engine (see :class:`ImmutableRegionEngine`).
+    count_reorderings, probing, disk_model, backend:
+        Forwarded to every engine (see :class:`ImmutableRegionEngine`);
+        ``backend`` selects the vectorized fast path (default) or the
+        scalar reference loops for the whole service, including process
+        workers.
     """
 
     def __init__(
@@ -134,9 +137,11 @@ class QueryService:
         count_reorderings: bool = True,
         probing: str = "max_impact",
         disk_model: Optional[DiskModel] = None,
+        backend: str = "vector",
     ) -> None:
         require(method in METHODS, f"unknown method {method!r}")
         require(executor in EXECUTORS, f"unknown executor {executor!r}")
+        require(backend in BACKENDS, f"unknown backend {backend!r}")
         if max_workers is not None:
             require(max_workers >= 1, "max_workers must be >= 1")
         self.index = data if isinstance(data, InvertedIndex) else InvertedIndex(data)
@@ -145,6 +150,7 @@ class QueryService:
         self.max_workers = max_workers
         self.count_reorderings = count_reorderings
         self.probing = probing
+        self.backend = backend
         self.disk_model = disk_model if disk_model is not None else DiskModel()
         self.cache = RegionCache(cache_capacity)
         self._engines: Dict[str, ImmutableRegionEngine] = {}
@@ -158,6 +164,7 @@ class QueryService:
             "probing": self.probing,
             "disk_model": self.disk_model,
             "count_reorderings": self.count_reorderings,
+            "backend": self.backend,
         }
 
     def engine_for(self, method: str) -> ImmutableRegionEngine:

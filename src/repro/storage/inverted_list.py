@@ -39,7 +39,10 @@ class InvertedList:
         self._values = values_arr[order]
         self._ids.setflags(write=False)
         self._values.setflags(write=False)
-        self._positions: Optional[Dict[int, int]] = None
+        # id → position lookup, built once on first use and shared by every
+        # cursor over this list: ids sorted ascending plus the matching list
+        # positions, queried via searchsorted (see position_of).
+        self._lookup: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def dim(self) -> int:
@@ -77,18 +80,25 @@ class InvertedList:
             raise StorageError("position must be non-negative")
         return float(self._values[position])
 
+    def _id_lookup(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._lookup is None:
+            order = np.argsort(self._ids, kind="stable")
+            self._lookup = (self._ids[order], order.astype(np.int64))
+        return self._lookup
+
     def position_of(self, tuple_id: int) -> Optional[int]:
         """Position of *tuple_id* in this list, or ``None`` if absent.
 
         Used by Phase 3's sorted-access shortcut: if TA's cursor has passed
         this position, the tuple was encountered via sorted access in this
-        list.  The id → position map is built lazily on first use.
+        list.  The lookup (one ``argsort``, queried by ``searchsorted``) is
+        built lazily on first use and shared across cursors.
         """
-        if self._positions is None:
-            self._positions = {
-                int(tid): pos for pos, tid in enumerate(self._ids)
-            }
-        return self._positions.get(int(tuple_id))
+        sorted_ids, positions = self._id_lookup()
+        idx = int(np.searchsorted(sorted_ids, int(tuple_id)))
+        if idx < sorted_ids.size and sorted_ids[idx] == int(tuple_id):
+            return int(positions[idx])
+        return None
 
     def __len__(self) -> int:
         return self.size
@@ -142,6 +152,24 @@ class ListCursor:
         self._position += 1
         counters.record_sorted()
         return entry
+
+    def pull_block(self, n: int, counters: AccessCounters) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume up to *n* entries at once; returns ``(ids, values)`` slices.
+
+        The block equivalent of *n* :meth:`pull` calls: the cursor advances
+        by the number of entries returned and the counters are charged in
+        bulk (``record_sorted(count)``).  Returns read-only views into the
+        list's arrays — empty when the cursor is exhausted.
+        """
+        if n < 0:
+            raise StorageError("block size must be non-negative")
+        start = self._position
+        stop = min(start + n, self._list.size)
+        count = stop - start
+        self._position = stop
+        if count:
+            counters.record_sorted(count)
+        return self._list.ids[start:stop], self._list.values[start:stop]
 
     def has_passed(self, tuple_id: int) -> bool:
         """Whether *tuple_id*'s entry was already consumed via sorted access.

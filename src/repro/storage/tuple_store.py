@@ -18,11 +18,12 @@ dataset ... cached in main memory").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Set
 
 import numpy as np
 
 from ..datasets.base import Dataset
+from ..kernels.scoring import accumulate_scores, gather_columns
 from ..metrics.counters import AccessCounters
 from ..topk.query import Query
 
@@ -53,7 +54,10 @@ class TupleStore:
         self._dataset = dataset
         self._counters = counters
         self._cache_rows = cache_rows
-        self._row_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # Ids whose rows are resident under the main-memory model.  Only
+        # membership matters for the accounting (a cached fetch is free);
+        # the coordinates themselves are always read from the dataset.
+        self._row_cache: Set[int] = set()
 
     @property
     def dataset(self) -> Dataset:
@@ -70,7 +74,7 @@ class TupleStore:
             return
         self._counters.record_random()
         if self._cache_rows:
-            self._row_cache[tuple_id] = self._dataset.row(tuple_id)
+            self._row_cache.add(tuple_id)
 
     def fetch(self, tuple_id: int, dims: np.ndarray) -> np.ndarray:
         """Fetch the tuple's coordinates at *dims* (one random access)."""
@@ -87,6 +91,53 @@ class TupleStore:
         coords = self.fetch(tuple_id, query.dims)
         return query.score(coords)
 
+    # ------------------------------------------------------------------
+    # Block operations (the backend="vector" fast path)
+    # ------------------------------------------------------------------
+
+    def charge_many(self, tuple_ids: np.ndarray) -> int:
+        """Charge the random accesses of a batch of fetches; returns the count.
+
+        Equivalent to calling :meth:`fetch` once per id in order, including
+        the main-memory model: with ``cache_rows`` an id already cached is
+        free, and a duplicate later in the batch hits the cache populated by
+        its first occurrence.
+        """
+        ids_arr = np.asarray(tuple_ids, dtype=np.int64)
+        if not self._cache_rows:
+            if ids_arr.size:
+                self._counters.record_random(int(ids_arr.size))
+            return int(ids_arr.size)
+        charged = 0
+        for tid in ids_arr.tolist():
+            if tid in self._row_cache:
+                continue
+            charged += 1
+            self._row_cache.add(tid)
+        if charged:
+            self._counters.record_random(charged)
+        return charged
+
+    def fetch_many(self, tuple_ids: np.ndarray, dims: np.ndarray) -> np.ndarray:
+        """Coordinates of a batch of tuples at *dims* (one access per tuple).
+
+        One columnar gather replaces ``len(tuple_ids)`` :meth:`fetch` calls;
+        row ``i`` equals ``fetch(tuple_ids[i], dims)`` exactly, and the
+        counters are charged identically (see :meth:`charge_many`).
+        """
+        self.charge_many(tuple_ids)
+        return gather_columns(self._dataset, tuple_ids, dims)
+
+    def score_many(self, tuple_ids: np.ndarray, query: Query) -> np.ndarray:
+        """Scores of a batch of tuples (one gather + matvec, one access each).
+
+        The batch accumulation is ordered dimension-by-dimension; see
+        :func:`repro.kernels.scoring.accumulate_scores` for how this relates
+        to the scalar :meth:`score` path bit-wise.
+        """
+        coords = self.fetch_many(tuple_ids, query.dims)
+        return accumulate_scores(coords, query.weights)
+
     def peek_value(self, tuple_id: int, dim: int) -> float:
         """Read a coordinate *without* charging I/O.
 
@@ -100,3 +151,7 @@ class TupleStore:
     def peek_values(self, tuple_id: int, dims: np.ndarray) -> np.ndarray:
         """Read several coordinates without charging I/O (see peek_value)."""
         return self._dataset.values_at(tuple_id, dims)
+
+    def peek_many(self, tuple_ids: np.ndarray, dims: np.ndarray) -> np.ndarray:
+        """Batch coordinate gather *without* charging I/O (see peek_value)."""
+        return gather_columns(self._dataset, tuple_ids, dims)

@@ -107,6 +107,17 @@ class CandidateList:
     def __init__(self) -> None:
         self._entries: List[ScoredTuple] = []
         self._id_set: set[int] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every insert/remove.
+
+        Lets per-run caches derived from the list (e.g. the vector
+        backend's candidate coordinate matrix) detect Phase 3 growth
+        without hashing the contents.
+        """
+        return self._version
 
     def insert(self, tuple_id: int, score: float) -> None:
         """Insert a tuple; raises if the id is already present."""
@@ -116,6 +127,7 @@ class CandidateList:
         entry: ScoredTuple = (_key(tuple_id, score), tuple_id, float(score))
         bisect.insort(self._entries, entry)
         self._id_set.add(tuple_id)
+        self._version += 1
 
     def remove(self, tuple_id: int) -> None:
         """Remove a tuple by id (used when TA promotes a candidate into R)."""
@@ -127,6 +139,7 @@ class CandidateList:
                 del self._entries[pos]
                 break
         self._id_set.discard(tuple_id)
+        self._version += 1
 
     def __contains__(self, tuple_id: int) -> bool:
         return int(tuple_id) in self._id_set

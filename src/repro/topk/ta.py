@@ -31,8 +31,11 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from .._util import require
 from ..errors import AlgorithmError, QueryError
+from ..kernels.scoring import gather_columns
 from ..metrics.counters import AccessCounters
 from ..storage.index import InvertedIndex
 from ..storage.inverted_list import ListCursor
@@ -40,9 +43,20 @@ from ..storage.tuple_store import TupleStore
 from .query import Query
 from .result import CandidateList, TopKResult
 
-__all__ = ["ThresholdAlgorithm", "TAOutcome", "TATraceStep"]
+__all__ = ["BACKENDS", "BlockPlan", "ThresholdAlgorithm", "TAOutcome", "TATraceStep"]
 
 _PROBING_STRATEGIES = ("round_robin", "max_impact")
+
+#: Hot-path implementations: the scalar reference loop and the array-kernel
+#: fast path.  Both produce bit-identical results, traces, and counters.
+BACKENDS = ("scalar", "vector")
+
+#: Initial speculative block size of the vector backend; blocks double up
+#: to :data:`_MAX_BLOCK` while TA keeps running, bounding both the python
+#: overhead (large blocks) and the wasted speculation at termination
+#: (small first block).
+_INITIAL_BLOCK = 64
+_MAX_BLOCK = 1024
 
 
 @dataclass(frozen=True)
@@ -58,6 +72,39 @@ class TATraceStep:
     threshold_score: float
     result_ids: List[int]
     candidate_ids: List[int]
+
+
+@dataclass
+class BlockPlan:
+    """A speculative block of planned pulls (vector backend).
+
+    Attributes
+    ----------
+    steps:
+        Per-step index into the TA's query-dimension list.
+    rr_after:
+        Round-robin pointer after the full plan (valid iff fully committed).
+    step_ids:
+        Tuple id pulled at each step.
+    tj_prefix:
+        Per query dimension: the threshold component ``t_j`` at every
+        prefix ``s`` (cursor state after ``s`` committed pulls), length
+        ``len(steps) + 1``.
+    totals:
+        The threshold score ``Σ q_j t_j`` at every prefix, same indexing
+        and bit-identical to :meth:`ThresholdAlgorithm.threshold_score`.
+    rows / row_of:
+        Gathered query-dimension coordinates of every prospective new
+        tuple in the plan, and the id → row mapping.
+    """
+
+    steps: List[int]
+    rr_after: int
+    step_ids: List[int]
+    tj_prefix: List["np.ndarray"]
+    totals: List[float]
+    rows: "np.ndarray"
+    row_of: Dict[int, int]
 
 
 @dataclass
@@ -102,6 +149,14 @@ class ThresholdAlgorithm:
         ``"round_robin"`` or ``"max_impact"``.
     record_trace:
         Whether to record a Figure-2-style execution trace.
+    backend:
+        ``"vector"`` (default): plan pulls in speculative blocks, score new
+        tuples through one columnar gather, and commit exactly up to the
+        scalar termination point.  ``"scalar"``: the reference per-pull
+        loop.  The two are bit-identical in results, counters, and traces —
+        the pull sequence depends only on cursor positions and list values
+        (never on encountered scores), which is what makes exact
+        speculation possible.
     """
 
     def __init__(
@@ -113,12 +168,17 @@ class ThresholdAlgorithm:
         store: Optional[TupleStore] = None,
         probing: str = "round_robin",
         record_trace: bool = False,
+        backend: str = "vector",
     ) -> None:
         require(k >= 1, "k must be >= 1")
         if probing not in _PROBING_STRATEGIES:
             raise QueryError(
                 f"unknown probing strategy {probing!r}; "
                 f"expected one of {_PROBING_STRATEGIES}"
+            )
+        if backend not in BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
         self._index = index
         self._query = query
@@ -130,6 +190,7 @@ class ThresholdAlgorithm:
         self._cursors: Dict[int, ListCursor] = index.cursors_for(query.dims)
         self._dims: List[int] = [int(d) for d in query.dims]
         self._probing = probing
+        self._backend = backend
         self._rr_next = 0
         self._seen: Set[int] = set()
         self._scores: Dict[int, float] = {}
@@ -157,6 +218,11 @@ class ThresholdAlgorithm:
     def counters(self) -> AccessCounters:
         """The access counters charged by this run."""
         return self._counters
+
+    @property
+    def backend(self) -> str:
+        """Which hot-path implementation this run uses."""
+        return self._backend
 
     @property
     def store(self) -> TupleStore:
@@ -287,13 +353,10 @@ class ThresholdAlgorithm:
         if self._outcome is not None:
             raise AlgorithmError("ThresholdAlgorithm.run() may only be called once")
         self._record("initialise")
-        while not self._terminated():
-            dim = self._choose_dim()
-            tuple_id, _value = self._cursors[dim].pull(self._counters)
-            if tuple_id in self._seen:
-                continue
-            score = self._encounter(tuple_id)
-            self._record("sorted_access", dim=dim, tuple_id=tuple_id, score=score)
+        if self._backend == "vector":
+            self._run_vector_loop()
+        else:
+            self._run_scalar_loop()
         self._record("terminate")
 
         result = TopKResult(
@@ -311,6 +374,238 @@ class ThresholdAlgorithm:
             },
         )
         return self._outcome
+
+    def _run_scalar_loop(self) -> None:
+        """The reference per-pull loop."""
+        while not self._terminated():
+            dim = self._choose_dim()
+            tuple_id, _value = self._cursors[dim].pull(self._counters)
+            if tuple_id in self._seen:
+                continue
+            score = self._encounter(tuple_id)
+            self._record("sorted_access", dim=dim, tuple_id=tuple_id, score=score)
+
+    # ------------------------------------------------------------------
+    # Vector backend
+    # ------------------------------------------------------------------
+
+    def _plan_block(
+        self,
+        block: int,
+        positions: List[int],
+        sizes: List[int],
+        window_vals: List[List[float]],
+        weights: List[float],
+    ) -> Tuple[List[int], int]:
+        """Plan the next up-to-*block* pulls from local cursor positions.
+
+        Returns the per-step dimension indices (into ``self._dims``) and the
+        round-robin pointer after the last planned step.  Replays
+        :meth:`_choose_dim` exactly — the plan depends only on positions and
+        list values, so it is valid regardless of what the pulls encounter.
+        """
+        ndims = len(sizes)
+        local = list(positions)
+        steps: List[int] = []
+        rr = self._rr_next
+        if self._probing == "round_robin":
+            for _ in range(block):
+                for offset in range(ndims):
+                    i = (rr + offset) % ndims
+                    if local[i] < sizes[i]:
+                        steps.append(i)
+                        local[i] += 1
+                        rr = (i + 1) % ndims
+                        break
+                else:
+                    break  # every list exhausted
+        else:  # max_impact: largest q_j × next value; ties to the lower dim
+            for _ in range(block):
+                best_i = -1
+                best_priority = -1.0
+                for i in range(ndims):
+                    pos = local[i]
+                    if pos >= sizes[i]:
+                        continue
+                    priority = weights[i] * window_vals[i][pos - positions[i]]
+                    if priority > best_priority:
+                        best_priority = priority
+                        best_i = i
+                if best_i < 0:
+                    break
+                steps.append(best_i)
+                local[best_i] += 1
+        return steps, rr
+
+    def plan_block(self, block: int) -> Optional["BlockPlan"]:
+        """Speculatively plan the next up-to-*block* pulls (free of charge).
+
+        The plan carries everything a caller needs to *replay* the scalar
+        pull loop exactly without touching storage: per-step pulled ids,
+        per-prefix threshold components and threshold scores (computed with
+        the same accumulation order as :meth:`threshold_score`), and the
+        gathered query-dimension coordinates of every prospective new
+        tuple.  Nothing is charged or advanced until :meth:`commit_block`.
+        Returns ``None`` when every list is exhausted.
+        """
+        dims = self._dims
+        ndims = len(dims)
+        inv_lists = [self._cursors[d].inverted_list for d in dims]
+        sizes = [lst.size for lst in inv_lists]
+        weights = [self._query.weight_of(d) for d in dims]
+        positions = [self._cursors[d].position for d in dims]
+        # Per-dimension value windows as python lists: the max_impact plan
+        # indexes them far more cheaply than numpy scalars.  Round robin
+        # never reads values while planning, so skip the conversion there.
+        if self._probing == "round_robin":
+            window_vals: List[List[float]] = []
+        else:
+            window_vals = [
+                inv_lists[i].values[positions[i] : positions[i] + block].tolist()
+                for i in range(ndims)
+            ]
+        steps, rr_after = self._plan_block(block, positions, sizes, window_vals, weights)
+        if not steps:
+            return None
+        n_steps = len(steps)
+        step_dim = np.asarray(steps, dtype=np.int64)
+
+        # Pulled ids and per-prefix thresholds, vectorized per dimension.
+        # Prefix s (0..n_steps) is the cursor state after s committed pulls;
+        # the thresholds the scalar loop reads after step s live at s + 1.
+        step_ids = np.empty(n_steps, dtype=np.int64)
+        totals = np.zeros(n_steps + 1, dtype=np.float64)
+        tj_prefix: List[np.ndarray] = []
+        zero_prefix = np.zeros(1, dtype=np.int64)
+        for i in range(ndims):
+            mask = step_dim == i
+            counts = np.concatenate((zero_prefix, np.cumsum(mask)))
+            pos_prefix = positions[i] + counts
+            if mask.any():
+                step_ids[mask] = inv_lists[i].ids[pos_prefix[1:][mask] - 1]
+            if sizes[i] == 0:
+                tj = np.zeros(n_steps + 1, dtype=np.float64)
+            else:
+                tj = np.where(
+                    pos_prefix < sizes[i],
+                    inv_lists[i].values[np.minimum(pos_prefix, sizes[i] - 1)],
+                    0.0,
+                )
+            tj_prefix.append(tj)
+            totals += weights[i] * tj
+
+        # One free gather covers every prospective new tuple's coordinates.
+        step_id_list = step_ids.tolist()
+        fresh: List[int] = []
+        fresh_set: Set[int] = set()
+        for tid in step_id_list:
+            if tid in self._seen or tid in fresh_set:
+                continue
+            fresh_set.add(tid)
+            fresh.append(tid)
+        rows = gather_columns(
+            self._index.dataset, np.asarray(fresh, dtype=np.int64), self._query.dims
+        )
+        return BlockPlan(
+            steps=steps,
+            rr_after=rr_after,
+            step_ids=step_id_list,
+            tj_prefix=tj_prefix,
+            totals=totals.tolist(),
+            rows=rows,
+            row_of={tid: pos for pos, tid in enumerate(fresh)},
+        )
+
+    def commit_block(self, plan: "BlockPlan", n_commit: int, new_ids: List[int]) -> None:
+        """Commit the first *n_commit* planned pulls and their encounters.
+
+        Advances the cursors with bulk-charged :meth:`ListCursor.pull_block`
+        calls and charges one random access per newly encountered tuple —
+        the exact totals the scalar loop would have accumulated pull by
+        pull.  ``new_ids`` must already be registered via
+        :meth:`register_encounter`.
+        """
+        counts = [0] * len(self._dims)
+        for dim_idx in plan.steps[:n_commit]:
+            counts[dim_idx] += 1
+        for i, consumed in enumerate(counts):
+            if consumed:
+                self._cursors[self._dims[i]].pull_block(consumed, self._counters)
+        self._store.charge_many(np.asarray(new_ids, dtype=np.int64))
+        if n_commit and self._probing == "round_robin":
+            ndims = len(self._dims)
+            self._rr_next = (
+                plan.rr_after
+                if n_commit == len(plan.steps)
+                else (plan.steps[n_commit - 1] + 1) % ndims
+            )
+
+    def register_encounter(self, tuple_id: int, score: float) -> None:
+        """Register a planned pull's new tuple with a pre-computed score."""
+        self._seen.add(tuple_id)
+        self._scores[tuple_id] = score
+        bisect.insort(self._encountered, ((-score, tuple_id), tuple_id, score))
+
+    def _run_vector_loop(self) -> None:
+        """Blockwise TA: speculative planning, batch scoring, exact commit.
+
+        Each round plans a block of pulls, then walks the plan committing
+        step by step until the scalar termination condition fires.  Scores
+        are produced by :meth:`Query.score` on gathered rows, so every
+        recorded score is bit-identical to the scalar path's.
+        """
+        k = self._k
+        seen = self._seen
+        encountered = self._encountered
+        block = _INITIAL_BLOCK
+        while True:
+            plan = self.plan_block(block)
+            if plan is None:
+                return  # every list exhausted
+            n_steps = len(plan.steps)
+            committed_new: List[int] = []
+            n_commit = n_steps
+            terminated = False
+            for s in range(n_steps):
+                tid = plan.step_ids[s]
+                if tid not in seen:
+                    score = self._query.score(plan.rows[plan.row_of[tid]])
+                    self.register_encounter(tid, score)
+                    committed_new.append(tid)
+                    if self._trace is not None:
+                        self._record_planned_step(plan, s, tid, score)
+                if len(encountered) >= k and encountered[k - 1][2] >= plan.totals[s + 1]:
+                    n_commit = s + 1
+                    terminated = True
+                    break
+            self.commit_block(plan, n_commit, committed_new)
+            if terminated:
+                return
+            block = min(block * 2, _MAX_BLOCK)
+
+    def _record_planned_step(
+        self, plan: "BlockPlan", s: int, tuple_id: int, score: float
+    ) -> None:
+        """Trace one committed vector-backend step (cursors not yet advanced)."""
+        thresholds: Dict[int, float] = {
+            dim: float(plan.tj_prefix[i][s + 1]) for i, dim in enumerate(self._dims)
+        }
+        result_ids = [tid for _, tid, _ in self._encountered[: self._k]]
+        candidate_ids = [tid for _, tid, _ in self._encountered[self._k :]]
+        assert self._trace is not None
+        self._trace.append(
+            TATraceStep(
+                step=len(self._trace) + 1,
+                operation="sorted_access",
+                dim=self._dims[plan.steps[s]],
+                tuple_id=tuple_id,
+                score=score,
+                thresholds=thresholds,
+                threshold_score=plan.totals[s + 1],
+                result_ids=result_ids,
+                candidate_ids=candidate_ids,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Phase 3 resumption

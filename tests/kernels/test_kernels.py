@@ -1,0 +1,147 @@
+"""Unit tests for the array kernels against their scalar counterparts.
+
+Every kernel promises *bit-identical* results to the scalar reference
+operations it replaces, so these tests use exact equality throughout —
+``pytest.approx`` would hide precisely the class of bug (re-associated
+sums, fused operations) that breaks backend parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.core.lemma1 import crossing_delta
+from repro.geometry.line import Line
+from repro.kernels import (
+    accumulate_scores,
+    adjacent_crossings,
+    batch_crossings,
+    batch_pair_crossings,
+    first_max_index,
+    first_min_index,
+    gather_columns,
+    partition_masks,
+)
+
+
+@pytest.fixture()
+def random_dataset():
+    rng = np.random.default_rng(11)
+    dense = rng.random((60, 8)) * (rng.random((60, 8)) < 0.6)
+    return Dataset.from_dense(dense)
+
+
+class TestScoringKernels:
+    def test_gather_matches_values_at_exactly(self, random_dataset):
+        dims = np.array([0, 3, 5, 7])
+        ids = np.arange(random_dataset.n_tuples)
+        matrix = gather_columns(random_dataset, ids, dims)
+        for tid in ids:
+            assert np.array_equal(matrix[tid], random_dataset.values_at(tid, dims))
+
+    def test_gather_empty_batch(self, random_dataset):
+        matrix = gather_columns(random_dataset, np.empty(0, np.int64), np.array([0, 1]))
+        assert matrix.shape == (0, 2)
+
+    def test_gather_missing_dimension_reads_zero(self):
+        data = Dataset.from_dense([[0.5, 0.0], [0.0, 0.7]])
+        matrix = gather_columns(data, np.array([0, 1]), np.array([0, 1]))
+        assert matrix[0, 1] == 0.0 and matrix[1, 0] == 0.0
+
+    def test_accumulate_matches_ordered_scalar_sum(self, random_dataset):
+        dims = np.array([1, 2, 4])
+        weights = np.array([0.7, 0.2, 0.55])
+        ids = np.arange(random_dataset.n_tuples)
+        matrix = gather_columns(random_dataset, ids, dims)
+        scores = accumulate_scores(matrix, weights)
+        for tid in ids:
+            expected = 0.0
+            for j in range(dims.size):
+                expected += float(weights[j]) * float(matrix[tid, j])
+            assert scores[tid] == expected  # bit-identical, not approx
+
+
+class TestPartitionMasks:
+    def test_masks_reproduce_scalar_classification(self):
+        coords = np.array(
+            [
+                [0.0, 0.5, 0.0],  # zero in j=0, non-zero elsewhere -> C0
+                [0.3, 0.0, 0.0],  # only j=0 non-zero -> CH
+                [0.2, 0.1, 0.0],  # j=0 and another -> CL
+                [0.0, 0.0, 0.0],  # all-zero row -> C0 for every j
+            ]
+        )
+        c0, ch, cl = partition_masks(coords, 0)
+        assert c0.tolist() == [True, False, False, True]
+        assert ch.tolist() == [False, True, False, False]
+        assert cl.tolist() == [False, False, True, False]
+
+    def test_masks_are_disjoint_and_complete(self):
+        rng = np.random.default_rng(3)
+        coords = rng.random((40, 4)) * (rng.random((40, 4)) < 0.5)
+        for j in range(4):
+            c0, ch, cl = partition_masks(coords, j)
+            combined = c0.astype(int) + ch.astype(int) + cl.astype(int)
+            assert (combined == 1).all()
+
+
+class TestConstraintKernels:
+    def test_batch_crossings_match_crossing_delta(self):
+        rng = np.random.default_rng(5)
+        scores = rng.uniform(0.0, 0.5, 30)
+        coords = rng.random(30)
+        deltas, denoms = batch_crossings(0.8, 0.4, scores, coords)
+        for i in range(30):
+            if denoms[i] != 0.0:
+                assert deltas[i] == crossing_delta(0.8, 0.4, scores[i], coords[i])
+
+    def test_batch_pair_crossings_align_pairs(self):
+        ahead_s = np.array([0.9, 0.8])
+        ahead_c = np.array([0.2, 0.6])
+        behind_s = np.array([0.7, 0.75])
+        behind_c = np.array([0.5, 0.1])
+        deltas, denoms = batch_pair_crossings(ahead_s, ahead_c, behind_s, behind_c)
+        assert deltas[0] == crossing_delta(0.9, 0.2, 0.7, 0.5)
+        assert deltas[1] == crossing_delta(0.8, 0.6, 0.75, 0.1)
+        assert denoms[0] > 0.0 and denoms[1] < 0.0
+
+    def test_first_extremal_indices_break_ties_on_first_occurrence(self):
+        values = np.array([3.0, 1.0, 1.0, 2.0, 5.0])
+        mask = np.array([True, True, True, True, False])
+        assert first_min_index(values, mask) == 1
+        assert first_max_index(values, mask) == 0
+        values = np.array([2.0, 5.0, 5.0])
+        mask = np.ones(3, dtype=bool)
+        assert first_max_index(values, mask) == 1
+
+    def test_first_extremal_indices_empty_mask(self):
+        values = np.array([1.0, 2.0])
+        mask = np.zeros(2, dtype=bool)
+        assert first_min_index(values, mask) is None
+        assert first_max_index(values, mask) is None
+
+
+class TestEventKernel:
+    def test_adjacent_crossings_replay_overtakes_at(self):
+        rng = np.random.default_rng(9)
+        lines = [
+            Line(i, float(v), float(s))
+            for i, (v, s) in enumerate(zip(rng.random(25), rng.random(25)))
+        ]
+        order = sorted(lines, key=lambda l: l.sort_key(0.0))
+        boundary = 0.8
+        intercepts = np.array([l.intercept for l in order])
+        slopes = np.array([l.slope for l in order])
+        positions, xs = adjacent_crossings(intercepts, slopes, 0.0, boundary)
+        expected = {}
+        for pos in range(len(order) - 1):
+            x = order[pos + 1].overtakes_at(order[pos])
+            if x is not None and x < boundary:
+                expected[pos] = max(x, 0.0)
+        assert dict(zip(positions.tolist(), xs.tolist())) == expected
+
+    def test_single_line_has_no_crossings(self):
+        positions, xs = adjacent_crossings(np.array([1.0]), np.array([0.5]), 0.0, 1.0)
+        assert positions.size == 0 and xs.size == 0

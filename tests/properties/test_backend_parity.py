@@ -1,0 +1,193 @@
+"""Property-based tests: the vector backend is bit-identical to scalar.
+
+The ``backend="vector"`` fast path (:mod:`repro.kernels`) restructures the
+hot loops around array operations but promises the *exact* behaviour of
+the scalar reference implementation: identical region sequences (bounds,
+kinds, provenance, per-region results), identical access-counter totals,
+identical evaluation counters, and identical TA traces.  These tests hold
+that promise over randomized datasets, queries, methods, φ values, both
+probing strategies, and both storage models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    METHODS,
+    AccessCounters,
+    Dataset,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Query,
+    QueryService,
+)
+from repro.storage.tuple_store import TupleStore
+from repro.topk.ta import ThresholdAlgorithm
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def dataset_query_k(draw, max_n=70, max_m=6, max_k=8):
+    """A random sparse dataset with a valid query over it."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(5, max_n))
+    m = draw(st.integers(2, max_m))
+    density = draw(st.floats(0.25, 1.0))
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    data = Dataset.from_dense(dense)
+    eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    if len(eligible) < 2:
+        dense[:, :2] = rng.random((n, 2))
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    qlen = draw(st.integers(2, min(4, len(eligible))))
+    dims = sorted(rng.choice(eligible, size=qlen, replace=False).tolist())
+    weights = rng.uniform(0.2, 0.9, size=qlen)
+    k = draw(st.integers(1, max_k))
+    return data, Query(dims, weights), k
+
+
+def bound_repr(bound):
+    return (bound.delta, bound.kind, bound.rising_id, bound.falling_id)
+
+
+def sequence_repr(sequence):
+    return (
+        tuple(
+            (bound_repr(r.lower), bound_repr(r.upper), r.result_ids)
+            for r in sequence.regions
+        ),
+        sequence.current_index,
+    )
+
+
+def computation_repr(computation):
+    metrics = computation.metrics
+    evals = metrics.evals
+    return {
+        "result": computation.result.ids,
+        "sequences": {
+            dim: sequence_repr(seq) for dim, seq in computation.sequences.items()
+        },
+        "ta_access": (
+            metrics.ta_access.sorted_accesses,
+            metrics.ta_access.random_accesses,
+        ),
+        "region_access": (
+            metrics.region_access.sorted_accesses,
+            metrics.region_access.random_accesses,
+        ),
+        "evals": (
+            evals.evaluated_candidates,
+            evals.result_comparisons,
+            evals.termination_checks,
+            evals.pruned_candidates,
+            evals.phase3_tuples,
+        ),
+        "evaluated_per_dim": metrics.evaluated_per_dim,
+        "candidates_total": metrics.candidates_total,
+        "cl_union_size": metrics.cl_union_size,
+    }
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(case=dataset_query_k(), phi=st.integers(0, 2))
+@settings(**SETTINGS)
+def test_backends_produce_identical_computations(case, phi, method):
+    """Regions, bounds, provenance, and every counter agree across backends."""
+    data, query, k = case
+    reprs = []
+    for backend in ("scalar", "vector"):
+        engine = ImmutableRegionEngine(
+            InvertedIndex(data), method=method, backend=backend
+        )
+        reprs.append(computation_repr(engine.compute(query, k, phi=phi)))
+    assert reprs[0] == reprs[1]
+
+
+@given(
+    case=dataset_query_k(),
+    cache_rows=st.booleans(),
+    count_reorderings=st.booleans(),
+    probing=st.sampled_from(["round_robin", "max_impact"]),
+)
+@settings(**SETTINGS)
+def test_backends_agree_across_modes(case, cache_rows, count_reorderings, probing):
+    """Parity holds in the main-memory model and composition-only mode too."""
+    data, query, k = case
+    reprs = []
+    for backend in ("scalar", "vector"):
+        engine = ImmutableRegionEngine(
+            InvertedIndex(data),
+            method="cpt",
+            probing=probing,
+            count_reorderings=count_reorderings,
+            cache_rows=cache_rows,
+            backend=backend,
+        )
+        reprs.append(computation_repr(engine.compute(query, k)))
+    assert reprs[0] == reprs[1]
+
+
+@given(
+    case=dataset_query_k(),
+    probing=st.sampled_from(["round_robin", "max_impact"]),
+    cache_rows=st.booleans(),
+)
+@settings(**SETTINGS)
+def test_ta_traces_and_resumption_identical(case, probing, cache_rows):
+    """Step-by-step TA traces and post-run resumption agree across backends."""
+    data, query, k = case
+    outcomes = {}
+    for backend in ("scalar", "vector"):
+        counters = AccessCounters()
+        store = TupleStore(data, counters, cache_rows=cache_rows)
+        ta = ThresholdAlgorithm(
+            InvertedIndex(data),
+            query,
+            k,
+            counters=counters,
+            store=store,
+            probing=probing,
+            record_trace=True,
+            backend=backend,
+        )
+        outcome = ta.run()
+        resumed = [ta.resume_next() for _ in range(3)]
+        outcomes[backend] = (outcome, counters, resumed)
+    scalar, vector = outcomes["scalar"], outcomes["vector"]
+    assert list(scalar[0].result) == list(vector[0].result)
+    assert list(scalar[0].candidates) == list(vector[0].candidates)
+    assert scalar[0].sorted_access_depths == vector[0].sorted_access_depths
+    assert (scalar[1].sorted_accesses, scalar[1].random_accesses) == (
+        vector[1].sorted_accesses,
+        vector[1].random_accesses,
+    )
+    assert scalar[2] == vector[2]
+    assert scalar[0].trace is not None and vector[0].trace is not None
+    assert len(scalar[0].trace) == len(vector[0].trace)
+    for step_s, step_v in zip(scalar[0].trace, vector[0].trace):
+        assert step_s == step_v
+
+
+@given(case=dataset_query_k(max_n=40))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_service_backends_interchangeable(case):
+    """A QueryService pinned to either backend answers identically."""
+    data, query, k = case
+    results = []
+    for backend in ("scalar", "vector"):
+        with QueryService(data, executor="sequential", backend=backend) as service:
+            computation = service.execute(query, k)
+            results.append(computation_repr(computation))
+    assert results[0] == results[1]

@@ -1,0 +1,120 @@
+"""Unit tests for the storage block operations (vector fast path).
+
+``pull_block`` / ``fetch_many`` / ``score_many`` / ``charge_many`` must be
+indistinguishable — in returned values *and* in counter totals — from the
+equivalent sequence of scalar calls, including the main-memory
+(``cache_rows``) model where repeated fetches are free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query
+from repro.errors import StorageError
+from repro.metrics import AccessCounters
+from repro.storage import InvertedList, ListCursor, TupleStore
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(21)
+    dense = rng.random((50, 6)) * (rng.random((50, 6)) < 0.6)
+    return Dataset.from_dense(dense)
+
+
+@pytest.fixture()
+def inverted_list(dataset):
+    ids, values = dataset.column(0)
+    return InvertedList(0, ids, values)
+
+
+class TestPullBlock:
+    def test_block_equals_repeated_pulls(self, inverted_list):
+        scalar_cursor, block_cursor = ListCursor(inverted_list), ListCursor(inverted_list)
+        scalar_counters, block_counters = AccessCounters(), AccessCounters()
+        pulled = [scalar_cursor.pull(scalar_counters) for _ in range(7)]
+        ids, values = block_cursor.pull_block(7, block_counters)
+        assert [(int(i), float(v)) for i, v in zip(ids, values)] == pulled
+        assert block_counters.sorted_accesses == scalar_counters.sorted_accesses == 7
+        assert block_cursor.position == scalar_cursor.position == 7
+
+    def test_block_truncates_at_exhaustion(self, inverted_list):
+        cursor = ListCursor(inverted_list)
+        counters = AccessCounters()
+        ids, _ = cursor.pull_block(inverted_list.size + 100, counters)
+        assert ids.size == inverted_list.size
+        assert counters.sorted_accesses == inverted_list.size
+        assert cursor.exhausted
+
+    def test_exhausted_block_is_free(self, inverted_list):
+        cursor = ListCursor(inverted_list)
+        counters = AccessCounters()
+        cursor.pull_block(inverted_list.size, counters)
+        ids, values = cursor.pull_block(5, counters)
+        assert ids.size == 0 and values.size == 0
+        assert counters.sorted_accesses == inverted_list.size
+
+    def test_negative_block_size_rejected(self, inverted_list):
+        with pytest.raises(StorageError):
+            ListCursor(inverted_list).pull_block(-1, AccessCounters())
+
+
+class TestPositionLookup:
+    def test_position_of_every_entry(self, inverted_list):
+        for pos in range(inverted_list.size):
+            tid, _ = inverted_list.entry(pos)
+            assert inverted_list.position_of(tid) == pos
+
+    def test_position_of_absent_id(self, inverted_list):
+        assert inverted_list.position_of(10**9) is None
+
+    def test_lookup_shared_across_cursors(self, inverted_list):
+        first = ListCursor(inverted_list)
+        second = ListCursor(inverted_list)
+        counters = AccessCounters()
+        first.pull(counters)
+        tid, _ = inverted_list.entry(0)
+        assert first.has_passed(tid)
+        assert not second.has_passed(tid)
+
+
+class TestBatchFetch:
+    @pytest.mark.parametrize("cache_rows", [False, True])
+    def test_fetch_many_matches_scalar_fetches(self, dataset, cache_rows):
+        query = Query([0, 2, 4], [0.5, 0.3, 0.9])
+        ids = np.array([3, 7, 3, 12, 7])
+        scalar = TupleStore(dataset, AccessCounters(), cache_rows=cache_rows)
+        batch = TupleStore(dataset, AccessCounters(), cache_rows=cache_rows)
+        rows = np.stack([scalar.fetch(int(t), query.dims) for t in ids])
+        assert np.array_equal(batch.fetch_many(ids, query.dims), rows)
+        assert batch.counters.random_accesses == scalar.counters.random_accesses
+
+    @pytest.mark.parametrize("cache_rows", [False, True])
+    def test_score_many_matches_scalar_scores(self, dataset, cache_rows):
+        query = Query([1, 3, 5], [0.8, 0.4, 0.6])
+        ids = np.array([0, 5, 9, 5])
+        scalar = TupleStore(dataset, AccessCounters(), cache_rows=cache_rows)
+        batch = TupleStore(dataset, AccessCounters(), cache_rows=cache_rows)
+        expected = [scalar.score(int(t), query) for t in ids]
+        assert batch.score_many(ids, query) == pytest.approx(expected, abs=0.0, rel=1e-15)
+        assert batch.counters.random_accesses == scalar.counters.random_accesses
+
+    def test_charge_many_respects_row_cache(self, dataset):
+        store = TupleStore(dataset, AccessCounters(), cache_rows=True)
+        store.fetch(4, np.array([0]))
+        charged = store.charge_many(np.array([4, 6, 6, 8]))
+        assert charged == 2  # 4 cached, 6 charged once, 8 charged once
+        assert store.counters.random_accesses == 3
+
+    def test_charge_many_without_cache_charges_every_id(self, dataset):
+        store = TupleStore(dataset, AccessCounters())
+        store.charge_many(np.array([1, 1, 2]))
+        assert store.counters.random_accesses == 3
+
+    def test_peek_many_is_free(self, dataset):
+        store = TupleStore(dataset, AccessCounters())
+        matrix = store.peek_many(np.array([0, 1]), np.array([0, 1, 2]))
+        assert matrix.shape == (2, 3)
+        assert store.counters.random_accesses == 0
