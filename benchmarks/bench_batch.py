@@ -1,0 +1,197 @@
+"""Cross-query batch execution benchmark, feeding ``BENCH_batch.json``.
+
+Companion to ``bench_kernels.py`` (which tracks single-query hot paths):
+this script measures *service-shaped* workloads — many queries over
+shared dims signatures — and compares three execution strategies at the
+headline configuration (n=50k, qlen=4, k=10, main-memory rows):
+
+* **sequential** — the PR 2 baseline: one ``engine.compute`` call per
+  query on the vector backend;
+* **batch ta** — ``engine.compute_many(topk_mode="ta")``: shared
+  :class:`~repro.storage.plan.SubspacePlan` per signature, TA replayed
+  pull by pull (paper-exact access counters);
+* **batch matmul** — ``engine.compute_many(topk_mode="matmul")``: fused
+  multi-query scoring + vectorized Lemma 1 region sweeps (identical
+  regions, counters not simulated).
+
+Two workload shapes are measured across batch sizes:
+
+* **single signature** — every query shares one dims signature (the
+  refinement-UI / hot-subspace case the batch layer targets);
+* **mixed signatures** — queries spread over 8 signatures, so each fused
+  pass amortises over ~Q/8 queries (the signature-skew sensitivity).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_batch.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_batch.py --check    # fail unless
+        # batch matmul beats sequential by >= 3x at the largest
+        # single-signature batch size
+
+``--quick --check`` is the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ImmutableRegionEngine, InvertedIndex, Query
+from repro.datasets.synthetic import generate_correlated
+from repro.datasets.workloads import sample_queries
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_batch.json"
+
+#: The acceptance configuration (same headline point as bench_kernels).
+HEADLINE = dict(n=50_000, qlen=4, k=10, method="cpt")
+
+#: The --check gate: batch matmul throughput vs the sequential vector
+#: backend at the largest single-signature batch size.
+GATE_SPEEDUP = 3.0
+
+N_SIGNATURES_MIXED = 8
+
+
+def _signature_workload(data, qlen: int, n_signatures: int, n_queries: int, seed: int):
+    """*n_queries* queries spread round-robin over *n_signatures* signatures."""
+    bases = sample_queries(
+        data, qlen=qlen, n_queries=n_signatures, seed=seed, min_column_nnz=20
+    )
+    rng = np.random.default_rng(seed + 1)
+    queries = []
+    for i in range(n_queries):
+        base = bases[i % n_signatures]
+        queries.append(Query(base.dims, rng.uniform(0.1, 1.0, size=qlen)))
+    return queries
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_point(engine, queries, k: int, repeats: int) -> dict:
+    """Throughput of the three strategies on one workload."""
+    engine.compute(queries[0], k)  # warm lists, plans stay cold for ta/matmul
+    n = len(queries)
+
+    seconds = {
+        "sequential": _best_of(
+            lambda: [engine.compute(q, k) for q in queries], repeats
+        ),
+        "batch_ta": _best_of(
+            lambda: engine.compute_many(queries, k, topk_mode="ta"), repeats
+        ),
+        "batch_matmul": _best_of(
+            lambda: engine.compute_many(queries, k, topk_mode="matmul"), repeats
+        ),
+    }
+    row = {"n_queries": n}
+    for name, secs in seconds.items():
+        row[f"{name}_seconds"] = secs
+        row[f"{name}_qps"] = n / secs
+    row["ta_speedup"] = seconds["sequential"] / seconds["batch_ta"]
+    row["matmul_speedup"] = seconds["sequential"] / seconds["batch_matmul"]
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny CI grid")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless batch matmul beats sequential by "
+        f">= {GATE_SPEEDUP}x at the largest single-signature batch size",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    config = dict(HEADLINE)
+    if args.quick:
+        config["n"] = 10_000
+        batch_sizes = (16, 64)
+    else:
+        batch_sizes = (16, 64, 256)
+    gate_q = batch_sizes[-1]
+
+    data = generate_correlated(n_tuples=config["n"], n_dims=12, seed=0)
+    index = InvertedIndex(data)
+    engine = ImmutableRegionEngine(
+        index, method=config["method"], cache_rows=True, backend="vector"
+    )
+
+    single_rows = []
+    for q in batch_sizes:
+        workload = _signature_workload(data, config["qlen"], 1, q, seed=1)
+        row = bench_point(engine, workload, config["k"], repeats)
+        row["signatures"] = 1
+        single_rows.append(row)
+        print(
+            f"single-signature Q={q:>4}: sequential {row['sequential_qps']:8.1f} q/s"
+            f"  ta {row['batch_ta_qps']:8.1f} q/s ({row['ta_speedup']:.2f}x)"
+            f"  matmul {row['batch_matmul_qps']:8.1f} q/s "
+            f"({row['matmul_speedup']:.2f}x)"
+        )
+
+    mixed_workload = _signature_workload(
+        data, config["qlen"], N_SIGNATURES_MIXED, gate_q, seed=2
+    )
+    mixed_row = bench_point(engine, mixed_workload, config["k"], repeats)
+    mixed_row["signatures"] = N_SIGNATURES_MIXED
+    print(
+        f"mixed ({N_SIGNATURES_MIXED} sigs) Q={gate_q:>4}: "
+        f"sequential {mixed_row['sequential_qps']:8.1f} q/s"
+        f"  ta {mixed_row['batch_ta_qps']:8.1f} q/s ({mixed_row['ta_speedup']:.2f}x)"
+        f"  matmul {mixed_row['batch_matmul_qps']:8.1f} q/s "
+        f"({mixed_row['matmul_speedup']:.2f}x)"
+    )
+
+    gate_row = single_rows[-1]
+    payload = {
+        "meta": {
+            "bench": "bench_batch",
+            "mode": "quick" if args.quick else "full",
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {**config, "cache_rows": True, "backend": "vector"},
+        "single_signature": single_rows,
+        "mixed_signature": mixed_row,
+        "gate": {
+            "batch_size": gate_q,
+            "required_speedup": GATE_SPEEDUP,
+            "matmul_speedup": gate_row["matmul_speedup"],
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check and gate_row["matmul_speedup"] < GATE_SPEEDUP:
+        print(
+            f"REGRESSION: batch matmul is only "
+            f"{gate_row['matmul_speedup']:.2f}x over sequential at "
+            f"Q={gate_q} single-signature (gate: {GATE_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

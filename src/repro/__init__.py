@@ -40,6 +40,7 @@ from .core.brute import (
 from .core.engine import (
     BACKENDS,
     METHODS,
+    TOPK_MODES,
     ImmutableRegionEngine,
     RegionComputation,
     RunMetrics,

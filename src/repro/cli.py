@@ -29,6 +29,7 @@ from .bench.harness import ExperimentRunner
 from .core.engine import (
     BACKENDS,
     METHODS,
+    TOPK_MODES,
     ImmutableRegionEngine,
     compute_immutable_regions,
 )
@@ -153,6 +154,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         cache_capacity=args.cache_size,
         backend=args.backend,
+        topk_mode=args.topk_mode,
+        batch_window=args.batch_window,
     )
     passes = []
     for index in range(args.repeat):
@@ -168,6 +171,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "family": args.family,
                 "method": args.method,
                 "backend": args.backend,
+                "topk_mode": args.topk_mode,
+                "batch_window": args.batch_window,
                 "executor": args.executor,
                 "workers": args.workers,
                 "k": args.k,
@@ -263,6 +268,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--cache-size", type=int, default=1024, help="RegionCache capacity"
+    )
+    batch.add_argument(
+        "--topk-mode",
+        choices=TOPK_MODES,
+        default="ta",
+        help="top-k execution: 'ta' replays the paper's threshold algorithm "
+        "(exact access counters); 'matmul' is the fused cross-query serving "
+        "fast path (identical regions, counters not simulated)",
+    )
+    batch.add_argument(
+        "--batch-window",
+        type=int,
+        default=128,
+        help="max queries per fused compute_many window",
     )
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)

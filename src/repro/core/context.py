@@ -30,6 +30,7 @@ from ..kernels.constraints import batch_crossings, first_max_index, first_min_in
 from ..metrics.counters import AccessCounters, EvaluationCounters
 from ..metrics.timer import PhaseTimer
 from ..storage.index import InvertedIndex
+from ..storage.plan import SubspacePlan
 from ..storage.tuple_store import TupleStore
 from ..topk.query import Query
 from ..topk.ta import BACKENDS, TAOutcome, ThresholdAlgorithm
@@ -192,6 +193,7 @@ class RunContext:
         evals: EvaluationCounters,
         timer: PhaseTimer,
         backend: str = "vector",
+        plan: Optional[SubspacePlan] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise AlgorithmError(
@@ -209,6 +211,11 @@ class RunContext:
         self.evals = evals
         self.timer = timer
         self.backend = backend
+        #: Shared per-signature state (``compute_many`` runs); ``None`` for
+        #: standalone queries.  The plan only accelerates gathers and probe
+        #: orderings — every value it serves is bit-identical to the
+        #: per-query rebuild it replaces.
+        self.plan = plan
         self._views: Dict[int, DimensionView] = {}
         # Query-dimension coordinates of encountered tuples, recorded once
         # per run.  The paper gathers these on the fly while TA holds each
@@ -273,7 +280,12 @@ class RunContext:
             return cached[1], cached[2], cached[3]
         ids = np.asarray(candidates.ids, dtype=np.int64)
         scores = candidates.scores
-        coords = self.store.peek_many(ids, self.query.dims)
+        if self.plan is not None:
+            # Direct row gather from the plan's column block — the same
+            # free-read accounting, the same exact copies of stored values.
+            coords = self.plan.rows(ids)
+        else:
+            coords = self.store.peek_many(ids, self.query.dims)
         self._candidate_arrays = (candidates.version, ids, scores, coords)
         return ids, scores, coords
 

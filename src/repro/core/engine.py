@@ -36,10 +36,12 @@ from ..metrics.diskmodel import DiskModel
 from ..metrics.footprint import FootprintModel, MemoryFootprint
 from ..metrics.timer import PhaseTimer
 from ..storage.index import InvertedIndex
+from ..storage.plan import SubspacePlan
 from ..storage.tuple_store import TupleStore
 from ..topk.query import Query
 from ..topk.result import TopKResult
 from ..topk.ta import BACKENDS, ThresholdAlgorithm
+from .batch_exec import TOPK_MODES, compute_many as _compute_many
 from .context import RunContext
 from .iterative import compute_iterative_sequence
 from .phi import compute_phi_sequence
@@ -49,6 +51,7 @@ from .scan import compute_phi0_sequence
 __all__ = [
     "BACKENDS",
     "METHODS",
+    "TOPK_MODES",
     "ImmutableRegionEngine",
     "RegionComputation",
     "RunMetrics",
@@ -86,6 +89,16 @@ class RunMetrics:
         Analytic memory footprint for the method (Figure 10(d) model).
     io_seconds:
         Simulated I/O time of the region computation under the disk model.
+    counters_simulated:
+        Whether the access/evaluation counters replay the paper's storage
+        model.  True for every TA-driven run; False for the
+        ``topk_mode="matmul"`` serving fast path, which computes identical
+        regions without simulating pulls (its counters read zero and its
+        ``io_seconds`` is 0.0 — not "free", just not simulated).  When
+        False, ``candidates_total``/``cl_union_size`` (and the memory
+        footprint built on them) count the subspace's full candidate
+        universe — every positive-score non-result tuple — rather than
+        TA's encounter-truncated ``C(q)``.
     """
 
     ta_access: AccessCounters
@@ -97,6 +110,7 @@ class RunMetrics:
     cl_union_size: int
     memory: MemoryFootprint
     io_seconds: float
+    counters_simulated: bool = True
 
     @property
     def cpu_seconds(self) -> float:
@@ -268,10 +282,22 @@ class ImmutableRegionEngine:
         # Phase 1 skipped — it stays single-pass.
         return self.method == "scan" and phi > 0
 
-    def compute(self, query: Query, k: int, phi: int = 0) -> RegionComputation:
-        """Run TA plus region computation for every query dimension."""
+    def compute(
+        self, query: Query, k: int, phi: int = 0, plan: Optional[SubspacePlan] = None
+    ) -> RegionComputation:
+        """Run TA plus region computation for every query dimension.
+
+        *plan* optionally supplies the query signature's shared
+        :class:`~repro.storage.plan.SubspacePlan` (as :meth:`compute_many`
+        does); it accelerates gathers and probe orderings without changing
+        a single output bit.
+        """
         require(k >= 1, "k must be >= 1")
         require(phi >= 0, "phi must be >= 0")
+        if plan is not None and plan.signature != tuple(int(d) for d in query.dims):
+            raise QueryError(
+                f"plan signature {plan.signature} does not match query dims"
+            )
 
         access = AccessCounters()
         evals = EvaluationCounters()
@@ -285,6 +311,7 @@ class ImmutableRegionEngine:
             store=store,
             probing=self.probing,
             backend=self.backend,
+            plan=plan,
         )
         with timer.phase("ta"):
             outcome = ta.run()
@@ -307,6 +334,7 @@ class ImmutableRegionEngine:
             evals=evals,
             timer=timer,
             backend=self.backend,
+            plan=plan,
         )
         policy = _POLICY_OF[self.method]
         use_iterative = self._use_iterative(phi)
@@ -337,6 +365,45 @@ class ImmutableRegionEngine:
             sequences=sequences,
             metrics=metrics,
         )
+
+    def compute_many(
+        self,
+        queries,
+        k: int,
+        phi: int = 0,
+        topk_mode: str = "ta",
+    ) -> list:
+        """Answer a whole batch of queries with cross-query amortisation.
+
+        Queries are grouped by dims signature; each group shares one
+        :class:`~repro.storage.plan.SubspacePlan` from the index's plan
+        cache (column block, probe-order ranks, warm lookup tables built
+        once per signature).  ``topk_mode`` selects how each query's top-k
+        is obtained:
+
+        ``"ta"`` (default)
+            Replays the paper's threshold algorithm pull by pull against
+            the shared plan — identical output to per-query
+            :meth:`compute`, including every access counter.  (A cold
+            signature's plan is only materialised when the group has at
+            least two distinct queries to amortise the build; a lone
+            query runs exactly like a standalone :meth:`compute`.)
+        ``"matmul"``
+            The serving fast path: one fused scoring pass plus
+            ``argpartition`` top-k for all queries of a signature, with
+            φ=0 regions assembled from a vectorized Lemma 1 sweep over
+            the shared block.  Regions, bounds, and provenance are
+            identical to :meth:`compute`; the storage model is not
+            simulated (``metrics.counters_simulated`` is False).  For
+            configurations outside the fused geometry (φ>0,
+            ``count_reorderings=False``, forced iterative runs) — and for
+            queries with a bit-exact score tie at the k boundary — the
+            exact TA replay is used transparently.
+
+        Results come back in input order; duplicate queries within a
+        signature group are computed once and share one object.
+        """
+        return _compute_many(self, queries, k, phi=phi, topk_mode=topk_mode)
 
     # ------------------------------------------------------------------
 

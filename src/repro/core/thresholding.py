@@ -54,14 +54,37 @@ def lexsort_records(
 
 
 def build_probe_orders(
-    pool: List[CandidateRecord], dk_coord: float, backend: str
+    pool: List[CandidateRecord],
+    dk_coord: float,
+    backend: str,
+    plan=None,
+    j_pos: Optional[int] = None,
 ) -> Tuple[List[CandidateRecord], List[CandidateRecord], List[CandidateRecord]]:
     """The ``SLS`` / ``SLj↑`` / ``SLj↓`` orderings of a pool.
 
     The vector backend sorts via :func:`lexsort_records` — same total
     order (primary key, ties by ascending tuple id) as the scalar
     ``sorted(key=...)`` calls.
+
+    With a shared :class:`~repro.storage.plan.SubspacePlan` the per-query
+    float lexsorts collapse further: *pool* arrives in ``(-score, id)``
+    order (the candidate-list invariant documented on
+    :func:`thresholding_phase2`), so ``SLS`` is the pool itself, and the
+    ``SLj`` orders follow from the plan's precomputed per-dimension
+    ``(coord, id)`` rank arrays by one integer argsort each — the global
+    lexsorted order restricted to the pool *is* the pool's lexsort.
     """
+    if backend == "vector" and pool and plan is not None and j_pos is not None:
+        ids = np.asarray([r.tuple_id for r in pool], dtype=np.int64)
+        coords = np.asarray([r.coord for r in pool], dtype=np.float64)
+        sls = list(pool)
+        up = np.nonzero(coords < dk_coord)[0]
+        up_order = np.argsort(plan.asc_rank(j_pos)[ids[up]])
+        sl_up = [pool[i] for i in up[up_order]]
+        down = np.nonzero(coords > dk_coord)[0]
+        down_order = np.argsort(plan.desc_rank(j_pos)[ids[down]])
+        sl_down = [pool[i] for i in down[down_order]]
+        return sls, sl_up, sl_down
     if backend == "vector" and pool:
         ids = np.asarray([r.tuple_id for r in pool], dtype=np.int64)
         scores = np.asarray([r.score for r in pool], dtype=np.float64)
@@ -117,11 +140,13 @@ def thresholding_phase2(
 ) -> None:
     """Run Algorithm 3 over *pool*, tightening *bounds* in place.
 
-    *pool* must be sorted by decreasing score (the natural ``C(q)`` order);
-    it is the full candidate list for Thres and the pruned pool for CPT.
+    *pool* must be sorted by decreasing score with ascending-id tie-break
+    (the natural ``C(q)`` order); it is the full candidate list for Thres
+    and the pruned pool for CPT.
     """
+    j_pos = ctx.plan.j_pos(view.dim) if ctx.plan is not None else None
     sls_order, sl_up_order, sl_down_order = build_probe_orders(
-        pool, view.dk_coord, ctx.backend
+        pool, view.dk_coord, ctx.backend, plan=ctx.plan, j_pos=j_pos
     )
     sls = _ProbeList(sls_order)
     sl_up = _ProbeList(sl_up_order)

@@ -11,7 +11,9 @@ interval of interest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .._util import require
 from ..errors import GeometryError
@@ -47,6 +49,7 @@ class Envelope:
                 raise GeometryError("envelope segments must be contiguous")
         self._segments: List[EnvelopeSegment] = list(segments)
         self._kind = kind
+        self._breakpoint_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def segments(self) -> List[EnvelopeSegment]:
@@ -94,14 +97,36 @@ class Envelope:
         """Envelope value at *x*."""
         return self.segment_at(x).line.value_at(x)
 
+    def _breakpoint_values(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(xs, envelope(xs))`` over all breakpoints, built once and cached.
+
+        The envelope values are produced by :meth:`value_at` (one pass at
+        first use), so every cached value is bit-identical to a fresh
+        per-breakpoint binary-search lookup.
+        """
+        cached = self._breakpoint_cache
+        if cached is None:
+            xs = np.asarray(self.breakpoints, dtype=np.float64)
+            values = np.asarray(
+                [self.value_at(float(x)) for x in xs], dtype=np.float64
+            )
+            cached = self._breakpoint_cache = (xs, values)
+        return cached
+
     def line_stays_below(self, line: Line) -> bool:
         """Whether *line* is strictly below the envelope on its whole domain.
 
         Both functions are piecewise linear, so checking every breakpoint
         (including the domain endpoints) is exact.  Used by the φ>0
-        threshold-line termination tests.
+        threshold-line termination tests — a hot path, called once per
+        probe/pull — so the line is evaluated at *all* breakpoints in one
+        numpy expression against the cached envelope values instead of a
+        Python loop of per-breakpoint binary searches (the element-wise
+        arithmetic ``intercept + x·slope`` matches
+        :meth:`~repro.geometry.line.Line.value_at` exactly).
         """
-        return all(line.value_at(x) < self.value_at(x) for x in self.breakpoints)
+        xs, envelope_values = self._breakpoint_values()
+        return bool(np.all(line.intercept + xs * line.slope < envelope_values))
 
     def __len__(self) -> int:
         return len(self._segments)

@@ -12,7 +12,10 @@ Python.  This package provides drop-in *batch* equivalents used by the
 * :mod:`~repro.kernels.constraints` — Lemma 1 order constraints evaluated
   over whole candidate pools at once;
 * :mod:`~repro.kernels.events` — vectorized adjacent-pair crossing
-  generation seeding the kinetic k-level sweep.
+  generation seeding the kinetic k-level sweep;
+* :mod:`~repro.kernels.batch` — *cross-query* fused kernels (one scoring
+  pass and one partition reduction for every query sharing a dims
+  signature), powering ``ImmutableRegionEngine.compute_many``.
 
 Exactness contract
 ------------------
@@ -26,6 +29,7 @@ is not enough; a fused or re-associated sum can flip a termination
 comparison by one ULP and desynchronise the access accounting.
 """
 
+from .batch import FusedTopK, fused_scores, fused_topk, partition_counts_many
 from .constraints import (
     batch_crossings,
     batch_pair_crossings,
@@ -37,13 +41,17 @@ from .partition import partition_masks
 from .scoring import accumulate_scores, gather_columns, score_block
 
 __all__ = [
+    "FusedTopK",
     "accumulate_scores",
     "adjacent_crossings",
     "batch_crossings",
     "batch_pair_crossings",
     "first_max_index",
     "first_min_index",
+    "fused_scores",
+    "fused_topk",
     "gather_columns",
     "partition_masks",
+    "partition_counts_many",
     "score_block",
 ]

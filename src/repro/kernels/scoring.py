@@ -8,10 +8,9 @@ column arrays — O(qlen) numpy calls total instead of O(B).
 
 Scores are accumulated dimension-by-dimension (``out += w_j * col_j``),
 which performs per element exactly the multiply-round/add-round sequence
-of a left-to-right scalar sum.  ``Query.score`` itself uses ``np.dot``
-(whose summation order is BLAS-defined), so code that needs scores
-bit-identical to the scalar path — the vectorized TA does — must score
-through :meth:`repro.topk.query.Query.score` on gathered rows; see
+of a left-to-right scalar sum.  :meth:`repro.topk.query.Query.score` uses
+the same left-to-right accumulation (the library-wide scoring order), so
+batch scores are bit-identical to scalar ones; see
 :func:`gather_columns`'s guarantee that gathered *coordinates* are exact
 copies of the stored values.
 """

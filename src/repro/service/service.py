@@ -6,40 +6,60 @@ on top of the single-query :class:`~repro.core.engine.ImmutableRegionEngine`:
 * **shared state** — one :class:`~repro.storage.index.InvertedIndex` and
   one engine per method serve every query; engines are stateless between
   runs (all run state is created inside ``compute``), so one engine can
-  answer many queries concurrently;
+  answer many queries concurrently; the index's
+  :class:`~repro.storage.plan.SubspacePlanCache` amortises per-signature
+  work (column block, probe-order ranks, lookup tables) across the whole
+  service lifetime;
 * **batching** — :meth:`run_batch` takes a whole
   :class:`~repro.datasets.workloads.QueryWorkload` (or any iterable of
   queries) and returns the computations in input order plus a
-  :class:`~repro.service.stats.ServiceStats` readout;
+  :class:`~repro.service.stats.ServiceStats` readout.  Cache misses are
+  grouped by dims signature and executed through
+  :meth:`~repro.core.engine.ImmutableRegionEngine.compute_many`, so
+  queries sharing a subspace share one plan and — in
+  ``topk_mode="matmul"`` — one fused scoring pass;
 * **caching** — finished computations land in an LRU
   :class:`~repro.service.cache.RegionCache`; repeated queries replay
   instead of recomputing;
 * **single-flight** — duplicate queries *within* a batch are submitted
   once and share the result, so a hot query costs one engine run no
   matter how often it appears;
-* **pooling** — batches run through a ``concurrent.futures`` executor:
-  ``"thread"`` (default; the engines share the in-process index) or
-  ``"process"`` (each worker rebuilds the engines from the dataset —
-  useful on multi-core machines where the GIL binds), with
-  ``"sequential"`` as the no-pool baseline.  The pool is created on
-  first use and reused across batches (process workers keep their
-  engines and inverted lists warm); ``close()`` — or using the service
-  as a context manager — shuts it down.
+* **pooling** — signature groups are chunked into *batch windows* and run
+  through a ``concurrent.futures`` executor: ``"thread"`` (default; the
+  engines share the in-process index and plans) or ``"process"`` (each
+  worker rebuilds the engines — and its own plans — from the dataset),
+  with ``"sequential"`` as the no-pool baseline.  The pool is created on
+  first use and reused across batches; ``close()`` — or using the
+  service as a context manager — shuts it down.
+
+``topk_mode`` selects the execution mode for computed queries: ``"ta"``
+(default) replays the paper's TA with exact access counters; ``"matmul"``
+is the fused serving fast path — identical regions, counters not
+simulated (see :meth:`ImmutableRegionEngine.compute_many`).
 
 All stats accounting happens on the calling thread, so
 :class:`ServiceStats` needs no locks; worker tasks only run engines.
+Latency of a windowed query is attributed as its window's wall time
+divided by the window size — the service-level amortised cost.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .._util import require
-from ..core.engine import BACKENDS, ImmutableRegionEngine, METHODS, RegionComputation
+from ..core.engine import (
+    BACKENDS,
+    METHODS,
+    TOPK_MODES,
+    ImmutableRegionEngine,
+    RegionComputation,
+)
 from ..datasets.base import Dataset
 from ..errors import QueryError
 from ..metrics.diskmodel import DiskModel
@@ -69,18 +89,24 @@ def _process_worker_init(dataset: Dataset, engine_kwargs: Dict) -> None:
     _WORKER_STATE["engines"] = {}
 
 
-def _process_worker_compute(
-    method: str, query: Query, k: int, phi: int
-) -> Tuple[RegionComputation, float]:
+def _worker_engine(method: str) -> ImmutableRegionEngine:
     engines: Dict[str, ImmutableRegionEngine] = _WORKER_STATE["engines"]
     engine = engines.get(method)
     if engine is None:
         engine = engines[method] = ImmutableRegionEngine(
             _WORKER_STATE["index"], method=method, **_WORKER_STATE["engine_kwargs"]
         )
+    return engine
+
+
+def _process_worker_compute_many(
+    method: str, queries: List[Query], k: int, phi: int, topk_mode: str
+) -> Tuple[List[RegionComputation], float]:
     start = time.perf_counter()
-    computation = engine.compute(query, k, phi=phi)
-    return computation, time.perf_counter() - start
+    computations = _worker_engine(method).compute_many(
+        queries, k, phi=phi, topk_mode=topk_mode
+    )
+    return computations, time.perf_counter() - start
 
 
 @dataclass
@@ -120,6 +146,15 @@ class QueryService:
         Pool size for the pooled executors (``None``: the executor default).
     cache_capacity:
         LRU capacity of the shared :class:`RegionCache`.
+    topk_mode:
+        ``"ta"`` (default): computed queries replay the paper's TA with
+        exact access counters.  ``"matmul"``: the fused serving fast path
+        — identical regions/bounds, access counters not simulated.
+    batch_window:
+        Maximum queries per submitted ``compute_many`` task.  Within a
+        signature group, up to this many queries share one fused pass;
+        larger windows amortise better, smaller windows spread a group
+        across more pool workers.
     count_reorderings, probing, disk_model, backend:
         Forwarded to every engine (see :class:`ImmutableRegionEngine`);
         ``backend`` selects the vectorized fast path (default) or the
@@ -138,10 +173,14 @@ class QueryService:
         probing: str = "max_impact",
         disk_model: Optional[DiskModel] = None,
         backend: str = "vector",
+        topk_mode: str = "ta",
+        batch_window: int = 128,
     ) -> None:
         require(method in METHODS, f"unknown method {method!r}")
         require(executor in EXECUTORS, f"unknown executor {executor!r}")
         require(backend in BACKENDS, f"unknown backend {backend!r}")
+        require(topk_mode in TOPK_MODES, f"unknown topk_mode {topk_mode!r}")
+        require(batch_window >= 1, "batch_window must be >= 1")
         if max_workers is not None:
             require(max_workers >= 1, "max_workers must be >= 1")
         self.index = data if isinstance(data, InvertedIndex) else InvertedIndex(data)
@@ -151,6 +190,8 @@ class QueryService:
         self.count_reorderings = count_reorderings
         self.probing = probing
         self.backend = backend
+        self.topk_mode = topk_mode
+        self.batch_window = int(batch_window)
         self.disk_model = disk_model if disk_model is not None else DiskModel()
         self.cache = RegionCache(cache_capacity)
         self._engines: Dict[str, ImmutableRegionEngine] = {}
@@ -187,7 +228,9 @@ class QueryService:
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        computation = self.engine_for(method).compute(query, k, phi=phi)
+        computation = self.engine_for(method).compute_many(
+            [query], k, phi=phi, topk_mode=self.topk_mode
+        )[0]
         self.cache.put(key, computation)
         return computation
 
@@ -203,9 +246,11 @@ class QueryService:
         """Answer every query of a workload; results come in input order.
 
         Accepts a :class:`QueryWorkload` or any iterable of queries.
-        Per-query latencies measure engine time for computed queries and
-        lookup time for cache hits; ``stats.wall_seconds`` covers the
-        whole batch including scheduling.
+        Cache misses are grouped by dims signature, chunked into
+        ``batch_window``-sized windows, and executed via
+        ``compute_many``; per-query latency is the window's amortised
+        wall time, while ``stats.wall_seconds`` covers the whole batch
+        including scheduling.
         """
         batch = list(queries)
         require(len(batch) >= 1, "batch must contain at least one query")
@@ -217,16 +262,86 @@ class QueryService:
 
         stats = ServiceStats()
         start = time.perf_counter()
-        if self.executor == "sequential":
-            computations = self._run_sequential(batch, k, phi, method, stats)
-        else:
-            computations = self._run_pooled(batch, k, phi, method, stats)
+        computations = self._run_windows(batch, k, phi, method, stats)
         stats.wall_seconds = time.perf_counter() - start
         return BatchResult(computations=computations, stats=stats)
 
     # ------------------------------------------------------------------
 
-    def _run_sequential(
+    def _plan_windows(
+        self,
+        batch: List[Query],
+        keys: List[CacheKey],
+        slots: List[Optional[RegionComputation]],
+        stats: ServiceStats,
+        method: str,
+    ) -> Tuple[List[List[int]], Dict[CacheKey, int]]:
+        """Resolve cache hits and window the remaining misses.
+
+        Returns the windows (lists of owner indices, grouped by signature
+        and capped at ``batch_window``) and the owner map used to settle
+        single-flight duplicates once the owners' computations land.
+        """
+        owner_of: Dict[CacheKey, int] = {}
+        groups: "OrderedDict[Tuple[int, ...], List[int]]" = OrderedDict()
+        for i, (query, key) in enumerate(zip(batch, keys)):
+            if key in owner_of:
+                continue  # single-flight duplicate, settled by its owner
+            lookup_start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                stats.record(method, time.perf_counter() - lookup_start, True)
+                slots[i] = cached
+                continue
+            owner_of[key] = i
+            signature = tuple(int(d) for d in query.dims)
+            groups.setdefault(signature, []).append(i)
+        windows: List[List[int]] = []
+        for indices in groups.values():
+            for start in range(0, len(indices), self.batch_window):
+                windows.append(indices[start : start + self.batch_window])
+        return windows, owner_of
+
+    def _settle(
+        self,
+        batch: List[Query],
+        keys: List[CacheKey],
+        slots: List[Optional[RegionComputation]],
+        owner_of: Dict[CacheKey, int],
+        stats: ServiceStats,
+        method: str,
+    ) -> List[RegionComputation]:
+        """Resolve single-flight duplicates after every owner has landed."""
+        for i, key in enumerate(keys):
+            if slots[i] is not None:
+                continue
+            lookup_start = time.perf_counter()
+            replay = self.cache.get(key)
+            # The owner's entry can only be missing if this batch alone
+            # overflowed the LRU capacity; the owner's slot still answers
+            # the query either way.
+            slots[i] = replay if replay is not None else slots[owner_of[key]]
+            stats.record(method, time.perf_counter() - lookup_start, True)
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]
+
+    def _record_window(
+        self,
+        window: List[int],
+        computations: List[RegionComputation],
+        seconds: float,
+        keys: List[CacheKey],
+        slots: List[Optional[RegionComputation]],
+        stats: ServiceStats,
+        method: str,
+    ) -> None:
+        share = seconds / len(window)
+        for i, computation in zip(window, computations):
+            self.cache.put(keys[i], computation)
+            stats.record(method, share, False, metrics=computation.metrics)
+            slots[i] = computation
+
+    def _run_windows(
         self,
         batch: List[Query],
         k: int,
@@ -234,30 +349,48 @@ class QueryService:
         method: str,
         stats: ServiceStats,
     ) -> List[RegionComputation]:
-        engine = self.engine_for(method)
-        computations: List[RegionComputation] = []
-        for query in batch:
-            key = region_cache_key(query, k, phi, method, self.count_reorderings)
-            lookup_start = time.perf_counter()
-            cached = self.cache.get(key)
-            if cached is not None:
-                stats.record(method, time.perf_counter() - lookup_start, True)
-                computations.append(cached)
-                continue
-            compute_start = time.perf_counter()
-            computation = engine.compute(query, k, phi=phi)
-            seconds = time.perf_counter() - compute_start
-            self.cache.put(key, computation)
-            stats.record(method, seconds, False, metrics=computation.metrics)
-            computations.append(computation)
-        return computations
+        keys: List[CacheKey] = [
+            region_cache_key(query, k, phi, method, self.count_reorderings)
+            for query in batch
+        ]
+        slots: List[Optional[RegionComputation]] = [None] * len(batch)
+        windows, owner_of = self._plan_windows(batch, keys, slots, stats, method)
+
+        if self.executor == "sequential":
+            engine = self.engine_for(method)
+            for window in windows:
+                window_queries = [batch[i] for i in window]
+                window_start = time.perf_counter()
+                computations = engine.compute_many(
+                    window_queries, k, phi=phi, topk_mode=self.topk_mode
+                )
+                seconds = time.perf_counter() - window_start
+                self._record_window(
+                    window, computations, seconds, keys, slots, stats, method
+                )
+            return self._settle(batch, keys, slots, owner_of, stats, method)
+
+        pool = self._get_pool()
+        futures: List[Tuple[List[int], "Future[Tuple[List[RegionComputation], float]]"]] = []
+        for window in windows:
+            window_queries = [batch[i] for i in window]
+            futures.append(
+                (window, self._submit(pool, method, window_queries, k, phi))
+            )
+        for window, future in futures:
+            computations, seconds = future.result()
+            self._record_window(
+                window, computations, seconds, keys, slots, stats, method
+            )
+        return self._settle(batch, keys, slots, owner_of, stats, method)
 
     def _get_pool(self) -> Executor:
         """The service's executor, created on first use and reused.
 
         Reuse matters most in process mode: workers are spawned and the
         dataset pickled into them once per service, not once per batch,
-        and worker-side engines/inverted lists stay warm across batches.
+        and worker-side engines, inverted lists, and subspace plans stay
+        warm across batches.
         """
         if self._pool is None:
             if self.executor == "process":
@@ -285,82 +418,36 @@ class QueryService:
         self.close()
 
     def _submit(
-        self, pool: Executor, method: str, query: Query, k: int, phi: int
-    ) -> "Future[Tuple[RegionComputation, float]]":
-        if self.executor == "process":
-            return pool.submit(_process_worker_compute, method, query, k, phi)
-        engine = self.engine_for(method)
-
-        def task() -> Tuple[RegionComputation, float]:
-            task_start = time.perf_counter()
-            computation = engine.compute(query, k, phi=phi)
-            return computation, time.perf_counter() - task_start
-
-        return pool.submit(task)
-
-    def _run_pooled(
         self,
-        batch: List[Query],
+        pool: Executor,
+        method: str,
+        window_queries: List[Query],
         k: int,
         phi: int,
-        method: str,
-        stats: ServiceStats,
-    ) -> List[RegionComputation]:
-        # Thread workers race on lazy list builds only; warming the
-        # workload's dimensions up front keeps worker latencies honest.
-        if self.executor == "thread":
-            for query in batch:
-                self.index.warm(query.dims)
+    ) -> "Future[Tuple[List[RegionComputation], float]]":
+        if self.executor == "process":
+            return pool.submit(
+                _process_worker_compute_many,
+                method,
+                window_queries,
+                k,
+                phi,
+                self.topk_mode,
+            )
+        engine = self.engine_for(method)
 
-        keys: List[CacheKey] = [
-            region_cache_key(query, k, phi, method, self.count_reorderings)
-            for query in batch
-        ]
-        slots: List[Optional[RegionComputation]] = [None] * len(batch)
-        in_flight: Dict[CacheKey, "Future[Tuple[RegionComputation, float]]"] = {}
-        owner_of: Dict[CacheKey, int] = {}  # key -> index that pays for the run
+        def task() -> Tuple[List[RegionComputation], float]:
+            task_start = time.perf_counter()
+            computations = engine.compute_many(
+                window_queries, k, phi=phi, topk_mode=self.topk_mode
+            )
+            return computations, time.perf_counter() - task_start
 
-        pool = self._get_pool()
-        for i, (query, key) in enumerate(zip(batch, keys)):
-            if key in in_flight:
-                # Single-flight duplicate: resolved below, once the owner's
-                # run lands in the cache (keeps RegionCache counters in
-                # step with ServiceStats — the duplicate is a cache hit).
-                continue
-            lookup_start = time.perf_counter()
-            cached = self.cache.get(key)
-            if cached is not None:
-                stats.record(method, time.perf_counter() - lookup_start, True)
-                slots[i] = cached
-                continue
-            in_flight[key] = self._submit(pool, method, query, k, phi)
-            owner_of[key] = i
-
-        # Owners precede their duplicates (owner_of holds the first index
-        # of each key), so by the time a duplicate resolves, the owner's
-        # put has happened and the lookup below registers a cache hit.
-        for i, key in enumerate(keys):
-            if slots[i] is not None:
-                continue
-            computation, seconds = in_flight[key].result()
-            if owner_of[key] == i:
-                self.cache.put(key, computation)
-                stats.record(method, seconds, False, metrics=computation.metrics)
-                slots[i] = computation
-            else:
-                lookup_start = time.perf_counter()
-                replay = self.cache.get(key)
-                # The owner's entry can only be missing if this batch alone
-                # overflowed the LRU capacity; the in-flight result still
-                # answers the query either way.
-                slots[i] = computation if replay is None else replay
-                stats.record(method, time.perf_counter() - lookup_start, True)
-
-        assert all(slot is not None for slot in slots)
-        return slots  # type: ignore[return-value]
+        return pool.submit(task)
 
     def __repr__(self) -> str:
         return (
             f"QueryService(method={self.method!r}, executor={self.executor!r}, "
-            f"max_workers={self.max_workers}, cache={self.cache!r})"
+            f"topk_mode={self.topk_mode!r}, max_workers={self.max_workers}, "
+            f"cache={self.cache!r})"
         )

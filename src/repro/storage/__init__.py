@@ -11,6 +11,15 @@ access.  Both structures report their accesses into
 
 from .index import InvertedIndex
 from .inverted_list import InvertedList, ListCursor
+from .plan import PlanCacheStats, SubspacePlan, SubspacePlanCache
 from .tuple_store import TupleStore
 
-__all__ = ["InvertedIndex", "InvertedList", "ListCursor", "TupleStore"]
+__all__ = [
+    "InvertedIndex",
+    "InvertedList",
+    "ListCursor",
+    "PlanCacheStats",
+    "SubspacePlan",
+    "SubspacePlanCache",
+    "TupleStore",
+]

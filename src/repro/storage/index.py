@@ -9,13 +9,14 @@ objects created by :meth:`InvertedIndex.cursors_for`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from ..datasets.base import Dataset
 from ..errors import StorageError
 from .inverted_list import InvertedList, ListCursor
+from .plan import SubspacePlanCache
 
 __all__ = ["InvertedIndex"]
 
@@ -27,12 +28,19 @@ class InvertedIndex:
     and the lazy build itself is serialised by an internal lock so two
     concurrent first touches of the same dimension cannot race (see
     :mod:`repro.service`, which runs many engines against one index).
+
+    Warm-path traffic never contends: lookups of an already-built list —
+    the common case once a signature's first query has run — read the list
+    dict without taking the build lock (safe under the GIL: dict reads are
+    atomic, and entries are only ever added, never mutated or removed).
     """
 
     def __init__(self, dataset: Dataset) -> None:
         self._dataset = dataset
         self._lists: Dict[int, InvertedList] = {}
         self._build_lock = threading.Lock()
+        self._plans: Optional[SubspacePlanCache] = None
+        self._plans_lock = threading.Lock()
 
     @property
     def dataset(self) -> Dataset:
@@ -44,21 +52,42 @@ class InvertedIndex:
         """Dimensionality of the indexed data space."""
         return self._dataset.n_dims
 
+    @property
+    def plans(self) -> SubspacePlanCache:
+        """The index's shared :class:`SubspacePlanCache` (lazily created).
+
+        Every engine and service over this index amortises per-signature
+        work through the same cache; see :mod:`repro.storage.plan`.
+        """
+        cache = self._plans
+        if cache is None:
+            with self._plans_lock:
+                cache = self._plans
+                if cache is None:
+                    cache = self._plans = SubspacePlanCache(self)
+        return cache
+
     def list_for(self, dim: int) -> InvertedList:
-        """The inverted list of *dim* (built on first access)."""
+        """The inverted list of *dim* (built on first access).
+
+        The warm path is lock-free: a cached list is returned straight from
+        the dict (range validation is implied by the cache hit).  Only a
+        cold build validates and serialises under the build lock.
+        """
         dim = int(dim)
+        cached = self._lists.get(dim)
+        if cached is not None:
+            return cached
         if not 0 <= dim < self._dataset.n_dims:
             raise StorageError(
                 f"dimension {dim} out of range [0, {self._dataset.n_dims})"
             )
-        cached = self._lists.get(dim)
-        if cached is None:
-            with self._build_lock:
-                cached = self._lists.get(dim)
-                if cached is None:
-                    ids, values = self._dataset.column(dim)
-                    cached = InvertedList(dim, ids, values)
-                    self._lists[dim] = cached
+        with self._build_lock:
+            cached = self._lists.get(dim)
+            if cached is None:
+                ids, values = self._dataset.column(dim)
+                cached = InvertedList(dim, ids, values)
+                self._lists[dim] = cached
         return cached
 
     def warm(self, dims: Iterable[int] | np.ndarray) -> None:
@@ -71,17 +100,27 @@ class InvertedIndex:
             self.list_for(int(dim))
 
     def cursors_for(self, dims: Iterable[int] | np.ndarray) -> Dict[int, ListCursor]:
-        """Fresh scan cursors for the given dimensions (one TA run's state)."""
+        """Fresh scan cursors for the given dimensions (one TA run's state).
+
+        Warm-signature traffic builds cursors without ever touching the
+        build lock (see :meth:`list_for`'s lock-free fast path).
+        """
         return {int(dim): ListCursor(self.list_for(int(dim))) for dim in dims}
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        del state["_build_lock"]  # locks don't pickle; workers get a fresh one
+        # Locks don't pickle; workers get fresh ones.  Plans are derived
+        # state, heavyweight, and hold a back-reference — workers rebuild
+        # them lazily from their own traffic.
+        del state["_build_lock"]
+        del state["_plans_lock"]
+        state["_plans"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._build_lock = threading.Lock()
+        self._plans_lock = threading.Lock()
 
     def built_dimensions(self) -> list[int]:
         """Dimensions whose lists have been materialised so far."""

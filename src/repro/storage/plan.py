@@ -1,0 +1,313 @@
+"""Per-signature subspace plans: reusable cross-query state.
+
+Serving traffic is dominated by a small set of *dims signatures* — popular
+dimension combinations that refinement UIs and repeated searches hit over
+and over (§7 of the paper evaluates exactly such per-subspace workloads).
+Yet every :meth:`~repro.core.engine.ImmutableRegionEngine.compute` call
+rebuilds the same per-subspace structures from scratch: the gathered
+column block ``X[:, dims]``, the per-dimension coordinate orders behind
+the ``SLj`` probe lists, and the id-lookup tables of the inverted lists.
+
+A :class:`SubspacePlan` materialises all of that **once per signature**:
+
+* ``block`` — the dense ``n_tuples × qlen`` column block ``X[:, dims]``,
+  gathered straight from the dataset's cached columns.  Row ``t`` equals
+  ``dataset.values_at(t, dims)`` bit-for-bit, so any arithmetic on plan
+  rows is identical to arithmetic on per-tuple fetches.
+* per-dimension **lexsorted probe orders** — rank arrays over
+  ``(coordinate, id)`` (ascending and descending), from which a query's
+  ``SLj↑`` / ``SLj↓`` probe lists follow by a cheap integer argsort
+  instead of a per-query float lexsort (see
+  :func:`repro.core.thresholding.build_probe_orders`).
+* warmed **inverted lists and id-lookup tables** — the lazy
+  ``InvertedList`` builds and their ``position_of`` lookup tables are
+  forced at plan-build time, so no query on a planned signature ever
+  pays a cold build or takes the index build lock.
+* ``nnz_rows`` — per-row count of non-zero query-dimension coordinates,
+  shared by the C0/CH/CL partition accounting of every query on the
+  signature.
+
+:class:`SubspacePlanCache` is the thread-safe LRU registry the engine and
+service consult (`plan_for`), with hit/build counters exposed for tests
+and dashboards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from .._util import require
+from ..errors import StorageError
+
+__all__ = ["PlanCacheStats", "SubspacePlan", "SubspacePlanCache", "signature_of"]
+
+
+def signature_of(dims: Iterable[int] | np.ndarray) -> Tuple[int, ...]:
+    """The canonical (sorted, deduplicated-checked) signature of *dims*.
+
+    Queries store dims sorted and unique, so for :class:`~repro.topk.query.Query`
+    inputs this is just a tuple conversion; raw iterables are validated.
+    """
+    sig = tuple(int(d) for d in dims)
+    if any(b <= a for a, b in zip(sig, sig[1:])):
+        raise StorageError(f"signature dims must be sorted and unique, got {sig}")
+    return sig
+
+
+class SubspacePlan:
+    """Materialised cross-query state for one dims signature.
+
+    Built by :class:`SubspacePlanCache`; treat as immutable once built.
+    """
+
+    def __init__(self, index, dims: Iterable[int] | np.ndarray) -> None:
+        self.signature = signature_of(dims)
+        self.dims = np.asarray(self.signature, dtype=np.int64)
+        dataset = index.dataset
+        self.n_tuples = dataset.n_tuples
+        self.qlen = self.dims.size
+        # Dense column block X[:, dims].  Tuple ids are row positions, so
+        # the gather is a direct scatter of each cached column — cheaper
+        # than the searchsorted gather of kernels.gather_columns, with the
+        # same exact-copy guarantee.
+        block = np.zeros((self.n_tuples, self.qlen), dtype=np.float64)
+        for j, dim in enumerate(self.signature):
+            # list_for both validates the dimension and warms the lazy
+            # inverted list; the id-lookup table behind position_of is
+            # forced too, so has_passed never builds under traffic.
+            inverted = index.list_for(dim)
+            inverted._id_lookup()
+            col_ids, col_vals = dataset.column(dim)
+            if col_ids.size:
+                block[col_ids, j] = col_vals
+        block.setflags(write=False)
+        self.block = block
+        # Contiguous per-dimension columns: the fused region sweeps stream
+        # each column once per query, and a stride-1 layout keeps those
+        # passes memory-bound instead of gather-bound.
+        self._columns = []
+        for j in range(self.qlen):
+            column = np.ascontiguousarray(block[:, j])
+            column.setflags(write=False)
+            self._columns.append(column)
+        self.nnz_rows = np.count_nonzero(block, axis=1)
+        #: Rows with >= 2 non-zero query coordinates — the part of any
+        #: query's candidate list that pruning must keep (CL union).
+        self.nnz_ge2_total = int(np.count_nonzero(self.nnz_rows >= 2))
+        self.all_ids = np.arange(self.n_tuples, dtype=np.int64)
+        self._asc_ranks: Dict[int, np.ndarray] = {}
+        self._desc_ranks: Dict[int, np.ndarray] = {}
+        self._rank_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def j_pos(self, dim: int) -> int:
+        """Column index of *dim* inside the signature."""
+        pos = int(np.searchsorted(self.dims, int(dim)))
+        if pos >= self.qlen or self.dims[pos] != int(dim):
+            raise StorageError(f"dimension {dim} not in signature {self.signature}")
+        return pos
+
+    def rows(self, tuple_ids: np.ndarray) -> np.ndarray:
+        """Coordinates of *tuple_ids* at the signature dims (copies).
+
+        Row ``i`` equals ``dataset.values_at(tuple_ids[i], dims)`` exactly
+        — the same guarantee as :func:`repro.kernels.scoring.gather_columns`,
+        at O(len(ids)) instead of O(qlen · len(ids) · log n).
+        """
+        return self.block[np.asarray(tuple_ids, dtype=np.int64)]
+
+    def column(self, j_pos: int) -> np.ndarray:
+        """One dimension's dense coordinate column (contiguous, read-only)."""
+        return self._columns[j_pos]
+
+    def asc_rank(self, j_pos: int) -> np.ndarray:
+        """Rank of every tuple in the ``(coord asc, id asc)`` order of column *j_pos*.
+
+        ``asc_rank[t] < asc_rank[u]`` iff tuple ``t`` precedes ``u`` in an
+        ascending-coordinate probe list (``SLj↑``); restricting the global
+        order to any candidate pool therefore reproduces the pool's
+        per-query lexsort exactly.  Built lazily per dimension and cached.
+        """
+        return self._rank(j_pos, descending=False)
+
+    def desc_rank(self, j_pos: int) -> np.ndarray:
+        """Rank in the ``(coord desc, id asc)`` order (``SLj↓`` probe order)."""
+        return self._rank(j_pos, descending=True)
+
+    def _rank(self, j_pos: int, descending: bool) -> np.ndarray:
+        cache = self._desc_ranks if descending else self._asc_ranks
+        ranks = cache.get(j_pos)
+        if ranks is not None:
+            return ranks
+        with self._rank_lock:
+            ranks = cache.get(j_pos)
+            if ranks is not None:
+                return ranks
+            # + 0.0 canonicalises -0.0 exactly as lexsort_records does.
+            keys = self._columns[j_pos] + 0.0
+            if descending:
+                keys = -keys
+            order = np.lexsort((self.all_ids, keys))
+            ranks = np.empty(self.n_tuples, dtype=np.int64)
+            ranks[order] = np.arange(self.n_tuples, dtype=np.int64)
+            ranks.setflags(write=False)
+            cache[j_pos] = ranks
+        return ranks
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident size of the materialised arrays."""
+        total = self.block.nbytes + self.nnz_rows.nbytes + self.all_ids.nbytes
+        total += sum(col.nbytes for col in self._columns)
+        for cache in (self._asc_ranks, self._desc_ranks):
+            total += sum(arr.nbytes for arr in cache.values())
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"SubspacePlan(signature={self.signature}, n_tuples={self.n_tuples}, "
+            f"~{self.nbytes / 1e6:.1f} MB)"
+        )
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """A point-in-time snapshot of plan-cache effectiveness."""
+
+    hits: int
+    builds: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total ``plan_for`` calls."""
+        return self.hits + self.builds
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served by an existing plan (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SubspacePlanCache:
+    """A bounded, thread-safe LRU cache of :class:`SubspacePlan` objects.
+
+    One cache per :class:`~repro.storage.index.InvertedIndex` (see its
+    ``plans`` property); every engine and service sharing the index shares
+    the plans.  Residency is doubly bounded — by plan count (*capacity*)
+    and by total bytes (*max_bytes*; each plan holds an
+    ``n_tuples × qlen`` float64 block plus rank arrays, so on large
+    datasets the byte bound is the one that binds).  Cold builds are
+    single-flighted per signature: concurrent first touches of one
+    signature build the plan once and share it.
+    """
+
+    def __init__(
+        self,
+        index,
+        capacity: int = 32,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        require(capacity >= 1, "plan cache capacity must be >= 1")
+        require(max_bytes >= 1, "plan cache max_bytes must be >= 1")
+        self._index = index
+        self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes)
+        self._plans: "OrderedDict[Tuple[int, ...], SubspacePlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._building: Dict[Tuple[int, ...], threading.Event] = {}
+        self._hits = 0
+        self._builds = 0
+        self._evictions = 0
+
+    def plan_for(self, dims: Iterable[int] | np.ndarray) -> SubspacePlan:
+        """The plan of *dims*' signature, built on first use."""
+        signature = signature_of(dims)
+        while True:
+            with self._lock:
+                plan = self._plans.get(signature)
+                if plan is not None:
+                    self._plans.move_to_end(signature)
+                    self._hits += 1
+                    return plan
+                pending = self._building.get(signature)
+                if pending is None:
+                    # This thread owns the build.
+                    self._building[signature] = threading.Event()
+                    break
+            # Another thread is building this signature: wait for it, then
+            # re-check (the finished plan may also have been evicted).
+            pending.wait()
+        # Build outside the lock: plan construction touches the dataset's
+        # column cache and the index's lazy lists (both internally safe),
+        # and a long build must not block lookups of other signatures.
+        try:
+            plan = SubspacePlan(self._index, signature)
+            with self._lock:
+                self._builds += 1
+                self._plans[signature] = plan
+                self._evict_over_budget()
+        finally:
+            with self._lock:
+                self._building.pop(signature).set()
+        return plan
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU entries while over either bound (lock held by caller).
+
+        The most recent insertion always stays resident — a plan larger
+        than ``max_bytes`` on its own is served once rather than rejected.
+        """
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self._evictions += 1
+        while (
+            len(self._plans) > 1
+            and sum(plan.nbytes for plan in self._plans.values()) > self.max_bytes
+        ):
+            self._plans.popitem(last=False)
+            self._evictions += 1
+
+    def peek(self, dims: Iterable[int] | np.ndarray) -> Optional[SubspacePlan]:
+        """The cached plan, or ``None`` — never builds, never counts."""
+        with self._lock:
+            return self._plans.get(signature_of(dims))
+
+    def clear(self) -> None:
+        """Drop every plan (counters are kept; they describe the lifetime)."""
+        with self._lock:
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, dims) -> bool:
+        with self._lock:
+            return signature_of(dims) in self._plans
+
+    def stats(self) -> PlanCacheStats:
+        """Snapshot of hit/build/eviction counts and occupancy."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                builds=self._builds,
+                evictions=self._evictions,
+                size=len(self._plans),
+                capacity=self.capacity,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SubspacePlanCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, builds={stats.builds})"
+        )

@@ -131,9 +131,10 @@ class TupleStore:
     def score_many(self, tuple_ids: np.ndarray, query: Query) -> np.ndarray:
         """Scores of a batch of tuples (one gather + matvec, one access each).
 
-        The batch accumulation is ordered dimension-by-dimension; see
-        :func:`repro.kernels.scoring.accumulate_scores` for how this relates
-        to the scalar :meth:`score` path bit-wise.
+        The batch accumulation is ordered dimension-by-dimension, which is
+        bit-identical to the scalar :meth:`score` path (both follow the
+        library-wide left-to-right scoring order; see
+        :meth:`repro.topk.query.Query.score`).
         """
         coords = self.fetch_many(tuple_ids, query.dims)
         return accumulate_scores(coords, query.weights)

@@ -29,7 +29,7 @@ class Query:
         Matching positive weights in ``(0, 1]``.
     """
 
-    __slots__ = ("_dims", "_weights", "_weight_by_dim")
+    __slots__ = ("_dims", "_weights", "_weight_by_dim", "_weight_list")
 
     def __init__(self, dims: Iterable[int], weights: Iterable[float]) -> None:
         dims_arr = np.ascontiguousarray(dims, dtype=np.int64)
@@ -54,6 +54,7 @@ class Query:
         self._weight_by_dim: Dict[int, float] = {
             int(d): float(w) for d, w in zip(self._dims, self._weights)
         }
+        self._weight_list: Tuple[float, ...] = tuple(self._weights.tolist())
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[int, float]) -> "Query":
@@ -115,13 +116,26 @@ class Query:
         return Query.from_mapping(mapping)
 
     def score(self, coordinates: np.ndarray) -> float:
-        """Dot-product score given the tuple's coordinates at :attr:`dims`."""
+        """Dot-product score given the tuple's coordinates at :attr:`dims`.
+
+        Accumulated left to right over the dimensions — the library-wide
+        scoring order.  Every scoring route (this method, the batch
+        :func:`~repro.kernels.scoring.accumulate_scores` kernel, the fused
+        multi-query :func:`~repro.kernels.batch.fused_scores` kernel, and
+        the brute oracle's :meth:`~repro.datasets.base.Dataset.scores`)
+        performs the same multiply-round/add-round sequence per element, so
+        scores are bit-identical across all of them.  ``np.dot`` would
+        delegate the summation order to BLAS and break that contract.
+        """
         coords = np.asarray(coordinates, dtype=np.float64)
         if coords.shape != self._weights.shape:
             raise QueryError(
                 f"expected {self._weights.size} coordinates, got {coords.size}"
             )
-        return float(np.dot(self._weights, coords))
+        total = 0.0
+        for weight, coord in zip(self._weight_list, coords.tolist()):
+            total += weight * coord
+        return total
 
     # ------------------------------------------------------------------
 

@@ -169,6 +169,7 @@ class ThresholdAlgorithm:
         probing: str = "round_robin",
         record_trace: bool = False,
         backend: str = "vector",
+        plan=None,
     ) -> None:
         require(k >= 1, "k must be >= 1")
         if probing not in _PROBING_STRATEGIES:
@@ -189,6 +190,10 @@ class ThresholdAlgorithm:
         )
         self._cursors: Dict[int, ListCursor] = index.cursors_for(query.dims)
         self._dims: List[int] = [int(d) for d in query.dims]
+        #: Optional shared :class:`~repro.storage.plan.SubspacePlan`; when
+        #: set, block planning gathers prospective rows straight from the
+        #: plan's column block (same exact copies, no per-dim searchsorted).
+        self._plan = plan
         self._probing = probing
         self._backend = backend
         self._rr_next = 0
@@ -503,9 +508,11 @@ class ThresholdAlgorithm:
                 continue
             fresh_set.add(tid)
             fresh.append(tid)
-        rows = gather_columns(
-            self._index.dataset, np.asarray(fresh, dtype=np.int64), self._query.dims
-        )
+        fresh_ids = np.asarray(fresh, dtype=np.int64)
+        if self._plan is not None:
+            rows = self._plan.rows(fresh_ids)
+        else:
+            rows = gather_columns(self._index.dataset, fresh_ids, self._query.dims)
         return BlockPlan(
             steps=steps,
             rr_after=rr_after,

@@ -102,6 +102,27 @@ class TestEnvelopeQueries:
         env = lower_envelope([Line(1, 1.0, 0.0)], 0.0, 1.0)
         assert not env.line_stays_below(Line(9, 0.0, 1.0))
 
+    def test_vectorized_check_matches_per_breakpoint_loop(self):
+        rng = np.random.default_rng(11)
+        lines = [Line(i, float(rng.random()), float(rng.random())) for i in range(12)]
+        env = lower_envelope(lines, -0.5, 1.5)
+        for _ in range(50):
+            probe = Line(99, float(rng.random() * 1.5 - 0.25), float(rng.random()))
+            expected = all(
+                probe.value_at(x) < env.value_at(x) for x in env.breakpoints
+            )
+            assert env.line_stays_below(probe) == expected
+
+    def test_breakpoint_cache_built_once_and_exact(self):
+        rng = np.random.default_rng(12)
+        lines = [Line(i, float(rng.random()), float(rng.random())) for i in range(6)]
+        env = lower_envelope(lines, 0.0, 1.0)
+        env.line_stays_below(Line(9, 0.1, 0.1))
+        xs, values = env._breakpoint_values()
+        assert xs.tolist() == env.breakpoints
+        assert values.tolist() == [env.value_at(float(x)) for x in xs]
+        assert env._breakpoint_values()[0] is xs  # cached, not rebuilt
+
 
 class TestEnvelopeValidation:
     def test_empty_rejected(self):

@@ -42,6 +42,7 @@ def test_all_examples_discovered():
         "phi_exploration.py",
         "validity_polytope.py",
         "batch_service.py",
+        "batch_signatures.py",
     }
 
 

@@ -1,0 +1,101 @@
+"""Tests for the fused cross-query kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, InvertedIndex, Query, brute_force_topk
+from repro.kernels.batch import fused_scores, fused_topk, partition_counts_many
+from repro.storage.plan import SubspacePlan
+
+from ..conftest import random_sparse_dataset
+
+
+@pytest.fixture()
+def case():
+    rng = np.random.default_rng(42)
+    data = random_sparse_dataset(rng, n_tuples=80, n_dims=7, density=0.6)
+    dims = [0, 2, 5]
+    plan = SubspacePlan(InvertedIndex(data), dims)
+    queries = [Query(dims, rng.uniform(0.1, 1.0, size=3)) for _ in range(9)]
+    return data, plan, queries
+
+
+class TestFusedScores:
+    def test_bit_identical_to_query_score(self, case):
+        data, plan, queries = case
+        weights = np.stack([q.weights for q in queries])
+        scores = fused_scores(plan.block, weights)
+        assert scores.shape == (len(queries), data.n_tuples)
+        for qi, query in enumerate(queries):
+            for tid in range(data.n_tuples):
+                expected = query.score(data.values_at(tid, query.dims))
+                assert scores[qi, tid] == expected  # bitwise, not approx
+
+    def test_single_query_row(self, case):
+        _, plan, queries = case
+        one = fused_scores(plan.block, queries[0].weights)
+        many = fused_scores(plan.block, np.stack([q.weights for q in queries]))
+        assert np.array_equal(one[0], many[0])
+
+
+class TestFusedTopK:
+    def test_matches_brute_force_topk(self, case):
+        data, plan, queries = case
+        scores = fused_scores(plan.block, np.stack([q.weights for q in queries]))
+        for k in (1, 3, 10):
+            tops = fused_topk(scores, k)
+            for query, top in zip(queries, tops):
+                oracle = brute_force_topk(data, query, k)
+                assert top.ids.tolist() == oracle.ids
+                assert not top.boundary_tie
+
+    def test_fewer_positive_than_k(self):
+        data = Dataset.from_dense([[0.5, 0.0], [0.0, 0.0], [0.2, 0.0]])
+        plan = SubspacePlan(InvertedIndex(data), [0])
+        scores = fused_scores(plan.block, np.asarray([[0.8]]))
+        (top,) = fused_topk(scores, 5)
+        assert top.ids.tolist() == [0, 2]  # only positive-score tuples
+        assert top.n_positive == 2
+
+    def test_no_positive_scores_gives_empty_result(self):
+        data = Dataset.from_dense([[0.0, 0.4], [0.0, 0.1]])
+        plan = SubspacePlan(InvertedIndex(data), [0])
+        scores = fused_scores(plan.block, np.asarray([[0.8]]))
+        (top,) = fused_topk(scores, 2)
+        assert top.ids.size == 0 and top.n_positive == 0
+
+    def test_boundary_tie_detected(self):
+        # Tuples 1 and 2 tie bit-exactly at the k boundary.
+        data = Dataset.from_dense([[0.9], [0.5], [0.5], [0.1]])
+        plan = SubspacePlan(InvertedIndex(data), [0])
+        scores = fused_scores(plan.block, np.asarray([[0.7]]))
+        (top,) = fused_topk(scores, 2)
+        assert top.boundary_tie
+
+    def test_internal_tie_is_not_flagged(self):
+        # The tied pair fits entirely inside the top-k: order is by id,
+        # no encounter-dependence, no fallback needed.
+        data = Dataset.from_dense([[0.9], [0.5], [0.5], [0.1]])
+        plan = SubspacePlan(InvertedIndex(data), [0])
+        scores = fused_scores(plan.block, np.asarray([[0.7]]))
+        (top,) = fused_topk(scores, 3)
+        assert not top.boundary_tie
+        assert top.ids.tolist() == [0, 1, 2]
+
+
+class TestPartitionCounts:
+    def test_counts_match_definition(self):
+        data = Dataset.from_dense(
+            [[0.5, 0.3], [0.4, 0.0], [0.0, 0.2], [0.6, 0.1], [0.0, 0.0]]
+        )
+        plan = SubspacePlan(InvertedIndex(data), [0, 1])
+        scores = fused_scores(plan.block, np.asarray([[0.5, 0.5]]))
+        tops = fused_topk(scores, 2)  # R = {0, 3} (scores .4, .35)
+        ((candidates_total, cl_union),) = partition_counts_many(
+            plan.nnz_rows, plan.nnz_ge2_total, tops
+        )
+        assert tops[0].ids.tolist() == [0, 3]
+        assert candidates_total == 2  # tuples 1 and 2; tuple 4 scores zero
+        assert cl_union == 0  # both remaining candidates have 1 nnz

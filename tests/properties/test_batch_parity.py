@@ -1,0 +1,194 @@
+"""Property-based tests: ``compute_many`` is identical to per-query ``compute``.
+
+The cross-query batch layer (shared :class:`~repro.storage.plan.SubspacePlan`
+per dims signature + fused multi-query kernels) promises the *exact*
+output of the sequential engine:
+
+* in ``topk_mode="ta"`` — everything, including access and evaluation
+  counters (the TA pulls are replayed, just against shared plan state);
+* in ``topk_mode="matmul"`` — identical results, regions, bounds, kinds,
+  and provenance; the storage model is not simulated, which the
+  computation declares via ``metrics.counters_simulated``.
+
+These tests hold that promise over randomized datasets, mixed-signature
+workloads, φ values, and all four methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    METHODS,
+    TOPK_MODES,
+    Dataset,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Query,
+)
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def dataset_and_workload(draw, max_n=70, max_m=6, max_k=6):
+    """A random sparse dataset plus a workload mixing dims signatures."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(8, max_n))
+    m = draw(st.integers(2, max_m))
+    density = draw(st.floats(0.3, 1.0))
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    data = Dataset.from_dense(dense)
+    eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    if len(eligible) < 2:
+        dense[:, :2] = rng.random((n, 2))
+        data = Dataset.from_dense(dense)
+        eligible = [d for d in range(m) if data.column_nnz(d) > 0]
+    n_signatures = draw(st.integers(1, 3))
+    queries_per_signature = draw(st.integers(1, 4))
+    queries = []
+    for _ in range(n_signatures):
+        qlen = int(rng.integers(2, min(4, len(eligible)) + 1))
+        dims = sorted(rng.choice(eligible, size=qlen, replace=False).tolist())
+        for _ in range(queries_per_signature):
+            queries.append(Query(dims, rng.uniform(0.2, 0.9, size=qlen)))
+    rng.shuffle(queries)  # interleave signatures like real traffic
+    k = draw(st.integers(1, max_k))
+    return data, queries, k
+
+
+def bound_repr(bound):
+    return (bound.delta, bound.kind, bound.rising_id, bound.falling_id)
+
+
+def sequence_repr(sequence):
+    return (
+        tuple(
+            (bound_repr(r.lower), bound_repr(r.upper), r.result_ids)
+            for r in sequence.regions
+        ),
+        sequence.current_index,
+    )
+
+
+def region_repr(computation):
+    """Result, scores, and full region sequences — identical in BOTH modes."""
+    return {
+        "result": computation.result.ids,
+        "scores": [float(s) for s in computation.result.scores],
+        "sequences": {
+            dim: sequence_repr(seq) for dim, seq in computation.sequences.items()
+        },
+        "reorder_counts": computation.metrics.evals.result_comparisons,
+    }
+
+
+def counter_repr(computation):
+    """The storage-model counters — additionally identical in ta mode."""
+    metrics = computation.metrics
+    evals = metrics.evals
+    return {
+        "ta_access": (
+            metrics.ta_access.sorted_accesses,
+            metrics.ta_access.random_accesses,
+        ),
+        "region_access": (
+            metrics.region_access.sorted_accesses,
+            metrics.region_access.random_accesses,
+        ),
+        "evals": (
+            evals.evaluated_candidates,
+            evals.result_comparisons,
+            evals.termination_checks,
+            evals.pruned_candidates,
+            evals.phase3_tuples,
+        ),
+        "evaluated_per_dim": metrics.evaluated_per_dim,
+        "candidates_total": metrics.candidates_total,
+        "cl_union_size": metrics.cl_union_size,
+        "io_seconds": metrics.io_seconds,
+    }
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(case=dataset_and_workload(), phi=st.integers(0, 2))
+@settings(**SETTINGS)
+def test_compute_many_matches_compute(case, phi, method):
+    """Regions/bounds/provenance agree in both modes; counters in ta mode."""
+    data, queries, k = case
+    index = InvertedIndex(data)
+    engine = ImmutableRegionEngine(index, method=method)
+    reference = [engine.compute(query, k, phi=phi) for query in queries]
+    for mode in TOPK_MODES:
+        batch = engine.compute_many(queries, k, phi=phi, topk_mode=mode)
+        assert len(batch) == len(queries)
+        for ref, got in zip(reference, batch):
+            assert region_repr(ref) == region_repr(got), mode
+            if mode == "ta":
+                assert counter_repr(ref) == counter_repr(got)
+                assert got.metrics.counters_simulated
+            elif got.metrics.counters_simulated:
+                # matmul fell back to the exact TA replay (phi>0, ties,
+                # ...) — then the counters must be the real ones too.
+                assert counter_repr(ref) == counter_repr(got)
+
+
+@given(case=dataset_and_workload())
+@settings(**SETTINGS)
+def test_compute_many_composition_only_mode(case):
+    """The §7.4 count_reorderings=False scenario holds parity in both modes."""
+    data, queries, k = case
+    engine = ImmutableRegionEngine(
+        InvertedIndex(data), method="cpt", count_reorderings=False
+    )
+    reference = [engine.compute(query, k) for query in queries]
+    for mode in TOPK_MODES:
+        batch = engine.compute_many(queries, k, topk_mode=mode)
+        for ref, got in zip(reference, batch):
+            assert region_repr(ref) == region_repr(got)
+
+
+@given(case=dataset_and_workload())
+@settings(**SETTINGS)
+def test_duplicate_queries_share_one_computation(case):
+    """Duplicates within a batch map to the very same computation object."""
+    data, queries, k = case
+    engine = ImmutableRegionEngine(InvertedIndex(data), method="cpt")
+    doubled = list(queries) + list(queries)
+    for mode in TOPK_MODES:
+        batch = engine.compute_many(doubled, k, topk_mode=mode)
+        for first, second in zip(batch[: len(queries)], batch[len(queries) :]):
+            assert first is second
+
+
+def test_matmul_mode_marks_counters_not_simulated():
+    """The fused path declares its zeroed counters as not-simulated."""
+    rng = np.random.default_rng(3)
+    data = Dataset.from_dense(rng.random((40, 5)))
+    engine = ImmutableRegionEngine(InvertedIndex(data), method="cpt")
+    query = Query([0, 2], [0.6, 0.4])
+    fused = engine.compute_many([query], 5, topk_mode="matmul")[0]
+    assert not fused.metrics.counters_simulated
+    assert fused.metrics.ta_access.sorted_accesses == 0
+    assert fused.metrics.io_seconds == 0.0
+    replay = engine.compute_many([query], 5, topk_mode="ta")[0]
+    assert replay.metrics.counters_simulated
+    assert replay.metrics.ta_access.sorted_accesses > 0
+    # ... while the regions are the very same.
+    assert region_repr(fused) == region_repr(replay)
+
+
+def test_unknown_topk_mode_rejected():
+    rng = np.random.default_rng(4)
+    data = Dataset.from_dense(rng.random((10, 3)))
+    engine = ImmutableRegionEngine(InvertedIndex(data))
+    with pytest.raises(Exception):
+        engine.compute_many([Query([0], [0.5])], 3, topk_mode="gemm")

@@ -158,6 +158,77 @@ class TestEquivalence:
             assert computation.query == query
 
 
+class TestTopKModeRouting:
+    def test_rejects_unknown_topk_mode_and_window(self, service_index):
+        with pytest.raises(ValidationError):
+            QueryService(service_index, topk_mode="gemm")
+        with pytest.raises(ValidationError):
+            QueryService(service_index, batch_window=0)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_matmul_service_regions_match_engine(
+        self, service_index, workload, executor
+    ):
+        max_workers = 2 if executor != "sequential" else None
+        service = QueryService(
+            service_index,
+            method="cpt",
+            executor=executor,
+            max_workers=max_workers,
+            topk_mode="matmul",
+        )
+        queries = list(workload)[: 6 if executor == "process" else len(workload)]
+        batch = service.run_batch(queries, k=5)
+        engine = ImmutableRegionEngine(service_index, method="cpt")
+        for query, computation in zip(queries, batch):
+            reference = engine.compute(query, 5)
+            assert computation.result.ids == reference.result.ids
+            for dim in query.dims:
+                got = computation.region(int(dim))
+                expected = reference.region(int(dim))
+                assert got.lower == expected.lower
+                assert got.upper == expected.upper
+
+    def test_matmul_counters_marked_not_simulated(self, service_index, workload):
+        service = QueryService(
+            service_index, executor="sequential", topk_mode="matmul"
+        )
+        batch = service.run_batch(list(workload)[:3], k=5)
+        for computation in batch:
+            assert not computation.metrics.counters_simulated
+
+    def test_small_batch_window_still_answers_everything(
+        self, service_index, workload
+    ):
+        service = QueryService(
+            service_index, executor="thread", max_workers=4, batch_window=2
+        )
+        batch = service.run_batch(workload, k=5)
+        assert len(batch) == len(workload)
+        for query, computation in zip(workload, batch):
+            assert computation.query == query
+        assert batch.stats.n_computed == len(workload)
+
+    def test_execute_respects_topk_mode(self, service_index, workload):
+        service = QueryService(
+            service_index, executor="sequential", topk_mode="matmul"
+        )
+        computation = service.execute(workload[0], k=5)
+        assert not computation.metrics.counters_simulated
+        assert service.execute(workload[0], k=5) is computation  # cached
+
+    def test_shared_index_plans_reused_across_batches(
+        self, service_index, workload
+    ):
+        service = QueryService(
+            service_index, executor="sequential", topk_mode="matmul"
+        )
+        service.run_batch(list(workload)[:4], k=5)
+        builds_after_first = service_index.plans.stats().builds
+        service.run_batch(list(workload)[:4], k=6)  # same signatures, new k
+        assert service_index.plans.stats().builds == builds_after_first
+
+
 class TestBatchStats:
     def test_stats_account_every_query(self, service_index, workload):
         service = QueryService(service_index, executor="thread", max_workers=4)

@@ -49,6 +49,47 @@ class TestListBuilding:
             index.list_for(-1)
 
 
+class _CountingLock:
+    """A lock wrapper counting acquisitions (context-manager uses)."""
+
+    def __init__(self) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self._lock.__enter__()
+
+    def __exit__(self, *exc_info):
+        return self._lock.__exit__(*exc_info)
+
+
+class TestWarmPathLocking:
+    def test_warm_list_lookup_never_takes_the_build_lock(self, index):
+        counting = _CountingLock()
+        index._build_lock = counting
+        index.list_for(0)
+        assert counting.acquisitions == 1  # the one cold build
+        for _ in range(5):
+            index.list_for(0)
+            index.cursors_for([0])
+        assert counting.acquisitions == 1  # warm traffic is lock-free
+
+    def test_warm_cursors_for_multiple_dims_lock_free(self, index):
+        index.warm([0, 1])
+        counting = _CountingLock()
+        index._build_lock = counting
+        cursors = index.cursors_for([0, 1])
+        assert set(cursors) == {0, 1}
+        assert counting.acquisitions == 0
+
+    def test_cold_build_still_validates_range(self, index):
+        with pytest.raises(StorageError):
+            index.list_for(99)
+
+
 class TestCursors:
     def test_cursors_for_returns_fresh_state(self, index):
         from repro.metrics import AccessCounters
