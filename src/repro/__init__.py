@@ -78,6 +78,7 @@ from .metrics.diskmodel import DiskModel
 from .metrics.footprint import FootprintModel, MemoryFootprint
 from .stb.radius import STBResult, stb_radius
 from .storage.index import InvertedIndex
+from .storage.mutations import AppliedMutation, Mutation, MutationBatch
 from .topk.query import Query
 from .topk.result import CandidateList, TopKResult
 from .topk.ta import ThresholdAlgorithm
@@ -96,6 +97,9 @@ __all__ = [
     "sample_queries",
     # storage / top-k
     "InvertedIndex",
+    "AppliedMutation",
+    "Mutation",
+    "MutationBatch",
     "Query",
     "TopKResult",
     "CandidateList",

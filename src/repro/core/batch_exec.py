@@ -44,8 +44,16 @@ same batch kernel the engine uses) and (b) the extremal crossing of
 exactly that intersection through its candidate list and Phase 3
 threshold scan; the fused path evaluates (b) directly over the plan's
 block with the same crossing arithmetic, so bound deltas and provenance
-match bit for bit.  Tuples with an all-zero block row (score 0) can never
-cross ``d_k`` inside the domain and are inert in the reduction.
+match bit for bit.  Tuples with an all-zero block row (score 0) are
+outside the candidate universe and masked out of the reduction
+explicitly (their flat-zero lines could otherwise graze a vanishing
+``d_k`` line at the domain edge through division rounding).  One further
+structural coincidence escapes the shared arithmetic: when ``d_k`` and a
+candidate are both supported on only one dimension, their lines vanish
+together at weight 0 and the true crossing sits *exactly* on the domain
+lower limit, where the sequential outcome depends on TA's encounter set
+— such queries transparently fall back to the TA replay (see
+:func:`_lower_bound_degenerate`), like boundary ties do.
 
 Configurations the fused geometry does not cover (φ>0 sequences, the
 §7.4 composition-only mode, forced iterative processing) transparently
@@ -188,9 +196,40 @@ def _fused_group(
                 # R(q) depends on TA's encounter order — replay it.
                 results[i] = engine.compute(batch[i], k, phi=0, plan=plan)
                 continue
-            results[i] = _fused_computation(
+            computation = _fused_computation(
                 engine, batch[i], k, plan, top, scores[pos], counts[pos], topk_share
             )
+            if computation is None:
+                # Domain-edge degeneracy (see _lower_bound_degenerate):
+                # the exact bound depends on TA's encounter set — replay.
+                computation = engine.compute(batch[i], k, phi=0, plan=plan)
+            results[i] = computation
+
+
+def _lower_bound_degenerate(
+    plan: SubspacePlan, j_pos: int, dk_id: int, bound
+) -> bool:
+    """Whether a fused lower bound sits on the domain-edge degeneracy.
+
+    When both ``d_k`` and the bound's rising candidate are supported on
+    *only* this dimension within the subspace, their score lines both
+    vanish at weight 0, so the true crossing is *exactly* the domain
+    lower limit ``−q_j``.  The computed crossing then lands on either
+    side of the limit purely by division rounding, while the sequential
+    engine resolves the case through TA's encounter set (Phase 2's
+    crossing for encountered candidates, Phase 3's — exact — endpoint
+    threshold test for unseen ones).  The fused path cannot know the
+    encounter set, so such queries are replayed through TA.  The test is
+    purely structural (non-zero counts) — no floating-point tolerance.
+    """
+    if bound.kind != BoundKind.COMPOSITION:
+        return False
+    rising = bound.rising_id
+    return (
+        plan.nnz_rows[dk_id] == 1
+        and plan.nnz_rows[rising] == 1
+        and plan.block[rising, j_pos] != 0.0
+    )
 
 
 def _fused_computation(
@@ -248,9 +287,16 @@ def _fused_computation(
             view.dk_score, view.dk_coord, score_column, plan.column(j_pos)
         )
         denoms[result_id_arr] = 0.0
+        # Zero-score tuples are outside the candidate universe (TA has no
+        # entry to encounter, the brute oracle filters them): mask them
+        # out explicitly — their flat-zero lines can otherwise graze a
+        # vanishing d_k line at the domain edge through division rounding.
+        denoms[score_column == 0.0] = 0.0
         apply_batch_constraints(
             bounds, deltas, denoms, plan.all_ids, view.dk_id, BoundKind.COMPOSITION
         )
+        if _lower_bound_degenerate(plan, j_pos, view.dk_id, bounds.lower):
+            return None
         region = ImmutableRegion(
             dim=dim,
             weight=view.weight,
@@ -296,4 +342,5 @@ def _fused_computation(
         result=result,
         sequences=sequences,
         metrics=metrics,
+        epoch=plan.epoch,
     )

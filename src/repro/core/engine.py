@@ -131,7 +131,15 @@ class RunMetrics:
 
 @dataclass
 class RegionComputation:
-    """The full outcome of one engine run."""
+    """The full outcome of one engine run.
+
+    ``epoch`` records the index's dataset version at computation time
+    (see :meth:`~repro.datasets.base.Dataset.apply`): the answer is the
+    exact region computation for that version of the data.  A cached
+    computation served after surviving the service's delta-aware
+    invalidation keeps its original epoch — the regions are proven
+    unchanged, the measurement provenance is not re-dated.
+    """
 
     query: Query
     k: int
@@ -142,6 +150,7 @@ class RegionComputation:
     result: TopKResult
     sequences: Dict[int, RegionSequence]
     metrics: RunMetrics
+    epoch: int = 0
 
     def sequence(self, dim: int) -> RegionSequence:
         """The region sequence of one query dimension."""
@@ -299,6 +308,7 @@ class ImmutableRegionEngine:
                 f"plan signature {plan.signature} does not match query dims"
             )
 
+        epoch = self.index.epoch
         access = AccessCounters()
         evals = EvaluationCounters()
         timer = PhaseTimer()
@@ -364,6 +374,7 @@ class ImmutableRegionEngine:
             result=outcome.result,
             sequences=sequences,
             metrics=metrics,
+            epoch=epoch,
         )
 
     def compute_many(

@@ -9,11 +9,22 @@ non-zero coordinates; a missing coordinate reads as 0.0.
 The container also serves column access (needed to build inverted lists)
 via a lazily built column cache, and exact score computation over a sparse
 query (needed by the brute-force oracle and the tests).
+
+Datasets are *versioned*: :meth:`Dataset.apply` takes a
+:class:`~repro.storage.mutations.MutationBatch` (insert / delete /
+update-value), patches the row storage and any cached columns in place,
+and bumps the :attr:`epoch` counter that every derived cache (inverted
+lists, subspace plans, cached regions) keys its freshness on.  Mutated
+rows live in a sparse overlay above the immutable base CSR — reads are
+untouched until a row is actually overridden — and
+:meth:`Dataset.compacted` re-packs the live state into a fresh CSR
+dataset (the rebuild oracle the mutation property suite compares
+against).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,9 +33,15 @@ from ..errors import DatasetError
 
 __all__ = ["Dataset"]
 
+#: An empty sparse row (shared tombstone payload for deleted tuples).
+_EMPTY_ROW: Tuple[np.ndarray, np.ndarray] = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.float64),
+)
+
 
 class Dataset:
-    """An immutable sparse matrix of ``n`` tuples over ``[0, 1]^m``.
+    """A versioned sparse matrix of ``n`` tuples over ``[0, 1]^m``.
 
     Parameters
     ----------
@@ -52,6 +69,18 @@ class Dataset:
         self._n_dims = int(n_dims)
         self._column_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._validate()
+        # Versioning state.  The base CSR above is immutable; mutated rows
+        # live in the overlay (appended rows and tombstones included), and
+        # the epoch counts applied batches.
+        self._epoch = 0
+        self._n_rows = self._indptr.size - 1
+        self._base_rows = self._n_rows
+        self._overrides: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._deleted: set[int] = set()
+        self._nnz = int(self._indices.size)
+        self._compact_cache: Optional[
+            Tuple[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -127,7 +156,7 @@ class Dataset:
             if self._values.min() < 0.0 or self._values.max() > 1.0:
                 raise DatasetError("dataset values must lie in [0, 1]")
             # Columns must be strictly increasing within each row.
-            for i in range(self.n_tuples):
+            for i in range(self._indptr.size - 1):
                 row_cols = self._indices[self._indptr[i] : self._indptr[i + 1]]
                 if row_cols.size > 1 and np.any(np.diff(row_cols) <= 0):
                     raise DatasetError(f"row {i} has unsorted or duplicate columns")
@@ -138,8 +167,8 @@ class Dataset:
 
     @property
     def n_tuples(self) -> int:
-        """Number of tuples (rows)."""
-        return self._indptr.size - 1
+        """Number of allocated tuple ids (tombstoned rows included)."""
+        return self._n_rows
 
     @property
     def n_dims(self) -> int:
@@ -149,7 +178,22 @@ class Dataset:
     @property
     def nnz(self) -> int:
         """Total number of stored non-zero coordinates."""
-        return int(self._indices.size)
+        return self._nnz
+
+    @property
+    def epoch(self) -> int:
+        """Version counter: the number of mutation batches applied so far."""
+        return self._epoch
+
+    @property
+    def is_mutated(self) -> bool:
+        """Whether any mutation batch has been applied."""
+        return self._epoch > 0
+
+    @property
+    def deleted_ids(self) -> frozenset:
+        """Ids of tombstoned tuples (allocated but empty)."""
+        return frozenset(self._deleted)
 
     @property
     def density(self) -> float:
@@ -171,8 +215,15 @@ class Dataset:
     # ------------------------------------------------------------------
 
     def row(self, tuple_id: int) -> Tuple[np.ndarray, np.ndarray]:
-        """The non-zero ``(indices, values)`` of one tuple (views, not copies)."""
+        """The non-zero ``(indices, values)`` of one tuple (views, not copies).
+
+        A tombstoned (deleted) tuple reads as an empty row.
+        """
         self._check_row(tuple_id)
+        if self._overrides:
+            override = self._overrides.get(tuple_id)
+            if override is not None:
+                return override
         lo, hi = self._indptr[tuple_id], self._indptr[tuple_id + 1]
         return self._indices[lo:hi], self._values[lo:hi]
 
@@ -210,7 +261,10 @@ class Dataset:
         """Non-zero ``(tuple_ids, values)`` of one dimension, by ascending id.
 
         The result is cached, since inverted-list construction and the
-        brute-force oracle hit the same columns repeatedly.
+        brute-force oracle hit the same columns repeatedly.  Mutations
+        patch cached columns incrementally (see :meth:`apply`); a cold
+        column merges the overlay rows on first computation, so either
+        path yields arrays bit-identical to a compacted rebuild's.
         """
         if not 0 <= dim < self._n_dims:
             raise DatasetError(f"dimension {dim} out of range [0, {self._n_dims})")
@@ -220,13 +274,240 @@ class Dataset:
         mask = self._indices == dim
         positions = np.nonzero(mask)[0]
         ids = np.searchsorted(self._indptr, positions, side="right") - 1
-        result = (ids.astype(np.int64), self._values[positions])
+        ids = ids.astype(np.int64)
+        vals = self._values[positions]
+        if self._overrides:
+            overridden = np.asarray(sorted(self._overrides), dtype=np.int64)
+            keep = ~np.isin(ids, overridden)
+            ids, vals = ids[keep], vals[keep]
+            extra_ids: List[int] = []
+            extra_vals: List[float] = []
+            for tid in overridden.tolist():
+                row_dims, row_vals = self._overrides[tid]
+                pos = int(np.searchsorted(row_dims, dim))
+                if pos < row_dims.size and row_dims[pos] == dim:
+                    extra_ids.append(tid)
+                    extra_vals.append(float(row_vals[pos]))
+            if extra_ids:
+                ids = np.concatenate([ids, np.asarray(extra_ids, dtype=np.int64)])
+                vals = np.concatenate(
+                    [vals, np.asarray(extra_vals, dtype=np.float64)]
+                )
+                order = np.argsort(ids, kind="stable")
+                ids, vals = ids[order], vals[order]
+        result = (ids, np.ascontiguousarray(vals, dtype=np.float64))
         self._column_cache[dim] = result
         return result
 
     def column_nnz(self, dim: int) -> int:
         """Number of tuples with a non-zero coordinate in *dim*."""
         return int(self.column(dim)[0].size)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def apply(self, batch) -> list:
+        """Apply a :class:`~repro.storage.mutations.MutationBatch` in order.
+
+        Patches the row overlay and every *cached* column incrementally,
+        bumps :attr:`epoch` once for the whole batch, and returns one
+        :class:`~repro.storage.mutations.AppliedMutation` delta per
+        mutation (old and new sparse row contents).
+
+        The batch is validated in full *before* anything is applied: a
+        rejected batch raises :class:`DatasetError` and leaves the
+        dataset (rows, cached columns, epoch) completely untouched, so
+        derived structures can never observe a half-applied batch.
+
+        When the dataset is wrapped by an
+        :class:`~repro.storage.index.InvertedIndex`, route mutations
+        through :meth:`InvertedIndex.apply` instead so the built inverted
+        lists are patched in the same step.
+        """
+        from ..storage.mutations import Mutation, MutationBatch
+
+        if isinstance(batch, Mutation):
+            batch = MutationBatch((batch,))
+        elif not isinstance(batch, MutationBatch):
+            batch = MutationBatch(tuple(batch))
+        self._validate_batch(batch)
+        applied = [self._apply_one(mutation) for mutation in batch]
+        self._epoch += 1
+        self._compact_cache = None
+        return applied
+
+    def _validate_batch(self, batch) -> None:
+        """Reject an invalid batch before any state is touched.
+
+        Simulates the only sequential state validation depends on — the
+        row-id space growing with inserts and the tombstone set growing
+        with deletes — so atomicity holds without a rollback path.
+        """
+        n_rows = self._n_rows
+        deleted = set(self._deleted)
+        for mutation in batch:
+            if mutation.kind == "insert":
+                for dim in mutation.dims:
+                    if not 0 <= dim < self._n_dims:
+                        raise DatasetError(
+                            f"dimension {dim} out of range [0, {self._n_dims})"
+                        )
+                for value in mutation.values:
+                    if not 0.0 <= value <= 1.0 or not np.isfinite(value):
+                        raise DatasetError("dataset values must lie in [0, 1]")
+                n_rows += 1
+                continue
+            tuple_id = mutation.tuple_id
+            if tuple_id is None or not 0 <= int(tuple_id) < n_rows:
+                raise DatasetError(
+                    f"mutation targets tuple {tuple_id}, out of range "
+                    f"[0, {n_rows})"
+                )
+            if int(tuple_id) in deleted:
+                raise DatasetError(f"tuple {tuple_id} is already deleted")
+            if mutation.kind == "delete":
+                deleted.add(int(tuple_id))
+                continue
+            if len(mutation.dims) != 1 or len(mutation.values) != 1:
+                raise DatasetError(
+                    "update mutations carry exactly one (dim, value) pair"
+                )
+            dim, value = mutation.dims[0], mutation.values[0]
+            if not 0 <= dim < self._n_dims:
+                raise DatasetError(
+                    f"dimension {dim} out of range [0, {self._n_dims})"
+                )
+            if not 0.0 <= value <= 1.0 or not np.isfinite(value):
+                raise DatasetError("dataset values must lie in [0, 1]")
+
+    def _apply_one(self, mutation):
+        from ..storage.mutations import AppliedMutation
+
+        if mutation.kind == "insert":
+            tuple_id = self._n_rows
+            old_dims: Tuple[int, ...] = ()
+            old_values: Tuple[float, ...] = ()
+            new = {
+                d: v for d, v in zip(mutation.dims, mutation.values) if v != 0.0
+            }
+        else:
+            tuple_id = int(mutation.tuple_id)
+            if not 0 <= tuple_id < self._n_rows:
+                raise DatasetError(
+                    f"mutation targets tuple {tuple_id}, out of range "
+                    f"[0, {self._n_rows})"
+                )
+            if tuple_id in self._deleted:
+                raise DatasetError(f"tuple {tuple_id} is already deleted")
+            row_dims, row_values = self.row(tuple_id)
+            old_dims = tuple(int(d) for d in row_dims)
+            old_values = tuple(float(v) for v in row_values)
+            if mutation.kind == "delete":
+                new = {}
+            else:  # update
+                dim, value = mutation.dims[0], mutation.values[0]
+                if not 0 <= dim < self._n_dims:
+                    raise DatasetError(
+                        f"dimension {dim} out of range [0, {self._n_dims})"
+                    )
+                new = dict(zip(old_dims, old_values))
+                if value == 0.0:
+                    new.pop(dim, None)
+                else:
+                    new[dim] = value
+        for dim, value in new.items():
+            if not 0 <= dim < self._n_dims:
+                raise DatasetError(
+                    f"dimension {dim} out of range [0, {self._n_dims})"
+                )
+            if not 0.0 <= value <= 1.0 or not np.isfinite(value):
+                raise DatasetError("dataset values must lie in [0, 1]")
+
+        new_dims = tuple(sorted(new))
+        new_values = tuple(new[d] for d in new_dims)
+        delta = AppliedMutation(
+            kind=mutation.kind,
+            tuple_id=tuple_id,
+            old_dims=old_dims,
+            old_values=old_values,
+            new_dims=new_dims,
+            new_values=new_values,
+        )
+        self._store_override(tuple_id, new_dims, new_values)
+        if mutation.kind == "insert":
+            self._n_rows += 1
+        elif mutation.kind == "delete":
+            self._deleted.add(tuple_id)
+        self._nnz += len(new_dims) - len(old_dims)
+        for dim, old_v, new_v in delta.coordinate_changes():
+            self._patch_column(dim, tuple_id, old_v, new_v)
+        return delta
+
+    def _store_override(
+        self,
+        tuple_id: int,
+        new_dims: Tuple[int, ...],
+        new_values: Tuple[float, ...],
+    ) -> None:
+        if new_dims:
+            dims_arr = np.asarray(new_dims, dtype=np.int64)
+            vals_arr = np.asarray(new_values, dtype=np.float64)
+            dims_arr.setflags(write=False)
+            vals_arr.setflags(write=False)
+            self._overrides[tuple_id] = (dims_arr, vals_arr)
+        else:
+            self._overrides[tuple_id] = _EMPTY_ROW
+
+    def _patch_column(
+        self, dim: int, tuple_id: int, old_v: Optional[float], new_v: Optional[float]
+    ) -> None:
+        """Keep a cached column exact after one coordinate change."""
+        cached = self._column_cache.get(dim)
+        if cached is None:
+            return
+        ids, vals = cached
+        pos = int(np.searchsorted(ids, tuple_id))
+        present = pos < ids.size and ids[pos] == tuple_id
+        if old_v is None and new_v is not None:
+            ids = np.insert(ids, pos, tuple_id)
+            vals = np.insert(vals, pos, new_v)
+        elif old_v is not None and new_v is None:
+            require(present, f"cached column {dim} missing tuple {tuple_id}")
+            ids = np.delete(ids, pos)
+            vals = np.delete(vals, pos)
+        else:
+            require(present, f"cached column {dim} missing tuple {tuple_id}")
+            vals = vals.copy()
+            vals[pos] = new_v
+        self._column_cache[dim] = (ids, vals)
+
+    def compacted(self) -> "Dataset":
+        """A fresh CSR dataset equal to the current live state.
+
+        Tuple ids are preserved exactly: tombstoned rows become empty rows,
+        appended rows keep their assigned ids.  This is the "full rebuild"
+        oracle the incremental maintenance is property-tested against.
+        """
+        indptr, indices, values = self.csr_arrays
+        return Dataset(indptr.copy(), indices.copy(), values.copy(), self._n_dims)
+
+    def _compacted_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        indptr = np.zeros(self._n_rows + 1, dtype=np.int64)
+        index_chunks: List[np.ndarray] = []
+        value_chunks: List[np.ndarray] = []
+        for i in range(self._n_rows):
+            dims, vals = self.row(i)
+            indptr[i + 1] = indptr[i] + dims.size
+            index_chunks.append(np.asarray(dims, dtype=np.int64))
+            value_chunks.append(np.asarray(vals, dtype=np.float64))
+        indices = (
+            np.concatenate(index_chunks) if index_chunks else np.empty(0, np.int64)
+        )
+        values = (
+            np.concatenate(value_chunks) if value_chunks else np.empty(0, np.float64)
+        )
+        return indptr, indices, values
 
     # ------------------------------------------------------------------
     # Scoring
@@ -266,5 +547,15 @@ class Dataset:
 
     @property
     def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The raw ``(indptr, indices, values)`` arrays (read-only views)."""
-        return self._indptr, self._indices, self._values
+        """The ``(indptr, indices, values)`` arrays of the live state.
+
+        For an unmutated dataset these are the base arrays themselves;
+        once mutations have been applied the overlay is compacted into
+        fresh CSR arrays (cached per epoch).
+        """
+        if not self._overrides:
+            return self._indptr, self._indices, self._values
+        cache = self._compact_cache
+        if cache is None or cache[0] != self._epoch:
+            self._compact_cache = (self._epoch, self._compacted_arrays())
+        return self._compact_cache[1]

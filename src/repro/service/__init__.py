@@ -10,6 +10,7 @@ rate, and per-method cost rollups.
 """
 
 from .cache import CacheKey, CacheStats, RegionCache, region_cache_key
+from .invalidation import computation_survives, invalidate_region_cache
 from .service import EXECUTORS, BatchResult, QueryService
 from .stats import MethodRollup, QueryRecord, ServiceStats, percentile
 
@@ -23,6 +24,8 @@ __all__ = [
     "QueryService",
     "RegionCache",
     "ServiceStats",
+    "computation_survives",
+    "invalidate_region_cache",
     "percentile",
     "region_cache_key",
 ]

@@ -72,6 +72,9 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries dropped by mutation-driven sweeps (see :meth:`RegionCache.sweep`),
+    #: counted separately from capacity evictions.
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -102,6 +105,7 @@ class RegionCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     def get(self, key: CacheKey) -> Optional[RegionComputation]:
         """The cached computation for *key*, or ``None`` (counts a miss)."""
@@ -129,6 +133,27 @@ class RegionCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def sweep(self, keep) -> Tuple[int, int]:
+        """Drop every entry for which ``keep(computation)`` is falsy.
+
+        The sweep is atomic with respect to :meth:`get`/:meth:`put` (the
+        lock is held throughout — mutation-driven invalidation must not
+        interleave with lookups that could resurrect a stale entry).
+        Recency order of the kept entries is preserved.  Returns
+        ``(kept, dropped)`` counts; drops are tallied as invalidations,
+        not capacity evictions.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, computation in self._entries.items()
+                if not keep(computation)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(self._entries), len(doomed)
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; they describe the lifetime)."""
         with self._lock:
@@ -151,6 +176,7 @@ class RegionCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                invalidations=self._invalidations,
             )
 
     def __repr__(self) -> str:

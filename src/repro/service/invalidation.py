@@ -1,0 +1,134 @@
+"""Delta-aware invalidation of cached region computations.
+
+A data mutation does not have to flush the whole
+:class:`~repro.service.cache.RegionCache`: the immutable-region semantics
+give a cheap sufficient condition for a cached computation to remain
+*exactly* valid.  For a touched tuple ``u`` and a cached region of
+dimension ``j`` with deviation interval ``[δl, δu]``, consider the score
+lines over the deviation ``δ``:
+
+    S_u(δ) = S(u, q) + δ·u_j        S_k(δ) = S(d_k, q) + δ·d_k,j
+
+(the Lemma 1 geometry: every line is affine in ``δ``).  If both the
+tuple's **old** line and its **new** line stay strictly below the
+region's k-th line at *both* endpoints of the interval — a half-space
+check, since an affine function below at both endpoints is below
+throughout — then within the whole region the tuple neither enters the
+top-k nor crosses ``d_k``.  Its Lemma 1 constraint therefore lies
+strictly outside the interval on both the old and the new data, so the
+stored bounds, their provenance, and every per-region result are
+untouched: the cached computation *is* the computation a fresh engine run
+on the mutated data would answer with.  (The old line matters too: a
+tuple that used to cross inside the region may have been the binding
+constraint, so only "was outside AND stays outside" proves nothing
+moved.)
+
+The test is conservative in the safe direction.  Any mutation that
+touches a result tuple, a bound's recorded provenance tuple, or whose
+line check fails — including exact-tie grazes at an endpoint — evicts
+the entry, and the next query recomputes against the mutated index.
+Mutations whose touched rows have no coordinate on the cached query's
+subspace (old and new alike) cannot move any score line of that subspace
+and always keep the entry.
+
+Property-tested in
+``tests/properties/test_region_immutability_semantics.py``: an entry
+judged *valid* returns the brute-force top-k of the mutated data at
+every deviation inside its regions; an *evicted* entry recomputes
+cleanly (to a possibly different region).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.engine import RegionComputation
+from ..datasets.base import Dataset
+from ..storage.mutations import AppliedMutation
+from .cache import RegionCache
+
+__all__ = ["computation_survives", "invalidate_region_cache"]
+
+
+def _touches_structure(computation: RegionComputation, tuple_id: int) -> bool:
+    """Whether *tuple_id* appears in any region's result or bound provenance."""
+    for sequence in computation.sequences.values():
+        for region in sequence.regions:
+            if tuple_id in region.result_ids:
+                return True
+            for bound in (region.lower, region.upper):
+                if bound.rising_id == tuple_id or bound.falling_id == tuple_id:
+                    return True
+    return False
+
+
+def computation_survives(
+    computation: RegionComputation,
+    deltas: Sequence[AppliedMutation],
+    dataset: Dataset,
+) -> bool:
+    """Whether a cached computation provably survives *deltas* unchanged.
+
+    *dataset* is the post-mutation dataset; it is only consulted for the
+    rows of result tuples, which — whenever the answer can be ``True`` —
+    no delta has touched.
+    """
+    query = computation.query
+    dims = query.dims
+    # A short result (fewer positive-score tuples than k) means every
+    # positive tuple of the subspace is already in the result: any
+    # mutation that moves a score line either touches a result tuple or
+    # adds a brand-new positive tuple that would extend the result.
+    short_result = len(computation.result) < computation.k
+
+    # Pass 1 — structural involvement.  A delta outside the query
+    # subspace is inert; one touching a result or provenance tuple
+    # invalidates outright.
+    relevant: List[Tuple[float, np.ndarray, float, np.ndarray]] = []
+    for delta in deltas:
+        old_coords = delta.coords_at(dims, new=False)
+        new_coords = delta.coords_at(dims, new=True)
+        if not old_coords.any() and not new_coords.any():
+            continue
+        if short_result or _touches_structure(computation, delta.tuple_id):
+            return False
+        relevant.append(
+            (query.score(old_coords), old_coords, query.score(new_coords), new_coords)
+        )
+    if not relevant:
+        return True
+
+    # Pass 2 — the Lemma 1 half-space check, per region of every
+    # dimension's sequence (φ>0 sequences check each member region
+    # against its own k-th tuple's line).
+    for sequence in computation.sequences.values():
+        j_pos = int(np.searchsorted(dims, sequence.dim))
+        for region in sequence.regions:
+            kth_coords = dataset.values_at(region.result_ids[-1], dims)
+            kth_score = query.score(kth_coords)
+            kth_slope = float(kth_coords[j_pos])
+            for endpoint in (region.lower.delta, region.upper.delta):
+                kth_line = kth_score + endpoint * kth_slope
+                for old_score, old_coords, new_score, new_coords in relevant:
+                    if old_score + endpoint * float(old_coords[j_pos]) >= kth_line:
+                        return False
+                    if new_score + endpoint * float(new_coords[j_pos]) >= kth_line:
+                        return False
+    return True
+
+
+def invalidate_region_cache(
+    cache: RegionCache,
+    deltas: Sequence[AppliedMutation],
+    dataset: Dataset,
+) -> Tuple[int, int]:
+    """Selectively evict cached computations invalidated by *deltas*.
+
+    Sweeps every entry through :func:`computation_survives` and returns
+    ``(kept, evicted)`` counts.
+    """
+    return cache.sweep(
+        lambda computation: computation_survives(computation, deltas, dataset)
+    )

@@ -24,6 +24,12 @@ on top of the single-query :class:`~repro.core.engine.ImmutableRegionEngine`:
 * **single-flight** — duplicate queries *within* a batch are submitted
   once and share the result, so a hot query costs one engine run no
   matter how often it appears;
+* **dynamic data** — :meth:`apply_mutations` applies a
+  :class:`~repro.storage.mutations.MutationBatch` behind a
+  readers/writer gate that drains in-flight query work first, patches
+  the inverted lists incrementally, and selectively invalidates cached
+  regions via the Lemma 1 delta test
+  (:mod:`repro.service.invalidation`);
 * **pooling** — signature groups are chunked into *batch windows* and run
   through a ``concurrent.futures`` executor: ``"thread"`` (default; the
   engines share the in-process index and plans) or ``"process"`` (each
@@ -45,9 +51,11 @@ divided by the window size — the service-level amortised cost.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -66,6 +74,7 @@ from ..metrics.diskmodel import DiskModel
 from ..storage.index import InvertedIndex
 from ..topk.query import Query
 from .cache import CacheKey, RegionCache, region_cache_key
+from .invalidation import invalidate_region_cache
 from .stats import ServiceStats
 
 __all__ = ["BatchResult", "EXECUTORS", "QueryService"]
@@ -107,6 +116,57 @@ def _process_worker_compute_many(
         queries, k, phi=phi, topk_mode=topk_mode
     )
     return computations, time.perf_counter() - start
+
+
+class _ReadWriteGate:
+    """A writer-preferring readers/writer gate.
+
+    Query work (batches, single executes) enters as a *reader* — many may
+    run concurrently.  :meth:`QueryService.apply_mutations` enters as the
+    *writer*: it waits for in-flight readers to drain, blocks new ones
+    while it patches the index and sweeps the caches, and releases.  A
+    computation therefore always observes one consistent epoch — lists,
+    plans, and dataset rows all from the same version — with no torn
+    reads.  Writer preference keeps a stream of queries from starving
+    mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def reading(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def writing(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
 
 
 @dataclass
@@ -197,6 +257,8 @@ class QueryService:
         self._engines: Dict[str, ImmutableRegionEngine] = {}
         self._engines_lock = Lock()
         self._pool: Optional[Executor] = None
+        self._dispatch: Optional[ThreadPoolExecutor] = None
+        self._gate = _ReadWriteGate()
 
     # ------------------------------------------------------------------
 
@@ -222,17 +284,86 @@ class QueryService:
     def execute(
         self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
     ) -> RegionComputation:
-        """Answer one query through the cache (compute on miss)."""
+        """Answer one query through the cache (compute on miss).
+
+        Runs as a *reader* of the mutation gate: a concurrent
+        :meth:`apply_mutations` either happens entirely before the
+        computation observes the index or entirely after it finishes.
+        """
         method = self.method if method is None else method
         key = region_cache_key(query, k, phi, method, self.count_reorderings)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        computation = self.engine_for(method).compute_many(
-            [query], k, phi=phi, topk_mode=self.topk_mode
-        )[0]
-        self.cache.put(key, computation)
-        return computation
+        with self._gate.reading():
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            computation = self.engine_for(method).compute_many(
+                [query], k, phi=phi, topk_mode=self.topk_mode
+            )[0]
+            self.cache.put(key, computation)
+            return computation
+
+    def submit(
+        self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
+    ) -> "Future[RegionComputation]":
+        """Asynchronous :meth:`execute`: returns a future resolving to the
+        computation.
+
+        The query runs on a dedicated dispatch pool — deliberately *not*
+        the batch-window pool: a gate-blocked submission must never sit in
+        front of the windows of an in-flight batch that already holds the
+        gate.  Each submission takes the mutation gate as a reader, so
+        racing :meth:`apply_mutations` calls serialise against it and
+        every resolved computation reflects one consistent epoch.
+        """
+        with self._engines_lock:
+            if self._dispatch is None:
+                self._dispatch = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix="repro-submit"
+                )
+            dispatch = self._dispatch
+        return dispatch.submit(self.execute, query, k, phi, method)
+
+    def apply_mutations(self, batch) -> ServiceStats:
+        """Apply a :class:`~repro.storage.mutations.MutationBatch` to the
+        served dataset, invalidating only what the mutations can affect.
+
+        Entry point for dynamic data (see the README's "Dynamic data"
+        section).  Holding the mutation gate as the *writer* — i.e. after
+        every in-flight batch window and single execute has drained, and
+        before any new one starts — it:
+
+        1. routes the batch through :meth:`InvertedIndex.apply`
+           (incremental list patching + epoch bump);
+        2. eagerly purges subspace plans built against the old epoch;
+        3. sweeps the region cache through the delta test of
+           :mod:`repro.service.invalidation` — entries whose regions
+           provably survive the touched tuples' score-line moves stay
+           cached, the rest are evicted;
+        4. for the process executor, retires the worker pool (workers
+           hold pre-mutation index copies; the next batch respawns them
+           against the mutated dataset).
+
+        Returns a :class:`ServiceStats` carrying the invalidation stats
+        (``mutations_applied``, ``regions_kept``/``regions_evicted``,
+        ``plans_dropped``) and the wall time of the whole step.
+        """
+        stats = ServiceStats()
+        start = time.perf_counter()
+        with self._gate.writing():
+            applied = self.index.apply(batch)
+            stats.plans_dropped = self.index.plans.drop_stale()
+            kept, evicted = invalidate_region_cache(
+                self.cache, applied, self.index.dataset
+            )
+            if self.executor == "process" and self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        stats.mutation_batches = 1
+        stats.mutations_applied = len(applied)
+        stats.regions_kept = kept
+        stats.regions_evicted = evicted
+        stats.wall_seconds = time.perf_counter() - start
+        return stats
 
     # ------------------------------------------------------------------
 
@@ -262,7 +393,8 @@ class QueryService:
 
         stats = ServiceStats()
         start = time.perf_counter()
-        computations = self._run_windows(batch, k, phi, method, stats)
+        with self._gate.reading():
+            computations = self._run_windows(batch, k, phi, method, stats)
         stats.wall_seconds = time.perf_counter() - start
         return BatchResult(computations=computations, stats=stats)
 
@@ -406,10 +538,13 @@ class QueryService:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the cache survives)."""
+        """Shut down the worker pools (idempotent; the cache survives)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=True)
+            self._dispatch = None
 
     def __enter__(self) -> "QueryService":
         return self

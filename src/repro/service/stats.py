@@ -104,11 +104,24 @@ class ServiceStats:
         scheduling and cache lookups, not just engine time).
     rollups:
         Per-method :class:`RunMetrics` means over freshly computed queries.
+    mutation_batches, mutations_applied:
+        Mutation traffic accounted by
+        :meth:`~repro.service.service.QueryService.apply_mutations`.
+    regions_kept, regions_evicted:
+        Outcome of the delta-aware region-cache sweep: entries that
+        survived the Lemma 1 half-space test vs entries invalidated.
+    plans_dropped:
+        Subspace plans purged because the mutation outdated their epoch.
     """
 
     records: List[QueryRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
     rollups: Dict[str, MethodRollup] = field(default_factory=dict)
+    mutation_batches: int = 0
+    mutations_applied: int = 0
+    regions_kept: int = 0
+    regions_evicted: int = 0
+    plans_dropped: int = 0
 
     def record(
         self,
@@ -196,6 +209,13 @@ class ServiceStats:
             "methods": {
                 name: rollup.as_dict() for name, rollup in sorted(self.rollups.items())
             },
+            "mutations": {
+                "batches": self.mutation_batches,
+                "applied": self.mutations_applied,
+                "regions_kept": self.regions_kept,
+                "regions_evicted": self.regions_evicted,
+                "plans_dropped": self.plans_dropped,
+            },
         }
 
     def render(self) -> str:
@@ -209,6 +229,13 @@ class ServiceStats:
             f"cache: {self.n_cache_hits}/{self.n_queries} served from cache "
             f"({self.cache_hit_rate:.1%}); {self.n_computed} computed",
         ]
+        if self.mutation_batches:
+            lines.append(
+                f"mutations: {self.mutations_applied} applied in "
+                f"{self.mutation_batches} batch(es); regions kept "
+                f"{self.regions_kept}, evicted {self.regions_evicted}; "
+                f"plans dropped {self.plans_dropped}"
+            )
         if self.rollups:
             lines.append("")
             lines.append(

@@ -11,13 +11,17 @@ access.  Both structures report their accesses into
 
 from .index import InvertedIndex
 from .inverted_list import InvertedList, ListCursor
+from .mutations import AppliedMutation, Mutation, MutationBatch
 from .plan import PlanCacheStats, SubspacePlan, SubspacePlanCache
 from .tuple_store import TupleStore
 
 __all__ = [
+    "AppliedMutation",
     "InvertedIndex",
     "InvertedList",
     "ListCursor",
+    "Mutation",
+    "MutationBatch",
     "PlanCacheStats",
     "SubspacePlan",
     "SubspacePlanCache",

@@ -41,6 +41,7 @@ class InvertedIndex:
         self._build_lock = threading.Lock()
         self._plans: Optional[SubspacePlanCache] = None
         self._plans_lock = threading.Lock()
+        self._epoch = dataset.epoch
 
     @property
     def dataset(self) -> Dataset:
@@ -48,9 +49,70 @@ class InvertedIndex:
         return self._dataset
 
     @property
+    def epoch(self) -> int:
+        """The dataset epoch this index's built lists reflect.
+
+        Kept in lockstep with ``dataset.epoch`` by :meth:`apply`; derived
+        caches (subspace plans, the service's region cache) key their
+        freshness on it.
+        """
+        return self._epoch
+
+    @property
     def n_dims(self) -> int:
         """Dimensionality of the indexed data space."""
         return self._dataset.n_dims
+
+    def apply(self, batch) -> list:
+        """Apply a mutation batch to the dataset *and* the built lists.
+
+        Each built inverted list is patched incrementally — canonical
+        sorted-insert for new coordinates, lazy tombstones for removed
+        ones — instead of being rebuilt; unbuilt lists simply build from
+        the mutated dataset on first touch.  The index epoch advances to
+        the dataset's, which lazily invalidates cached
+        :class:`~repro.storage.plan.SubspacePlan` objects (see
+        :meth:`SubspacePlanCache.plan_for`).
+
+        Must not run concurrently with scans over this index; the service
+        layer (:meth:`repro.service.QueryService.apply_mutations`)
+        serialises mutations against in-flight query windows.
+
+        Returns the per-mutation
+        :class:`~repro.storage.mutations.AppliedMutation` deltas.
+        """
+        with self._build_lock:
+            if self._epoch != self._dataset.epoch:
+                raise StorageError(
+                    "index is stale relative to its dataset: mutations must "
+                    "be routed through InvertedIndex.apply (or call "
+                    "refresh() after mutating the dataset directly)"
+                )
+            applied = self._dataset.apply(batch)
+            for delta in applied:
+                for dim, old_v, new_v in delta.coordinate_changes():
+                    inverted = self._lists.get(dim)
+                    if inverted is None:
+                        continue
+                    if old_v is not None:
+                        inverted.remove_entry(delta.tuple_id, old_v)
+                    if new_v is not None:
+                        inverted.insert_entry(delta.tuple_id, new_v)
+            self._epoch = self._dataset.epoch
+        return applied
+
+    def refresh(self) -> None:
+        """Resynchronise with a dataset that was mutated directly.
+
+        Drops every built list and cached plan; both rebuild lazily from
+        the dataset's current state.  :meth:`apply` never needs this —
+        it patches in place.
+        """
+        with self._build_lock:
+            self._lists.clear()
+            self._epoch = self._dataset.epoch
+        if self._plans is not None:
+            self._plans.clear()
 
     @property
     def plans(self) -> SubspacePlanCache:
@@ -111,16 +173,27 @@ class InvertedIndex:
         state = self.__dict__.copy()
         # Locks don't pickle; workers get fresh ones.  Plans are derived
         # state, heavyweight, and hold a back-reference — workers rebuild
-        # them lazily from their own traffic.
+        # them lazily from their own traffic — but the cache's *bounds*
+        # (capacity / max_bytes) are configuration and must round-trip.
         del state["_build_lock"]
         del state["_plans_lock"]
-        state["_plans"] = None
+        plans = state.pop("_plans")
+        state["_plans_bounds"] = (
+            None if plans is None else (plans.capacity, plans.max_bytes)
+        )
         return state
 
     def __setstate__(self, state: dict) -> None:
+        bounds = state.pop("_plans_bounds", None)
         self.__dict__.update(state)
         self._build_lock = threading.Lock()
         self._plans_lock = threading.Lock()
+        self._plans = None
+        if "_epoch" not in self.__dict__:
+            # Pickles from before versioning carry no epoch field.
+            self._epoch = self._dataset.epoch
+        if bounds is not None:
+            self._plans = SubspacePlanCache(self, *bounds)
 
     def built_dimensions(self) -> list[int]:
         """Dimensions whose lists have been materialised so far."""

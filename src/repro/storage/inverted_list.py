@@ -3,9 +3,18 @@
 An :class:`InvertedList` for dimension ``j`` holds ``(tuple_id, value)``
 entries for every tuple with a non-zero j-th coordinate, sorted by value
 descending (ties broken by ascending id — the library-wide total order).
-The list itself is immutable; scan state lives in :class:`ListCursor`, so
-several algorithms (TA, Phase 3 resumption, tests) can walk the same list
-independently.
+Scan state lives in :class:`ListCursor`, so several algorithms (TA,
+Phase 3 resumption, tests) can walk the same list independently.
+
+Lists support *incremental maintenance* under dataset mutations (driven
+by :meth:`repro.storage.index.InvertedIndex.apply`, never concurrently
+with scans): an insert splices the new entry into its canonical sorted
+position; a removal marks a **lazy tombstone** — an O(1) flag plus cache
+invalidation — and physical compaction is deferred until the dead count
+crosses a threshold.  Every read (cursor pulls, ``ids``/``values``
+arrays, ``position_of``) sees only live entries, in exactly the order a
+freshly built list over the mutated data would have, so downstream
+algorithms and their access counters are bit-identical either way.
 
 Sorted accesses are charged to an :class:`~repro.metrics.AccessCounters`
 by the cursor on every :meth:`ListCursor.pull`.
@@ -23,9 +32,20 @@ from ..metrics.counters import AccessCounters
 
 __all__ = ["InvertedList", "ListCursor"]
 
+#: Tombstones tolerated before a physical compaction, as
+#: ``max(_COMPACT_MIN, size >> _COMPACT_SHIFT)`` — at most ~12.5% of a
+#: large list is dead at any time, and tiny lists never thrash.
+_COMPACT_MIN = 64
+_COMPACT_SHIFT = 3
+
 
 class InvertedList:
-    """Immutable per-dimension posting list, sorted by value descending."""
+    """Per-dimension posting list, sorted by value descending.
+
+    Reads are immutable-snapshot semantics between mutations; mutations
+    themselves are only issued by the owning index's ``apply`` while no
+    scan is in flight (the service layer serialises them).
+    """
 
     def __init__(self, dim: int, ids: np.ndarray, values: np.ndarray) -> None:
         require(dim >= 0, "dimension must be non-negative")
@@ -35,10 +55,17 @@ class InvertedList:
             raise StorageError("ids and values must be 1-D arrays of equal length")
         order = stable_desc_order(values_arr, ids_arr)
         self._dim = int(dim)
+        # Physical arrays: the canonical order, possibly with tombstoned
+        # slots interleaved (_dead mask, allocated on first removal).
         self._ids = ids_arr[order]
         self._values = values_arr[order]
         self._ids.setflags(write=False)
         self._values.setflags(write=False)
+        self._dead: Optional[np.ndarray] = None
+        self._n_dead = 0
+        #: Lazily gathered (ids, values) of live entries while tombstones
+        #: exist; None when clean or stale.
+        self._live: Optional[Tuple[np.ndarray, np.ndarray]] = None
         # id → position lookup, built once on first use and shared by every
         # cursor over this list: ids sorted ascending plus the matching list
         # positions, queried via searchsorted (see position_of).
@@ -51,18 +78,32 @@ class InvertedList:
 
     @property
     def size(self) -> int:
-        """Number of entries (tuples with a non-zero coordinate here)."""
-        return int(self._ids.size)
+        """Number of live entries (tuples with a non-zero coordinate here)."""
+        return int(self._ids.size) - self._n_dead
+
+    def _live_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(ids, values)`` of live entries, canonical order."""
+        if self._n_dead == 0:
+            return self._ids, self._values
+        live = self._live
+        if live is None:
+            keep = ~self._dead
+            ids = self._ids[keep]
+            values = self._values[keep]
+            ids.setflags(write=False)
+            values.setflags(write=False)
+            live = self._live = (ids, values)
+        return live
 
     @property
     def ids(self) -> np.ndarray:
-        """Tuple ids in list order (read-only view)."""
-        return self._ids
+        """Tuple ids in list order (read-only view, live entries only)."""
+        return self._live_arrays()[0]
 
     @property
     def values(self) -> np.ndarray:
-        """Values in list order, descending (read-only view)."""
-        return self._values
+        """Values in list order, descending (read-only view, live entries)."""
+        return self._live_arrays()[1]
 
     def entry(self, position: int) -> Tuple[int, float]:
         """The ``(tuple_id, value)`` entry at *position*."""
@@ -70,7 +111,8 @@ class InvertedList:
             raise StorageError(
                 f"position {position} out of range [0, {self.size}) in L{self._dim}"
             )
-        return int(self._ids[position]), float(self._values[position])
+        ids, values = self._live_arrays()
+        return int(ids[position]), float(values[position])
 
     def key_at(self, position: int) -> float:
         """Sorting key at *position*; 0.0 past the end (exhausted ⇒ t_j = 0)."""
@@ -78,13 +120,85 @@ class InvertedList:
             return 0.0
         if position < 0:
             raise StorageError("position must be non-negative")
-        return float(self._values[position])
+        return float(self._live_arrays()[1][position])
 
     def _id_lookup(self) -> Tuple[np.ndarray, np.ndarray]:
         if self._lookup is None:
-            order = np.argsort(self._ids, kind="stable")
-            self._lookup = (self._ids[order], order.astype(np.int64))
+            ids = self._live_arrays()[0]
+            order = np.argsort(ids, kind="stable")
+            self._lookup = (ids[order], order.astype(np.int64))
         return self._lookup
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (issued by InvertedIndex.apply only)
+    # ------------------------------------------------------------------
+
+    def _value_span(self, value: float) -> Tuple[int, int]:
+        """Physical ``[lo, hi)`` range of entries whose value equals *value*."""
+        values = self._values
+        n = values.size
+        ascending = values[::-1]
+        lo = n - int(np.searchsorted(ascending, value, side="right"))
+        hi = n - int(np.searchsorted(ascending, value, side="left"))
+        return lo, hi
+
+    def insert_entry(self, tuple_id: int, value: float) -> None:
+        """Splice ``(tuple_id, value)`` into its canonical sorted position.
+
+        The caller (the index's apply path) guarantees *tuple_id* is not
+        currently live in this list.
+        """
+        lo, hi = self._value_span(value)
+        pos = lo + int(np.searchsorted(self._ids[lo:hi], tuple_id))
+        self._ids = np.insert(self._ids, pos, int(tuple_id))
+        self._values = np.insert(self._values, pos, float(value))
+        self._ids.setflags(write=False)
+        self._values.setflags(write=False)
+        if self._dead is not None:
+            self._dead = np.insert(self._dead, pos, False)
+        self._invalidate_reads()
+
+    def remove_entry(self, tuple_id: int, value: float) -> None:
+        """Tombstone the live entry ``(tuple_id, value)`` (lazy removal).
+
+        The physical slot is only reclaimed once the dead count crosses
+        the compaction threshold; reads skip tombstones transparently.
+        """
+        lo, hi = self._value_span(value)
+        span = self._ids[lo:hi]
+        for offset in np.nonzero(span == int(tuple_id))[0].tolist():
+            pos = lo + offset
+            if self._dead is None or not self._dead[pos]:
+                if self._dead is None:
+                    self._dead = np.zeros(self._ids.size, dtype=bool)
+                self._dead[pos] = True
+                self._n_dead += 1
+                self._invalidate_reads()
+                if self._n_dead >= max(
+                    _COMPACT_MIN, self._ids.size >> _COMPACT_SHIFT
+                ):
+                    self._compact()
+                return
+        raise StorageError(
+            f"entry (d{tuple_id}, {value!r}) not live in L{self._dim}"
+        )
+
+    def _invalidate_reads(self) -> None:
+        self._live = None
+        self._lookup = None
+
+    def _compact(self) -> None:
+        """Reclaim tombstoned slots; physical order is already canonical."""
+        ids, values = self._live_arrays()
+        self._ids, self._values = ids, values
+        self._dead = None
+        self._n_dead = 0
+        self._live = None
+
+    @property
+    def n_tombstones(self) -> int:
+        """Currently tombstoned (dead, not yet compacted) entries."""
+        return self._n_dead
 
     def position_of(self, tuple_id: int) -> Optional[int]:
         """Position of *tuple_id* in this list, or ``None`` if absent.

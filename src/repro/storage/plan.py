@@ -69,6 +69,9 @@ class SubspacePlan:
         self.signature = signature_of(dims)
         self.dims = np.asarray(self.signature, dtype=np.int64)
         dataset = index.dataset
+        #: Index epoch the plan was built at; a mutation bumps the index
+        #: epoch and the cache drops mismatching plans on read.
+        self.epoch = index.epoch
         self.n_tuples = dataset.n_tuples
         self.qlen = self.dims.size
         # Dense column block X[:, dims].  Tuple ids are row positions, so
@@ -185,6 +188,8 @@ class PlanCacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Plans dropped because a dataset mutation outdated their epoch.
+    stale_drops: int = 0
 
     @property
     def lookups(self) -> int:
@@ -227,13 +232,24 @@ class SubspacePlanCache:
         self._hits = 0
         self._builds = 0
         self._evictions = 0
+        self._stale_drops = 0
 
     def plan_for(self, dims: Iterable[int] | np.ndarray) -> SubspacePlan:
-        """The plan of *dims*' signature, built on first use."""
+        """The plan of *dims*' signature, built on first use.
+
+        A cached plan whose epoch no longer matches the index's (the
+        dataset was mutated since the build) is dropped on read and
+        rebuilt against the current data.
+        """
         signature = signature_of(dims)
+        current_epoch = self._index.epoch
         while True:
             with self._lock:
                 plan = self._plans.get(signature)
+                if plan is not None and plan.epoch != current_epoch:
+                    del self._plans[signature]
+                    self._stale_drops += 1
+                    plan = None
                 if plan is not None:
                     self._plans.move_to_end(signature)
                     self._hits += 1
@@ -277,9 +293,37 @@ class SubspacePlanCache:
             self._evictions += 1
 
     def peek(self, dims: Iterable[int] | np.ndarray) -> Optional[SubspacePlan]:
-        """The cached plan, or ``None`` — never builds, never counts."""
+        """The cached plan, or ``None`` — never builds, never counts hits.
+
+        Stale plans (outdated epoch) read as absent and are dropped.
+        """
+        signature = signature_of(dims)
         with self._lock:
-            return self._plans.get(signature_of(dims))
+            plan = self._plans.get(signature)
+            if plan is not None and plan.epoch != self._index.epoch:
+                del self._plans[signature]
+                self._stale_drops += 1
+                return None
+            return plan
+
+    def drop_stale(self) -> int:
+        """Eagerly purge every plan with an outdated epoch; returns the count.
+
+        ``plan_for`` already drops stale plans lazily on read; this frees
+        their memory at mutation time instead (the service calls it from
+        ``apply_mutations``).
+        """
+        current_epoch = self._index.epoch
+        with self._lock:
+            stale = [
+                signature
+                for signature, plan in self._plans.items()
+                if plan.epoch != current_epoch
+            ]
+            for signature in stale:
+                del self._plans[signature]
+            self._stale_drops += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every plan (counters are kept; they describe the lifetime)."""
@@ -303,6 +347,7 @@ class SubspacePlanCache:
                 evictions=self._evictions,
                 size=len(self._plans),
                 capacity=self.capacity,
+                stale_drops=self._stale_drops,
             )
 
     def __repr__(self) -> str:

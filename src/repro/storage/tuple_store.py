@@ -69,6 +69,30 @@ class TupleStore:
         """The counters charged by this store."""
         return self._counters
 
+    @property
+    def epoch(self) -> int:
+        """The backing dataset's version counter (see :meth:`Dataset.apply`)."""
+        return self._dataset.epoch
+
+    def apply(self, batch) -> list:
+        """Apply a mutation batch to the backing dataset through this store.
+
+        Under the main-memory model the touched tuples are also dropped
+        from the row cache, so their next fetch is charged again (the
+        mutated row must be re-read).  Returns the applied deltas.
+
+        Only for standalone stores (storage-model experiments, tests):
+        this mutates the dataset *directly*, so any
+        :class:`~repro.storage.index.InvertedIndex` over the same dataset
+        goes stale (its own ``apply``/``refresh`` are the indexed paths —
+        the engine's per-run stores never outlive a computation anyway).
+        """
+        applied = self._dataset.apply(batch)
+        if self._cache_rows:
+            for delta in applied:
+                self._row_cache.discard(delta.tuple_id)
+        return applied
+
     def _charge(self, tuple_id: int) -> None:
         if self._cache_rows and tuple_id in self._row_cache:
             return

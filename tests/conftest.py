@@ -1,11 +1,27 @@
-"""Shared fixtures: the paper's running example and small data generators."""
+"""Shared fixtures: the paper's running example and small data generators.
+
+Also registers the hypothesis ``ci`` profile (fixed derandomized seed,
+no deadline) selected via ``HYPOTHESIS_PROFILE=ci`` — the CI coverage
+job runs the property suites reproducibly and without timing flakes.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import Dataset, InvertedIndex, Query
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 # ----------------------------------------------------------------------
 # The paper's running example (Figure 1):

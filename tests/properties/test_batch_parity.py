@@ -192,3 +192,52 @@ def test_unknown_topk_mode_rejected():
     engine = ImmutableRegionEngine(InvertedIndex(data))
     with pytest.raises(Exception):
         engine.compute_many([Query([0], [0.5])], 3, topk_mode="gemm")
+
+
+class TestDomainEdgeDegeneracies:
+    """Structural domain-edge coincidences must not split the two modes.
+
+    When ``d_k`` is supported on only one query dimension, its score line
+    vanishes exactly at weight 0 (the domain lower limit).  Two tuple
+    shapes then cross it *exactly at* the domain edge in real arithmetic,
+    where division rounding can land on either side:
+
+    * another single-supported tuple on the same dimension (both lines
+      vanish together) — the fused path must fall back to the TA replay,
+      because the sequential bound depends on TA's encounter set;
+    * a zero-score tuple (flat zero line) — outside the candidate
+      universe entirely; the fused reduction must treat it as inert.
+
+    Regression for a pre-existing sequential-vs-matmul divergence found
+    by the derandomized hypothesis ``ci`` profile.
+    """
+
+    def test_single_supported_pair_falls_back_to_replay(self):
+        # d_k and the would-be candidate live only on dim 1; the true
+        # crossing is exactly -q_1 and -fl(w·a − w·b)/(b − a) rounds
+        # inside the domain for this weight.
+        data = Dataset.from_dense(
+            [[0.9, 0.0], [0.0, 0.8], [0.0, 0.6]]
+        )
+        query = Query([0, 1], [0.51, 0.31])
+        engine = ImmutableRegionEngine(InvertedIndex(data), method="scan")
+        sequential = engine.compute(query, 2)
+        fused = engine.compute_many([query], 2, topk_mode="matmul")[0]
+        assert region_repr(sequential) == region_repr(fused)
+        region = fused.sequences[1].regions[0]
+        assert region.lower.kind == "domain"
+
+    def test_zero_score_rows_are_inert(self):
+        # Tuple 1 is an all-zero row; d_k is single-supported on dim 0,
+        # and -fl(w·c)/c rounds one ulp inside -q_0 for these values.
+        rng = np.random.default_rng(1231)
+        n, m = int(rng.integers(5, 12)), 2
+        density = rng.uniform(0.15, 0.5)
+        dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+        data = Dataset.from_dense(dense)
+        query = Query([0, 1], rng.uniform(0.2, 0.35, 2))
+        engine = ImmutableRegionEngine(InvertedIndex(data), method="scan")
+        sequential = engine.compute(query, 2)
+        fused = engine.compute_many([query], 2, topk_mode="matmul")[0]
+        assert region_repr(sequential) == region_repr(fused)
+        assert fused.sequences[0].regions[0].lower.kind == "domain"

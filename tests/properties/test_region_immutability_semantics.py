@@ -1,0 +1,144 @@
+"""Property-based tests: the delta test's verdicts are semantically sound.
+
+:func:`repro.service.invalidation.computation_survives` judges whether a
+cached region computation survives a data mutation.  Its contract:
+
+* **valid** ⇒ the cached answer *is* the answer on the mutated data —
+  at the current weights and at every deviation inside every cached
+  region, the brute-force top-k of the mutated dataset equals the
+  region's stored result (oracle = full rescore, no index, no cache);
+* **evicted** ⇒ no claim — the entry recomputes on next touch, to a
+  possibly different region; the recomputation must agree with the
+  brute oracle on the mutated data.
+
+The oracle evaluates perturbed queries by *re-scoring from scratch*
+(``Query.with_weight`` + :func:`brute_force_topk`), a completely
+different code path from the Lemma 1 half-space arithmetic under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Query,
+    brute_force_topk,
+)
+from repro.service.invalidation import computation_survives
+
+from .test_mutation_parity import build_dataset, draw_query, make_batch
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def semantics_case(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(8, 60))
+    m = draw(st.integers(2, 6))
+    density = draw(st.floats(0.3, 1.0))
+    n_ops = draw(st.integers(1, 4))
+    op_codes = draw(
+        st.lists(st.integers(0, 9), min_size=n_ops, max_size=n_ops)
+    )
+    k = draw(st.integers(1, 6))
+    phi = draw(st.integers(0, 1))
+    return seed, n, m, density, op_codes, k, phi
+
+
+def region_probe_points(region):
+    """Deviations inside *region* worth probing (endpoints stay out:
+    at a crossing the result is in transition)."""
+    lo, hi = region.lower.delta, region.upper.delta
+    if hi <= lo:
+        return []
+    points = [lo + (hi - lo) * f for f in (0.25, 0.5, 0.75)]
+    if region.contains(0.0):
+        points.append(0.0)
+    return [p for p in points if region.contains(p)]
+
+
+@given(case=semantics_case())
+@settings(**SETTINGS)
+def test_delta_test_verdicts_are_sound(case):
+    seed, n, m, density, op_codes, k, phi = case
+    dataset = build_dataset(seed, n, m, density)
+    index = InvertedIndex(dataset)
+    index.warm(range(m))
+    rng = np.random.default_rng(seed + 7)
+    query = draw_query(rng, dataset)
+    engine = ImmutableRegionEngine(index, method="cpt")
+    computation = engine.compute(query, k, phi=phi)
+
+    batch = make_batch(rng, dataset, op_codes)
+    deltas = index.apply(batch)
+    mutated = dataset.compacted()
+
+    if computation_survives(computation, deltas, dataset):
+        # Valid ⇒ identical top-k throughout every cached region.
+        for dim, sequence in computation.sequences.items():
+            weight = query.weight_of(dim)
+            for region in sequence.regions:
+                for deviation in region_probe_points(region):
+                    new_weight = weight + deviation
+                    if not 0.0 < new_weight <= 1.0:
+                        continue
+                    probe = (
+                        query
+                        if deviation == 0.0
+                        else query.with_weight(dim, new_weight)
+                    )
+                    oracle = brute_force_topk(mutated, probe, computation.k)
+                    assert oracle.ids == list(region.result_ids), (
+                        f"valid verdict but top-k moved: dim {dim}, "
+                        f"deviation {deviation}"
+                    )
+    else:
+        # Evicted ⇒ a recomputation against the mutated index agrees
+        # with the oracle (and is free to differ from the cached entry).
+        if any(dataset.column_nnz(int(d)) > 0 for d in query.dims):
+            recomputed = engine.compute(query, k, phi=phi)
+            assert recomputed.result.ids == brute_force_topk(
+                mutated, query, computation.k
+            ).ids
+            assert recomputed.epoch == index.epoch
+
+
+@given(case=semantics_case())
+@settings(**SETTINGS)
+def test_subspace_inert_mutations_always_survive(case):
+    """Mutations with no coordinate on the query's subspace keep entries."""
+    seed, n, m, density, op_codes, k, phi = case
+    dataset = build_dataset(seed, n, m, density)
+    index = InvertedIndex(dataset)
+    rng = np.random.default_rng(seed + 11)
+    eligible = [d for d in range(m) if dataset.column_nnz(d) > 0]
+    if len(eligible) < 2 or len(eligible) == m:
+        return  # need a dimension outside the query subspace
+    dims = sorted(rng.choice(eligible, size=2, replace=False).tolist())
+    outside = [d for d in range(m) if d not in dims]
+    query = Query(dims, rng.uniform(0.2, 0.9, size=2))
+    computation = ImmutableRegionEngine(index, method="cpt").compute(
+        query, k, phi=phi
+    )
+    # Touch only dimensions outside the subspace.
+    from repro import Mutation, MutationBatch
+
+    tid = int(rng.integers(dataset.n_tuples))
+    batch = MutationBatch(
+        (
+            Mutation.update(tid, int(rng.choice(outside)), 0.42),
+            Mutation.insert(outside, rng.uniform(0.1, 1.0, len(outside))),
+        )
+    )
+    deltas = index.apply(batch)
+    assert computation_survives(computation, deltas, dataset)
