@@ -1,0 +1,233 @@
+"""Region-aware serving benchmark, feeding ``BENCH_regionreuse.json``.
+
+Measures what the paper's headline application (§1) is worth to a
+serving stack: while a weight slider stays inside an immutable region,
+the answer is already known — the service can serve it from the cached
+region instead of recomputing.  Two identically configured
+:class:`QueryService` instances answer the same slider-drag workload
+(bursts of single-dimension weight perturbations around anchor queries,
+mixed with cold traffic — every tick a *distinct* weight vector):
+
+* **exact** — ``reuse="exact"``: the pre-existing bit-identical replay
+  tier.  Every drag tick misses and runs the full engine.
+* **region** — ``reuse="region"``: the two-tier cache.  Ticks inside a
+  cached region are answered by O(log m) ``searchsorted`` membership in
+  the :class:`RegionIndex` plus a provenance-recompute re-base — no
+  engine work.
+
+Both services return bit-identical answers (asserted below: result ids
+and the containing region's bounds must agree query by query), so the
+comparison isolates serving strategy.  Exactness of region-tier answers
+is enforced separately by ``tests/properties/test_region_reuse_parity.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_region_reuse.py            # full (n=50k)
+    PYTHONPATH=src python benchmarks/bench_region_reuse.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_region_reuse.py --check    # fail unless
+        # region reuse beats exact-match caching by >= the CI gate (3x)
+
+``--quick --check`` is the CI smoke job; the full run's acceptance bar
+is the 10x headline at n=50k.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import InvertedIndex, QueryService
+from repro.datasets.synthetic import generate_correlated
+from repro.datasets.workloads import slider_drag
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_regionreuse.json"
+
+#: The acceptance configuration: n=50k, full mode.
+#: Cold traffic recurs over a small set of popular subspaces (fresh
+#: weights every time): the Zipfian signature mix real search traffic
+#: has, and what the PR 3 plan cache is sized for.
+HEADLINE = dict(
+    n=50_000,
+    n_dims=12,
+    qlen=4,
+    k=10,
+    n_anchors=16,
+    drags_per_anchor=160,
+    step_scale=0.002,
+    cold_fraction=0.05,
+    cold_signatures=8,
+)
+
+#: The --check gate (CI smoke): region-reuse throughput vs exact-match
+#: caching on the same slider workload.
+GATE_SPEEDUP = 3.0
+
+#: The full run's headline target.
+HEADLINE_SPEEDUP = 10.0
+
+
+def run_service(data, workload, k: int, reuse: str):
+    """One service answering the whole workload; returns timing + answers.
+
+    Queries go through :meth:`QueryService.run_stream` — the arrival-order
+    serving route — because slider traffic is inherently sequential: each
+    tick must be able to reuse the region its own anchor just computed.
+    Both pipelines measure *steady-state* serving: an untimed first pass
+    warms every lazily built storage structure (inverted lists, sort
+    orders, id lookups — identical for both), then the cache is cleared
+    and the timed pass starts with cold cache tiers over warm storage.
+    """
+    index = InvertedIndex(data)
+    index.warm(sorted({int(d) for query in workload for d in query.dims}))
+    with QueryService(
+        index, executor="sequential", topk_mode="matmul", reuse=reuse
+    ) as service:
+        service.run_stream(workload, k)  # warm storage (untimed)
+        service.cache.clear()  # the tiers under test start cold
+        gc.collect()
+        start = time.perf_counter()
+        result = service.run_stream(workload, k)
+        seconds = time.perf_counter() - start
+        stats = result.stats
+        answers = [
+            (
+                computation.result.ids,
+                computation.region(int(query.dims[0])).weight_interval
+                if int(query.dims[0]) in computation.sequences
+                else None,
+            )
+            for query, computation in zip(workload, result.computations)
+        ]
+    return seconds, stats, answers
+
+
+def comparable(exact_answers, region_answers) -> bool:
+    """Answers agree: identical top-k ids; region bounds agree when both known."""
+    for (ids_a, interval_a), (ids_b, interval_b) in zip(
+        exact_answers, region_answers
+    ):
+        if ids_a != ids_b:
+            return False
+        if (
+            interval_a is not None
+            and interval_b is not None
+            and interval_a != interval_b
+        ):
+            return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny CI grid")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit non-zero unless region reuse beats exact-match caching "
+        f"by >= {GATE_SPEEDUP}x on the slider workload",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    config = dict(HEADLINE)
+    if args.quick:
+        config.update(n=5_000, n_anchors=6, drags_per_anchor=40)
+
+    data = generate_correlated(
+        n_tuples=config["n"], n_dims=config["n_dims"], seed=0
+    )
+    workload = slider_drag(
+        data,
+        qlen=config["qlen"],
+        n_anchors=config["n_anchors"],
+        drags_per_anchor=config["drags_per_anchor"],
+        seed=1,
+        step_scale=config["step_scale"],
+        cold_fraction=config["cold_fraction"],
+        cold_signatures=config["cold_signatures"],
+        min_column_nnz=50,
+    )
+    print(
+        f"n={config['n']}, {len(workload)} queries "
+        f"({config['n_anchors']} anchors x {config['drags_per_anchor']} ticks, "
+        f"{workload.extra['n_cold']} cold), k={config['k']}"
+    )
+
+    exact_seconds, exact_stats, exact_answers = run_service(
+        data, workload, config["k"], reuse="exact"
+    )
+    region_seconds, region_stats, region_answers = run_service(
+        data, workload, config["k"], reuse="region"
+    )
+    if not comparable(exact_answers, region_answers):
+        print("FATAL: reuse tiers disagree on answers", file=sys.stderr)
+        return 2
+
+    speedup = exact_seconds / region_seconds
+    tiers = region_stats.tier_latencies()
+    print(
+        f"exact : {exact_seconds:8.3f} s  "
+        f"({exact_stats.throughput_qps:9.1f} q/s, "
+        f"{exact_stats.n_cache_hits}/{exact_stats.n_queries} cache hits)"
+    )
+    print(
+        f"region: {region_seconds:8.3f} s  "
+        f"({region_stats.throughput_qps:9.1f} q/s, "
+        f"{region_stats.n_region_hits} region + "
+        f"{region_stats.n_exact_hits} exact hits, "
+        f"{region_stats.n_computed} computed)"
+    )
+    if "region" in tiers:
+        print(
+            f"region-tier latency: p50 {tiers['region']['p50'] * 1e6:.1f} µs, "
+            f"p95 {tiers['region']['p95'] * 1e6:.1f} µs"
+        )
+    print(f"speedup: {speedup:7.2f}x")
+
+    payload = {
+        "meta": {
+            "bench": "bench_region_reuse",
+            "mode": "quick" if args.quick else "full",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": config,
+        "n_queries": len(workload),
+        "n_cold": workload.extra["n_cold"],
+        "exact_seconds": exact_seconds,
+        "region_seconds": region_seconds,
+        "exact_qps": exact_stats.throughput_qps,
+        "region_qps": region_stats.throughput_qps,
+        "region_hits": region_stats.n_region_hits,
+        "region_hit_rate": region_stats.n_region_hits
+        / max(region_stats.n_queries, 1),
+        "computed_under_region": region_stats.n_computed,
+        "tier_latencies": tiers,
+        "speedup": speedup,
+        "gate": {
+            "required_speedup": GATE_SPEEDUP,
+            "headline_speedup": HEADLINE_SPEEDUP,
+            "speedup": speedup,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check and speedup < GATE_SPEEDUP:
+        print(
+            f"REGRESSION: region reuse is only {speedup:.2f}x over exact "
+            f"caching (gate: {GATE_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

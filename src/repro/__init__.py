@@ -56,7 +56,7 @@ from .datasets.base import Dataset
 from .datasets.image import generate_image_features
 from .datasets.synthetic import generate_correlated, generate_independent
 from .datasets.text import generate_text_corpus
-from .datasets.workloads import QueryWorkload, sample_queries
+from .datasets.workloads import QueryWorkload, sample_queries, slider_drag
 from .errors import (
     AlgorithmError,
     DatasetError,
@@ -95,6 +95,7 @@ __all__ = [
     "generate_image_features",
     "QueryWorkload",
     "sample_queries",
+    "slider_drag",
     # storage / top-k
     "InvertedIndex",
     "AppliedMutation",

@@ -39,7 +39,7 @@ from .datasets.image import generate_image_features
 from .datasets.synthetic import generate_correlated
 from .datasets.text import generate_text_corpus
 from .datasets.workloads import sample_queries
-from .service import EXECUTORS, QueryService
+from .service import EXECUTORS, REUSE_MODES, QueryService
 from .storage.index import InvertedIndex
 from .topk.query import Query
 
@@ -156,6 +156,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         backend=args.backend,
         topk_mode=args.topk_mode,
         batch_window=args.batch_window,
+        reuse=args.reuse,
     )
     passes = []
     for index in range(args.repeat):
@@ -179,10 +180,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "phi": args.phi,
                 "qlen": args.qlen,
                 "passes": [stats.as_dict() for stats in passes],
+                "reuse": args.reuse,
                 "cache": {
                     "hits": cache_stats.hits,
+                    "region_hits": cache_stats.region_hits,
                     "misses": cache_stats.misses,
                     "evictions": cache_stats.evictions,
+                    "postings": cache_stats.postings,
                     "size": cache_stats.size,
                     "hit_rate": cache_stats.hit_rate,
                 },
@@ -193,9 +197,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print()
     else:
         print(
-            f"cache over all passes: {cache_stats.hits} hits / "
+            f"cache over all passes: {cache_stats.hits} exact + "
+            f"{cache_stats.region_hits} region hits / "
             f"{cache_stats.lookups} lookups ({cache_stats.hit_rate:.1%}), "
-            f"{cache_stats.size} entries resident"
+            f"{cache_stats.size} entries resident "
+            f"({cache_stats.postings} region postings)"
         )
         if args.repeat > 1 and passes[0].wall_seconds > 0:
             speedup = passes[0].wall_seconds / max(passes[-1].wall_seconds, 1e-12)
@@ -282,6 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="max queries per fused compute_many window",
+    )
+    batch.add_argument(
+        "--reuse",
+        choices=REUSE_MODES,
+        default="region",
+        help="cache-reuse policy: 'region' (default) serves single-dim "
+        "weight perturbations from cached immutable regions, 'exact' "
+        "replays bit-identical repeats only, 'off' always computes",
     )
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)

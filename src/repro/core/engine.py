@@ -139,6 +139,17 @@ class RegionComputation:
     computation served after surviving the service's delta-aware
     invalidation keeps its original epoch — the regions are proven
     unchanged, the measurement provenance is not re-dated.
+
+    ``reuse`` is ``None`` for every engine-produced computation.  The
+    service's region-aware cache tier answers single-dimension weight
+    perturbations without running the engine; such answers are *views*
+    re-based from a cached anchor computation, carry a
+    :class:`~repro.service.cache.ReuseProvenance` marker here, and
+    populate :attr:`sequences` only for the perturbed dimension (the
+    other dimensions' regions depend on the moved weight and are not
+    proven).  Their :attr:`metrics` read zero with
+    ``counters_simulated=False`` — the service did no engine work for
+    them.
     """
 
     query: Query
@@ -151,6 +162,7 @@ class RegionComputation:
     sequences: Dict[int, RegionSequence]
     metrics: RunMetrics
     epoch: int = 0
+    reuse: Optional[object] = None
 
     def sequence(self, dim: int) -> RegionSequence:
         """The region sequence of one query dimension."""

@@ -22,6 +22,10 @@ reproduces those schemes:
 * ``weight_scheme="idf"`` — weights proportional to the dimensions' IDF
   (the paper's TF-IDF query weighting for WSJ), rescaled into
   ``[min_weight, max_weight]``.
+
+:func:`slider_drag` builds the perturbation-heavy serving workload of
+the paper's §1 refinement scenario: bursts of single-dimension weight
+ticks around anchor queries, mixed with cold traffic.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from ..errors import QueryError
 from ..topk.query import Query
 from .base import Dataset
 
-__all__ = ["QueryWorkload", "sample_queries", "column_frequencies"]
+__all__ = ["QueryWorkload", "sample_queries", "slider_drag", "column_frequencies"]
 
 
 def column_frequencies(dataset: Dataset) -> np.ndarray:
@@ -191,4 +195,166 @@ def sample_queries(
         dim_scheme=dim_scheme,
         weight_scheme=weight_scheme,
         description=f"{n_queries} queries, qlen={qlen}, {dim_scheme}/{weight_scheme}",
+    )
+
+
+#: Weights of drag ticks are clipped into ``[_MIN_DRAG_WEIGHT, 1.0]`` —
+#: a Query weight must stay strictly positive.
+_MIN_DRAG_WEIGHT = 1e-3
+
+
+def slider_drag(
+    dataset: Dataset,
+    qlen: int,
+    n_anchors: int,
+    drags_per_anchor: int,
+    seed: int = 0,
+    dim_scheme: str = "uniform",
+    weight_scheme: str = "uniform",
+    min_column_nnz: int = 20,
+    min_weight: float = 0.2,
+    max_weight: float = 0.9,
+    step_scale: float = 0.002,
+    cold_fraction: float = 0.1,
+    cold_signatures: int | None = None,
+    idf: np.ndarray | Sequence[float] | None = None,
+) -> QueryWorkload:
+    """A slider-drag workload: single-dimension perturbation bursts.
+
+    Models the refinement UI of the paper's §1 scenario: a user issues a
+    query (the *anchor*), then drags one weight slider, producing a burst
+    of queries identical to the anchor in every dimension but one.  Each
+    anchor is followed by ``drags_per_anchor`` ticks of a small random
+    walk on one randomly chosen dimension (steps uniform in
+    ``±step_scale``, relative to nothing — absolute weight units — so
+    consecutive ticks mostly stay inside one immutable region at serving
+    scale), and *cold* queries (unrelated traffic from an independent
+    stream) are interspersed with probability ``cold_fraction`` per
+    tick, the way other users' requests interleave with a drag in a
+    shared service.  With ``cold_signatures=None`` every cold query
+    draws a fresh random subspace; setting it to an integer draws cold
+    queries from that many recurring subspaces with fresh random weights
+    — the Zipfian subspace-popularity shape real search traffic has
+    (every cold query is still a distinct weight vector, so neither
+    cache tier gets a literal repeat).
+
+    Every tick is a *distinct* weight vector: an exact-match cache gets
+    no help, while the region-aware tier serves every tick that stays
+    inside the anchor's proven region — this workload is the benchmark
+    and CI gate for that tier (``benchmarks/bench_region_reuse.py``).
+
+    ``extra`` records the generator parameters plus ``n_cold``, the
+    number of interspersed cold queries.
+    """
+    require(n_anchors >= 1, "n_anchors must be >= 1")
+    require(drags_per_anchor >= 1, "drags_per_anchor must be >= 1")
+    require(step_scale > 0.0, "step_scale must be positive")
+    require(0.0 <= cold_fraction < 1.0, "cold_fraction must lie in [0, 1)")
+    require(
+        cold_signatures is None or cold_signatures >= 1,
+        "cold_signatures must be >= 1 when given",
+    )
+    idf_arr = None if idf is None else np.asarray(idf, dtype=np.float64)
+    anchors = sample_queries(
+        dataset,
+        qlen=qlen,
+        n_queries=n_anchors,
+        seed=seed,
+        dim_scheme=dim_scheme,
+        weight_scheme=weight_scheme,
+        min_column_nnz=min_column_nnz,
+        min_weight=min_weight,
+        max_weight=max_weight,
+        idf=idf_arr,
+    )
+    # An independent cold stream: same sampling schemes, dedicated rng, so
+    # cold queries share no weight vector with any anchor or tick and the
+    # stream never runs dry (the number of cold insertions is a Bernoulli
+    # draw per tick — any fixed pool would fall short for half the seeds).
+    frequencies = column_frequencies(dataset)
+    eligible = _eligible_dimensions(dataset, min_column_nnz, frequencies)
+    cold_rng = np.random.default_rng(seed + 104_729)
+    cold_bases = (
+        sample_queries(
+            dataset,
+            qlen=qlen,
+            n_queries=cold_signatures,
+            seed=seed + 104_729,
+            dim_scheme=dim_scheme,
+            weight_scheme=weight_scheme,
+            min_column_nnz=min_column_nnz,
+            min_weight=min_weight,
+            max_weight=max_weight,
+            idf=idf_arr,
+        )
+        if cold_signatures is not None
+        else None
+    )
+    rng = np.random.default_rng(seed + 1)
+    cold_served = 0
+
+    def next_cold() -> Query:
+        nonlocal cold_served
+        if cold_bases is None:
+            dims = np.sort(
+                _sample_dims(cold_rng, eligible, frequencies, qlen, dim_scheme)
+            )
+            cold = Query(
+                dims,
+                _sample_weights(
+                    cold_rng,
+                    dims,
+                    weight_scheme,
+                    min_weight,
+                    max_weight,
+                    equal_weight=(min_weight + max_weight) / 2.0,
+                    idf=idf_arr,
+                ),
+            )
+        else:
+            base = cold_bases[cold_served % len(cold_bases)]
+            cold = Query(
+                base.dims, cold_rng.uniform(min_weight, max_weight, base.qlen)
+            )
+        cold_served += 1
+        return cold
+
+    queries: List[Query] = []
+    n_cold = 0
+    for anchor in anchors:
+        queries.append(anchor)
+        dim_pos = int(rng.integers(anchor.qlen))
+        dim = int(anchor.dims[dim_pos])
+        weight = float(anchor.weights[dim_pos])
+        for _ in range(drags_per_anchor):
+            weight = float(
+                np.clip(
+                    weight + rng.uniform(-step_scale, step_scale),
+                    _MIN_DRAG_WEIGHT,
+                    1.0,
+                )
+            )
+            queries.append(anchor.with_weight(dim, weight))
+            if cold_fraction and rng.random() < cold_fraction:
+                queries.append(next_cold())
+                n_cold += 1
+    return QueryWorkload(
+        queries=queries,
+        qlen=qlen,
+        seed=seed,
+        dim_scheme=dim_scheme,
+        weight_scheme=weight_scheme,
+        description=(
+            f"slider drag: {n_anchors} anchors x {drags_per_anchor} ticks, "
+            f"step {step_scale:g}, {n_cold} cold"
+        ),
+        extra={
+            "kind": "slider_drag",
+            "n_anchors": n_anchors,
+            "drags_per_anchor": drags_per_anchor,
+            "step_scale": step_scale,
+            "cold_fraction": cold_fraction,
+            "cold_signatures": cold_signatures,
+            "n_cold": n_cold,
+        },
     )

@@ -9,10 +9,18 @@ through a ``concurrent.futures`` pool against one shared
 rate, and per-method cost rollups.
 """
 
-from .cache import CacheKey, CacheStats, RegionCache, region_cache_key
+from .cache import (
+    CacheKey,
+    CacheStats,
+    RegionCache,
+    RegionIndex,
+    ReuseProvenance,
+    rebase_computation,
+    region_cache_key,
+)
 from .invalidation import computation_survives, invalidate_region_cache
-from .service import EXECUTORS, BatchResult, QueryService
-from .stats import MethodRollup, QueryRecord, ServiceStats, percentile
+from .service import EXECUTORS, REUSE_MODES, BatchResult, QueryService
+from .stats import TIERS, MethodRollup, QueryRecord, ServiceStats, percentile
 
 __all__ = [
     "BatchResult",
@@ -22,10 +30,15 @@ __all__ = [
     "MethodRollup",
     "QueryRecord",
     "QueryService",
+    "REUSE_MODES",
     "RegionCache",
+    "RegionIndex",
+    "ReuseProvenance",
     "ServiceStats",
+    "TIERS",
     "computation_survives",
     "invalidate_region_cache",
     "percentile",
+    "rebase_computation",
     "region_cache_key",
 ]

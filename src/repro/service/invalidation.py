@@ -24,12 +24,20 @@ constraint, so only "was outside AND stays outside" proves nothing
 moved.)
 
 The test is conservative in the safe direction.  Any mutation that
-touches a result tuple, a bound's recorded provenance tuple, or whose
+*changes* a result tuple, a bound's recorded provenance tuple, or whose
 line check fails — including exact-tie grazes at an endpoint — evicts
 the entry, and the next query recomputes against the mutated index.
-Mutations whose touched rows have no coordinate on the cached query's
-subspace (old and new alike) cannot move any score line of that subspace
-and always keep the entry.
+Mutations that leave the touched row's projection onto the cached
+query's subspace unchanged (e.g. an update of an off-subspace
+coordinate, even of a result tuple) cannot move any score line of that
+subspace and always keep the entry.
+
+Eviction is routed through :meth:`RegionCache.sweep`, which purges each
+dropped entry's region-index postings inside the same critical section:
+the region tier (see :mod:`repro.service.cache`) can therefore never
+serve a membership hit from an entry this sweep has invalidated — a
+stale region hit would be a correctness bug, so postings carry their
+entry's epoch and are re-validated against the live entry on read.
 
 Property-tested in
 ``tests/properties/test_region_immutability_semantics.py``: an entry
@@ -72,8 +80,8 @@ def computation_survives(
     """Whether a cached computation provably survives *deltas* unchanged.
 
     *dataset* is the post-mutation dataset; it is only consulted for the
-    rows of result tuples, which — whenever the answer can be ``True`` —
-    no delta has touched.
+    subspace projections of result tuples, which — whenever the answer
+    can be ``True`` — no delta has changed.
     """
     query = computation.query
     dims = query.dims
@@ -83,14 +91,16 @@ def computation_survives(
     # adds a brand-new positive tuple that would extend the result.
     short_result = len(computation.result) < computation.k
 
-    # Pass 1 — structural involvement.  A delta outside the query
-    # subspace is inert; one touching a result or provenance tuple
+    # Pass 1 — structural involvement.  A delta that leaves the row's
+    # projection onto the query subspace unchanged is inert (its score
+    # line over this subspace is the same affine function before and
+    # after); one that changes a result or provenance tuple's projection
     # invalidates outright.
     relevant: List[Tuple[float, np.ndarray, float, np.ndarray]] = []
     for delta in deltas:
         old_coords = delta.coords_at(dims, new=False)
         new_coords = delta.coords_at(dims, new=True)
-        if not old_coords.any() and not new_coords.any():
+        if np.array_equal(old_coords, new_coords):
             continue
         if short_result or _touches_structure(computation, delta.tuple_id):
             return False

@@ -18,9 +18,15 @@ on top of the single-query :class:`~repro.core.engine.ImmutableRegionEngine`:
   :meth:`~repro.core.engine.ImmutableRegionEngine.compute_many`, so
   queries sharing a subspace share one plan and — in
   ``topk_mode="matmul"`` — one fused scoring pass;
-* **caching** — finished computations land in an LRU
-  :class:`~repro.service.cache.RegionCache`; repeated queries replay
-  instead of recomputing;
+* **caching** — finished computations land in a two-tier LRU
+  :class:`~repro.service.cache.RegionCache`; bit-identical repeats
+  replay the stored computation, and — with ``reuse="region"`` — a
+  query matching a cached entry in all dimensions but one, whose
+  deviating weight lies strictly inside that dimension's stored
+  immutable region, is served by ``searchsorted`` membership in the
+  :class:`~repro.service.cache.RegionIndex` and re-based onto the new
+  weight without running the engine (the paper's §1 "skip re-querying
+  while the slider stays inside the region", applied server-side);
 * **single-flight** — duplicate queries *within* a batch are submitted
   once and share the result, so a hot query costs one engine run no
   matter how often it appears;
@@ -77,10 +83,16 @@ from .cache import CacheKey, RegionCache, region_cache_key
 from .invalidation import invalidate_region_cache
 from .stats import ServiceStats
 
-__all__ = ["BatchResult", "EXECUTORS", "QueryService"]
+__all__ = ["BatchResult", "EXECUTORS", "REUSE_MODES", "QueryService"]
 
 #: Supported execution strategies for :meth:`QueryService.run_batch`.
 EXECUTORS = ("sequential", "thread", "process")
+
+#: Cache-reuse policies: ``"off"`` always computes (no lookups, no
+#: inserts), ``"exact"`` replays bit-identical repeats only, ``"region"``
+#: (default) additionally serves single-dimension weight perturbations
+#: from cached immutable regions (see :meth:`RegionCache.lookup`).
+REUSE_MODES = ("off", "exact", "region")
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +227,17 @@ class QueryService:
         signature group, up to this many queries share one fused pass;
         larger windows amortise better, smaller windows spread a group
         across more pool workers.
+    reuse:
+        Cache-reuse policy (:data:`REUSE_MODES`).  ``"region"`` (default)
+        runs the two-tier lookup: exact hit → region hit → miss, where a
+        region hit answers a query that deviates from a cached entry in
+        one dimension's weight — strictly inside that dimension's stored
+        immutable region — by re-basing the cached computation instead of
+        running the engine.  ``"exact"`` is the bit-identical-repeat
+        tier alone; ``"off"`` disables the cache entirely.  Single-flight
+        dedup within a batch applies in every mode, and its serves are
+        recorded under the ``"exact"`` tier (they are exact-key repeats
+        answered from the batch itself, even when the cache is off).
     count_reorderings, probing, disk_model, backend:
         Forwarded to every engine (see :class:`ImmutableRegionEngine`);
         ``backend`` selects the vectorized fast path (default) or the
@@ -235,12 +258,14 @@ class QueryService:
         backend: str = "vector",
         topk_mode: str = "ta",
         batch_window: int = 128,
+        reuse: str = "region",
     ) -> None:
         require(method in METHODS, f"unknown method {method!r}")
         require(executor in EXECUTORS, f"unknown executor {executor!r}")
         require(backend in BACKENDS, f"unknown backend {backend!r}")
         require(topk_mode in TOPK_MODES, f"unknown topk_mode {topk_mode!r}")
         require(batch_window >= 1, "batch_window must be >= 1")
+        require(reuse in REUSE_MODES, f"unknown reuse mode {reuse!r}")
         if max_workers is not None:
             require(max_workers >= 1, "max_workers must be >= 1")
         self.index = data if isinstance(data, InvertedIndex) else InvertedIndex(data)
@@ -252,8 +277,9 @@ class QueryService:
         self.backend = backend
         self.topk_mode = topk_mode
         self.batch_window = int(batch_window)
+        self.reuse = reuse
         self.disk_model = disk_model if disk_model is not None else DiskModel()
-        self.cache = RegionCache(cache_capacity)
+        self.cache = RegionCache(cache_capacity, track_regions=(reuse == "region"))
         self._engines: Dict[str, ImmutableRegionEngine] = {}
         self._engines_lock = Lock()
         self._pool: Optional[Executor] = None
@@ -281,10 +307,26 @@ class QueryService:
                 )
             return engine
 
+    def _lookup(
+        self, key: CacheKey, query: Query
+    ) -> Tuple[Optional[RegionComputation], str]:
+        """Tiered cache lookup honouring the service's ``reuse`` policy.
+
+        Must run under the mutation gate (as a reader): the region tier
+        re-bases against the live dataset, which the gate keeps at one
+        consistent epoch for the duration of the lookup-or-compute.
+        """
+        if self.reuse == "region":
+            return self.cache.lookup(key, query, self.index.dataset)
+        if self.reuse == "exact":
+            cached = self.cache.get(key)
+            return cached, ("exact" if cached is not None else "miss")
+        return None, "miss"
+
     def execute(
         self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
     ) -> RegionComputation:
-        """Answer one query through the cache (compute on miss).
+        """Answer one query through the cache tiers (compute on miss).
 
         Runs as a *reader* of the mutation gate: a concurrent
         :meth:`apply_mutations` either happens entirely before the
@@ -293,13 +335,14 @@ class QueryService:
         method = self.method if method is None else method
         key = region_cache_key(query, k, phi, method, self.count_reorderings)
         with self._gate.reading():
-            cached = self.cache.get(key)
+            cached, _ = self._lookup(key, query)
             if cached is not None:
                 return cached
             computation = self.engine_for(method).compute_many(
                 [query], k, phi=phi, topk_mode=self.topk_mode
             )[0]
-            self.cache.put(key, computation)
+            if self.reuse != "off":
+                self.cache.put(key, computation)
             return computation
 
     def submit(
@@ -322,6 +365,60 @@ class QueryService:
                 )
             dispatch = self._dispatch
         return dispatch.submit(self.execute, query, k, phi, method)
+
+    def run_stream(
+        self,
+        queries: Iterable[Query],
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+    ) -> BatchResult:
+        """Answer queries strictly in arrival order (interactive traffic).
+
+        The serving model for refinement UIs: each query is looked up at
+        *its* point in the stream, so a slider tick can be served from
+        the immutable region its own anchor computed moments earlier.
+        (:meth:`run_batch`, by contrast, resolves every cache lookup
+        before computing anything — right for bulk workloads, but a drag
+        burst inside one batch would miss the regions the burst itself
+        is about to produce.)  Each query takes the mutation gate as a
+        reader individually, so a mutation can land between two ticks —
+        exactly like a stream of :meth:`execute` calls, plus the
+        per-tier :class:`ServiceStats` accounting.
+        """
+        method = self.method if method is None else method
+        require(method in METHODS, f"unknown method {method!r}")
+        stats = ServiceStats()
+        computations: List[RegionComputation] = []
+        start = time.perf_counter()
+        for query in queries:
+            if not isinstance(query, Query):
+                raise QueryError(f"stream items must be Query objects, got {query!r}")
+            key = region_cache_key(query, k, phi, method, self.count_reorderings)
+            query_start = time.perf_counter()
+            with self._gate.reading():
+                cached, tier = self._lookup(key, query)
+                if cached is not None:
+                    stats.record(
+                        method, time.perf_counter() - query_start, True, tier=tier
+                    )
+                    computations.append(cached)
+                    continue
+                computation = self.engine_for(method).compute_many(
+                    [query], k, phi=phi, topk_mode=self.topk_mode
+                )[0]
+                if self.reuse != "off":
+                    self.cache.put(key, computation)
+            stats.record(
+                method,
+                time.perf_counter() - query_start,
+                False,
+                metrics=computation.metrics,
+            )
+            computations.append(computation)
+        require(len(computations) >= 1, "stream must contain at least one query")
+        stats.wall_seconds = time.perf_counter() - start
+        return BatchResult(computations=computations, stats=stats)
 
     def apply_mutations(self, batch) -> ServiceStats:
         """Apply a :class:`~repro.storage.mutations.MutationBatch` to the
@@ -413,6 +510,10 @@ class QueryService:
         Returns the windows (lists of owner indices, grouped by signature
         and capped at ``batch_window``) and the owner map used to settle
         single-flight duplicates once the owners' computations land.
+        Single-flight and the cache tiers compose: a query resolved by a
+        region hit never becomes a window owner, so one perturbed query
+        repeated across the batch costs one O(log m) lookup and zero
+        engine runs.
         """
         owner_of: Dict[CacheKey, int] = {}
         groups: "OrderedDict[Tuple[int, ...], List[int]]" = OrderedDict()
@@ -420,10 +521,16 @@ class QueryService:
             if key in owner_of:
                 continue  # single-flight duplicate, settled by its owner
             lookup_start = time.perf_counter()
-            cached = self.cache.get(key)
+            cached, tier = self._lookup(key, query)
             if cached is not None:
-                stats.record(method, time.perf_counter() - lookup_start, True)
+                stats.record(
+                    method, time.perf_counter() - lookup_start, True, tier=tier
+                )
                 slots[i] = cached
+                # Register hits too: a later bit-identical repeat settles
+                # from this slot instead of re-running the lookup (for a
+                # region hit, that would mean a whole re-base per repeat).
+                owner_of[key] = i
                 continue
             owner_of[key] = i
             signature = tuple(int(d) for d in query.dims)
@@ -443,17 +550,36 @@ class QueryService:
         stats: ServiceStats,
         method: str,
     ) -> List[RegionComputation]:
-        """Resolve single-flight duplicates after every owner has landed."""
+        """Resolve single-flight duplicates after every owner has landed.
+
+        The owner's slot answers the duplicate — whether the owner was an
+        exact replay, a region-tier view, or a fresh computation — so a
+        repeated perturbed query costs one lookup and one re-base for the
+        whole batch, not one per occurrence.  For cached (non-view)
+        owners the entry is re-fetched through :meth:`RegionCache.get` so
+        the cache's lifetime hit counters keep agreeing with the
+        service-level accounting; region views are never inserted, so
+        their duplicates come straight from the owner's slot.
+        """
         for i, key in enumerate(keys):
             if slots[i] is not None:
                 continue
             lookup_start = time.perf_counter()
-            replay = self.cache.get(key)
-            # The owner's entry can only be missing if this batch alone
-            # overflowed the LRU capacity; the owner's slot still answers
-            # the query either way.
-            slots[i] = replay if replay is not None else slots[owner_of[key]]
-            stats.record(method, time.perf_counter() - lookup_start, True)
+            owner_slot = slots[owner_of[key]]
+            assert owner_slot is not None
+            replay = None
+            if self.reuse != "off" and owner_slot.reuse is None:
+                # Can only miss if this batch alone overflowed the LRU
+                # capacity; the owner's slot still answers either way.
+                replay = self.cache.get(key)
+            slots[i] = replay if replay is not None else owner_slot
+            # Duplicates are exact-key repeats answered from the batch
+            # itself, whatever tier the owner came from — only the owner's
+            # record carries the region tier, so n_region_hits stays equal
+            # to the number of re-bases actually performed.
+            stats.record(
+                method, time.perf_counter() - lookup_start, True, tier="exact"
+            )
         assert all(slot is not None for slot in slots)
         return slots  # type: ignore[return-value]
 
@@ -469,7 +595,8 @@ class QueryService:
     ) -> None:
         share = seconds / len(window)
         for i, computation in zip(window, computations):
-            self.cache.put(keys[i], computation)
+            if self.reuse != "off":
+                self.cache.put(keys[i], computation)
             stats.record(method, share, False, metrics=computation.metrics)
             slots[i] = computation
 
@@ -583,6 +710,6 @@ class QueryService:
     def __repr__(self) -> str:
         return (
             f"QueryService(method={self.method!r}, executor={self.executor!r}, "
-            f"topk_mode={self.topk_mode!r}, max_workers={self.max_workers}, "
-            f"cache={self.cache!r})"
+            f"topk_mode={self.topk_mode!r}, reuse={self.reuse!r}, "
+            f"max_workers={self.max_workers}, cache={self.cache!r})"
         )

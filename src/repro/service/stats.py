@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from .._util import require
 from ..core.engine import RunMetrics
 
-__all__ = ["MethodRollup", "QueryRecord", "ServiceStats", "percentile"]
+__all__ = ["MethodRollup", "QueryRecord", "ServiceStats", "TIERS", "percentile"]
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -35,6 +35,12 @@ def percentile(values: List[float], q: float) -> float:
     return ordered[rank - 1]
 
 
+#: How a query was answered: exact cache replay, region-tier reuse
+#: (served from a cached immutable region without engine work), or a
+#: fresh engine computation.
+TIERS = ("exact", "region", "computed")
+
+
 @dataclass(frozen=True)
 class QueryRecord:
     """One answered query: where it went and what it cost the service."""
@@ -42,6 +48,8 @@ class QueryRecord:
     method: str
     seconds: float
     cache_hit: bool
+    #: Serving tier (:data:`TIERS`); ``cache_hit`` is ``tier != "computed"``.
+    tier: str = "computed"
 
 
 @dataclass
@@ -129,9 +137,20 @@ class ServiceStats:
         seconds: float,
         cache_hit: bool,
         metrics: Optional[RunMetrics] = None,
+        tier: Optional[str] = None,
     ) -> None:
-        """Account one answered query; pass *metrics* for fresh computations."""
-        self.records.append(QueryRecord(method, float(seconds), bool(cache_hit)))
+        """Account one answered query; pass *metrics* for fresh computations.
+
+        *tier* names the serving tier (:data:`TIERS`); when omitted it is
+        derived from *cache_hit* (``"exact"`` for hits, ``"computed"``
+        otherwise) — region-tier callers must pass it explicitly.
+        """
+        if tier is None:
+            tier = "exact" if cache_hit else "computed"
+        require(tier in TIERS, f"unknown tier {tier!r}")
+        self.records.append(
+            QueryRecord(method, float(seconds), bool(cache_hit), tier)
+        )
         if metrics is not None:
             rollup = self.rollups.get(method)
             if rollup is None:
@@ -149,8 +168,20 @@ class ServiceStats:
 
     @property
     def n_cache_hits(self) -> int:
-        """Queries served without running an engine."""
+        """Queries served without running an engine (both cache tiers)."""
         return sum(1 for record in self.records if record.cache_hit)
+
+    @property
+    def n_exact_hits(self) -> int:
+        """Exact-key serves: cache replays and within-batch single-flight
+        duplicates (the latter are counted here in every reuse mode —
+        they are answered from the batch itself, not by an engine run)."""
+        return sum(1 for record in self.records if record.tier == "exact")
+
+    @property
+    def n_region_hits(self) -> int:
+        """Queries served from a cached immutable region (tier 2)."""
+        return sum(1 for record in self.records if record.tier == "region")
 
     @property
     def n_computed(self) -> int:
@@ -188,6 +219,26 @@ class ServiceStats:
             return 0.0
         return sum(record.seconds for record in self.records) / self.n_queries
 
+    def tier_latencies(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier latency rollup: ``{tier: {n, mean, p50, p95}}``.
+
+        Only tiers with traffic appear.  Region hits should sit orders of
+        magnitude below computed queries — this readout is how the
+        region-reuse benchmark (and operators) verify that.
+        """
+        rollup: Dict[str, Dict[str, float]] = {}
+        for tier in TIERS:
+            seconds = [r.seconds for r in self.records if r.tier == tier]
+            if not seconds:
+                continue
+            rollup[tier] = {
+                "n": float(len(seconds)),
+                "mean": sum(seconds) / len(seconds),
+                "p50": percentile(seconds, 50.0),
+                "p95": percentile(seconds, 95.0),
+            }
+        return rollup
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -198,7 +249,10 @@ class ServiceStats:
             "n_queries": self.n_queries,
             "n_computed": self.n_computed,
             "n_cache_hits": self.n_cache_hits,
+            "n_exact_hits": self.n_exact_hits,
+            "n_region_hits": self.n_region_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "tiers": self.tier_latencies(),
             "wall_seconds": self.wall_seconds,
             "throughput_qps": self.throughput_qps,
             "latency_seconds": {
@@ -229,6 +283,12 @@ class ServiceStats:
             f"cache: {self.n_cache_hits}/{self.n_queries} served from cache "
             f"({self.cache_hit_rate:.1%}); {self.n_computed} computed",
         ]
+        if self.n_region_hits:
+            lines.append(
+                f"reuse: {self.n_exact_hits} exact + {self.n_region_hits} "
+                f"region hits (region-tier p50 "
+                f"{self.tier_latencies()['region']['p50'] * 1e6:.1f} µs)"
+            )
         if self.mutation_batches:
             lines.append(
                 f"mutations: {self.mutations_applied} applied in "

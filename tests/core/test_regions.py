@@ -132,3 +132,57 @@ class TestRegionSequence:
     def test_empty_rejected(self):
         with pytest.raises(Exception):
             RegionSequence(dim=0, weight=0.5, regions=(), current_index=0)
+
+
+class TestLocateAndIntervalTable:
+    """The precomputed-breakpoint fast paths added for the region index."""
+
+    def make_sequence(self):
+        return TestRegionSequence().make_sequence()
+
+    def test_locate_matches_region_for(self):
+        seq = self.make_sequence()
+        for delta in (-0.5, -0.3, -0.1, 0.0, 0.15, 0.2, 0.4, 0.5):
+            assert seq.regions[seq.locate(delta)] is seq.region_for(delta)
+
+    def test_locate_at_crossing_resolves_right(self):
+        seq = self.make_sequence()
+        assert seq.locate(-0.1) == 1
+        assert seq.locate(0.2) == 2
+
+    def test_locate_at_span_ends(self):
+        seq = self.make_sequence()
+        assert seq.locate(-0.5) == 0
+        assert seq.locate(0.5) == 2
+
+    def test_locate_outside_rejected(self):
+        seq = self.make_sequence()
+        with pytest.raises(AlgorithmError):
+            seq.locate(0.51)
+        with pytest.raises(AlgorithmError):
+            seq.locate(-0.6)
+
+    def test_interval_table_aligns_with_regions(self):
+        seq = self.make_sequence()
+        lowers, uppers, lower_closed, upper_closed = seq.interval_table()
+        assert lowers.tolist() == [r.lower.delta for r in seq.regions]
+        assert uppers.tolist() == [r.upper.delta for r in seq.regions]
+        assert lower_closed.tolist() == [r.lower.closed for r in seq.regions]
+        assert upper_closed.tolist() == [r.upper.closed for r in seq.regions]
+
+    def test_single_region_sequence(self):
+        r = region(-0.5, 0.5)
+        seq = RegionSequence(dim=0, weight=0.5, regions=(r,))
+        assert seq.locate(0.0) == 0
+        assert seq.locate(0.5) == 0
+        lowers, uppers, lo_closed, hi_closed = seq.interval_table()
+        assert lowers.tolist() == [-0.5] and uppers.tolist() == [0.5]
+        assert lo_closed.tolist() == [True] and hi_closed.tolist() == [True]
+
+    def test_pickle_round_trip_keeps_breakpoints(self):
+        import pickle
+
+        seq = self.make_sequence()
+        clone = pickle.loads(pickle.dumps(seq))
+        assert clone.locate(0.15) == seq.locate(0.15)
+        assert [r.result_ids for r in clone] == [r.result_ids for r in seq]

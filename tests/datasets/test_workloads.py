@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import Dataset, generate_text_corpus, sample_queries
+from repro.datasets.workloads import slider_drag
 from repro.datasets.workloads import column_frequencies
 from repro.errors import QueryError
 
@@ -148,3 +149,75 @@ class TestSampleQueries:
         data = Dataset.from_dense([[0.5, 0.5]])
         with pytest.raises(QueryError):
             sample_queries(data, qlen=1, n_queries=1, min_column_nnz=10)
+
+
+class TestSliderDrag:
+    def test_structure_and_determinism(self, corpus):
+        data, _ = corpus
+        a = slider_drag(data, qlen=3, n_anchors=4, drags_per_anchor=10, seed=5)
+        b = slider_drag(data, qlen=3, n_anchors=4, drags_per_anchor=10, seed=5)
+        assert [q.weights.tolist() for q in a] == [q.weights.tolist() for q in b]
+        assert a.extra["kind"] == "slider_drag"
+        assert len(a) == 4 * (1 + 10) + a.extra["n_cold"]
+
+    def test_ticks_perturb_exactly_one_dimension(self, corpus):
+        data, _ = corpus
+        workload = slider_drag(
+            data, qlen=3, n_anchors=3, drags_per_anchor=8, seed=6,
+            cold_fraction=0.0,
+        )
+        queries = workload.queries
+        for anchor_start in range(0, len(queries), 9):
+            anchor = queries[anchor_start]
+            for tick in queries[anchor_start + 1 : anchor_start + 9]:
+                assert tick.dims.tolist() == anchor.dims.tolist()
+                diffs = int(np.sum(tick.weights != anchor.weights))
+                assert diffs <= 1  # a walk may revisit the anchor weight
+                assert np.all(tick.weights > 0.0)
+                assert np.all(tick.weights <= 1.0)
+
+    def test_every_tick_is_distinct_from_its_predecessor_mostly(self, corpus):
+        data, _ = corpus
+        workload = slider_drag(
+            data, qlen=3, n_anchors=2, drags_per_anchor=30, seed=7,
+            cold_fraction=0.0,
+        )
+        distinct = len({q.weights.tobytes() for q in workload})
+        assert distinct > len(workload) * 0.9
+
+    def test_cold_fraction_mixes_in_cold_queries(self, corpus):
+        data, _ = corpus
+        workload = slider_drag(
+            data, qlen=3, n_anchors=3, drags_per_anchor=20, seed=8,
+            cold_fraction=0.3,
+        )
+        assert workload.extra["n_cold"] > 0
+
+    def test_cold_signatures_limits_subspace_pool(self, corpus):
+        data, _ = corpus
+        workload = slider_drag(
+            data, qlen=3, n_anchors=2, drags_per_anchor=40, seed=9,
+            cold_fraction=0.5, cold_signatures=2,
+        )
+        queries = workload.queries
+        sigs = {}
+        for q in queries:
+            sig = tuple(q.dims.tolist())
+            sigs[sig] = sigs.get(sig, 0) + 1
+        # 2 anchor signatures + at most 2 cold signatures (collisions allowed).
+        assert len(sigs) <= 4
+        assert workload.extra["cold_signatures"] == 2
+        assert workload.extra["n_cold"] > 2  # signatures recur across colds
+
+    def test_parameter_validation(self, corpus):
+        data, _ = corpus
+        with pytest.raises(Exception):
+            slider_drag(data, qlen=3, n_anchors=0, drags_per_anchor=5)
+        with pytest.raises(Exception):
+            slider_drag(data, qlen=3, n_anchors=1, drags_per_anchor=0)
+        with pytest.raises(Exception):
+            slider_drag(data, qlen=3, n_anchors=1, drags_per_anchor=5,
+                        cold_fraction=1.0)
+        with pytest.raises(Exception):
+            slider_drag(data, qlen=3, n_anchors=1, drags_per_anchor=5,
+                        cold_signatures=0)
