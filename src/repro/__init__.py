@@ -51,6 +51,7 @@ from .core.concurrent import (
     cross_polytope_margin,
     sensitivity_profile,
 )
+from .core.distributed import SHARD_EXECUTORS, DistributedEngine
 from .core.regions import Bound, BoundKind, ImmutableRegion, RegionSequence
 from .datasets.base import Dataset
 from .datasets.image import generate_image_features
@@ -68,10 +69,13 @@ from .errors import (
 )
 from .metrics.counters import AccessCounters, EvaluationCounters
 from .service import (
+    AsyncGateway,
     BatchResult,
     QueryService,
     RegionCache,
     ServiceStats,
+    ShardedQueryService,
+    TokenBucket,
     region_cache_key,
 )
 from .metrics.diskmodel import DiskModel
@@ -79,6 +83,7 @@ from .metrics.footprint import FootprintModel, MemoryFootprint
 from .stb.radius import STBResult, stb_radius
 from .storage.index import InvertedIndex
 from .storage.mutations import AppliedMutation, Mutation, MutationBatch
+from .storage.sharded import IndexShard, ShardedIndex
 from .topk.query import Query
 from .topk.result import CandidateList, TopKResult
 from .topk.ta import ThresholdAlgorithm
@@ -98,6 +103,8 @@ __all__ = [
     "slider_drag",
     # storage / top-k
     "InvertedIndex",
+    "IndexShard",
+    "ShardedIndex",
     "AppliedMutation",
     "Mutation",
     "MutationBatch",
@@ -107,6 +114,8 @@ __all__ = [
     "ThresholdAlgorithm",
     # core
     "METHODS",
+    "SHARD_EXECUTORS",
+    "DistributedEngine",
     "ImmutableRegionEngine",
     "RegionComputation",
     "RunMetrics",
@@ -124,6 +133,9 @@ __all__ = [
     "sensitivity_profile",
     # service
     "QueryService",
+    "ShardedQueryService",
+    "AsyncGateway",
+    "TokenBucket",
     "BatchResult",
     "RegionCache",
     "ServiceStats",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands:
+Five subcommands:
 
 ``demo``
     Run the paper's Figure 1 running example and print the region report.
@@ -16,6 +16,12 @@ Four subcommands:
     :class:`~repro.service.QueryService` and print throughput, latency
     percentiles, cache hit rate, and per-method cost rollups; ``--repeat``
     re-runs the workload to show cache-hit scaling.
+``serve``
+    Stand up the sharded serving stack — a
+    :class:`~repro.service.ShardedQueryService` over ``--shards``
+    row-range shards behind the :class:`~repro.service.AsyncGateway`
+    JSON-lines TCP front door; ``--self-test N`` instead runs N sampled
+    queries through an ephemeral server round-trip and exits.
 """
 
 from __future__ import annotations
@@ -39,7 +45,9 @@ from .datasets.image import generate_image_features
 from .datasets.synthetic import generate_correlated
 from .datasets.text import generate_text_corpus
 from .datasets.workloads import sample_queries
-from .service import EXECUTORS, REUSE_MODES, QueryService
+from .core.distributed import SHARD_EXECUTORS
+from .service import EXECUTORS, REUSE_MODES, AsyncGateway, QueryService, ShardedQueryService
+from .service.gateway import run_self_test, serve as serve_gateway
 from .storage.index import InvertedIndex
 from .topk.query import Query
 
@@ -213,6 +221,61 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    data, idf = _build_dataset(args.family, args.seed)
+    service = ShardedQueryService(
+        data,
+        n_shards=args.shards,
+        shard_executor=args.shard_executor,
+        method=args.method,
+        backend=args.backend,
+        reuse=args.reuse,
+    )
+    gateway_kwargs = dict(
+        k=args.k,
+        phi=args.phi,
+        max_concurrent=args.max_concurrent,
+        rate=args.rate,
+    )
+    if args.self_test is not None:
+        workload = sample_queries(
+            data,
+            qlen=args.qlen,
+            n_queries=args.self_test,
+            seed=args.seed,
+            weight_scheme="idf" if idf is not None else "uniform",
+            idf=idf,
+            min_column_nnz=20,
+        )
+        gateway = AsyncGateway(service, **gateway_kwargs)
+        requests = [{"op": "ping"}]
+        requests += [
+            {
+                "op": "query",
+                "dims": [int(d) for d in query.dims],
+                "weights": [float(w) for w in query.weights],
+            }
+            for query in workload
+        ]
+        requests.append({"op": "stats"})
+        try:
+            responses = run_self_test(gateway, requests)
+        finally:
+            service.close()
+        failed = [r for r in responses if not r.get("ok")]
+        snapshot = responses[-1].get("stats", {})
+        print(
+            f"self-test: {len(responses) - 2} queries over "
+            f"{service.n_shards} shard(s) ({args.shard_executor}); "
+            f"{len(failed)} failed responses"
+        )
+        print(json.dumps(snapshot, indent=2))
+        return 1 if failed else 0
+    serve_gateway(service, host=args.host, port=args.port, **gateway_kwargs)
+    service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -299,6 +362,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--json", action="store_true", help="emit JSON")
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="sharded serving: JSON-lines TCP gateway over index shards"
+    )
+    common(serve)
+    serve.add_argument("--shards", type=int, default=4, help="row-range shard count")
+    serve.add_argument(
+        "--shard-executor",
+        choices=SHARD_EXECUTORS,
+        default="sequential",
+        help="shard fan-out: 'sequential' interleaves shard-skip "
+        "certificates (single-core throughput), 'thread'/'process' run "
+        "shards concurrently",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9736)
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8, help="in-flight request cap"
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="token-bucket admission rate in requests/second (default: off)",
+    )
+    serve.add_argument(
+        "--reuse",
+        choices=REUSE_MODES,
+        default="region",
+        help="cache-reuse policy (region hits answer before any shard is touched)",
+    )
+    serve.add_argument(
+        "--self-test",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N sampled queries through an ephemeral server and exit",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

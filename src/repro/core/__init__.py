@@ -25,11 +25,18 @@ from .concurrent import (
     sensitivity_profile,
 )
 from .engine import ImmutableRegionEngine, RegionComputation, compute_immutable_regions
+
+# Imported after .engine: the distributed coordinator pulls in the kernel
+# package, whose module graph must be entered via the engine's import
+# order (datasets before kernels) to stay acyclic.
+from .distributed import SHARD_EXECUTORS, DistributedEngine
 from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
 
 __all__ = [
+    "DistributedEngine",
     "ImmutableRegionEngine",
     "RegionComputation",
+    "SHARD_EXECUTORS",
     "compute_immutable_regions",
     "Bound",
     "BoundKind",

@@ -18,14 +18,25 @@ from .cache import (
     rebase_computation,
     region_cache_key,
 )
+from .gateway import AsyncGateway, ShardedQueryService, TokenBucket
 from .invalidation import computation_survives, invalidate_region_cache
+from .router import group_by_signature, plan_windows
 from .service import EXECUTORS, REUSE_MODES, BatchResult, QueryService
-from .stats import TIERS, MethodRollup, QueryRecord, ServiceStats, percentile
+from .stats import (
+    EMPTY_TIER,
+    TIERS,
+    MethodRollup,
+    QueryRecord,
+    ServiceStats,
+    percentile,
+)
 
 __all__ = [
+    "AsyncGateway",
     "BatchResult",
     "CacheKey",
     "CacheStats",
+    "EMPTY_TIER",
     "EXECUTORS",
     "MethodRollup",
     "QueryRecord",
@@ -35,10 +46,14 @@ __all__ = [
     "RegionIndex",
     "ReuseProvenance",
     "ServiceStats",
+    "ShardedQueryService",
     "TIERS",
+    "TokenBucket",
     "computation_survives",
+    "group_by_signature",
     "invalidate_region_cache",
     "percentile",
+    "plan_windows",
     "rebase_computation",
     "region_cache_key",
 ]

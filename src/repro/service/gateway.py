@@ -1,0 +1,531 @@
+"""Sharded serving: :class:`ShardedQueryService` and the async front door.
+
+This module is the service tier of the sharded architecture
+(:mod:`repro.storage.sharded` → :mod:`repro.core.distributed` → here):
+
+* :class:`ShardedQueryService` is a :class:`~repro.service.service.QueryService`
+  whose engines are :class:`~repro.core.distributed.DistributedEngine`
+  coordinators over one shared :class:`~repro.storage.sharded.ShardedIndex`.
+  Everything above the engine — the two-tier region cache, single-flight,
+  window planning (:mod:`repro.service.router`), the mutation gate, the
+  stats accounting — is inherited unchanged, so a region-tier hit is
+  served *before any shard is touched* and mutations route through the
+  shard router with delta-aware invalidation on top.
+* :class:`AsyncGateway` is an asyncio front door over any query service:
+  per-request admission control (bounded in-flight + bounded queue), an
+  optional :class:`TokenBucket` rate limiter, and a JSON-lines-over-TCP
+  protocol (``repro serve``).  Blocking service calls run on an executor,
+  so the event loop keeps accepting, admitting, and shedding while shard
+  fan-out is in flight.
+
+The wire protocol is one JSON object per line, one JSON object back:
+
+``{"op": "query", "dims": [...], "weights": [...], "k": 10}``
+    → ``{"ok": true, "tier": ..., "result": [[id, score], ...],
+    "regions": {dim: {"weight": w, "interval": [l_j, u_j]}}, ...}`` —
+    the paper's slider marks per query dimension, straight from the
+    computed (or cache-served) immutable regions.
+``{"op": "mutate", "mutations": [{"kind": "update", "id": 3, "dim": 1,
+"value": 0.5}, ...]}``
+    → invalidation stats (regions kept/evicted, plans dropped).
+``{"op": "stats"}`` / ``{"op": "ping"}``
+    → gateway counters + per-tier latency rollups / liveness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .._util import require
+from ..core.distributed import SHARD_EXECUTORS, DistributedEngine, make_transport
+from ..core.engine import METHODS
+from ..errors import ReproError
+from ..metrics.diskmodel import DiskModel
+from ..storage.index import InvertedIndex
+from ..storage.mutations import Mutation
+from ..storage.sharded import ShardedIndex
+from ..topk.query import Query
+from .invalidation import invalidate_region_cache
+from .service import QueryService
+from .stats import ServiceStats
+
+__all__ = ["AsyncGateway", "ShardedQueryService", "TokenBucket"]
+
+
+class ShardedQueryService(QueryService):
+    """A query service whose compute path fans out over index shards.
+
+    Parameters are :class:`QueryService`'s, minus ``executor`` (windows
+    run sequentially on the calling thread — concurrency lives at the
+    shard level) and plus:
+
+    n_shards:
+        Row-range shard count (ignored when *data* is already a
+        :class:`ShardedIndex`).
+    shard_executor:
+        How the coordinator talks to shards
+        (:data:`~repro.core.distributed.SHARD_EXECUTORS`):
+        ``"sequential"`` interleaves shard-skip certificates with the
+        merge (the single-core throughput mode), ``"thread"`` /
+        ``"process"`` fan out concurrently.  One transport is shared by
+        every per-method engine, so process workers are spawned once per
+        service, each holding only its own shard's rows.
+
+    ``topk_mode`` defaults to ``"matmul"`` here — the fused path is the
+    one that shards; TA replays delegate to the embedded unsharded
+    oracle either way.
+    """
+
+    def __init__(
+        self,
+        data: "Dataset | InvertedIndex | ShardedIndex",
+        n_shards: int = 4,
+        shard_executor: str = "sequential",
+        method: str = "cpt",
+        max_workers: Optional[int] = None,
+        cache_capacity: int = 1024,
+        count_reorderings: bool = True,
+        probing: str = "max_impact",
+        disk_model: Optional[DiskModel] = None,
+        backend: str = "vector",
+        topk_mode: str = "matmul",
+        batch_window: int = 128,
+        reuse: str = "region",
+    ) -> None:
+        require(
+            shard_executor in SHARD_EXECUTORS,
+            f"unknown shard_executor {shard_executor!r}; "
+            f"expected one of {SHARD_EXECUTORS}",
+        )
+        if isinstance(data, ShardedIndex):
+            self.sharded = data
+        else:
+            self.sharded = ShardedIndex(data, n_shards)
+        self.shard_executor = shard_executor
+        self._shard_transport = make_transport(
+            self.sharded, shard_executor, max_workers
+        )
+        super().__init__(
+            self.sharded.index,
+            method=method,
+            executor="sequential",
+            max_workers=max_workers,
+            cache_capacity=cache_capacity,
+            count_reorderings=count_reorderings,
+            probing=probing,
+            disk_model=disk_model,
+            backend=backend,
+            topk_mode=topk_mode,
+            batch_window=batch_window,
+            reuse=reuse,
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return self.sharded.n_shards
+
+    def engine_for(self, method: str) -> DistributedEngine:
+        """The shared (lazily built) distributed engine of one method."""
+        require(method in METHODS, f"unknown method {method!r}")
+        with self._engines_lock:
+            engine = self._engines.get(method)
+            if engine is None:
+                engine = self._engines[method] = DistributedEngine(
+                    self.sharded,
+                    method=method,
+                    shard_executor=self.shard_executor,
+                    max_workers=self.max_workers,
+                    transport=self._shard_transport,
+                    **self._engine_kwargs(),
+                )
+            return engine
+
+    def apply_mutations(self, batch) -> ServiceStats:
+        """Sharded :meth:`QueryService.apply_mutations`.
+
+        Behind the writer gate: route the batch through the shard router
+        (global validation + per-shard replay, untouched shards keep
+        their epochs), purge stale plans globally *and* per shard, sweep
+        the region cache with the Lemma 1 delta test, and retire
+        transport workers holding pre-mutation shard snapshots (a no-op
+        for in-process transports, which read the live shards).
+        """
+        stats = ServiceStats()
+        start = time.perf_counter()
+        with self._gate.writing():
+            applied = self.sharded.apply(batch)
+            stats.plans_dropped = self.sharded.drop_stale_plans()
+            kept, evicted = invalidate_region_cache(
+                self.cache, applied, self.index.dataset
+            )
+            self._shard_transport.retire()
+        stats.mutation_batches = 1
+        stats.mutations_applied = len(applied)
+        stats.regions_kept = kept
+        stats.regions_evicted = evicted
+        stats.wall_seconds = time.perf_counter() - start
+        return stats
+
+    def close(self) -> None:
+        super().close()
+        self._shard_transport.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryService(n_shards={self.n_shards}, "
+            f"shard_executor={self.shard_executor!r}, method={self.method!r}, "
+            f"topk_mode={self.topk_mode!r}, reuse={self.reuse!r})"
+        )
+
+
+class TokenBucket:
+    """A thread-safe token bucket: *rate* tokens/second, capacity *burst*.
+
+    The clock is injectable so admission behaviour is testable without
+    sleeping; the default is :func:`time.monotonic`.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        require(rate > 0.0, "rate must be > 0")
+        require(burst >= 1.0, "burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available right now; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+def _parse_mutation(spec: Dict) -> Mutation:
+    kind = spec.get("kind")
+    if kind == "insert":
+        return Mutation.insert(spec["dims"], spec["values"])
+    if kind == "delete":
+        return Mutation.delete(spec["id"])
+    if kind == "update":
+        return Mutation.update(spec["id"], spec["dim"], spec["value"])
+    raise ReproError(f"unknown mutation kind {kind!r}")
+
+
+class AsyncGateway:
+    """Asyncio front door over a query service (JSON lines over TCP).
+
+    Admission control is two-stage: at most *max_concurrent* requests
+    execute at once (an :class:`asyncio.Semaphore`), and at most
+    *max_queue* more may wait for a slot — anything beyond is shed
+    immediately with ``{"error": "overloaded"}``.  An optional token
+    bucket (*rate*/*burst*) sheds with ``{"error": "rate_limited"}``
+    before a request even queues.  Blocking service calls run on the
+    loop's default executor; the service's own readers/writer gate
+    keeps them consistent with concurrent mutations.
+
+    Per-query stats land in :attr:`stats` (a
+    :class:`~repro.service.stats.ServiceStats`), recorded with the tier
+    reported by :meth:`QueryService.execute_tiered` — so the stats
+    endpoint shows how much traffic the region tier absorbed before any
+    shard (or engine) was touched.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        k: int = 10,
+        phi: int = 0,
+        max_concurrent: int = 8,
+        max_queue: int = 64,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+    ) -> None:
+        require(k >= 1, "k must be >= 1")
+        require(phi >= 0, "phi must be >= 0")
+        require(max_concurrent >= 1, "max_concurrent must be >= 1")
+        require(max_queue >= 0, "max_queue must be >= 0")
+        self.service = service
+        self.k = int(k)
+        self.phi = int(phi)
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self.bucket = (
+            TokenBucket(rate, burst if burst is not None else max(rate, 1.0))
+            if rate is not None
+            else None
+        )
+        self.stats = ServiceStats()
+        self.n_rejected_rate = 0
+        self.n_rejected_load = 0
+        self.n_errors = 0
+        self._pending = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._client_tasks: set = set()
+
+    # -- request handling ------------------------------------------------
+
+    async def handle(self, payload: Dict) -> Dict:
+        """Answer one request object; never raises (errors become responses)."""
+        op = payload.get("op", "query")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.stats_snapshot()}
+        if op == "query":
+            return await self._handle_query(payload)
+        if op == "mutate":
+            return await self._handle_mutate(payload)
+        return {"ok": False, "error": "bad_request", "message": f"unknown op {op!r}"}
+
+    def _admit(self) -> Optional[Dict]:
+        if self.bucket is not None and not self.bucket.try_acquire():
+            self.n_rejected_rate += 1
+            return {"ok": False, "error": "rate_limited"}
+        if self._pending >= self.max_concurrent + self.max_queue:
+            self.n_rejected_load += 1
+            return {"ok": False, "error": "overloaded"}
+        return None
+
+    async def _handle_query(self, payload: Dict) -> Dict:
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.max_concurrent)
+        self._pending += 1
+        try:
+            async with self._slots:
+                loop = asyncio.get_running_loop()
+                start = time.perf_counter()
+                try:
+                    query = Query(payload["dims"], payload["weights"])
+                    k = int(payload.get("k", self.k))
+                    phi = int(payload.get("phi", self.phi))
+                    method = payload.get("method")
+                    computation, tier = await loop.run_in_executor(
+                        None, self.service.execute_tiered, query, k, phi, method
+                    )
+                except (ReproError, KeyError, TypeError, ValueError) as exc:
+                    self.n_errors += 1
+                    return {
+                        "ok": False,
+                        "error": "query_error",
+                        "message": str(exc),
+                    }
+                seconds = time.perf_counter() - start
+                self.stats.record(
+                    computation.method,
+                    seconds,
+                    tier != "computed",
+                    metrics=computation.metrics if tier == "computed" else None,
+                    tier=tier,
+                )
+                return self._render(computation, tier, seconds)
+        finally:
+            self._pending -= 1
+
+    async def _handle_mutate(self, payload: Dict) -> Dict:
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        loop = asyncio.get_running_loop()
+        try:
+            batch = [_parse_mutation(spec) for spec in payload["mutations"]]
+            stats = await loop.run_in_executor(
+                None, self.service.apply_mutations, batch
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            self.n_errors += 1
+            return {"ok": False, "error": "mutation_error", "message": str(exc)}
+        self.stats.mutation_batches += stats.mutation_batches
+        self.stats.mutations_applied += stats.mutations_applied
+        self.stats.regions_kept += stats.regions_kept
+        self.stats.regions_evicted += stats.regions_evicted
+        self.stats.plans_dropped += stats.plans_dropped
+        return {
+            "ok": True,
+            "op": "mutate",
+            "applied": stats.mutations_applied,
+            "regions_kept": stats.regions_kept,
+            "regions_evicted": stats.regions_evicted,
+            "plans_dropped": stats.plans_dropped,
+            "epoch": self.service.index.epoch,
+        }
+
+    @staticmethod
+    def _render(computation, tier: str, seconds: float) -> Dict:
+        regions = {}
+        for dim in computation.sequences:
+            lower, upper = computation.immutable_interval(dim)
+            regions[str(int(dim))] = {
+                "weight": computation.query.weight_of(dim),
+                "interval": [lower, upper],
+            }
+        return {
+            "ok": True,
+            "op": "query",
+            "tier": tier,
+            "epoch": computation.epoch,
+            "method": computation.method,
+            "result": [
+                [int(tid), float(score)]
+                for tid, score in zip(
+                    computation.result.ids, computation.result.scores
+                )
+            ],
+            "regions": regions,
+            "seconds": seconds,
+        }
+
+    def stats_snapshot(self) -> Dict:
+        snapshot = self.stats.as_dict()
+        snapshot["tiers"] = self.stats.tier_latencies(include_empty=True)
+        snapshot["rejected"] = {
+            "rate_limited": self.n_rejected_rate,
+            "overloaded": self.n_rejected_load,
+        }
+        snapshot["errors"] = self.n_errors
+        return snapshot
+
+    # -- TCP server ------------------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                    if not isinstance(payload, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    response = {
+                        "ok": False,
+                        "error": "bad_request",
+                        "message": str(exc),
+                    }
+                else:
+                    response = await self.handle(payload)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except ConnectionResetError:
+            pass
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionResetError:
+                pass
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Start accepting connections; returns the bound ``(host, port)``
+        (an OS-assigned port when *port* is 0)."""
+        self._server = await asyncio.start_server(self._client, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Before 3.12.1 wait_closed() does not wait for per-connection
+        # handler tasks; settle them here so loop teardown never finds a
+        # live handler.  Wait first — handlers exit on client EOF, and on
+        # 3.11 cancelling one trips the unguarded task.exception() in the
+        # streams done-callback — and cancel only a genuinely stuck one.
+        if self._client_tasks:
+            tasks = tuple(self._client_tasks)
+            _, pending = await asyncio.wait(tasks, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._client_tasks.clear()
+
+
+async def _self_test_client(
+    host: str, port: int, requests: List[Dict]
+) -> List[Dict]:
+    reader, writer = await asyncio.open_connection(host, port)
+    responses: List[Dict] = []
+    try:
+        for payload in requests:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            responses.append(json.loads(line))
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return responses
+
+
+def run_self_test(
+    gateway: AsyncGateway, requests: List[Dict], host: str = "127.0.0.1"
+) -> List[Dict]:
+    """Spin the gateway on an ephemeral port, push *requests* through a
+    real client connection, shut down, and return the responses.
+
+    One event loop runs both ends — used by ``repro serve --self-test``
+    and the gateway tests, so the exercised path is the production
+    reader/writer code, not a mock.
+    """
+
+    async def _run() -> List[Dict]:
+        bound_host, bound_port = await gateway.start(host, 0)
+        try:
+            return await _self_test_client(bound_host, bound_port, requests)
+        finally:
+            await gateway.stop()
+
+    return asyncio.run(_run())
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 9736,
+    **gateway_kwargs,
+) -> None:
+    """Blocking entry point: serve *service* until interrupted."""
+    gateway = AsyncGateway(service, **gateway_kwargs)
+
+    async def _run() -> None:
+        bound_host, bound_port = await gateway.start(host, port)
+        print(f"serving on {bound_host}:{bound_port} — {service!r}")
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,88 @@
+"""Shared query routing: signature grouping and window planning.
+
+One implementation of the batch-side routing logic that used to live
+inline in :meth:`QueryService._plan_windows` (and, in grouping form,
+inside ``run_batch``'s miss handling): resolve the cache tiers per
+unique query, register single-flight owners, group the remaining misses
+by dims signature, and chunk each group into batch windows.  Both the
+single-index :class:`~repro.service.service.QueryService` and the
+sharded :class:`~repro.service.gateway.ShardedQueryService` route their
+batches through these functions, so the two serving paths cannot drift
+in grouping or single-flight semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import RegionComputation
+from ..topk.query import Query
+from .cache import CacheKey
+from .stats import ServiceStats
+
+__all__ = ["group_by_signature", "plan_windows"]
+
+
+def group_by_signature(
+    batch: Sequence[Query], indices: Optional[Sequence[int]] = None
+) -> "OrderedDict[Tuple[int, ...], List[int]]":
+    """Group query positions by dims signature, preserving arrival order.
+
+    Groups appear in order of each signature's first occurrence and
+    positions stay in input order within a group — the order contract
+    ``compute_many`` and the window planner both rely on.  *indices*
+    restricts (and orders) the positions considered; default: the whole
+    batch.
+    """
+    groups: "OrderedDict[Tuple[int, ...], List[int]]" = OrderedDict()
+    for i in range(len(batch)) if indices is None else indices:
+        signature = tuple(int(d) for d in batch[i].dims)
+        groups.setdefault(signature, []).append(i)
+    return groups
+
+
+def plan_windows(
+    batch: Sequence[Query],
+    keys: Sequence[CacheKey],
+    slots: List[Optional[RegionComputation]],
+    stats: ServiceStats,
+    method: str,
+    batch_window: int,
+    lookup: Callable[[CacheKey, Query], Tuple[Optional[RegionComputation], str]],
+) -> Tuple[List[List[int]], Dict[CacheKey, int]]:
+    """Resolve cache hits and window the remaining misses.
+
+    Returns the windows (lists of owner indices, grouped by signature and
+    capped at *batch_window*) and the owner map used to settle
+    single-flight duplicates once the owners' computations land.
+    Single-flight and the cache tiers compose: a query resolved by a
+    region hit never becomes a window owner, so one perturbed query
+    repeated across the batch costs one O(log m) lookup and zero engine
+    runs.  *lookup* is the service's tiered cache probe ``(key, query) →
+    (computation | None, tier)``; hits are written into *slots* and
+    recorded against *stats* with the lookup's own wall time.
+    """
+    owner_of: Dict[CacheKey, int] = {}
+    misses: List[int] = []
+    for i, (query, key) in enumerate(zip(batch, keys)):
+        if key in owner_of:
+            continue  # single-flight duplicate, settled by its owner
+        lookup_start = time.perf_counter()
+        cached, tier = lookup(key, query)
+        if cached is not None:
+            stats.record(method, time.perf_counter() - lookup_start, True, tier=tier)
+            slots[i] = cached
+            # Register hits too: a later bit-identical repeat settles
+            # from this slot instead of re-running the lookup (for a
+            # region hit, that would mean a whole re-base per repeat).
+            owner_of[key] = i
+            continue
+        owner_of[key] = i
+        misses.append(i)
+    windows: List[List[int]] = []
+    for indices in group_by_signature(batch, misses).values():
+        for start in range(0, len(indices), batch_window):
+            windows.append(indices[start : start + batch_window])
+    return windows, owner_of

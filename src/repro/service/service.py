@@ -59,7 +59,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -81,6 +80,7 @@ from ..storage.index import InvertedIndex
 from ..topk.query import Query
 from .cache import CacheKey, RegionCache, region_cache_key
 from .invalidation import invalidate_region_cache
+from .router import plan_windows
 from .stats import ServiceStats
 
 __all__ = ["BatchResult", "EXECUTORS", "REUSE_MODES", "QueryService"]
@@ -332,18 +332,30 @@ class QueryService:
         :meth:`apply_mutations` either happens entirely before the
         computation observes the index or entirely after it finishes.
         """
+        return self.execute_tiered(query, k, phi, method)[0]
+
+    def execute_tiered(
+        self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
+    ) -> Tuple[RegionComputation, str]:
+        """:meth:`execute` plus the serving tier the answer came from.
+
+        The tier is one of :data:`~repro.service.stats.TIERS` — the serve
+        gateway reports it per response so clients can see whether a
+        query touched the engine (and, in the sharded service, any shard)
+        at all.
+        """
         method = self.method if method is None else method
         key = region_cache_key(query, k, phi, method, self.count_reorderings)
         with self._gate.reading():
-            cached, _ = self._lookup(key, query)
+            cached, tier = self._lookup(key, query)
             if cached is not None:
-                return cached
+                return cached, tier
             computation = self.engine_for(method).compute_many(
                 [query], k, phi=phi, topk_mode=self.topk_mode
             )[0]
             if self.reuse != "off":
                 self.cache.put(key, computation)
-            return computation
+            return computation, "computed"
 
     def submit(
         self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
@@ -507,39 +519,14 @@ class QueryService:
     ) -> Tuple[List[List[int]], Dict[CacheKey, int]]:
         """Resolve cache hits and window the remaining misses.
 
-        Returns the windows (lists of owner indices, grouped by signature
-        and capped at ``batch_window``) and the owner map used to settle
-        single-flight duplicates once the owners' computations land.
-        Single-flight and the cache tiers compose: a query resolved by a
-        region hit never becomes a window owner, so one perturbed query
-        repeated across the batch costs one O(log m) lookup and zero
-        engine runs.
+        Delegates to :func:`repro.service.router.plan_windows` — the
+        grouping/window-planning implementation shared with the sharded
+        serving path — bound to this service's tiered lookup and window
+        size.
         """
-        owner_of: Dict[CacheKey, int] = {}
-        groups: "OrderedDict[Tuple[int, ...], List[int]]" = OrderedDict()
-        for i, (query, key) in enumerate(zip(batch, keys)):
-            if key in owner_of:
-                continue  # single-flight duplicate, settled by its owner
-            lookup_start = time.perf_counter()
-            cached, tier = self._lookup(key, query)
-            if cached is not None:
-                stats.record(
-                    method, time.perf_counter() - lookup_start, True, tier=tier
-                )
-                slots[i] = cached
-                # Register hits too: a later bit-identical repeat settles
-                # from this slot instead of re-running the lookup (for a
-                # region hit, that would mean a whole re-base per repeat).
-                owner_of[key] = i
-                continue
-            owner_of[key] = i
-            signature = tuple(int(d) for d in query.dims)
-            groups.setdefault(signature, []).append(i)
-        windows: List[List[int]] = []
-        for indices in groups.values():
-            for start in range(0, len(indices), self.batch_window):
-                windows.append(indices[start : start + self.batch_window])
-        return windows, owner_of
+        return plan_windows(
+            batch, keys, slots, stats, method, self.batch_window, self._lookup
+        )
 
     def _settle(
         self,

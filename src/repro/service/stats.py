@@ -18,7 +18,14 @@ from typing import Dict, List, Optional
 from .._util import require
 from ..core.engine import RunMetrics
 
-__all__ = ["MethodRollup", "QueryRecord", "ServiceStats", "TIERS", "percentile"]
+__all__ = [
+    "EMPTY_TIER",
+    "MethodRollup",
+    "QueryRecord",
+    "ServiceStats",
+    "TIERS",
+    "percentile",
+]
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -39,6 +46,13 @@ def percentile(values: List[float], q: float) -> float:
 #: (served from a cached immutable region without engine work), or a
 #: fresh engine computation.
 TIERS = ("exact", "region", "computed")
+
+#: The explicit rollup of a tier that served no traffic.  Readers that
+#: index into :meth:`ServiceStats.tier_latencies` unconditionally (the
+#: gateway's stats endpoint, dashboards over ``as_dict``) get this marker
+#: instead of a ``KeyError`` — all-zero, with ``n == 0.0`` as the
+#: emptiness signal.
+EMPTY_TIER: Dict[str, float] = {"n": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
 
 
 @dataclass(frozen=True)
@@ -219,17 +233,26 @@ class ServiceStats:
             return 0.0
         return sum(record.seconds for record in self.records) / self.n_queries
 
-    def tier_latencies(self) -> Dict[str, Dict[str, float]]:
+    def tier_latencies(
+        self, include_empty: bool = False
+    ) -> Dict[str, Dict[str, float]]:
         """Per-tier latency rollup: ``{tier: {n, mean, p50, p95}}``.
 
-        Only tiers with traffic appear.  Region hits should sit orders of
-        magnitude below computed queries — this readout is how the
-        region-reuse benchmark (and operators) verify that.
+        By default only tiers with traffic appear; with *include_empty*
+        every tier of :data:`TIERS` is present, tiers without traffic
+        carrying a copy of the :data:`EMPTY_TIER` marker (all-zero,
+        ``n == 0.0``) — the form stable consumers (the serve gateway's
+        stats endpoint, the empty-service case) should request so a quiet
+        tier never turns into a ``KeyError``.  Region hits should sit
+        orders of magnitude below computed queries — this readout is how
+        the region-reuse benchmark (and operators) verify that.
         """
         rollup: Dict[str, Dict[str, float]] = {}
         for tier in TIERS:
             seconds = [r.seconds for r in self.records if r.tier == tier]
             if not seconds:
+                if include_empty:
+                    rollup[tier] = dict(EMPTY_TIER)
                 continue
             rollup[tier] = {
                 "n": float(len(seconds)),
@@ -284,10 +307,11 @@ class ServiceStats:
             f"({self.cache_hit_rate:.1%}); {self.n_computed} computed",
         ]
         if self.n_region_hits:
+            region_tier = self.tier_latencies().get("region", EMPTY_TIER)
             lines.append(
                 f"reuse: {self.n_exact_hits} exact + {self.n_region_hits} "
                 f"region hits (region-tier p50 "
-                f"{self.tier_latencies()['region']['p50'] * 1e6:.1f} µs)"
+                f"{region_tier['p50'] * 1e6:.1f} µs)"
             )
         if self.mutation_batches:
             lines.append(

@@ -13,16 +13,20 @@ from .index import InvertedIndex
 from .inverted_list import InvertedList, ListCursor
 from .mutations import AppliedMutation, Mutation, MutationBatch
 from .plan import PlanCacheStats, SubspacePlan, SubspacePlanCache
+from .sharded import IndexShard, ShardSignatureStats, ShardedIndex
 from .tuple_store import TupleStore
 
 __all__ = [
     "AppliedMutation",
+    "IndexShard",
     "InvertedIndex",
     "InvertedList",
     "ListCursor",
     "Mutation",
     "MutationBatch",
     "PlanCacheStats",
+    "ShardSignatureStats",
+    "ShardedIndex",
     "SubspacePlan",
     "SubspacePlanCache",
     "TupleStore",

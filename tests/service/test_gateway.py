@@ -1,0 +1,360 @@
+"""Unit tests for the sharded service and the async gateway."""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    ImmutableRegionEngine,
+    InvertedIndex,
+    Mutation,
+    Query,
+    ShardedIndex,
+    ShardedQueryService,
+)
+from repro.core.distributed import worker_payload
+from repro.errors import ValidationError
+from repro.service import AsyncGateway, TokenBucket
+from repro.service.gateway import run_self_test
+
+
+def make_dataset(n=60, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("n_shards", 3)
+    return ShardedQueryService(make_dataset(), **kwargs)
+
+
+QUERY = Query([0, 2, 4], [0.7, 0.3, 0.5])
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = lambda: clock.t
+        clock.t = 0.0
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.t = 1.0
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_capped_at_burst(self):
+        clock = lambda: clock.t
+        clock.t = 0.0
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.t = 100.0  # long idle must not accumulate beyond burst
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestShardedQueryService:
+    def test_matches_unsharded_oracle(self):
+        service = make_service()
+        try:
+            computation = service.execute(QUERY, 5)
+            oracle = ImmutableRegionEngine(
+                InvertedIndex(make_dataset()), method="cpt"
+            ).compute_many([QUERY], 5, topk_mode="matmul")[0]
+            assert computation.result.ids == oracle.result.ids
+            for dim in oracle.sequences:
+                assert computation.immutable_interval(
+                    dim
+                ) == oracle.immutable_interval(dim)
+        finally:
+            service.close()
+
+    def test_engines_share_one_transport(self):
+        service = make_service()
+        try:
+            cpt = service.engine_for("cpt")
+            scan = service.engine_for("scan")
+            assert cpt is service.engine_for("cpt")
+            assert cpt._transport is scan._transport
+            assert cpt._transport is service._shard_transport
+        finally:
+            service.close()
+
+    def test_region_hit_short_circuits_before_any_shard(self):
+        service = make_service()
+        try:
+            anchor = service.execute(QUERY, 5)
+            lower, upper = anchor.immutable_interval(0)
+            weight = QUERY.weight_of(0)
+            inside = (weight + upper) / 2 if upper > weight else (lower + weight) / 2
+            perturbed = QUERY.with_weight(0, inside)
+
+            touched = []
+            transport = service._shard_transport
+            original_call, original_map = transport.call, transport.map
+            transport.call = lambda *a: (touched.append(a), original_call(*a))[1]
+            transport.map = lambda calls: (touched.append(calls), original_map(calls))[1]
+            computation, tier = service.execute_tiered(perturbed, 5)
+            assert tier == "region"
+            assert touched == []  # served before the shards existed, as it were
+            assert computation.result.ids == anchor.result.ids
+        finally:
+            service.close()
+
+    def test_run_batch_windows_through_distributed_engine(self):
+        service = make_service()
+        try:
+            queries = [QUERY, Query([1, 3], [0.9, 0.2]), QUERY]
+            result = service.run_batch(queries, 5)
+            assert len(result) == 3
+            assert result[0] is result[2]  # single-flight duplicate
+            assert result.stats.n_queries == 3
+        finally:
+            service.close()
+
+    def test_run_stream_serves_drag_from_regions(self):
+        service = make_service()
+        try:
+            anchor = service.execute(QUERY, 5)
+            lower, upper = anchor.immutable_interval(0)
+            weight = QUERY.weight_of(0)
+            inside = (weight + upper) / 2 if upper > weight else (lower + weight) / 2
+            result = service.run_stream([QUERY, QUERY.with_weight(0, inside)], 5)
+            assert result.stats.n_region_hits == 1
+        finally:
+            service.close()
+
+    def test_apply_mutations_routes_and_invalidates(self):
+        service = make_service()
+        try:
+            service.execute(QUERY, 5)
+            stats = service.apply_mutations(
+                [Mutation.update(1, 0, 0.95), Mutation.insert([0, 2], [0.4, 0.3])]
+            )
+            assert stats.mutation_batches == 1
+            assert stats.mutations_applied == 2
+            assert stats.regions_kept + stats.regions_evicted >= 1
+            # Only the touched shards advanced; parity with a fresh oracle.
+            epochs = service.sharded.shard_epochs
+            assert epochs[0] == 1 and epochs[-1] == 1 and epochs[1] == 0
+            post = service.execute(QUERY, 5)
+            oracle = ImmutableRegionEngine(
+                InvertedIndex(service.index.dataset)
+            ).compute_many([QUERY], 5, topk_mode="matmul")[0]
+            assert post.result.ids == oracle.result.ids
+            # A cache entry that survived the delta test keeps its original
+            # epoch (the regions are proven unchanged); the index moved on.
+            assert service.index.epoch == 1
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("shard_executor", ["thread", "process"])
+    def test_pooled_shard_executors_match_sequential(self, shard_executor):
+        sequential = make_service()
+        pooled = make_service(shard_executor=shard_executor, n_shards=2)
+        try:
+            ref = sequential.execute(QUERY, 5)
+            got = pooled.execute(QUERY, 5)
+            assert ref.result.ids == got.result.ids
+            for dim in ref.sequences:
+                assert ref.immutable_interval(dim) == got.immutable_interval(dim)
+        finally:
+            sequential.close()
+            pooled.close()
+
+
+class TestWorkerPayload:
+    def test_process_worker_payload_scales_with_shard_not_dataset(self):
+        """Each shard worker ships only its own rows (regression: the
+        window-pool workers pickle the *full* dataset per worker)."""
+        data = make_dataset(n=2_000, m=8, seed=3)
+        sharded = ShardedIndex(data, 4)
+        full = len(pickle.dumps(data))
+        shard_payloads = [
+            len(pickle.dumps(worker_payload(shard))) for shard in sharded.shards
+        ]
+        assert max(shard_payloads) < full / 2  # ~n/4 each, not n
+        assert sum(shard_payloads) < full * 1.25  # overhead stays marginal
+
+    def test_payload_halves_when_shards_double(self):
+        data = make_dataset(n=2_000, m=8, seed=3)
+        two = max(
+            len(pickle.dumps(worker_payload(s))) for s in ShardedIndex(data, 2).shards
+        )
+        eight = max(
+            len(pickle.dumps(worker_payload(s))) for s in ShardedIndex(data, 8).shards
+        )
+        assert eight < two / 2
+
+
+class TestAsyncGateway:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_ping_and_unknown_op(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            assert self.run(gateway.handle({"op": "ping"}))["ok"]
+            response = self.run(gateway.handle({"op": "nope"}))
+            assert not response["ok"] and response["error"] == "bad_request"
+        finally:
+            service.close()
+
+    def test_query_response_shape(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            response = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            assert response["ok"] and response["tier"] == "computed"
+            oracle = ImmutableRegionEngine(
+                InvertedIndex(make_dataset())
+            ).compute_many([QUERY], 5, topk_mode="matmul")[0]
+            assert [tid for tid, _ in response["result"]] == oracle.result.ids
+            for dim in oracle.sequences:
+                assert response["regions"][str(dim)]["interval"] == list(
+                    oracle.immutable_interval(dim)
+                )
+            # A second identical query is an exact cache hit.
+            repeat = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            assert repeat["tier"] == "exact"
+            assert gateway.stats.n_exact_hits == 1
+        finally:
+            service.close()
+
+    def test_malformed_query_is_an_error_response(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            response = self.run(
+                gateway.handle({"op": "query", "dims": [0], "weights": [2.0]})
+            )
+            assert not response["ok"] and response["error"] == "query_error"
+            assert gateway.n_errors == 1
+        finally:
+            service.close()
+
+    def test_rate_limiter_sheds(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5, rate=1e-9, burst=1.0)
+        try:
+            first = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            assert first["ok"]
+            second = self.run(gateway.handle({"op": "query", "dims": [0], "weights": [0.5]}))
+            assert second["error"] == "rate_limited"
+            assert gateway.n_rejected_rate == 1
+        finally:
+            service.close()
+
+    def test_overload_sheds(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5, max_concurrent=1, max_queue=0)
+        try:
+            gateway._pending = 1  # simulate a stuck in-flight request
+            response = self.run(
+                gateway.handle({"op": "query", "dims": [0], "weights": [0.5]})
+            )
+            assert response["error"] == "overloaded"
+            assert gateway.n_rejected_load == 1
+        finally:
+            service.close()
+
+    def test_mutate_op(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            response = self.run(
+                gateway.handle(
+                    {
+                        "op": "mutate",
+                        "mutations": [
+                            {"kind": "update", "id": 1, "dim": 0, "value": 0.9},
+                            {"kind": "delete", "id": 2},
+                            {"kind": "insert", "dims": [0, 1], "values": [0.5, 0.5]},
+                        ],
+                    }
+                )
+            )
+            assert response["ok"] and response["applied"] == 3
+            assert response["epoch"] == 1
+            assert gateway.stats.mutations_applied == 3
+        finally:
+            service.close()
+
+    def test_stats_snapshot_includes_empty_tiers(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            snapshot = self.run(gateway.handle({"op": "stats"}))["stats"]
+            assert set(snapshot["tiers"]) == {"exact", "region", "computed"}
+            assert snapshot["tiers"]["region"]["n"] == 0.0
+        finally:
+            service.close()
+
+
+class TestServerRoundTrip:
+    def test_json_lines_over_tcp(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            responses = run_self_test(
+                gateway,
+                [
+                    {"op": "ping"},
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]},
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]},
+                    "not an object",
+                    {"op": "stats"},
+                ],
+            )
+            assert responses[0]["ok"]
+            assert responses[1]["tier"] == "computed"
+            assert responses[2]["tier"] == "exact"
+            assert responses[3]["error"] == "bad_request"
+            snapshot = responses[4]["stats"]
+            assert snapshot["n_queries"] == 2 and snapshot["n_exact_hits"] == 1
+        finally:
+            service.close()
+
+
+def test_cli_self_test(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "serve",
+            "--family",
+            "kb",
+            "--shards",
+            "3",
+            "--self-test",
+            "2",
+            "--k",
+            "5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "self-test: 2 queries over 3 shard(s)" in out
