@@ -45,7 +45,7 @@ from .datasets.image import generate_image_features
 from .datasets.synthetic import generate_correlated
 from .datasets.text import generate_text_corpus
 from .datasets.workloads import sample_queries
-from .core.distributed import SHARD_EXECUTORS
+from .core.distributed import SHARD_EXECUTORS, SHARD_FAILURE_POLICIES
 from .service import EXECUTORS, REUSE_MODES, AsyncGateway, QueryService, ShardedQueryService
 from .service.gateway import run_self_test, serve as serve_gateway
 from .storage.index import InvertedIndex
@@ -230,12 +230,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         method=args.method,
         backend=args.backend,
         reuse=args.reuse,
+        on_shard_failure=args.on_shard_failure,
+        supervision=True if args.supervise else None,
     )
     gateway_kwargs = dict(
         k=args.k,
         phi=args.phi,
         max_concurrent=args.max_concurrent,
         rate=args.rate,
+        default_deadline_ms=args.deadline_ms,
     )
     if args.self_test is not None:
         workload = sample_queries(
@@ -399,6 +402,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="run N sampled queries through an ephemeral server and exit",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline in milliseconds; exhaustion "
+        "returns a structured DEADLINE_EXCEEDED reply (default: none)",
+    )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="wrap the shard transport in a supervisor: worker respawn, "
+        "capped-backoff retries, per-shard circuit breakers",
+    )
+    serve.add_argument(
+        "--on-shard-failure",
+        choices=SHARD_FAILURE_POLICIES,
+        default="oracle",
+        help="when a shard stays down: 'oracle' recomputes exactly on the "
+        "embedded unsharded engine, 'degraded' returns an explicit "
+        "DEGRADED reply naming the shards consulted",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

@@ -106,12 +106,18 @@ def compute_many(
     k: int,
     phi: int = 0,
     topk_mode: str = "ta",
+    deadline=None,
 ) -> List:
     """Answer every query of *queries*; results come back in input order.
 
     See the module docstring for the execution model.  Duplicate queries
     (same weights) within a signature group are computed once and share
     the returned :class:`~repro.core.engine.RegionComputation` object.
+
+    *deadline* bounds the batch: it is checked before each signature
+    group, each fused score chunk, and each TA replay, so exhaustion
+    surfaces as :class:`~repro.errors.DeadlineExceeded` within one unit
+    of work rather than after the whole batch.
     """
     if topk_mode not in TOPK_MODES:
         raise QueryError(
@@ -142,9 +148,11 @@ def compute_many(
                 unique.append(i)
             else:
                 results[i] = owner  # patched to the owner's object below
+        if deadline is not None:
+            deadline.check("engine-group")
         if fused_eligible:
             plan = engine.index.plans.plan_for(signature)
-            _fused_group(engine, batch, unique, k, plan, results)
+            _fused_group(engine, batch, unique, k, plan, results, deadline=deadline)
         else:
             # TA replay: a plan only trims constant factors here, so a
             # cold signature is worth materialising only when the group
@@ -155,6 +163,8 @@ def compute_many(
             if plan is None and len(unique) >= 2:
                 plan = plans.plan_for(signature)
             for i in unique:
+                if deadline is not None:
+                    deadline.check("engine-query")
                 results[i] = engine.compute(batch[i], k, phi=phi, plan=plan)
         for i in indices:
             if isinstance(results[i], int):
@@ -174,9 +184,12 @@ def _fused_group(
     k: int,
     plan: SubspacePlan,
     results: List,
+    deadline=None,
 ) -> None:
     """Fused-scoring execution of one signature group (φ=0 fast path)."""
     for start in range(0, len(indices), _SCORE_CHUNK):
+        if deadline is not None:
+            deadline.check("engine-chunk")
         chunk = indices[start : start + _SCORE_CHUNK]
         topk_start = time.perf_counter()
         weights = np.stack([batch[i].weights for i in chunk])

@@ -97,7 +97,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._util import require
-from ..errors import AlgorithmError, QueryError
+from ..errors import AlgorithmError, DegradedError, QueryError, ShardUnavailable
 from ..kernels.batch import fused_scores, fused_topk
 from ..kernels.constraints import (
     batch_crossings,
@@ -115,7 +115,19 @@ from .context import DimensionView, WorkingBounds, apply_batch_constraints
 from .engine import TOPK_MODES, ImmutableRegionEngine, RegionComputation, RunMetrics
 from .regions import Bound, BoundKind, ImmutableRegion, RegionSequence
 
-__all__ = ["SHARD_EXECUTORS", "DistributedEngine", "worker_payload"]
+__all__ = [
+    "SHARD_EXECUTORS",
+    "SHARD_FAILURE_POLICIES",
+    "DistributedEngine",
+    "worker_payload",
+]
+
+#: What the engine does when a shard is unavailable (retries exhausted or
+#: circuit open): ``"oracle"`` falls back to the embedded unsharded
+#: engine (exact, slower, bounded by the request deadline); ``"degraded"``
+#: raises :class:`~repro.errors.DegradedError` so the serving tier can
+#: return an explicit ``DEGRADED`` reply naming the shards consulted.
+SHARD_FAILURE_POLICIES = ("oracle", "degraded")
 
 #: How the coordinator talks to its shards: ``"sequential"`` (in-process,
 #: certificate-interleaved — the single-core throughput mode),
@@ -318,6 +330,10 @@ class _InProcessTransport:
     def retire(self) -> None:
         """In-process workers read the live shards — nothing to refresh."""
 
+    def respawn(self, sid: int) -> None:
+        """Rebuild shard *sid*'s worker (supervision's recovery hook)."""
+        self.workers[sid] = _ShardWorker(self.workers[sid].shard)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -362,6 +378,17 @@ class _ProcessTransport:
         for pool in pools:
             if pool is not None:
                 pool.shutdown(wait=True)
+
+    def respawn(self, sid: int) -> None:
+        """Kill shard *sid*'s pool; the next call lazily respawns it.
+
+        ``wait=False``: a broken pool's worker is already gone, and a
+        merely wedged one must not block recovery.
+        """
+        with self._lock:
+            pool, self._pools[sid] = self._pools[sid], None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     close = retire
 
@@ -446,6 +473,7 @@ class DistributedEngine:
         shard_executor: str = "sequential",
         max_workers: Optional[int] = None,
         transport=None,
+        on_shard_failure: str = "oracle",
         **engine_kwargs,
     ) -> None:
         require(
@@ -453,8 +481,17 @@ class DistributedEngine:
             f"unknown shard_executor {shard_executor!r}; "
             f"expected one of {SHARD_EXECUTORS}",
         )
+        require(
+            on_shard_failure in SHARD_FAILURE_POLICIES,
+            f"unknown on_shard_failure {on_shard_failure!r}; "
+            f"expected one of {SHARD_FAILURE_POLICIES}",
+        )
         self.sharded = sharded
         self.shard_executor = shard_executor
+        self.on_shard_failure = on_shard_failure
+        #: Fused chunks that lost a shard and were re-answered (exactly)
+        #: by the embedded oracle under the ``"oracle"`` failure policy.
+        self.oracle_failovers = 0
         self.oracle = ImmutableRegionEngine(sharded.index, method=method, **engine_kwargs)
         self._owns_transport = transport is None
         self._transport = (
@@ -462,6 +499,19 @@ class DistributedEngine:
             if transport is None
             else transport
         )
+        self._supervised = bool(getattr(self._transport, "supervised", False))
+
+    # -- transport plumbing (deadline-aware when supervised) -------------
+
+    def _tcall(self, sid: int, op: str, args: tuple, deadline=None):
+        if self._supervised:
+            return self._transport.call(sid, op, args, deadline=deadline)
+        return self._transport.call(sid, op, args)
+
+    def _tmap(self, calls, deadline=None):
+        if self._supervised:
+            return self._transport.map(calls, deadline=deadline)
+        return self._transport.map(calls)
 
     # -- engine surface -------------------------------------------------
 
@@ -499,9 +549,25 @@ class DistributedEngine:
     # -- batched compute ------------------------------------------------
 
     def compute_many(
-        self, queries, k: int, phi: int = 0, topk_mode: str = "ta"
+        self,
+        queries,
+        k: int,
+        phi: int = 0,
+        topk_mode: str = "ta",
+        deadline=None,
     ) -> List[RegionComputation]:
-        """Answer every query; bit-identical to the oracle's ``compute_many``."""
+        """Answer every query; bit-identical to the oracle's ``compute_many``.
+
+        *deadline* (a :class:`~repro.service.deadline.Deadline`) bounds
+        the whole call: it is checked at every shard-dispatch and merge
+        barrier, converted into per-call timeouts by a supervised
+        transport, and exhaustion raises
+        :class:`~repro.errors.DeadlineExceeded` — never a hang.  A shard
+        lost mid-chunk (supervision gave up on it) is handled per
+        :attr:`on_shard_failure`: the chunk re-runs on the embedded
+        unsharded oracle (exact), or :class:`~repro.errors.DegradedError`
+        names the shards that did and did not answer.
+        """
         if topk_mode not in TOPK_MODES:
             raise QueryError(
                 f"unknown topk_mode {topk_mode!r}; expected one of {TOPK_MODES}"
@@ -519,7 +585,9 @@ class DistributedEngine:
         if not fused_eligible:
             # TA replays and φ>0 sequences run unsharded — the oracle path
             # needs TA's encounter machinery, which is global by nature.
-            return self.oracle.compute_many(batch, k, phi=phi, topk_mode=topk_mode)
+            return self.oracle.compute_many(
+                batch, k, phi=phi, topk_mode=topk_mode, deadline=deadline
+            )
         results: List = [None] * len(batch)
         for signature, indices in _group_by_signature(batch).items():
             owners: Dict[bytes, int] = {}
@@ -533,13 +601,53 @@ class DistributedEngine:
                 else:
                     results[i] = owner  # patched to the owner's object below
             for start in range(0, len(unique), _SCORE_CHUNK):
-                self._fused_chunk(
-                    batch, unique[start : start + _SCORE_CHUNK], k, signature, results
-                )
+                chunk = unique[start : start + _SCORE_CHUNK]
+                if deadline is not None:
+                    deadline.check("chunk-dispatch")
+                try:
+                    self._fused_chunk(
+                        batch, chunk, k, signature, results, deadline=deadline
+                    )
+                except ShardUnavailable as failure:
+                    self._failover(batch, chunk, k, results, failure, deadline)
             for i in indices:
                 if isinstance(results[i], int):
                     results[i] = results[results[i]]
         return results
+
+    def _failover(
+        self,
+        batch: List[Query],
+        chunk: List[int],
+        k: int,
+        results: List,
+        failure: ShardUnavailable,
+        deadline,
+    ) -> None:
+        """A shard gave out mid-chunk: degrade per :attr:`on_shard_failure`.
+
+        The oracle fallback recomputes the *whole* chunk against the
+        global (unsharded) index — any partial per-query state from the
+        failed fused pass is discarded, so the answers are exactly the
+        fault-free ones.  The policy raise carries which shards answered
+        so the serving tier can say precisely what it could not do.
+        """
+        if self.on_shard_failure == "degraded":
+            failed = {failure.shard}
+            consulted = tuple(
+                s for s in range(self.sharded.n_shards) if s not in failed
+            )
+            raise DegradedError(consulted, tuple(sorted(failed))) from failure
+        self.oracle_failovers += 1
+        fallback = self.oracle.compute_many(
+            [batch[i] for i in chunk],
+            k,
+            phi=0,
+            topk_mode="matmul",
+            deadline=deadline,
+        )
+        for i, computation in zip(chunk, fallback):
+            results[i] = computation
 
     # -- the fused distributed chunk ------------------------------------
 
@@ -550,6 +658,7 @@ class DistributedEngine:
         k: int,
         signature: Tuple[int, ...],
         results: List,
+        deadline=None,
     ) -> None:
         n_shards = self.sharded.n_shards
         n_queries = len(chunk)
@@ -559,8 +668,11 @@ class DistributedEngine:
         # ---- phase A: per-shard top-(k+1), merged under certificates
         topk_start = time.perf_counter()
         weights = np.stack([batch[i].weights for i in chunk])
-        stats = self._transport.map(
-            [(s, "stats", (signature,)) for s in range(n_shards)]
+        if deadline is not None:
+            deadline.check("shard-dispatch")
+        stats = self._tmap(
+            [(s, "stats", (signature,)) for s in range(n_shards)],
+            deadline=deadline,
         )
         live = [
             s
@@ -603,22 +715,30 @@ class DistributedEngine:
                         need.append(qpos)
                 if not need:
                     continue
-                answers = self._transport.call(
-                    s, "topk", (token, signature, weights[need], need, k + 1)
+                if deadline is not None:
+                    deadline.check("shard-dispatch")
+                answers = self._tcall(
+                    s,
+                    "topk",
+                    (token, signature, weights[need], need, k + 1),
+                    deadline=deadline,
                 )
                 for qpos, (gids, scores, n_pos) in zip(need, answers):
                     npos[qpos] += n_pos
                     merge(qpos, gids, scores)
         else:
             all_q = list(range(n_queries))
-            by_shard = self._transport.map(
-                [(s, "topk", (token, signature, weights, all_q, k + 1)) for s in live]
+            by_shard = self._tmap(
+                [(s, "topk", (token, signature, weights, all_q, k + 1)) for s in live],
+                deadline=deadline,
             )
             for answers in by_shard:
                 for qpos, (gids, scores, n_pos) in enumerate(answers):
                     npos[qpos] += n_pos
                     merge(qpos, gids, scores)
         topk_share = (time.perf_counter() - topk_start) / n_queries
+        if deadline is not None:
+            deadline.check("merge")
 
         # ---- per-query result assembly + fallback detection
         region_start = time.perf_counter()
@@ -645,7 +765,9 @@ class DistributedEngine:
             for gid in needed:
                 by_owner.setdefault(self.sharded.shard_of(gid), []).append(gid)
             owners = sorted(by_owner)
-            gathered = self._transport.map(
+            if deadline is not None:
+                deadline.check("shard-dispatch")
+            gathered = self._tmap(
                 [
                     (
                         s,
@@ -657,7 +779,8 @@ class DistributedEngine:
                         ),
                     )
                     for s in owners
-                ]
+                ],
+                deadline=deadline,
             )
             for s, (coords, nnz) in zip(owners, gathered):
                 for pos, gid in enumerate(by_owner[s]):
@@ -676,8 +799,10 @@ class DistributedEngine:
                     request = self._build_request(p, s, stats, ubs, weights)
                     if request is None:
                         continue
-                    answers = self._transport.call(
-                        s, "sweep", (token, signature, [request])
+                    if deadline is not None:
+                        deadline.check("shard-dispatch")
+                    answers = self._tcall(
+                        s, "sweep", (token, signature, [request]), deadline=deadline
                     )[0]
                     self._apply_answers(p, request["dims"], answers)
         else:
@@ -691,7 +816,9 @@ class DistributedEngine:
                     if request is not None:
                         shard_requests.setdefault(s, []).append((p, request))
             swept = sorted(shard_requests)
-            responses = self._transport.map(
+            if deadline is not None:
+                deadline.check("shard-dispatch")
+            responses = self._tmap(
                 [
                     (
                         s,
@@ -699,13 +826,16 @@ class DistributedEngine:
                         (token, signature, [req for _, req in shard_requests[s]]),
                     )
                     for s in swept
-                ]
+                ],
+                deadline=deadline,
             )
             for s, shard_answers in zip(swept, responses):
                 for (p, request), answers in zip(shard_requests[s], shard_answers):
                     self._apply_answers(p, request["dims"], answers)
 
         # ---- finalize: degeneracy check, regions, metrics
+        if deadline is not None:
+            deadline.check("merge")
         region_share = (time.perf_counter() - region_start) / max(len(prepared), 1)
         for p in prepared:
             results[p.i] = self._finalize(p, k, npos[p.qpos], total_ge2, topk_share, region_share)

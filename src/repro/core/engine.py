@@ -395,6 +395,7 @@ class ImmutableRegionEngine:
         k: int,
         phi: int = 0,
         topk_mode: str = "ta",
+        deadline=None,
     ) -> list:
         """Answer a whole batch of queries with cross-query amortisation.
 
@@ -425,8 +426,16 @@ class ImmutableRegionEngine:
 
         Results come back in input order; duplicate queries within a
         signature group are computed once and share one object.
+
+        *deadline* (a :class:`~repro.service.deadline.Deadline`, or
+        ``None`` for unbounded) is checked at every signature-group and
+        score-chunk boundary; exhaustion raises
+        :class:`~repro.errors.DeadlineExceeded` with at most one group's
+        compute time of overshoot.
         """
-        return _compute_many(self, queries, k, phi=phi, topk_mode=topk_mode)
+        return _compute_many(
+            self, queries, k, phi=phi, topk_mode=topk_mode, deadline=deadline
+        )
 
     # ------------------------------------------------------------------
 

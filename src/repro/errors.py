@@ -17,6 +17,11 @@ __all__ = [
     "StorageError",
     "GeometryError",
     "AlgorithmError",
+    "ServiceError",
+    "DeadlineExceeded",
+    "ShardFailure",
+    "ShardUnavailable",
+    "DegradedError",
 ]
 
 
@@ -46,3 +51,60 @@ class GeometryError(ReproError):
 
 class AlgorithmError(ReproError):
     """An algorithm reached a state that violates one of its invariants."""
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures (deadlines, shard faults)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline ran out before the answer was complete.
+
+    Carries enough context for a structured ``DEADLINE_EXCEEDED`` reply:
+    the configured budget, the elapsed time when the budget was found
+    exhausted, and *where* in the pipeline enforcement tripped (a short
+    label like ``"shard-dispatch"`` or ``"merge"``).
+    """
+
+    def __init__(self, budget: float, elapsed: float, where: str = "") -> None:
+        self.budget = float(budget)
+        self.elapsed = float(elapsed)
+        self.where = where
+        suffix = f" at {where}" if where else ""
+        super().__init__(
+            f"deadline of {self.budget * 1000:.1f} ms exceeded"
+            f" ({self.elapsed * 1000:.1f} ms elapsed){suffix}"
+        )
+
+
+class ShardFailure(ServiceError):
+    """A single shard call failed (worker death, timeout, poison pickle)."""
+
+    def __init__(self, shard: int, message: str) -> None:
+        self.shard = int(shard)
+        super().__init__(f"shard {shard}: {message}")
+
+
+class ShardUnavailable(ShardFailure):
+    """A shard is out of service: retries exhausted or circuit open."""
+
+
+class DegradedError(ServiceError):
+    """An exact answer was impossible; the caller opted out of fallback.
+
+    Raised by the distributed engine when a shard is unavailable and the
+    failure policy is ``"degraded"`` (no oracle fallback).  Carries which
+    shards answered and which did not, so the serving tier can return an
+    explicit ``DEGRADED`` reply instead of a silently wrong answer.
+    """
+
+    def __init__(
+        self, shards_consulted: tuple, failed_shards: tuple, message: str = ""
+    ) -> None:
+        self.shards_consulted = tuple(int(s) for s in shards_consulted)
+        self.failed_shards = tuple(int(s) for s in failed_shards)
+        detail = message or (
+            f"shards {list(self.failed_shards)} unavailable; "
+            f"consulted {list(self.shards_consulted)}"
+        )
+        super().__init__(detail)

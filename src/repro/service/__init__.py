@@ -18,7 +18,21 @@ from .cache import (
     rebase_computation,
     region_cache_key,
 )
-from .gateway import AsyncGateway, ShardedQueryService, TokenBucket
+from .deadline import Deadline, deadline_from_payload
+from .faults import (
+    CONNECTION_FAULT_KINDS,
+    TRANSPORT_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedWorkerCrash,
+)
+from .gateway import (
+    ERROR_CODES,
+    AsyncGateway,
+    ShardedQueryService,
+    TokenBucket,
+    error_reply,
+)
 from .invalidation import computation_survives, invalidate_region_cache
 from .router import group_by_signature, plan_windows
 from .service import EXECUTORS, REUSE_MODES, BatchResult, QueryService
@@ -34,10 +48,16 @@ from .stats import (
 __all__ = [
     "AsyncGateway",
     "BatchResult",
+    "CONNECTION_FAULT_KINDS",
     "CacheKey",
     "CacheStats",
+    "Deadline",
     "EMPTY_TIER",
+    "ERROR_CODES",
     "EXECUTORS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
     "MethodRollup",
     "QueryRecord",
     "QueryService",
@@ -48,7 +68,10 @@ __all__ = [
     "ServiceStats",
     "ShardedQueryService",
     "TIERS",
+    "TRANSPORT_FAULT_KINDS",
     "TokenBucket",
+    "deadline_from_payload",
+    "error_reply",
     "computation_survives",
     "group_by_signature",
     "invalidate_region_cache",

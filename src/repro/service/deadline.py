@@ -1,0 +1,117 @@
+"""Per-request deadlines: a budget plus a monotonic clock.
+
+A :class:`Deadline` is created at the edge (the gateway parses
+``deadline_ms`` off the wire; the CLI's ``--deadline-ms`` sets a default)
+and propagated *by value* through
+:meth:`~repro.service.service.QueryService.execute_tiered` into
+:meth:`~repro.core.distributed.DistributedEngine.compute_many`, where it
+is enforced at every shard-dispatch and merge barrier and converted into
+transport-level timeouts by
+:class:`~repro.core.supervision.SupervisedTransport`.  Exhaustion always
+surfaces as :class:`~repro.errors.DeadlineExceeded` — a structured
+``DEADLINE_EXCEEDED`` reply at the gateway — never as a hang.
+
+The clock is injectable (default :func:`time.monotonic`) so deadline
+behaviour is testable without sleeping, exactly like
+:class:`~repro.service.gateway.TokenBucket`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from .._util import require
+from ..errors import DeadlineExceeded, ValidationError
+
+__all__ = ["Deadline", "deadline_from_payload"]
+
+#: Smallest timeout handed to blocking waits: never pass a zero/negative
+#: timeout to ``future.result`` — check and raise instead.
+_MIN_TIMEOUT = 1e-4
+
+
+class Deadline:
+    """A monotonic-clock budget for one request.
+
+    Immutable in intent: the start instant is pinned at construction, so
+    every layer the deadline passes through measures against the same
+    origin — the budget covers the *whole* request, not each hop.
+    """
+
+    __slots__ = ("budget", "_clock", "_start")
+
+    def __init__(
+        self, budget: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        require(budget > 0.0, "deadline budget must be > 0 seconds")
+        self.budget = float(budget)
+        self._clock = clock
+        self._start = clock()
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline expiring *seconds* from now."""
+        return cls(seconds, clock=clock)
+
+    def elapsed(self) -> float:
+        """Seconds spent since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self.budget - self.elapsed())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self.elapsed() >= self.budget
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out.
+
+        *where* names the enforcement point (``"shard-dispatch"``,
+        ``"merge"``, ...) and lands in the structured error.
+        """
+        elapsed = self.elapsed()
+        if elapsed >= self.budget:
+            raise DeadlineExceeded(self.budget, elapsed, where)
+
+    def timeout(self, where: str = "") -> float:
+        """The remaining budget as a blocking-wait timeout.
+
+        Raises instead of returning a degenerate (≤ 0) timeout, so a
+        blocking ``future.result(timeout=...)`` can never be asked to
+        wait forever or not at all.
+        """
+        self.check(where)
+        return max(self.remaining(), _MIN_TIMEOUT)
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(budget={self.budget:.3f}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )
+
+
+def deadline_from_payload(
+    payload: Dict,
+    default_ms: Optional[float] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> Optional[Deadline]:
+    """Build the request deadline from a wire payload.
+
+    ``payload["deadline_ms"]`` wins; *default_ms* (the gateway-wide knob)
+    applies when the request carries none.  Returns ``None`` when neither
+    is set — an unbounded request, the pre-deadline behaviour.
+    """
+    raw = payload.get("deadline_ms", default_ms)
+    if raw is None:
+        return None
+    try:
+        ms = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(f"deadline_ms must be a number, got {raw!r}")
+    require(ms > 0.0, "deadline_ms must be > 0")
+    return Deadline(ms / 1000.0, clock=clock)

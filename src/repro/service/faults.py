@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the serving stack.
+
+A :class:`FaultPlan` is a *seeded, finite schedule* of infrastructure
+misbehaviour, injectable at two layers:
+
+* **transport faults** (``"crash"``, ``"slow"``) fire inside
+  :class:`~repro.core.supervision.SupervisedTransport` around shard
+  calls: a ``crash`` raises :class:`InjectedWorkerCrash` (handled
+  exactly like a real ``BrokenProcessPool``), a ``slow`` sleeps before
+  the call so deadline/timeout enforcement has something real to cut
+  off;
+* **connection faults** (``"drop"``, ``"torn"``) fire inside
+  :class:`~repro.service.gateway.AsyncGateway` around responses: a
+  ``drop`` closes the client connection without writing, a ``torn``
+  writes a prefix of the response line and then closes — the torn-write
+  case clients must survive and the server must not trip over.
+
+Determinism is the point: each spec is addressed by a *per-scope call
+index* (calls are counted per shard for transport faults, per accepted
+connection for connection faults), so the same plan injected into the
+same request sequence produces the same failures — the chaos property
+suite (``tests/chaos/``) replays a seeded plan against the fault-free
+oracle and asserts bit-identical answers or structured errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .._util import require
+from ..core.supervision import InjectedWorkerCrash
+
+__all__ = [
+    "CONNECTION_FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "TRANSPORT_FAULT_KINDS",
+]
+
+#: Faults injected around shard-transport calls.
+TRANSPORT_FAULT_KINDS = ("crash", "slow")
+
+#: Faults injected around gateway connections.
+CONNECTION_FAULT_KINDS = ("drop", "torn")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``shard`` addresses transport faults (which shard's calls count);
+    for connection faults it addresses the accepted-connection index.
+    ``at`` is the 0-based call (or response) index within that scope at
+    which the fault fires; each spec fires exactly once.
+    """
+
+    kind: str
+    shard: int
+    at: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(
+            self.kind in TRANSPORT_FAULT_KINDS + CONNECTION_FAULT_KINDS,
+            f"unknown fault kind {self.kind!r}",
+        )
+        require(self.shard >= 0, "fault scope index must be >= 0")
+        require(self.at >= 0, "fault call index must be >= 0")
+        require(self.seconds >= 0.0, "fault stall must be >= 0 seconds")
+
+
+@dataclass
+class FaultCounters:
+    """How many faults of each kind a plan has actually injected."""
+
+    crashes: int = 0
+    stalls: int = 0
+    drops: int = 0
+    torn_writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "drops": self.drops,
+            "torn_writes": self.torn_writes,
+        }
+
+    @property
+    def total(self) -> int:
+        return self.crashes + self.stalls + self.drops + self.torn_writes
+
+
+class FaultPlan:
+    """A finite, deterministic schedule of injectable faults.
+
+    Thread-safe: transport calls race across shard workers, so the
+    per-scope call counters sit behind one lock.  Specs are indexed by
+    ``(kind-layer, scope, at)`` up front; drawing is O(1) per call.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs = tuple(specs)
+        self.counters = FaultCounters()
+        self._lock = threading.Lock()
+        self._call_counts: Dict[int, int] = {}
+        self._conn_counts: Dict[int, int] = {}
+        self._transport: Dict[Tuple[int, int], FaultSpec] = {}
+        self._connection: Dict[Tuple[int, int], FaultSpec] = {}
+        for spec in self.specs:
+            table = (
+                self._transport
+                if spec.kind in TRANSPORT_FAULT_KINDS
+                else self._connection
+            )
+            table[(spec.shard, spec.at)] = spec
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        n_shards: int,
+        n_faults: int = 4,
+        kinds: Sequence[str] = TRANSPORT_FAULT_KINDS,
+        max_at: int = 8,
+        stall_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded random schedule — the chaos suite's generator.
+
+        Draws *n_faults* specs over *n_shards* scopes with call indices
+        below *max_at*; duplicates on the same ``(scope, at)`` slot are
+        collapsed (last one wins), matching the lookup-table semantics.
+        """
+        require(n_shards >= 1, "n_shards must be >= 1")
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(tuple(kinds))
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    shard=rng.randrange(n_shards),
+                    at=rng.randrange(max_at),
+                    seconds=stall_seconds if kind == "slow" else 0.0,
+                )
+            )
+        return cls(specs)
+
+    # -- drawing -----------------------------------------------------------
+
+    def draw_call(self, shard: int) -> Optional[FaultSpec]:
+        """The fault (if any) scheduled for *shard*'s next transport call."""
+        with self._lock:
+            at = self._call_counts.get(shard, 0)
+            self._call_counts[shard] = at + 1
+            spec = self._transport.pop((shard, at), None)
+            if spec is not None:
+                if spec.kind == "crash":
+                    self.counters.crashes += 1
+                else:
+                    self.counters.stalls += 1
+            return spec
+
+    def draw_response(self, connection: int) -> Optional[FaultSpec]:
+        """The fault (if any) scheduled for *connection*'s next response."""
+        with self._lock:
+            at = self._conn_counts.get(connection, 0)
+            self._conn_counts[connection] = at + 1
+            spec = self._connection.pop((connection, at), None)
+            if spec is not None:
+                if spec.kind == "drop":
+                    self.counters.drops += 1
+                else:
+                    self.counters.torn_writes += 1
+            return spec
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has fired."""
+        with self._lock:
+            return not self._transport and not self._connection
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(specs={len(self.specs)}, "
+            f"injected={self.counters.total})"
+        )

@@ -30,30 +30,80 @@ The wire protocol is one JSON object per line, one JSON object back:
     → invalidation stats (regions kept/evicted, plans dropped).
 ``{"op": "stats"}`` / ``{"op": "ping"}``
     → gateway counters + per-tier latency rollups / liveness.
+
+Failure semantics (see README "Operating under failure"): every error
+reply carries a stable ``code`` from :data:`ERROR_CODES` next to the
+legacy ``error`` string; a request may carry ``deadline_ms`` (or inherit
+the gateway's ``default_deadline_ms``) and is then bounded end to end —
+exhaustion returns ``DEADLINE_EXCEEDED``, never a hang.  Unexpected
+exceptions are logged with traceback and masked as ``INTERNAL``, not
+misreported as client errors.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import logging
+import signal
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
 from .._util import require
-from ..core.distributed import SHARD_EXECUTORS, DistributedEngine, make_transport
+from ..core.distributed import (
+    SHARD_EXECUTORS,
+    SHARD_FAILURE_POLICIES,
+    DistributedEngine,
+    make_transport,
+)
 from ..core.engine import METHODS
-from ..errors import ReproError
+from ..core.supervision import SupervisedTransport, SupervisionPolicy
+from ..errors import DeadlineExceeded, DegradedError, ReproError, ServiceError
 from ..metrics.diskmodel import DiskModel
 from ..storage.index import InvertedIndex
 from ..storage.mutations import Mutation
 from ..storage.sharded import ShardedIndex
 from ..topk.query import Query
+from .deadline import deadline_from_payload
 from .invalidation import invalidate_region_cache
 from .service import QueryService
 from .stats import ServiceStats
 
-__all__ = ["AsyncGateway", "ShardedQueryService", "TokenBucket"]
+__all__ = [
+    "ERROR_CODES",
+    "AsyncGateway",
+    "ShardedQueryService",
+    "TokenBucket",
+    "error_reply",
+]
+
+logger = logging.getLogger(__name__)
+
+#: The stable error taxonomy of the wire protocol.  ``code`` is the field
+#: clients should branch on; the legacy ``error`` string stays for
+#: backwards compatibility and extra human granularity (e.g. both
+#: ``rate_limited`` and ``overloaded`` map to ``OVERLOADED``).
+ERROR_CODES = (
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "DEGRADED",
+    "INTERNAL",
+)
+
+
+def error_reply(
+    code: str, error: str, message: Optional[str] = None, **extra
+) -> Dict:
+    """A structured error response: stable ``code`` + legacy ``error``."""
+    require(code in ERROR_CODES, f"unknown error code {code!r}")
+    reply: Dict = {"ok": False, "code": code, "error": error}
+    if message:
+        reply["message"] = message
+    reply.update(extra)
+    return reply
 
 
 class ShardedQueryService(QueryService):
@@ -78,6 +128,18 @@ class ShardedQueryService(QueryService):
     ``topk_mode`` defaults to ``"matmul"`` here — the fused path is the
     one that shards; TA replays delegate to the embedded unsharded
     oracle either way.
+
+    Fault tolerance is opt-in: pass ``supervision=True`` (default
+    policy) or a :class:`~repro.core.supervision.SupervisionPolicy` to
+    wrap the shard transport in a
+    :class:`~repro.core.supervision.SupervisedTransport` (retries,
+    respawn, circuit breakers), and ``on_shard_failure`` to choose what
+    happens when a shard stays down: ``"oracle"`` recomputes the chunk
+    on the embedded unsharded oracle (exact answers, slower),
+    ``"degraded"`` raises :class:`~repro.errors.DegradedError` so the
+    gateway can return an explicit partial-availability response.
+    *fault_plan* injects deterministic failures (tests/benchmarks) and
+    implies supervision.
     """
 
     def __init__(
@@ -95,20 +157,47 @@ class ShardedQueryService(QueryService):
         topk_mode: str = "matmul",
         batch_window: int = 128,
         reuse: str = "region",
+        on_shard_failure: str = "oracle",
+        supervision: "SupervisionPolicy | bool | None" = None,
+        fault_plan=None,
     ) -> None:
         require(
             shard_executor in SHARD_EXECUTORS,
             f"unknown shard_executor {shard_executor!r}; "
             f"expected one of {SHARD_EXECUTORS}",
         )
+        require(
+            on_shard_failure in SHARD_FAILURE_POLICIES,
+            f"unknown on_shard_failure {on_shard_failure!r}; "
+            f"expected one of {SHARD_FAILURE_POLICIES}",
+        )
         if isinstance(data, ShardedIndex):
             self.sharded = data
         else:
             self.sharded = ShardedIndex(data, n_shards)
         self.shard_executor = shard_executor
-        self._shard_transport = make_transport(
-            self.sharded, shard_executor, max_workers
-        )
+        self.on_shard_failure = on_shard_failure
+        if supervision is True:
+            policy: Optional[SupervisionPolicy] = SupervisionPolicy()
+        elif isinstance(supervision, SupervisionPolicy):
+            policy = supervision
+        else:
+            require(
+                supervision in (None, False),
+                "supervision must be True, False, None or a SupervisionPolicy",
+            )
+            policy = SupervisionPolicy() if fault_plan is not None else None
+        self.supervision_policy = policy
+        self.fault_plan = fault_plan
+        transport = make_transport(self.sharded, shard_executor, max_workers)
+        if policy is not None:
+            transport = SupervisedTransport(
+                transport,
+                self.sharded.n_shards,
+                policy=policy,
+                fault_plan=fault_plan,
+            )
+        self._shard_transport = transport
         super().__init__(
             self.sharded.index,
             method=method,
@@ -140,9 +229,23 @@ class ShardedQueryService(QueryService):
                     shard_executor=self.shard_executor,
                     max_workers=self.max_workers,
                     transport=self._shard_transport,
+                    on_shard_failure=self.on_shard_failure,
                     **self._engine_kwargs(),
                 )
             return engine
+
+    def supervision_snapshot(self) -> Dict:
+        """Supervision counters + breaker states (``{}`` if unsupervised)."""
+        snapshot = getattr(self._shard_transport, "supervision_snapshot", None)
+        if callable(snapshot):
+            out = dict(snapshot())
+            with self._engines_lock:
+                engines = tuple(self._engines.values())
+            out["oracle_failovers"] = sum(
+                getattr(engine, "oracle_failovers", 0) for engine in engines
+            )
+            return out
+        return {}
 
     def apply_mutations(self, batch) -> ServiceStats:
         """Sharded :meth:`QueryService.apply_mutations`.
@@ -252,16 +355,24 @@ class AsyncGateway:
         max_queue: int = 64,
         rate: Optional[float] = None,
         burst: Optional[float] = None,
+        default_deadline_ms: Optional[float] = None,
+        fault_plan=None,
     ) -> None:
         require(k >= 1, "k must be >= 1")
         require(phi >= 0, "phi must be >= 0")
         require(max_concurrent >= 1, "max_concurrent must be >= 1")
         require(max_queue >= 0, "max_queue must be >= 0")
+        require(
+            default_deadline_ms is None or default_deadline_ms > 0,
+            "default_deadline_ms must be > 0",
+        )
         self.service = service
         self.k = int(k)
         self.phi = int(phi)
         self.max_concurrent = int(max_concurrent)
         self.max_queue = int(max_queue)
+        self.default_deadline_ms = default_deadline_ms
+        self.fault_plan = fault_plan
         self.bucket = (
             TokenBucket(rate, burst if burst is not None else max(rate, 1.0))
             if rate is not None
@@ -271,7 +382,10 @@ class AsyncGateway:
         self.n_rejected_rate = 0
         self.n_rejected_load = 0
         self.n_errors = 0
+        self.n_internal = 0
         self._pending = 0
+        self._draining = False
+        self._n_connections = 0
         self._slots: Optional[asyncio.Semaphore] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._client_tasks: set = set()
@@ -280,35 +394,81 @@ class AsyncGateway:
 
     async def handle(self, payload: Dict) -> Dict:
         """Answer one request object; never raises (errors become responses)."""
-        op = payload.get("op", "query")
-        if op == "ping":
-            return {"ok": True, "op": "ping"}
-        if op == "stats":
-            return {"ok": True, "op": "stats", "stats": self.stats_snapshot()}
-        if op == "query":
-            return await self._handle_query(payload)
-        if op == "mutate":
-            return await self._handle_mutate(payload)
-        return {"ok": False, "error": "bad_request", "message": f"unknown op {op!r}"}
+        try:
+            op = payload.get("op", "query")
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                return {"ok": True, "op": "stats", "stats": self.stats_snapshot()}
+            if op == "query":
+                return await self._handle_query(payload)
+            if op == "mutate":
+                return await self._handle_mutate(payload)
+            return error_reply(
+                "BAD_REQUEST", "bad_request", f"unknown op {op!r}"
+            )
+        except Exception:  # noqa: BLE001 — last-resort guard for the wire
+            logger.exception("unexpected error handling %r", payload.get("op"))
+            self.n_internal += 1
+            return error_reply("INTERNAL", "internal", "unexpected server error")
 
     def _admit(self) -> Optional[Dict]:
+        if self._draining:
+            self.n_rejected_load += 1
+            return error_reply(
+                "OVERLOADED", "shutting_down", "gateway is draining"
+            )
         if self.bucket is not None and not self.bucket.try_acquire():
             self.n_rejected_rate += 1
-            return {"ok": False, "error": "rate_limited"}
+            return error_reply("OVERLOADED", "rate_limited")
         if self._pending >= self.max_concurrent + self.max_queue:
             self.n_rejected_load += 1
-            return {"ok": False, "error": "overloaded"}
+            return error_reply("OVERLOADED", "overloaded")
         return None
+
+    def _deadline_reply(self, exc: DeadlineExceeded) -> Dict:
+        self.stats.deadline_hits += 1
+        self.n_errors += 1
+        return error_reply(
+            "DEADLINE_EXCEEDED",
+            "deadline_exceeded",
+            str(exc),
+            budget_ms=round(exc.budget * 1000.0, 3),
+            elapsed_ms=round(exc.elapsed * 1000.0, 3),
+            where=exc.where,
+        )
 
     async def _handle_query(self, payload: Dict) -> Dict:
         rejected = self._admit()
         if rejected is not None:
             return rejected
+        try:
+            deadline = deadline_from_payload(payload, self.default_deadline_ms)
+        except ReproError as exc:
+            self.n_errors += 1
+            return error_reply("BAD_REQUEST", "bad_request", str(exc))
         if self._slots is None:
             self._slots = asyncio.Semaphore(self.max_concurrent)
         self._pending += 1
         try:
-            async with self._slots:
+            try:
+                if deadline is None:
+                    await self._slots.acquire()
+                else:
+                    # Evaluate the remaining budget before creating the
+                    # acquire() coroutine — timeout() raises on an
+                    # already-expired deadline.
+                    timeout = deadline.timeout("queue")
+                    await asyncio.wait_for(self._slots.acquire(), timeout=timeout)
+            except (asyncio.TimeoutError, DeadlineExceeded):
+                # Either the pre-acquire check tripped or the queue wait
+                # burned the rest of the budget.
+                return self._deadline_reply(
+                    DeadlineExceeded(
+                        deadline.budget, deadline.elapsed(), where="queue"
+                    )
+                )
+            try:
                 loop = asyncio.get_running_loop()
                 start = time.perf_counter()
                 try:
@@ -317,15 +477,39 @@ class AsyncGateway:
                     phi = int(payload.get("phi", self.phi))
                     method = payload.get("method")
                     computation, tier = await loop.run_in_executor(
-                        None, self.service.execute_tiered, query, k, phi, method
+                        None,
+                        functools.partial(
+                            self.service.execute_tiered,
+                            query,
+                            k,
+                            phi,
+                            method,
+                            deadline=deadline,
+                        ),
+                    )
+                except DeadlineExceeded as exc:
+                    return self._deadline_reply(exc)
+                except DegradedError as exc:
+                    self.stats.degraded_responses += 1
+                    self.n_errors += 1
+                    return error_reply(
+                        "DEGRADED",
+                        "degraded",
+                        str(exc),
+                        shards_consulted=list(exc.shards_consulted),
+                        failed_shards=list(exc.failed_shards),
+                    )
+                except ServiceError:
+                    # Infrastructure failure that escaped supervision —
+                    # a server-side problem, not a client error.
+                    logger.exception("shard infrastructure failure")
+                    self.n_internal += 1
+                    return error_reply(
+                        "INTERNAL", "internal", "shard infrastructure failure"
                     )
                 except (ReproError, KeyError, TypeError, ValueError) as exc:
                     self.n_errors += 1
-                    return {
-                        "ok": False,
-                        "error": "query_error",
-                        "message": str(exc),
-                    }
+                    return error_reply("BAD_REQUEST", "query_error", str(exc))
                 seconds = time.perf_counter() - start
                 self.stats.record(
                     computation.method,
@@ -335,6 +519,8 @@ class AsyncGateway:
                     tier=tier,
                 )
                 return self._render(computation, tier, seconds)
+            finally:
+                self._slots.release()
         finally:
             self._pending -= 1
 
@@ -350,7 +536,7 @@ class AsyncGateway:
             )
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             self.n_errors += 1
-            return {"ok": False, "error": "mutation_error", "message": str(exc)}
+            return error_reply("BAD_REQUEST", "mutation_error", str(exc))
         self.stats.mutation_batches += stats.mutation_batches
         self.stats.mutations_applied += stats.mutations_applied
         self.stats.regions_kept += stats.regions_kept
@@ -392,6 +578,18 @@ class AsyncGateway:
         }
 
     def stats_snapshot(self) -> Dict:
+        supervision = {}
+        accessor = getattr(self.service, "supervision_snapshot", None)
+        if callable(accessor):
+            supervision = accessor() or {}
+        if supervision:
+            # Mirror the transport-level counters into the ServiceStats
+            # failure block so one snapshot tells the whole story.
+            self.stats.shard_retries = int(supervision.get("retries", 0))
+            self.stats.worker_respawns = int(supervision.get("respawns", 0))
+            self.stats.breaker_transitions = int(
+                supervision.get("breaker_transitions", 0)
+            )
         snapshot = self.stats.as_dict()
         snapshot["tiers"] = self.stats.tier_latencies(include_empty=True)
         snapshot["rejected"] = {
@@ -399,6 +597,9 @@ class AsyncGateway:
             "overloaded": self.n_rejected_load,
         }
         snapshot["errors"] = self.n_errors
+        snapshot["internal_errors"] = self.n_internal
+        if supervision:
+            snapshot["supervision"] = supervision
         return snapshot
 
     # -- TCP server ------------------------------------------------------
@@ -409,6 +610,9 @@ class AsyncGateway:
         task = asyncio.current_task()
         if task is not None:
             self._client_tasks.add(task)
+        connection = self._n_connections
+        self._n_connections += 1
+        n_responses = 0
         try:
             while True:
                 line = await reader.readline()
@@ -421,16 +625,26 @@ class AsyncGateway:
                     if not isinstance(payload, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
-                    response = {
-                        "ok": False,
-                        "error": "bad_request",
-                        "message": str(exc),
-                    }
+                    self.n_errors += 1
+                    response = error_reply("BAD_REQUEST", "bad_request", str(exc))
                 else:
                     response = await self.handle(payload)
-                writer.write(json.dumps(response).encode() + b"\n")
+                data = json.dumps(response).encode() + b"\n"
+                fault = (
+                    self.fault_plan.draw_response(connection)
+                    if self.fault_plan is not None
+                    else None
+                )
+                n_responses += 1
+                if fault is not None and fault.kind == "drop":
+                    break  # connection dies before the reply is written
+                if fault is not None and fault.kind == "torn":
+                    writer.write(data[: max(1, len(data) // 2)])
+                    await writer.drain()
+                    break  # half a reply, then the connection dies
+                writer.write(data)
                 await writer.drain()
-        except ConnectionResetError:
+        except (ConnectionResetError, BrokenPipeError, ConnectionAbortedError):
             pass
         finally:
             if task is not None:
@@ -438,7 +652,11 @@ class AsyncGateway:
             writer.close()
             try:
                 await writer.wait_closed()
-            except ConnectionResetError:
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                ConnectionAbortedError,
+            ):
                 pass
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
@@ -452,6 +670,26 @@ class AsyncGateway:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
+
+    async def shutdown(self, drain_seconds: float = 5.0) -> None:
+        """Graceful stop: refuse new work, drain in-flight, then close.
+
+        The listener closes first (new connections are refused), requests
+        arriving on live connections are shed with a structured
+        ``shutting_down`` error, and in-flight requests get up to
+        *drain_seconds* to complete before :meth:`stop` settles the
+        remaining client tasks.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        drain_until = loop.time() + max(drain_seconds, 0.0)
+        while self._pending > 0 and loop.time() < drain_until:
+            await asyncio.sleep(0.01)
+        await self.stop()
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -515,17 +753,39 @@ def serve(
     service: QueryService,
     host: str = "127.0.0.1",
     port: int = 9736,
+    drain_seconds: float = 5.0,
     **gateway_kwargs,
 ) -> None:
-    """Blocking entry point: serve *service* until interrupted."""
+    """Blocking entry point: serve *service* until interrupted.
+
+    SIGINT/SIGTERM trigger a graceful drain (up to *drain_seconds*):
+    the listener stops accepting, in-flight requests finish, late
+    arrivals on live connections get structured ``shutting_down``
+    errors — no request is ever silently dropped mid-computation.
+    """
     gateway = AsyncGateway(service, **gateway_kwargs)
 
     async def _run() -> None:
         bound_host, bound_port = await gateway.start(host, port)
         print(f"serving on {bound_host}:{bound_port} — {service!r}")
-        await gateway.serve_forever()
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platforms without signal support
+        try:
+            await stop_event.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+        print("draining in-flight requests ...")
+        await gateway.shutdown(drain_seconds)
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
-        pass
+        pass  # fallback when signal handlers could not be installed

@@ -324,7 +324,12 @@ class QueryService:
         return None, "miss"
 
     def execute(
-        self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
     ) -> RegionComputation:
         """Answer one query through the cache tiers (compute on miss).
 
@@ -332,10 +337,15 @@ class QueryService:
         :meth:`apply_mutations` either happens entirely before the
         computation observes the index or entirely after it finishes.
         """
-        return self.execute_tiered(query, k, phi, method)[0]
+        return self.execute_tiered(query, k, phi, method, deadline=deadline)[0]
 
     def execute_tiered(
-        self, query: Query, k: int, phi: int = 0, method: Optional[str] = None
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
     ) -> Tuple[RegionComputation, str]:
         """:meth:`execute` plus the serving tier the answer came from.
 
@@ -343,15 +353,24 @@ class QueryService:
         gateway reports it per response so clients can see whether a
         query touched the engine (and, in the sharded service, any shard)
         at all.
+
+        *deadline* (a :class:`~repro.service.deadline.Deadline`) bounds
+        the request end to end: checked before the cache lookup and
+        propagated into the engine, where shard dispatch and merge
+        barriers enforce it (:class:`~repro.errors.DeadlineExceeded` on
+        exhaustion — a cheap cache hit can still answer inside a nearly
+        spent budget).
         """
         method = self.method if method is None else method
         key = region_cache_key(query, k, phi, method, self.count_reorderings)
         with self._gate.reading():
+            if deadline is not None:
+                deadline.check("admission")
             cached, tier = self._lookup(key, query)
             if cached is not None:
                 return cached, tier
             computation = self.engine_for(method).compute_many(
-                [query], k, phi=phi, topk_mode=self.topk_mode
+                [query], k, phi=phi, topk_mode=self.topk_mode, deadline=deadline
             )[0]
             if self.reuse != "off":
                 self.cache.put(key, computation)

@@ -134,6 +134,14 @@ class ServiceStats:
         survived the Lemma 1 half-space test vs entries invalidated.
     plans_dropped:
         Subspace plans purged because the mutation outdated their epoch.
+    deadline_hits, degraded_responses:
+        Failure-path traffic: requests answered with a structured
+        ``DEADLINE_EXCEEDED`` / ``DEGRADED`` error instead of a result.
+    shard_retries, worker_respawns, breaker_transitions:
+        Supervision activity folded in from the shard transport
+        (:class:`~repro.core.supervision.SupervisedTransport`): shard
+        calls replayed after a failure, worker pools respawned after a
+        death, and circuit-breaker state changes.
     """
 
     records: List[QueryRecord] = field(default_factory=list)
@@ -144,6 +152,11 @@ class ServiceStats:
     regions_kept: int = 0
     regions_evicted: int = 0
     plans_dropped: int = 0
+    deadline_hits: int = 0
+    degraded_responses: int = 0
+    shard_retries: int = 0
+    worker_respawns: int = 0
+    breaker_transitions: int = 0
 
     def record(
         self,
@@ -293,6 +306,13 @@ class ServiceStats:
                 "regions_evicted": self.regions_evicted,
                 "plans_dropped": self.plans_dropped,
             },
+            "failures": {
+                "deadline_hits": self.deadline_hits,
+                "degraded_responses": self.degraded_responses,
+                "shard_retries": self.shard_retries,
+                "worker_respawns": self.worker_respawns,
+                "breaker_transitions": self.breaker_transitions,
+            },
         }
 
     def render(self) -> str:
@@ -319,6 +339,19 @@ class ServiceStats:
                 f"{self.mutation_batches} batch(es); regions kept "
                 f"{self.regions_kept}, evicted {self.regions_evicted}; "
                 f"plans dropped {self.plans_dropped}"
+            )
+        if (
+            self.deadline_hits
+            or self.degraded_responses
+            or self.shard_retries
+            or self.worker_respawns
+            or self.breaker_transitions
+        ):
+            lines.append(
+                f"failures: {self.deadline_hits} deadline hits, "
+                f"{self.degraded_responses} degraded; supervision: "
+                f"{self.shard_retries} retries, {self.worker_respawns} "
+                f"respawns, {self.breaker_transitions} breaker transitions"
             )
         if self.rollups:
             lines.append("")

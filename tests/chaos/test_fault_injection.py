@@ -1,0 +1,274 @@
+"""Chaos property suite: deterministic fault plans against the serving stack.
+
+The contract under every injected failure is *bit-identical answers or a
+structured error* — never a silent wrong answer, never a hang:
+
+* seeded :class:`~repro.service.FaultPlan` schedules (worker crashes,
+  slow shards) replayed against the supervised sharded service must
+  produce answers identical to the fault-free oracle (``"oracle"``
+  failover policy) or an explicit ``DEGRADED`` reply (``"degraded"``);
+* a deadline-bearing request against a stalled shard must return a
+  structured ``DEADLINE_EXCEEDED`` within budget plus a small epsilon;
+* connection faults (dropped/torn responses) must kill at most that one
+  connection — the server keeps answering on the next one;
+* the same plan against the same request sequence injects the same
+  faults (the counters are part of the assertion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, ImmutableRegionEngine, InvertedIndex, Query
+from repro.core.supervision import SupervisionPolicy
+from repro.errors import DegradedError
+from repro.service import AsyncGateway, FaultPlan, FaultSpec, ShardedQueryService
+
+N_SHARDS = 3
+
+
+def make_dataset(n=60, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+QUERIES = [
+    Query([0, 2, 4], [0.7, 0.3, 0.5]),
+    Query([1, 3], [0.9, 0.2]),
+    Query([0, 1, 5], [0.4, 0.6, 0.8]),
+]
+
+FAST_POLICY = SupervisionPolicy(
+    max_retries=1, backoff_base=0.0, failure_threshold=100
+)
+
+
+def make_service(plan=None, policy=FAST_POLICY, **kwargs):
+    kwargs.setdefault("on_shard_failure", "oracle")
+    kwargs.setdefault("reuse", "off")  # every request must touch the shards
+    return ShardedQueryService(
+        make_dataset(),
+        n_shards=N_SHARDS,
+        supervision=policy,
+        fault_plan=plan,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle_answers():
+    engine = ImmutableRegionEngine(InvertedIndex(make_dataset()))
+    computations = engine.compute_many(QUERIES, 5, topk_mode="matmul")
+    return [
+        (
+            c.result.ids,
+            {d: c.immutable_interval(d) for d in c.sequences},
+        )
+        for c in computations
+    ]
+
+
+def answers_of(service, k=5):
+    out = []
+    for query in QUERIES:
+        c = service.execute(query, k)
+        out.append(
+            (c.result.ids, {d: c.immutable_interval(d) for d in c.sequences})
+        )
+    return out
+
+
+class TestChaosProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_crashes_and_stalls_never_change_answers(self, seed, oracle_answers):
+        """Seeded transport faults + oracle failover = bit-identical output."""
+        plan = FaultPlan.sample(
+            seed, N_SHARDS, n_faults=3, stall_seconds=0.005
+        )
+        service = make_service(plan)
+        try:
+            assert answers_of(service) == oracle_answers
+        finally:
+            service.close()
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_plan_injects_the_same_faults(self, seed):
+        """Determinism: same plan + same request sequence → same failures."""
+        counters = []
+        for _ in range(2):
+            plan = FaultPlan.sample(
+                seed, N_SHARDS, n_faults=3, stall_seconds=0.001
+            )
+            service = make_service(plan)
+            try:
+                answers_of(service)
+            finally:
+                service.close()
+            counters.append(plan.counters.as_dict())
+        assert counters[0] == counters[1]
+
+
+class TestFailurePolicies:
+    def test_oracle_failover_counts_and_recovers(self):
+        plan = FaultPlan([FaultSpec("crash", 0, 0)])
+        service = make_service(
+            plan, policy=SupervisionPolicy(max_retries=0, backoff_base=0.0)
+        )
+        try:
+            service.execute(QUERIES[0], 5)
+            snapshot = service.supervision_snapshot()
+            assert snapshot["oracle_failovers"] == 1
+            assert snapshot["respawns"] == 1
+            assert plan.exhausted
+            # The respawned worker serves the next query shard-side.
+            service.execute(QUERIES[1], 5)
+            assert service.supervision_snapshot()["oracle_failovers"] == 1
+        finally:
+            service.close()
+
+    def test_degraded_policy_names_the_failed_shards(self):
+        plan = FaultPlan([FaultSpec("crash", 1, 0)])
+        service = make_service(
+            plan,
+            policy=SupervisionPolicy(max_retries=0, backoff_base=0.0),
+            on_shard_failure="degraded",
+        )
+        try:
+            with pytest.raises(DegradedError) as excinfo:
+                service.execute(QUERIES[0], 5)
+            assert excinfo.value.failed_shards == (1,)
+            assert 1 not in excinfo.value.shards_consulted
+        finally:
+            service.close()
+
+    def test_breaker_opens_under_persistent_failure(self):
+        plan = FaultPlan(
+            [FaultSpec("crash", 0, at) for at in range(6)]
+        )
+        service = make_service(
+            plan,
+            policy=SupervisionPolicy(
+                max_retries=0,
+                backoff_base=0.0,
+                failure_threshold=2,
+                reset_after=60.0,
+            ),
+        )
+        try:
+            for query in QUERIES:
+                service.execute(query, 5)  # oracle keeps answers exact
+            snapshot = service.supervision_snapshot()
+            assert snapshot["breaker_states"][0] == "open"
+            assert snapshot["breaker_transitions"] >= 1
+            assert snapshot["oracle_failovers"] == len(QUERIES)
+        finally:
+            service.close()
+
+
+class TestDeadlineUnderFaults:
+    def test_stalled_shard_returns_within_budget(self):
+        """The acceptance criterion: a 100 ms deadline against a 600 ms
+        stall comes back structured in ~budget, nowhere near the stall."""
+        plan = FaultPlan([FaultSpec("slow", 0, 0, seconds=0.6)])
+        service = make_service(plan)
+        gateway = AsyncGateway(service, k=5)
+        try:
+            start = time.perf_counter()
+            reply = asyncio.run(
+                gateway.handle(
+                    {
+                        "op": "query",
+                        "dims": [0, 2, 4],
+                        "weights": [0.7, 0.3, 0.5],
+                        "deadline_ms": 100,
+                    }
+                )
+            )
+            elapsed = time.perf_counter() - start
+            assert reply["code"] == "DEADLINE_EXCEEDED"
+            assert reply["budget_ms"] == pytest.approx(100.0)
+            assert elapsed < 0.45  # budget + epsilon, not the 0.6 s stall
+            assert gateway.stats.deadline_hits == 1
+        finally:
+            service.close()
+
+    def test_generous_deadline_absorbs_the_stall(self):
+        plan = FaultPlan([FaultSpec("slow", 0, 0, seconds=0.02)])
+        service = make_service(plan)
+        gateway = AsyncGateway(service, k=5)
+        try:
+            reply = asyncio.run(
+                gateway.handle(
+                    {
+                        "op": "query",
+                        "dims": [0, 2, 4],
+                        "weights": [0.7, 0.3, 0.5],
+                        "deadline_ms": 10_000,
+                    }
+                )
+            )
+            assert reply["ok"] and reply["tier"] == "computed"
+        finally:
+            service.close()
+
+
+async def _one_connection(host, port, payload):
+    """Send one request, return (line, eof_before_newline)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        try:
+            line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return b"", True
+        return line, not line.endswith(b"\n")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionResetError:
+            pass
+
+
+class TestConnectionFaults:
+    def test_gateway_survives_dropped_and_torn_responses(self):
+        """Connection faults kill one connection, never the server."""
+        plan = FaultPlan(
+            [FaultSpec("drop", 0, 0), FaultSpec("torn", 1, 0)]
+        )
+        service = make_service()
+        gateway = AsyncGateway(service, k=5, fault_plan=plan)
+
+        async def _run():
+            host, port = await gateway.start("127.0.0.1", 0)
+            try:
+                # Connection 0: response dropped before the write.
+                line, truncated = await _one_connection(host, port, {"op": "ping"})
+                assert line == b"" or truncated
+                # Connection 1: half a response line, then close.
+                line, truncated = await _one_connection(host, port, {"op": "ping"})
+                assert truncated
+                with pytest.raises(json.JSONDecodeError):
+                    json.loads(line or b"{")
+                # Connection 2: the server is still perfectly healthy.
+                line, truncated = await _one_connection(host, port, {"op": "ping"})
+                assert not truncated and json.loads(line)["ok"]
+            finally:
+                await gateway.stop()
+
+        try:
+            asyncio.run(_run())
+            assert plan.counters.drops == 1
+            assert plan.counters.torn_writes == 1
+        finally:
+            service.close()

@@ -1,0 +1,111 @@
+"""Unit tests for per-request deadlines (fake clocks, no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ValidationError
+from repro.service import Deadline, deadline_from_payload
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.elapsed() == 0.0
+        assert deadline.remaining() == 1.0
+        assert not deadline.expired()
+        clock.advance(0.4)
+        assert deadline.elapsed() == pytest.approx(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        clock.advance(0.6)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_location(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        deadline.check("merge")  # within budget: no-op
+        clock.advance(0.5)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("merge")
+        assert excinfo.value.where == "merge"
+        assert excinfo.value.budget == pytest.approx(0.5)
+        assert excinfo.value.elapsed >= 0.5
+
+    def test_timeout_is_remaining_and_never_degenerate(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.timeout() == pytest.approx(1.0)
+        clock.advance(1.0 - 1e-9)
+        assert deadline.timeout() > 0.0  # clamped, not zero
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            deadline.timeout("shard-call")
+
+    def test_budget_validated(self):
+        with pytest.raises(ValidationError):
+            Deadline(0.0)
+        with pytest.raises(ValidationError):
+            Deadline(-1.0)
+
+    def test_after_constructor(self):
+        clock = FakeClock(100.0)
+        deadline = Deadline.after(2.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.remaining() == pytest.approx(1.0)
+
+    def test_start_is_pinned_at_construction(self):
+        """Each layer measures against the same origin — the budget
+        covers the whole request, not each hop."""
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(0.7)
+
+        def inner_layer(d):
+            return d.remaining()
+
+        assert inner_layer(deadline) == pytest.approx(0.3)
+
+
+class TestDeadlineFromPayload:
+    def test_request_field_wins_over_default(self):
+        clock = FakeClock()
+        deadline = deadline_from_payload(
+            {"deadline_ms": 250}, default_ms=1000, clock=clock
+        )
+        assert deadline.budget == pytest.approx(0.25)
+
+    def test_default_applies_when_absent(self):
+        deadline = deadline_from_payload({}, default_ms=1000, clock=FakeClock())
+        assert deadline.budget == pytest.approx(1.0)
+
+    def test_none_when_neither_set(self):
+        assert deadline_from_payload({}) is None
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            deadline_from_payload({"deadline_ms": "soon"})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValidationError):
+            deadline_from_payload({"deadline_ms": 0})
+        with pytest.raises(ValidationError):
+            deadline_from_payload({"deadline_ms": -5})

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import asyncio
+import json
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -18,8 +20,9 @@ from repro import (
     ShardedQueryService,
 )
 from repro.core.distributed import worker_payload
+from repro.core.supervision import SupervisionPolicy
 from repro.errors import ValidationError
-from repro.service import AsyncGateway, TokenBucket
+from repro.service import AsyncGateway, FaultPlan, FaultSpec, TokenBucket
 from repro.service.gateway import run_self_test
 
 
@@ -313,6 +316,158 @@ class TestAsyncGateway:
         finally:
             service.close()
 
+    def test_error_replies_carry_stable_codes(self):
+        """Every error reply has a ``code`` from the stable taxonomy
+        alongside the legacy ``error`` string."""
+        service = make_service()
+        gateway = AsyncGateway(service, k=5, rate=1e-9, burst=1.0)
+        try:
+            unknown = self.run(gateway.handle({"op": "nope"}))
+            assert unknown["code"] == "BAD_REQUEST"
+            malformed = self.run(
+                gateway.handle({"op": "query", "dims": [0], "weights": [2.0]})
+            )
+            assert malformed["code"] == "BAD_REQUEST"
+            assert malformed["error"] == "query_error"
+            self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            shed = self.run(
+                gateway.handle({"op": "query", "dims": [0], "weights": [0.5]})
+            )
+            assert shed["code"] == "OVERLOADED" and shed["error"] == "rate_limited"
+        finally:
+            service.close()
+
+    def test_deadline_exceeded_reply_is_structured(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            reply = self.run(
+                gateway.handle(
+                    {
+                        "op": "query",
+                        "dims": [0, 2, 4],
+                        "weights": [0.7, 0.3, 0.5],
+                        "deadline_ms": 1e-6,
+                    }
+                )
+            )
+            assert reply["code"] == "DEADLINE_EXCEEDED"
+            assert reply["error"] == "deadline_exceeded"
+            assert reply["budget_ms"] >= 0 and reply["elapsed_ms"] >= 0
+            assert gateway.stats.deadline_hits == 1
+            bad = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0], "weights": [0.5], "deadline_ms": "x"}
+                )
+            )
+            assert bad["code"] == "BAD_REQUEST"
+        finally:
+            service.close()
+
+    def test_default_deadline_applies_to_bare_requests(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5, default_deadline_ms=1e-6)
+        try:
+            reply = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            assert reply["code"] == "DEADLINE_EXCEEDED"
+        finally:
+            service.close()
+
+    def test_stats_snapshot_surfaces_failure_counters(self):
+        plan = FaultPlan([FaultSpec("crash", 0, 0)])
+        service = make_service(
+            supervision=SupervisionPolicy(max_retries=1, backoff_base=0.0),
+            fault_plan=plan,
+        )
+        gateway = AsyncGateway(service, k=5)
+        try:
+            reply = self.run(
+                gateway.handle(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                )
+            )
+            assert reply["ok"]  # retry after respawn succeeded
+            snapshot = self.run(gateway.handle({"op": "stats"}))["stats"]
+            assert snapshot["supervision"]["respawns"] == 1
+            assert snapshot["supervision"]["retries"] == 1
+            assert snapshot["failures"]["worker_respawns"] == 1
+            assert snapshot["failures"]["shard_retries"] == 1
+            assert snapshot["internal_errors"] == 0
+        finally:
+            service.close()
+
+
+class TestGatewayShutdown:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_draining_sheds_with_structured_error(self):
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        try:
+            gateway._draining = True
+            response = self.run(
+                gateway.handle({"op": "query", "dims": [0], "weights": [0.5]})
+            )
+            assert response["code"] == "OVERLOADED"
+            assert response["error"] == "shutting_down"
+            assert gateway.n_rejected_load == 1
+        finally:
+            service.close()
+
+    def test_graceful_drain_completes_in_flight_and_refuses_new(self):
+        """Shutdown mid-request: the in-flight request completes, the
+        listener refuses new connections, no client task is left behind."""
+        service = make_service()
+        gateway = AsyncGateway(service, k=5)
+        original = service.execute_tiered
+
+        def slow_execute(*args, **kwargs):
+            time.sleep(0.15)  # keep the request in flight across shutdown
+            return original(*args, **kwargs)
+
+        service.execute_tiered = slow_execute
+
+        async def _run():
+            host, port = await gateway.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                json.dumps(
+                    {"op": "query", "dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            await asyncio.sleep(0.05)  # request reaches the service
+            shut = asyncio.create_task(gateway.shutdown(drain_seconds=5.0))
+            line = await reader.readline()
+            writer.close()  # EOF lets the handler task exit promptly
+            try:
+                await writer.wait_closed()
+            except ConnectionResetError:
+                pass
+            await shut
+            with pytest.raises(OSError):
+                await asyncio.open_connection(host, port)
+            return json.loads(line)
+
+        try:
+            response = self.run(_run())
+            assert response["ok"] and response["tier"] == "computed"
+            assert gateway._pending == 0
+            assert gateway._client_tasks == set()
+            assert gateway._server is None
+        finally:
+            service.close()
+
 
 class TestServerRoundTrip:
     def test_json_lines_over_tcp(self):
@@ -358,3 +513,36 @@ def test_cli_self_test(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "self-test: 2 queries over 3 shard(s)" in out
+
+
+def test_cli_self_test_supervised_surfaces_failure_counters(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "serve",
+            "--family",
+            "kb",
+            "--shards",
+            "3",
+            "--self-test",
+            "2",
+            "--k",
+            "5",
+            "--supervise",
+            "--deadline-ms",
+            "30000",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    snapshot = json.loads(out[out.index("{") :])
+    assert set(snapshot["failures"]) == {
+        "deadline_hits",
+        "degraded_responses",
+        "shard_retries",
+        "worker_respawns",
+        "breaker_transitions",
+    }
+    assert snapshot["supervision"]["breaker_states"] == ["closed"] * 3
+    assert snapshot["supervision"]["open_rejections"] == 0
