@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands:
+Seven subcommands:
 
 ``demo``
     Run the paper's Figure 1 running example and print the region report.
@@ -21,7 +21,21 @@ Five subcommands:
     :class:`~repro.service.ShardedQueryService` over ``--shards``
     row-range shards behind the :class:`~repro.service.AsyncGateway`
     JSON-lines TCP front door; ``--self-test N`` instead runs N sampled
-    queries through an ephemeral server round-trip and exits.
+    queries through an ephemeral server round-trip and exits.  With
+    ``--data-dir`` the stack is durable: recover-on-boot, a fsynced
+    mutation WAL, periodic checksummed snapshots every
+    ``--snapshot-interval`` batches, and a final snapshot on graceful
+    drain.
+``snapshot``
+    Offline snapshot creation: write one checksummed snapshot generation
+    into ``--data-dir`` — of the recovered state when the dir already
+    holds state, else of a freshly generated ``--family`` dataset — so a
+    later ``repro serve --data-dir`` boots from it.
+``recover``
+    Recovery dry run (read-only): print every snapshot generation's
+    checksum verdict, the chosen generation's manifest, the replayable
+    WAL span, and the region-atlas header; exit non-zero when the data
+    dir is unrecoverable.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .bench.harness import ExperimentRunner
@@ -46,9 +61,13 @@ from .datasets.synthetic import generate_correlated
 from .datasets.text import generate_text_corpus
 from .datasets.workloads import sample_queries
 from .core.distributed import SHARD_EXECUTORS, SHARD_FAILURE_POLICIES
+from .errors import RecoveryError
 from .service import EXECUTORS, REUSE_MODES, AsyncGateway, QueryService, ShardedQueryService
 from .service.gateway import run_self_test, serve as serve_gateway
+from .service.recovery import DurabilityManager, has_state
+from .storage.durability import SnapshotStore, WriteAheadLog, read_atlas_info
 from .storage.index import InvertedIndex
+from .storage.sharded import ShardedIndex
 from .topk.query import Query
 
 __all__ = ["main"]
@@ -222,7 +241,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    data, idf = _build_dataset(args.family, args.seed)
+    durability = None
+    recovered = None
+    if args.data_dir is not None:
+        durability = DurabilityManager(
+            args.data_dir, snapshot_interval=args.snapshot_interval
+        )
+        if has_state(args.data_dir):
+            recovered = durability.recover()
+            report = recovered.report
+            print(
+                f"recovered generation {report.chosen_generation} "
+                f"(epoch {report.snapshot_epoch}) + "
+                f"{report.wal_records_replayed} WAL record(s) "
+                f"-> epoch {report.recovered_epoch} "
+                f"in {report.recovery_seconds:.3f} s"
+                + (
+                    f"; rejected {len(report.rejected)} generation(s)"
+                    if report.rejected
+                    else ""
+                )
+            )
+    if recovered is not None:
+        data = recovered.index
+        idf = None
+    else:
+        data, idf = _build_dataset(args.family, args.seed)
     service = ShardedQueryService(
         data,
         n_shards=args.shards,
@@ -232,7 +276,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reuse=args.reuse,
         on_shard_failure=args.on_shard_failure,
         supervision=True if args.supervise else None,
+        durability=durability,
     )
+    if durability is not None:
+        if recovered is not None:
+            loaded, skipped = durability.load_atlas_into(
+                service.cache, service.index.dataset
+            )
+            if loaded:
+                print(f"region atlas: {loaded} warm region(s) reloaded")
+            elif skipped != "no atlas on disk":
+                print(f"region atlas skipped: {skipped}")
+        else:
+            # Fresh data dir: persist generation 1 before serving, so a
+            # crash before the first periodic snapshot still recovers.
+            service.snapshot_now()
     gateway_kwargs = dict(
         k=args.k,
         phi=args.phi,
@@ -242,7 +300,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.self_test is not None:
         workload = sample_queries(
-            data,
+            service.index.dataset,
             qlen=args.qlen,
             n_queries=args.self_test,
             seed=args.seed,
@@ -277,6 +335,180 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     serve_gateway(service, host=args.host, port=args.port, **gateway_kwargs)
     service.close()
     return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    manager = DurabilityManager(args.data_dir)
+    try:
+        if has_state(args.data_dir):
+            # Re-snapshot the recovered state: compacts the WAL tail into
+            # a fresh generation without standing up the serving stack.
+            state = manager.recover()
+            dataset = state.dataset
+            if state.is_sharded:
+                sharded = state.index
+                path = manager.snapshot(
+                    dataset,
+                    starts=list(sharded.starts),
+                    shard_epochs=list(sharded.shard_epochs),
+                )
+            else:
+                path = manager.snapshot(dataset)
+            source = (
+                f"recovered state (generation {state.report.chosen_generation}"
+                f" + {state.report.wal_records_replayed} WAL record(s))"
+            )
+        else:
+            dataset, _ = _build_dataset(args.family, args.seed)
+            sharded = ShardedIndex(dataset, args.shards)
+            path = manager.snapshot(
+                dataset,
+                starts=list(sharded.starts),
+                shard_epochs=list(sharded.shard_epochs),
+            )
+            source = f"fresh {args.family} dataset ({args.shards} shard(s))"
+    except RecoveryError as exc:
+        print(f"snapshot failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        manager.close()
+    print(
+        f"snapshot of {source} -> {path} "
+        f"(epoch {dataset.epoch}, fingerprint {dataset.fingerprint()[:12]}...)"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recovery dry run: read-only inspection of a data dir."""
+    data_dir = Path(args.data_dir)
+    store = SnapshotStore(data_dir)
+    infos = store.generations(verify=True)
+    records, torn_bytes, rejected_wal = WriteAheadLog.inspect(
+        data_dir / "wal.log"
+    )
+    atlas = None
+    atlas_problem = ""
+    atlas_path = data_dir / "atlas.bin"
+    if atlas_path.exists():
+        try:
+            atlas = read_atlas_info(atlas_path)
+        except RecoveryError as exc:
+            atlas_problem = str(exc)
+
+    chosen = None
+    replayable = 0
+    problem = ""
+    for info in reversed(infos):
+        if not info.valid:
+            continue
+        epoch = int(info.manifest["epoch"])
+        tail = [r for r in records if r.epoch > epoch]
+        expected = epoch
+        gap = False
+        for record in tail:
+            expected += 1
+            if record.epoch != expected:
+                gap = True
+                break
+        if gap:
+            continue
+        chosen = info
+        replayable = len(tail)
+        break
+    if chosen is None:
+        problem = (
+            "no checksum-valid snapshot generation with a contiguous "
+            "WAL span"
+            if infos
+            else "no snapshot generations on disk"
+        )
+
+    payload = {
+        "data_dir": str(data_dir),
+        "recoverable": chosen is not None,
+        "problem": problem,
+        "generations": [
+            {
+                "generation": info.generation,
+                "valid": info.valid,
+                "problem": info.problem,
+                "epoch": (
+                    int(info.manifest["epoch"])
+                    if info.manifest and "epoch" in info.manifest
+                    else None
+                ),
+            }
+            for info in infos
+        ],
+        "chosen": (
+            {
+                "generation": chosen.generation,
+                "manifest": chosen.manifest,
+                "replayable_wal_records": replayable,
+                "recovered_epoch": int(chosen.manifest["epoch"]) + replayable,
+            }
+            if chosen is not None
+            else None
+        ),
+        "wal": {
+            "records": len(records),
+            "span": (
+                [records[0].epoch, records[-1].epoch] if records else None
+            ),
+            "torn_bytes": torn_bytes,
+            "checksum_rejections": rejected_wal,
+        },
+        "atlas": (
+            {
+                "fingerprint": atlas.fingerprint,
+                "epoch": atlas.epoch,
+                "entries": atlas.n_entries,
+            }
+            if atlas is not None
+            else None
+        ),
+        "atlas_problem": atlas_problem,
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0 if chosen is not None else 1
+
+    print(f"data dir: {data_dir}")
+    if not infos:
+        print("no snapshot generations on disk")
+    for info in infos:
+        verdict = "ok" if info.valid else f"REJECTED ({info.problem})"
+        epoch = (
+            info.manifest.get("epoch") if info.manifest is not None else "?"
+        )
+        marker = " <- chosen" if chosen is info else ""
+        print(f"  gen-{info.generation:08d}  epoch {epoch}  {verdict}{marker}")
+    first, last = (
+        (records[0].epoch, records[-1].epoch) if records else (None, None)
+    )
+    print(
+        f"WAL: {len(records)} record(s), span [{first}, {last}], "
+        f"{torn_bytes} torn byte(s)"
+        + (", 1 checksum rejection" if rejected_wal else "")
+    )
+    if atlas is not None:
+        print(
+            f"atlas: {atlas.n_entries} entries at epoch {atlas.epoch} "
+            f"(fingerprint {atlas.fingerprint[:12]}...)"
+        )
+    elif atlas_problem:
+        print(f"atlas: unreadable ({atlas_problem})")
+    if chosen is not None:
+        print(
+            f"recovery would use gen-{chosen.generation:08d} + "
+            f"{replayable} WAL record(s) -> epoch "
+            f"{int(chosen.manifest['epoch']) + replayable}"
+        )
+        return 0
+    print(f"UNRECOVERABLE: {problem}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,7 +656,44 @@ def build_parser() -> argparse.ArgumentParser:
         "embedded unsharded engine, 'degraded' returns an explicit "
         "DEGRADED reply naming the shards consulted",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable state directory: recover on boot, WAL every "
+        "mutation, snapshot periodically and on graceful drain "
+        "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=8,
+        metavar="N",
+        help="with --data-dir: take a snapshot every N acknowledged "
+        "mutation batches (0 disables periodic snapshots; default 8)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="write one checksummed snapshot generation into a data dir",
+    )
+    common(snapshot)
+    snapshot.add_argument("--data-dir", required=True)
+    snapshot.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard fence persisted with a fresh dataset's snapshot",
+    )
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recovery dry run: checksum verdicts, manifest, WAL span",
+    )
+    recover.add_argument("--data-dir", required=True)
+    recover.add_argument("--json", action="store_true", help="emit JSON")
+    recover.set_defaults(handler=_cmd_recover)
     return parser
 
 

@@ -24,6 +24,7 @@ against).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -81,6 +82,7 @@ class Dataset:
         self._compact_cache: Optional[
             Tuple[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]
         ] = None
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -189,6 +191,50 @@ class Dataset:
     def is_mutated(self) -> bool:
         """Whether any mutation batch has been applied."""
         return self._epoch > 0
+
+    def fingerprint(self) -> str:
+        """A stable content fingerprint of the live state (SHA-256 hex).
+
+        Hashes the dimensionality, the row count, and the live CSR
+        column blocks (``csr_arrays``, i.e. with every applied mutation
+        folded in), so two datasets with bit-identical live contents
+        fingerprint identically regardless of how they were built —
+        freshly constructed, mutated incrementally, compacted, or
+        reloaded from a snapshot.  The digest is cached per epoch.
+
+        This is the dataset half of the durable-state keys: snapshot
+        manifests record it to bind artifacts to their contents, and the
+        persisted region atlas is keyed by ``(fingerprint, epoch)`` so
+        warm cache state is only ever reloaded onto the exact dataset
+        version it was computed from (see :mod:`repro.storage.durability`).
+        """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        indptr, indices, values = self.csr_arrays
+        digest = hashlib.sha256()
+        digest.update(f"repro-dataset-v1:{self._n_dims}:{self._n_rows}:".encode())
+        digest.update(np.ascontiguousarray(indptr, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(indices, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+        fingerprint = digest.hexdigest()
+        self._fingerprint_cache = (self._epoch, fingerprint)
+        return fingerprint
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Reset the epoch counter to a recovered value (recovery only).
+
+        A dataset rebuilt from snapshot arrays starts at epoch 0 even
+        though its contents reflect every batch up to the snapshot;
+        recovery (:mod:`repro.service.recovery`) restores the recorded
+        epoch so replayed WAL batches land on exactly the pre-crash
+        version numbers.  Must only be called before any derived
+        structure (index, plans, caches) observes the dataset.
+        """
+        require(int(epoch) >= 0, "epoch must be >= 0")
+        self._epoch = int(epoch)
+        self._fingerprint_cache = None
+        self._compact_cache = None
 
     @property
     def deleted_ids(self) -> frozenset:

@@ -22,6 +22,8 @@ __all__ = [
     "ShardFailure",
     "ShardUnavailable",
     "DegradedError",
+    "RecoveryError",
+    "SimulatedCrash",
 ]
 
 
@@ -108,3 +110,27 @@ class DegradedError(ServiceError):
             f"consulted {list(self.shards_consulted)}"
         )
         super().__init__(detail)
+
+
+class RecoveryError(ServiceError):
+    """Durable state could not be recovered into a provably correct state.
+
+    Raised by the durability layer (:mod:`repro.storage.durability`,
+    :mod:`repro.service.recovery`) when no checksum-valid snapshot
+    generation exists, the WAL replay span has a gap, or a persisted
+    region atlas does not match the live ``(fingerprint, epoch)``.  The
+    contract is fail-closed: corruption yields recovery from an older
+    good generation or this structured error — never a silently wrong
+    serving state.
+    """
+
+
+class SimulatedCrash(Exception):
+    """An injected storage fault 'killed the process' at a write point.
+
+    Deliberately *not* a :class:`ReproError`: a real crash is not a
+    library error and must not be absorbed by ``except ReproError``
+    handlers.  The recovery chaos suite raises it mid-write (torn
+    artifact, crash between fsync and rename), tears the stack down,
+    and asserts the subsequent boot recovers.
+    """

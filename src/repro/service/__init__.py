@@ -21,6 +21,7 @@ from .cache import (
 from .deadline import Deadline, deadline_from_payload
 from .faults import (
     CONNECTION_FAULT_KINDS,
+    STORAGE_FAULT_KINDS,
     TRANSPORT_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
@@ -34,6 +35,12 @@ from .gateway import (
     error_reply,
 )
 from .invalidation import computation_survives, invalidate_region_cache
+from .recovery import (
+    DurabilityManager,
+    RecoveredState,
+    RecoveryReport,
+    has_state,
+)
 from .router import group_by_signature, plan_windows
 from .service import EXECUTORS, REUSE_MODES, BatchResult, QueryService
 from .stats import (
@@ -52,6 +59,7 @@ __all__ = [
     "CacheKey",
     "CacheStats",
     "Deadline",
+    "DurabilityManager",
     "EMPTY_TIER",
     "ERROR_CODES",
     "EXECUTORS",
@@ -62,9 +70,12 @@ __all__ = [
     "QueryRecord",
     "QueryService",
     "REUSE_MODES",
+    "RecoveredState",
+    "RecoveryReport",
     "RegionCache",
     "RegionIndex",
     "ReuseProvenance",
+    "STORAGE_FAULT_KINDS",
     "ServiceStats",
     "ShardedQueryService",
     "TIERS",
@@ -74,6 +85,7 @@ __all__ = [
     "error_reply",
     "computation_survives",
     "group_by_signature",
+    "has_state",
     "invalidate_region_cache",
     "percentile",
     "plan_windows",

@@ -13,14 +13,27 @@ misbehaviour, injectable at two layers:
   :class:`~repro.service.gateway.AsyncGateway` around responses: a
   ``drop`` closes the client connection without writing, a ``torn``
   writes a prefix of the response line and then closes — the torn-write
-  case clients must survive and the server must not trip over.
+  case clients must survive and the server must not trip over;
+* **storage faults** (``"torn_write"``, ``"flip_byte"``,
+  ``"missing_artifact"``, ``"crash_rename"``) fire inside the
+  durability layer (:mod:`repro.storage.durability`) around WAL appends
+  and snapshot/atlas writes: a ``torn_write`` persists a prefix of the
+  bytes and raises :class:`~repro.errors.SimulatedCrash`, a
+  ``flip_byte`` corrupts one byte of what lands on disk (bit rot the
+  checksums must catch), a ``missing_artifact`` deletes the artifact
+  after its manifest is published, and a ``crash_rename`` completes the
+  temp write and fsync but "crashes" before the rename.  The ``shard``
+  field addresses the storage *scope* (``0`` WAL, ``1`` snapshots,
+  ``2`` atlas) and ``at`` the write-operation index within it.
 
 Determinism is the point: each spec is addressed by a *per-scope call
 index* (calls are counted per shard for transport faults, per accepted
-connection for connection faults), so the same plan injected into the
-same request sequence produces the same failures — the chaos property
-suite (``tests/chaos/``) replays a seeded plan against the fault-free
-oracle and asserts bit-identical answers or structured errors.
+connection for connection faults, per storage scope for storage
+faults), so the same plan injected into the same request sequence
+produces the same failures — the chaos property suites
+(``tests/chaos/``) replay a seeded plan against the fault-free oracle
+and assert bit-identical answers, recovered state, or structured
+errors.
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedWorkerCrash",
+    "STORAGE_FAULT_KINDS",
     "TRANSPORT_FAULT_KINDS",
 ]
 
@@ -47,30 +61,46 @@ TRANSPORT_FAULT_KINDS = ("crash", "slow")
 #: Faults injected around gateway connections.
 CONNECTION_FAULT_KINDS = ("drop", "torn")
 
+#: Faults injected around durable-storage writes (WAL / snapshot / atlas).
+STORAGE_FAULT_KINDS = (
+    "torn_write",
+    "flip_byte",
+    "missing_artifact",
+    "crash_rename",
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
     """One scheduled fault.
 
     ``shard`` addresses transport faults (which shard's calls count);
-    for connection faults it addresses the accepted-connection index.
-    ``at`` is the 0-based call (or response) index within that scope at
-    which the fault fires; each spec fires exactly once.
+    for connection faults it addresses the accepted-connection index,
+    and for storage faults the storage scope (0 WAL, 1 snapshots, 2
+    atlas).  ``at`` is the 0-based call (or response, or storage write)
+    index within that scope at which the fault fires; each spec fires
+    exactly once.  ``at_byte`` picks which byte a ``flip_byte`` fault
+    corrupts (modulo the written length).
     """
 
     kind: str
     shard: int
     at: int
     seconds: float = 0.0
+    at_byte: int = 0
 
     def __post_init__(self) -> None:
         require(
-            self.kind in TRANSPORT_FAULT_KINDS + CONNECTION_FAULT_KINDS,
+            self.kind
+            in TRANSPORT_FAULT_KINDS
+            + CONNECTION_FAULT_KINDS
+            + STORAGE_FAULT_KINDS,
             f"unknown fault kind {self.kind!r}",
         )
         require(self.shard >= 0, "fault scope index must be >= 0")
         require(self.at >= 0, "fault call index must be >= 0")
         require(self.seconds >= 0.0, "fault stall must be >= 0 seconds")
+        require(self.at_byte >= 0, "fault byte offset must be >= 0")
 
 
 @dataclass
@@ -81,6 +111,7 @@ class FaultCounters:
     stalls: int = 0
     drops: int = 0
     torn_writes: int = 0
+    storage_faults: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -88,11 +119,18 @@ class FaultCounters:
             "stalls": self.stalls,
             "drops": self.drops,
             "torn_writes": self.torn_writes,
+            "storage_faults": self.storage_faults,
         }
 
     @property
     def total(self) -> int:
-        return self.crashes + self.stalls + self.drops + self.torn_writes
+        return (
+            self.crashes
+            + self.stalls
+            + self.drops
+            + self.torn_writes
+            + self.storage_faults
+        )
 
 
 class FaultPlan:
@@ -109,14 +147,17 @@ class FaultPlan:
         self._lock = threading.Lock()
         self._call_counts: Dict[int, int] = {}
         self._conn_counts: Dict[int, int] = {}
+        self._storage_counts: Dict[int, int] = {}
         self._transport: Dict[Tuple[int, int], FaultSpec] = {}
         self._connection: Dict[Tuple[int, int], FaultSpec] = {}
+        self._storage: Dict[Tuple[int, int], FaultSpec] = {}
         for spec in self.specs:
-            table = (
-                self._transport
-                if spec.kind in TRANSPORT_FAULT_KINDS
-                else self._connection
-            )
+            if spec.kind in TRANSPORT_FAULT_KINDS:
+                table = self._transport
+            elif spec.kind in CONNECTION_FAULT_KINDS:
+                table = self._connection
+            else:
+                table = self._storage
             table[(spec.shard, spec.at)] = spec
 
     @classmethod
@@ -146,6 +187,7 @@ class FaultPlan:
                     shard=rng.randrange(n_shards),
                     at=rng.randrange(max_at),
                     seconds=stall_seconds if kind == "slow" else 0.0,
+                    at_byte=rng.randrange(256) if kind == "flip_byte" else 0,
                 )
             )
         return cls(specs)
@@ -178,11 +220,31 @@ class FaultPlan:
                     self.counters.torn_writes += 1
             return spec
 
+    def draw_storage(self, scope: int) -> Optional[FaultSpec]:
+        """The fault (if any) scheduled for *scope*'s next storage write.
+
+        Scopes are the durability layer's write streams
+        (:data:`repro.storage.durability.WAL_SCOPE` /
+        ``SNAPSHOT_SCOPE`` / ``ATLAS_SCOPE``); each WAL append, snapshot
+        artifact write, or atlas dump advances its scope's counter.
+        """
+        with self._lock:
+            at = self._storage_counts.get(scope, 0)
+            self._storage_counts[scope] = at + 1
+            spec = self._storage.pop((scope, at), None)
+            if spec is not None:
+                self.counters.storage_faults += 1
+            return spec
+
     @property
     def exhausted(self) -> bool:
         """Whether every scheduled fault has fired."""
         with self._lock:
-            return not self._transport and not self._connection
+            return (
+                not self._transport
+                and not self._connection
+                and not self._storage
+            )
 
     def __repr__(self) -> str:
         return (

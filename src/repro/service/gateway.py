@@ -68,7 +68,7 @@ from ..storage.sharded import ShardedIndex
 from ..topk.query import Query
 from .deadline import deadline_from_payload
 from .invalidation import invalidate_region_cache
-from .service import QueryService
+from .service import QueryService, _coerce_batch
 from .stats import ServiceStats
 
 __all__ = [
@@ -160,6 +160,7 @@ class ShardedQueryService(QueryService):
         on_shard_failure: str = "oracle",
         supervision: "SupervisionPolicy | bool | None" = None,
         fault_plan=None,
+        durability=None,
     ) -> None:
         require(
             shard_executor in SHARD_EXECUTORS,
@@ -211,6 +212,7 @@ class ShardedQueryService(QueryService):
             topk_mode=topk_mode,
             batch_window=batch_window,
             reuse=reuse,
+            durability=durability,
         )
 
     @property
@@ -259,19 +261,33 @@ class ShardedQueryService(QueryService):
         """
         stats = ServiceStats()
         start = time.perf_counter()
+        batch = _coerce_batch(batch)
         with self._gate.writing():
+            if self.durability is not None:
+                self.durability.log(batch, self.index.epoch + 1)
             applied = self.sharded.apply(batch)
             stats.plans_dropped = self.sharded.drop_stale_plans()
             kept, evicted = invalidate_region_cache(
                 self.cache, applied, self.index.dataset
             )
             self._shard_transport.retire()
+            if self.durability is not None and self.durability.note_batch():
+                self._snapshot_locked()
         stats.mutation_batches = 1
         stats.mutations_applied = len(applied)
         stats.regions_kept = kept
         stats.regions_evicted = evicted
         stats.wall_seconds = time.perf_counter() - start
         return stats
+
+    def _snapshot_locked(self) -> None:
+        """Sharded snapshot: also persist the shard fence and epochs."""
+        self.durability.snapshot(
+            self.index.dataset,
+            starts=list(self.sharded.starts),
+            shard_epochs=list(self.sharded.shard_epochs),
+            cache=self.cache,
+        )
 
     def close(self) -> None:
         super().close()
@@ -590,6 +606,26 @@ class AsyncGateway:
             self.stats.breaker_transitions = int(
                 supervision.get("breaker_transitions", 0)
             )
+        durability = {}
+        accessor = getattr(self.service, "durability_counters", None)
+        if callable(accessor):
+            durability = accessor() or {}
+        if durability:
+            # Same mirroring for the durability layer: the counters live
+            # with the WAL/snapshot store, the snapshot reports them.
+            self.stats.snapshots_written = int(
+                durability.get("snapshots_written", 0)
+            )
+            self.stats.wal_records = int(durability.get("wal_records", 0))
+            self.stats.wal_truncations = int(
+                durability.get("wal_truncations", 0)
+            )
+            self.stats.checksum_rejections = int(
+                durability.get("checksum_rejections", 0)
+            )
+            self.stats.recovery_seconds = float(
+                durability.get("recovery_seconds", 0.0)
+            )
         snapshot = self.stats.as_dict()
         snapshot["tiers"] = self.stats.tier_latencies(include_empty=True)
         snapshot["rejected"] = {
@@ -600,6 +636,10 @@ class AsyncGateway:
         snapshot["internal_errors"] = self.n_internal
         if supervision:
             snapshot["supervision"] = supervision
+        if durability:
+            # The full counter set (includes the atlas dump/load counts
+            # the compact ServiceStats block leaves out).
+            snapshot["durability"] = durability
         return snapshot
 
     # -- TCP server ------------------------------------------------------
@@ -761,7 +801,11 @@ def serve(
     SIGINT/SIGTERM trigger a graceful drain (up to *drain_seconds*):
     the listener stops accepting, in-flight requests finish, late
     arrivals on live connections get structured ``shutting_down``
-    errors — no request is ever silently dropped mid-computation.
+    errors — no request is ever silently dropped mid-computation.  A
+    durable service (one with a
+    :class:`~repro.service.recovery.DurabilityManager`) takes one final
+    epoch-consistent snapshot after the drain, so a clean shutdown needs
+    no WAL replay on the next boot.
     """
     gateway = AsyncGateway(service, **gateway_kwargs)
 
@@ -784,6 +828,9 @@ def serve(
                 loop.remove_signal_handler(sig)
         print("draining in-flight requests ...")
         await gateway.shutdown(drain_seconds)
+        if getattr(service, "durability", None) is not None:
+            service.snapshot_now()
+            print("final snapshot flushed")
 
     try:
         asyncio.run(_run())

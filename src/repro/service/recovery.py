@@ -1,0 +1,379 @@
+"""Crash recovery: snapshot + WAL replay + atlas reload, orchestrated.
+
+:mod:`repro.storage.durability` supplies the mechanisms (checksummed
+snapshot generations, the CRC-guarded WAL, the fingerprint-keyed region
+atlas); this module supplies the *policy* that turns them into a
+provably correct boot:
+
+1. walk the snapshot generations newest-first and take the first one
+   whose manifest parses, whose artifacts pass CRC32 **and** SHA-256,
+   and whose rebuilt arrays re-hash to the manifest's content
+   fingerprint — corrupt generations are skipped (counted as checksum
+   rejections) and the previous generation takes over;
+2. replay the WAL span past the chosen snapshot's epoch, in order,
+   through the *same* mutation path the live service uses —
+   :meth:`ShardedIndex.apply` when the manifest records a shard fence,
+   :meth:`InvertedIndex.apply` otherwise — so every replayed mutation
+   lands on the same shard, in the same local coordinates, producing
+   the same epoch stamps as the acknowledged original;
+3. optionally reload the persisted region atlas, but only when its
+   ``(dataset fingerprint, epoch)`` equals the recovered state's — a
+   mismatched atlas is reported and skipped, never partially loaded.
+
+The WAL retention policy makes step 1's fallback lossless: pruning
+after a snapshot keeps the span covering the *previous* retained
+generation, so even when the newest generation is corrupt the older one
+plus the full tail reproduces the exact pre-crash state.  When no
+retained generation is usable, recovery raises a structured
+:class:`~repro.errors.RecoveryError` — never a silently wrong state.
+
+:class:`DurabilityManager` is the runtime face of the same machinery:
+the service logs every acknowledged mutation batch through it (fsynced
+*before* the batch is applied), asks it whether a periodic snapshot is
+due, and hands it the quiescent state — under the writer gate — to
+persist.  ``repro serve --data-dir`` wires it end to end: recover on
+boot, WAL on every mutation, periodic snapshots, one final snapshot on
+graceful drain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .._util import require
+from ..datasets.base import Dataset
+from ..errors import RecoveryError
+from ..storage.durability import (
+    DurabilityCounters,
+    GenerationInfo,
+    SnapshotStore,
+    WriteAheadLog,
+    dump_atlas,
+    load_atlas,
+    read_atlas_info,
+)
+from ..storage.index import InvertedIndex
+from ..storage.sharded import ShardedIndex
+
+__all__ = ["DurabilityManager", "RecoveredState", "RecoveryReport", "has_state"]
+
+
+def has_state(data_dir: "Path | str") -> bool:
+    """Whether *data_dir* holds any prior state worth recovering.
+
+    True when a snapshot generation exists or the WAL holds at least one
+    record.  A magic-only (empty) WAL — what a fresh
+    :class:`DurabilityManager` creates before anything is logged — does
+    not count, so boot sequences may construct the manager first and
+    decide fresh-vs-recover afterwards.
+    """
+    data_dir = Path(data_dir)
+    snapshots = data_dir / "snapshots"
+    if snapshots.is_dir() and any(
+        entry.name.startswith("gen-") for entry in snapshots.iterdir()
+    ):
+        return True
+    wal = data_dir / "wal.log"
+    if not wal.exists():
+        return False
+    records, _, _ = WriteAheadLog.inspect(wal)
+    return bool(records)
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass saw, chose, repaired, and rejected."""
+
+    generations_seen: int = 0
+    #: ``(generation, problem)`` for every rejected generation.
+    rejected: List[Tuple[int, str]] = field(default_factory=list)
+    chosen_generation: Optional[int] = None
+    snapshot_epoch: Optional[int] = None
+    wal_records_replayed: int = 0
+    wal_truncated_bytes: int = 0
+    recovered_epoch: Optional[int] = None
+    atlas_entries: int = 0
+    #: Why the atlas was skipped ("" when it loaded or none existed).
+    atlas_skipped: str = ""
+    recovery_seconds: float = 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "generations_seen": self.generations_seen,
+            "rejected": [list(item) for item in self.rejected],
+            "chosen_generation": self.chosen_generation,
+            "snapshot_epoch": self.snapshot_epoch,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_truncated_bytes": self.wal_truncated_bytes,
+            "recovered_epoch": self.recovered_epoch,
+            "atlas_entries": self.atlas_entries,
+            "atlas_skipped": self.atlas_skipped,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
+
+@dataclass
+class RecoveredState:
+    """The outcome of a successful recovery.
+
+    ``index`` is a :class:`ShardedIndex` when the chosen manifest
+    recorded a shard fence, else a plain :class:`InvertedIndex`; either
+    way its dataset, epoch lineage, and (for shards) per-shard epochs
+    are bit-identical to the pre-crash live state the WAL covers.
+    """
+
+    index: "InvertedIndex | ShardedIndex"
+    report: RecoveryReport
+
+    @property
+    def dataset(self) -> Dataset:
+        return self.index.dataset
+
+    @property
+    def is_sharded(self) -> bool:
+        return isinstance(self.index, ShardedIndex)
+
+
+class DurabilityManager:
+    """One data dir's snapshots, WAL, and atlas behind a single handle.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory holding ``snapshots/``, ``wal.log``, and ``atlas.bin``
+        (created if missing).
+    snapshot_interval:
+        Take a snapshot every this many acknowledged mutation batches
+        (0 disables periodic snapshots; explicit :meth:`snapshot` calls
+        — e.g. the graceful-drain final flush — still work).
+    retain_generations:
+        Snapshot generations kept on disk (>= 1).  The WAL is pruned to
+        the span covering the *oldest retained* generation, so every
+        retained generation remains a complete recovery point.
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` whose storage
+        specs are injected at the write paths (tests only).
+    """
+
+    def __init__(
+        self,
+        data_dir: "Path | str",
+        snapshot_interval: int = 0,
+        retain_generations: int = 2,
+        fault_plan=None,
+    ) -> None:
+        require(snapshot_interval >= 0, "snapshot_interval must be >= 0")
+        require(retain_generations >= 1, "retain_generations must be >= 1")
+        self.data_dir = Path(data_dir)
+        self.snapshot_interval = int(snapshot_interval)
+        self.retain_generations = int(retain_generations)
+        self.fault_plan = fault_plan
+        self.store = SnapshotStore(self.data_dir, fault_plan)
+        self.wal = WriteAheadLog(self.data_dir / "wal.log", fault_plan)
+        self.atlas_path = self.data_dir / "atlas.bin"
+        self._batches_since_snapshot = 0
+        self._counters = DurabilityCounters()
+        self.last_report: Optional[RecoveryReport] = None
+
+    # -- runtime logging ---------------------------------------------------
+
+    def log(self, batch, epoch: int) -> None:
+        """Durably log *batch* as producing *epoch* (fsync before return).
+
+        Called by the service inside its writer gate, *before* the batch
+        is applied: the mutation is acknowledged only once both the log
+        record and the application succeeded.
+        """
+        self.wal.append(batch, epoch)
+
+    def snapshot_due(self) -> bool:
+        """Whether the periodic snapshot interval has elapsed."""
+        if self.snapshot_interval <= 0:
+            return False
+        return self._batches_since_snapshot >= self.snapshot_interval
+
+    def note_batch(self) -> bool:
+        """Count one acknowledged batch; returns whether a snapshot is due."""
+        self._batches_since_snapshot += 1
+        return self.snapshot_due()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(
+        self,
+        dataset: Dataset,
+        *,
+        starts: Optional[List[int]] = None,
+        shard_epochs: Optional[List[int]] = None,
+        cache=None,
+    ) -> Path:
+        """Persist one epoch-consistent snapshot (plus atlas) and prune.
+
+        The caller must hold the state quiescent (the service's writer
+        gate).  After the generation lands: old generations beyond the
+        retention window are deleted, the WAL is pruned to the span
+        covering the oldest retained generation, and — when *cache* is
+        given — the region atlas is dumped keyed by the dataset's
+        current ``(fingerprint, epoch)``.
+        """
+        path = self.store.write(
+            dataset, starts=starts, shard_epochs=shard_epochs
+        )
+        self._batches_since_snapshot = 0
+        self._prune_generations()
+        if cache is not None:
+            self._counters.atlas_dumps += 1
+            dump_atlas(self.atlas_path, cache, dataset, self.fault_plan)
+        return path
+
+    def _prune_generations(self) -> None:
+        infos = self.store.generations(verify=False)
+        excess = infos[: -self.retain_generations] if len(infos) > self.retain_generations else []
+        for info in excess:
+            for entry in sorted(info.path.iterdir()):
+                entry.unlink()
+            info.path.rmdir()
+        retained = self.store.generations(verify=False)
+        if retained:
+            oldest = retained[0]
+            manifest = self.store._verify_generation(
+                oldest.generation, oldest.path
+            )
+            if manifest.valid:
+                assert manifest.manifest is not None
+                self.wal.prune_through(int(manifest.manifest["epoch"]))
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> RecoveredState:
+        """Load the newest good generation, replay the WAL, report.
+
+        Raises :class:`RecoveryError` when no retained generation passes
+        verification (or a usable generation's replay span has a gap) —
+        fail-closed, never a partial state.
+        """
+        start = time.perf_counter()
+        report = RecoveryReport(
+            wal_truncated_bytes=self.wal.truncated_bytes
+        )
+        infos = self.store.generations(verify=True)
+        report.generations_seen = len(infos)
+        chosen: Optional[Tuple[GenerationInfo, Dataset]] = None
+        for info in reversed(infos):
+            if not info.valid:
+                report.rejected.append((info.generation, info.problem))
+                continue
+            try:
+                dataset = self.store.load_dataset(info)
+            except RecoveryError as exc:
+                report.rejected.append((info.generation, str(exc)))
+                continue
+            try:
+                tail = self.wal.records_after(dataset.epoch)
+            except RecoveryError as exc:
+                report.rejected.append((info.generation, str(exc)))
+                continue
+            chosen = (info, dataset)
+            break
+        if chosen is None:
+            raise RecoveryError(
+                f"no recoverable snapshot generation under {self.data_dir} "
+                f"({len(report.rejected)} rejected: {report.rejected})"
+            )
+        info, dataset = chosen
+        assert info.manifest is not None
+        report.chosen_generation = info.generation
+        report.snapshot_epoch = dataset.epoch
+
+        index = self._build_index(dataset, info.manifest)
+        for record in tail:
+            index.apply(record.batch)
+            report.wal_records_replayed += 1
+        report.recovered_epoch = index.epoch
+        report.recovery_seconds = time.perf_counter() - start
+        self._counters.recovery_seconds += report.recovery_seconds
+        self.last_report = report
+        return RecoveredState(index=index, report=report)
+
+    @staticmethod
+    def _build_index(
+        dataset: Dataset, manifest: Dict
+    ) -> "InvertedIndex | ShardedIndex":
+        starts = manifest.get("starts")
+        if starts is None:
+            return InvertedIndex(dataset)
+        boundaries = [int(s) for s in starts] + [dataset.n_tuples]
+        sharded = ShardedIndex(dataset, len(starts), boundaries=boundaries)
+        shard_epochs = manifest.get("shard_epochs")
+        if shard_epochs is not None:
+            require(
+                len(shard_epochs) == sharded.n_shards,
+                "manifest shard_epochs does not match the shard fence",
+            )
+            for shard, epoch in zip(sharded.shards, shard_epochs):
+                shard.index.restore_epoch(int(epoch))
+        return sharded
+
+    def load_atlas_into(self, cache, dataset: Dataset) -> Tuple[int, str]:
+        """Reload the persisted atlas into *cache* when versions match.
+
+        Returns ``(entries_loaded, skip_reason)`` — ``(0, reason)`` when
+        the atlas is absent, corrupt, or keyed to a different
+        ``(fingerprint, epoch)``.  Skipping is safe (the atlas is
+        derived state); loading a mismatch would not be, so that path
+        does not exist.
+        """
+        if not self.atlas_path.exists():
+            return 0, "no atlas on disk"
+        try:
+            loaded = load_atlas(self.atlas_path, cache, dataset)
+        except RecoveryError as exc:
+            self._counters.checksum_rejections += 1
+            return 0, str(exc)
+        self._counters.atlas_loads += 1
+        if self.last_report is not None:
+            self.last_report.atlas_entries = loaded
+        return loaded, ""
+
+    def atlas_info(self):
+        """Header of the persisted atlas, or ``None`` when absent/corrupt."""
+        if not self.atlas_path.exists():
+            return None
+        try:
+            return read_atlas_info(self.atlas_path)
+        except RecoveryError:
+            return None
+
+    # -- accounting --------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Merged durability counters (store + WAL + manager)."""
+        merged = DurabilityCounters()
+        for source in (self.store.counters, self.wal.counters, self._counters):
+            merged.snapshots_written += source.snapshots_written
+            merged.wal_records += source.wal_records
+            merged.wal_truncations += source.wal_truncations
+            merged.checksum_rejections += source.checksum_rejections
+            merged.atlas_dumps += source.atlas_dumps
+            merged.atlas_loads += source.atlas_loads
+            merged.recovery_seconds += source.recovery_seconds
+        return merged.as_dict()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager(dir={str(self.data_dir)!r}, "
+            f"interval={self.snapshot_interval}, "
+            f"retain={self.retain_generations})"
+        )

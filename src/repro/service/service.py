@@ -77,6 +77,7 @@ from ..datasets.base import Dataset
 from ..errors import QueryError
 from ..metrics.diskmodel import DiskModel
 from ..storage.index import InvertedIndex
+from ..storage.mutations import Mutation, MutationBatch
 from ..topk.query import Query
 from .cache import CacheKey, RegionCache, region_cache_key
 from .invalidation import invalidate_region_cache
@@ -100,6 +101,19 @@ REUSE_MODES = ("off", "exact", "region")
 # (pickled once per worker via the initializer) instead of unpickling a
 # shared index per task; module-level functions keep the tasks picklable.
 # ----------------------------------------------------------------------
+
+def _coerce_batch(batch) -> MutationBatch:
+    """Normalise ``apply_mutations`` input to one :class:`MutationBatch`.
+
+    Mirrors the coercion inside :meth:`Dataset.apply`, hoisted up so the
+    WAL logs exactly the batch the index will apply.
+    """
+    if isinstance(batch, MutationBatch):
+        return batch
+    if isinstance(batch, Mutation):
+        return MutationBatch((batch,))
+    return MutationBatch(tuple(batch))
+
 
 _WORKER_STATE: Dict[str, object] = {}
 
@@ -259,6 +273,7 @@ class QueryService:
         topk_mode: str = "ta",
         batch_window: int = 128,
         reuse: str = "region",
+        durability=None,
     ) -> None:
         require(method in METHODS, f"unknown method {method!r}")
         require(executor in EXECUTORS, f"unknown executor {executor!r}")
@@ -285,6 +300,11 @@ class QueryService:
         self._pool: Optional[Executor] = None
         self._dispatch: Optional[ThreadPoolExecutor] = None
         self._gate = _ReadWriteGate()
+        #: Optional :class:`~repro.service.recovery.DurabilityManager`.
+        #: When set, every acknowledged mutation batch is WAL-logged
+        #: (fsynced) before it is applied, and periodic snapshots are
+        #: taken inside the writer gate's quiescent window.
+        self.durability = durability
 
     # ------------------------------------------------------------------
 
@@ -477,7 +497,13 @@ class QueryService:
         """
         stats = ServiceStats()
         start = time.perf_counter()
+        batch = _coerce_batch(batch)
         with self._gate.writing():
+            if self.durability is not None:
+                # Log-before-apply: the batch is durable (fsynced) before
+                # any state changes, so a crash after this point replays
+                # it and a crash before it never acknowledged anything.
+                self.durability.log(batch, self.index.epoch + 1)
             applied = self.index.apply(batch)
             stats.plans_dropped = self.index.plans.drop_stale()
             kept, evicted = invalidate_region_cache(
@@ -486,6 +512,8 @@ class QueryService:
             if self.executor == "process" and self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self.durability is not None and self.durability.note_batch():
+                self._snapshot_locked()
         stats.mutation_batches = 1
         stats.mutations_applied = len(applied)
         stats.regions_kept = kept
@@ -670,6 +698,30 @@ class QueryService:
                 )
         return self._pool
 
+    def _snapshot_locked(self) -> None:
+        """Persist a snapshot; caller holds the writer gate (quiescent)."""
+        self.durability.snapshot(self.index.dataset, cache=self.cache)
+
+    def snapshot_now(self) -> bool:
+        """Take an epoch-consistent snapshot immediately (if durable).
+
+        Drains in-flight query windows (writer gate) first, so the
+        persisted arrays, epoch, and atlas all belong to one version.
+        The graceful-drain path of ``repro serve`` calls this as its
+        final flush.  Returns whether a snapshot was written.
+        """
+        if self.durability is None:
+            return False
+        with self._gate.writing():
+            self._snapshot_locked()
+        return True
+
+    def durability_counters(self) -> Dict[str, float]:
+        """Merged durability counters, or ``{}`` when not durable."""
+        if self.durability is None:
+            return {}
+        return self.durability.counters()
+
     def close(self) -> None:
         """Shut down the worker pools (idempotent; the cache survives)."""
         if self._pool is not None:
@@ -678,6 +730,8 @@ class QueryService:
         if self._dispatch is not None:
             self._dispatch.shutdown(wait=True)
             self._dispatch = None
+        if self.durability is not None:
+            self.durability.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -142,6 +142,14 @@ class ServiceStats:
         (:class:`~repro.core.supervision.SupervisedTransport`): shard
         calls replayed after a failure, worker pools respawned after a
         death, and circuit-breaker state changes.
+    snapshots_written, wal_records, wal_truncations, checksum_rejections,
+    recovery_seconds:
+        Durability activity folded in from the service's
+        :class:`~repro.service.recovery.DurabilityManager` (zero when the
+        service is not durable): snapshot generations persisted, mutation
+        batches WAL-logged, torn WAL tails repaired on open, artifacts or
+        records rejected for checksum/format mismatches, and total time
+        spent in crash recovery.
     """
 
     records: List[QueryRecord] = field(default_factory=list)
@@ -157,6 +165,11 @@ class ServiceStats:
     shard_retries: int = 0
     worker_respawns: int = 0
     breaker_transitions: int = 0
+    snapshots_written: int = 0
+    wal_records: int = 0
+    wal_truncations: int = 0
+    checksum_rejections: int = 0
+    recovery_seconds: float = 0.0
 
     def record(
         self,
@@ -313,6 +326,13 @@ class ServiceStats:
                 "worker_respawns": self.worker_respawns,
                 "breaker_transitions": self.breaker_transitions,
             },
+            "durability": {
+                "snapshots_written": self.snapshots_written,
+                "wal_records": self.wal_records,
+                "wal_truncations": self.wal_truncations,
+                "checksum_rejections": self.checksum_rejections,
+                "recovery_seconds": self.recovery_seconds,
+            },
         }
 
     def render(self) -> str:
@@ -352,6 +372,23 @@ class ServiceStats:
                 f"{self.degraded_responses} degraded; supervision: "
                 f"{self.shard_retries} retries, {self.worker_respawns} "
                 f"respawns, {self.breaker_transitions} breaker transitions"
+            )
+        if (
+            self.snapshots_written
+            or self.wal_records
+            or self.wal_truncations
+            or self.checksum_rejections
+        ):
+            lines.append(
+                f"durability: {self.snapshots_written} snapshots, "
+                f"{self.wal_records} WAL records, "
+                f"{self.wal_truncations} torn tails repaired, "
+                f"{self.checksum_rejections} checksum rejections"
+                + (
+                    f"; recovered in {self.recovery_seconds:.3f} s"
+                    if self.recovery_seconds
+                    else ""
+                )
             )
         if self.rollups:
             lines.append("")

@@ -9,6 +9,17 @@ access.  Both structures report their accesses into
 :class:`~repro.metrics.DiskModel` derives simulated I/O time.
 """
 
+from .durability import (
+    AtlasInfo,
+    DurabilityCounters,
+    GenerationInfo,
+    SnapshotStore,
+    WalRecord,
+    WriteAheadLog,
+    dump_atlas,
+    load_atlas,
+    read_atlas_info,
+)
 from .index import InvertedIndex
 from .inverted_list import InvertedList, ListCursor
 from .mutations import AppliedMutation, Mutation, MutationBatch
@@ -18,6 +29,9 @@ from .tuple_store import TupleStore
 
 __all__ = [
     "AppliedMutation",
+    "AtlasInfo",
+    "DurabilityCounters",
+    "GenerationInfo",
     "IndexShard",
     "InvertedIndex",
     "InvertedList",
@@ -27,7 +41,13 @@ __all__ = [
     "PlanCacheStats",
     "ShardSignatureStats",
     "ShardedIndex",
+    "SnapshotStore",
     "SubspacePlan",
     "SubspacePlanCache",
     "TupleStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "dump_atlas",
+    "load_atlas",
+    "read_atlas_info",
 ]

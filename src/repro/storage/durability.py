@@ -1,0 +1,749 @@
+"""Durable state: checksummed snapshots, a mutation WAL, a region atlas.
+
+Everything the serving stack holds in memory is either *source state*
+(the mutated dataset and its epoch lineage) or *derived state* (inverted
+lists, subspace plans, cached regions).  This module persists the source
+state exactly and the warm region atlas opportunistically, so a crash
+loses neither the mutations the service acknowledged nor — when the
+epochs line up — the cache warmth PR 5 showed is worth an order of
+magnitude of throughput:
+
+* :class:`SnapshotStore` writes epoch-consistent **snapshots** of a
+  dataset (plus the sharded layout, when serving shards): one
+  generation directory holding the CSR arrays and a versioned
+  ``manifest.json`` with per-artifact CRC32 *and* SHA-256 checksums.
+  Every write is atomic — temp name, flush, ``fsync``, rename, ``fsync``
+  of the parent directory — so a generation either exists completely or
+  not at all; a crash mid-write leaves only an ignorable temp.
+* :class:`WriteAheadLog` is an append-only **mutation WAL**: one
+  length-prefixed, CRC32-guarded record per acknowledged
+  :class:`~repro.storage.mutations.MutationBatch`, fsynced before the
+  mutation is applied.  On open the tail is scanned and a torn final
+  record (the signature of a crash mid-append) is truncated at the last
+  valid boundary — reported, never silently absorbed.
+* :func:`dump_atlas` / :func:`load_atlas` persist a
+  :class:`~repro.service.cache.RegionCache`'s anchor computations keyed
+  by ``(dataset fingerprint, epoch)``; an atlas only loads onto the
+  exact dataset version it was computed from, which is what makes every
+  reloaded region hit bit-identical to a fresh compute.
+
+Recovery policy lives one layer up, in :mod:`repro.service.recovery`:
+load the newest checksum-valid generation, replay the WAL span past its
+epoch, fall back to the previous generation when a newer one is corrupt.
+
+The on-disk layout under one *data dir*::
+
+    data-dir/
+      wal.log                      # append-only mutation records
+      atlas.bin                    # optional warm-region dump
+      snapshots/
+        gen-00000001/
+          manifest.json            # format, epoch, fingerprint, checksums
+          dataset.npz              # indptr / indices / values
+        gen-00000002/
+          ...
+
+Storage fault injection (:class:`~repro.service.faults.FaultPlan`
+storage specs) hooks the write paths: torn artifact/record writes,
+post-write byte flips, deleted artifacts, and a crash between ``fsync``
+and ``rename`` are all injectable deterministically, which is what the
+recovery chaos suite (``tests/chaos/test_recovery.py``) drives.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import shutil
+import struct
+import zlib
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._util import require
+from ..datasets.base import Dataset
+from ..errors import RecoveryError, SimulatedCrash
+from .mutations import Mutation, MutationBatch
+
+__all__ = [
+    "AtlasInfo",
+    "DurabilityCounters",
+    "GenerationInfo",
+    "SnapshotStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "dump_atlas",
+    "load_atlas",
+    "read_atlas_info",
+]
+
+#: Manifest / WAL / atlas format tags — bumped on incompatible changes.
+MANIFEST_FORMAT = "repro-snapshot-v1"
+WAL_MAGIC = b"RWAL0001"
+ATLAS_MAGIC = b"RATL0001"
+
+#: Per-record WAL framing: payload length and CRC32 of the payload.
+_RECORD_HEADER = struct.Struct("<II")
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DurabilityCounters:
+    """What the durability layer has done so far (surfaced in stats).
+
+    ``wal_truncations`` counts torn tails cut on WAL open;
+    ``checksum_rejections`` counts artifacts or records rejected for a
+    checksum/format mismatch (snapshot generations skipped during
+    recovery, CRC-bad WAL records, atlas digests that failed).
+    """
+
+    snapshots_written: int = 0
+    wal_records: int = 0
+    wal_truncations: int = 0
+    checksum_rejections: int = 0
+    atlas_dumps: int = 0
+    atlas_loads: int = 0
+    recovery_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "snapshots_written": self.snapshots_written,
+            "wal_records": self.wal_records,
+            "wal_truncations": self.wal_truncations,
+            "checksum_rejections": self.checksum_rejections,
+            "atlas_dumps": self.atlas_dumps,
+            "atlas_loads": self.atlas_loads,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault hooks
+# ----------------------------------------------------------------------
+
+#: Storage-fault scopes (the ``shard`` field of a storage
+#: :class:`~repro.service.faults.FaultSpec` selects one).
+WAL_SCOPE = 0
+SNAPSHOT_SCOPE = 1
+ATLAS_SCOPE = 2
+
+
+def _maybe_fault(fault_plan, scope: int):
+    """The storage fault (if any) scheduled for this write operation."""
+    if fault_plan is None:
+        return None
+    draw = getattr(fault_plan, "draw_storage", None)
+    return draw(scope) if callable(draw) else None
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename inside it is itself durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(
+    path: Path, data: bytes, fault_plan=None, scope: int = SNAPSHOT_SCOPE
+) -> None:
+    """Write *data* to *path* atomically: temp + flush + fsync + rename.
+
+    Injected storage faults fire here: a ``torn_write`` persists only a
+    prefix of the bytes and then raises :class:`SimulatedCrash` (the
+    temp survives under the *final* name, as a real torn sector would);
+    a ``flip_byte`` corrupts one byte before the write; a
+    ``crash_rename`` completes the temp write and fsync but "crashes"
+    before the rename, leaving only the temp file.
+    """
+    fault = _maybe_fault(fault_plan, scope)
+    if fault is not None and fault.kind == "flip_byte":
+        flipped = bytearray(data)
+        if flipped:
+            flipped[fault.at_byte % len(flipped)] ^= 0xFF
+        data = bytes(flipped)
+    tmp = path.with_name(f".tmp-{path.name}")
+    if fault is not None and fault.kind == "torn_write":
+        # A torn write lands under the final name: the crash happened
+        # mid-write *after* an (unwise but possible) in-place create, or
+        # the rename happened but the tail sectors never hit the platter.
+        with open(path, "wb") as handle:
+            handle.write(data[: max(1, len(data) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+        raise SimulatedCrash(f"torn write of {path.name}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if fault is not None and fault.kind == "crash_rename":
+        raise SimulatedCrash(f"crash before rename of {path.name}")
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    if fault is not None and fault.kind == "missing_artifact":
+        os.unlink(path)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation batch and the epoch its application produces."""
+
+    epoch: int
+    batch: MutationBatch
+
+
+def _encode_record(record: WalRecord) -> bytes:
+    """Length-prefixed, CRC32-guarded frame of one WAL record.
+
+    The payload is a pickle of ``(epoch, mutation tuples)`` — primitive
+    ints/floats/strings only, so the encoding is stable across runs and
+    the float values round-trip bit-exactly.
+    """
+    rows = tuple(
+        (m.kind, m.tuple_id, m.dims, m.values) for m in record.batch
+    )
+    payload = pickle.dumps((int(record.epoch), rows), protocol=4)
+    return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    epoch, rows = pickle.loads(payload)
+    mutations = tuple(
+        Mutation(kind=kind, tuple_id=tuple_id, dims=dims, values=values)
+        for kind, tuple_id, dims, values in rows
+    )
+    return WalRecord(epoch=int(epoch), batch=MutationBatch(mutations))
+
+
+class WriteAheadLog:
+    """Append-only, CRC-guarded mutation log with torn-tail repair.
+
+    Opening the log scans every record: a frame whose length prefix runs
+    past end-of-file or whose CRC32 does not match marks the start of a
+    *torn tail* — everything from that offset on is truncated (a crash
+    mid-append can only corrupt the suffix; an acknowledged record was
+    fsynced whole).  Bytes dropped and the truncation count are exposed
+    so recovery reports the repair instead of absorbing it silently.
+
+    :meth:`append` frames, writes, flushes, and ``fsync``\\ s before
+    returning — the service acknowledges a mutation only after its
+    record is durable.
+    """
+
+    def __init__(self, path: "Path | str", fault_plan=None) -> None:
+        self.path = Path(path)
+        self.fault_plan = fault_plan
+        self.counters = DurabilityCounters()
+        self.truncated_bytes = 0
+        self._records: List[WalRecord] = []
+        self._handle: Optional[io.BufferedWriter] = None
+        self._open_and_repair()
+
+    def _open_and_repair(self) -> None:
+        if self.path.exists():
+            raw = self.path.read_bytes()
+        else:
+            raw = b""
+        records, valid_end, rejected = self._scan(raw)
+        self._records = records
+        self.counters.wal_records = len(records)
+        self.counters.checksum_rejections += rejected
+        if valid_end < len(raw):
+            # Torn tail (or a header-only empty file): cut at the last
+            # frame boundary that checked out.
+            self.truncated_bytes = len(raw) - valid_end
+            self.counters.wal_truncations += 1
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        elif not raw:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+
+    @staticmethod
+    def _scan(raw: bytes) -> Tuple[List[WalRecord], int, int]:
+        """Parse *raw*: returns (records, end-of-valid-prefix, rejected).
+
+        ``rejected`` is 1 when the scan stopped at a CRC/format mismatch
+        rather than a clean end (torn length prefixes are expected crash
+        residue; a failed CRC on a complete frame is bit rot and is
+        counted as a checksum rejection as well as truncated).
+        """
+        records: List[WalRecord] = []
+        if not raw.startswith(WAL_MAGIC):
+            return records, 0, 1 if raw else 0
+        offset = len(WAL_MAGIC)
+        while True:
+            header_end = offset + _RECORD_HEADER.size
+            if header_end > len(raw):
+                break  # torn length prefix (or clean EOF)
+            length, crc = _RECORD_HEADER.unpack(raw[offset:header_end])
+            payload_end = header_end + length
+            if payload_end > len(raw):
+                break  # torn payload
+            payload = raw[header_end:payload_end]
+            if zlib.crc32(payload) != crc:
+                return records, offset, 1
+            try:
+                record = _decode_payload(payload)
+            except Exception:
+                return records, offset, 1
+            records.append(record)
+            offset = payload_end
+        return records, offset, 0
+
+    @classmethod
+    def inspect(cls, path: "Path | str") -> Tuple[List[WalRecord], int, int]:
+        """Scan a log *without* repairing it (the dry-run entry point).
+
+        Returns ``(records, torn_bytes, rejected)`` — the valid records,
+        how many trailing bytes a real open would truncate, and whether
+        the scan stopped at a checksum/format mismatch (vs a clean or
+        torn-prefix end).  The file is only read, never modified.
+        """
+        path = Path(path)
+        raw = path.read_bytes() if path.exists() else b""
+        records, valid_end, rejected = cls._scan(raw)
+        return records, len(raw) - valid_end, rejected
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[WalRecord, ...]:
+        """Every valid record currently in the log, in append order."""
+        return tuple(self._records)
+
+    def span(self) -> Tuple[Optional[int], Optional[int]]:
+        """``(first, last)`` logged epochs, or ``(None, None)`` when empty."""
+        if not self._records:
+            return None, None
+        return self._records[0].epoch, self._records[-1].epoch
+
+    def records_after(self, epoch: int) -> List[WalRecord]:
+        """Records with ``record.epoch > epoch`` — the replay span over a
+        snapshot taken at *epoch*.  The span must be contiguous from
+        ``epoch + 1``; a gap means log and snapshots disagree and raises
+        a structured :class:`RecoveryError` instead of replaying into a
+        wrong state.
+        """
+        tail = [r for r in self._records if r.epoch > epoch]
+        expected = int(epoch)
+        for record in tail:
+            expected += 1
+            if record.epoch != expected:
+                raise RecoveryError(
+                    f"WAL gap: expected epoch {expected}, found record for "
+                    f"epoch {record.epoch}"
+                )
+        return tail
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, batch: MutationBatch, epoch: int) -> WalRecord:
+        """Durably log *batch* as producing *epoch*; fsync before returning.
+
+        Epochs must arrive strictly sequentially (each append is the
+        next version), which is what makes the replay span checkable.
+        """
+        require(self._handle is not None, "write-ahead log is closed")
+        last = self._records[-1].epoch if self._records else None
+        if last is not None and int(epoch) != last + 1:
+            raise RecoveryError(
+                f"WAL epochs must be sequential: last logged {last}, "
+                f"appending {epoch}"
+            )
+        record = WalRecord(epoch=int(epoch), batch=batch)
+        data = _encode_record(record)
+        fault = _maybe_fault(self.fault_plan, WAL_SCOPE)
+        if fault is not None and fault.kind == "flip_byte":
+            flipped = bytearray(data)
+            flipped[fault.at_byte % len(flipped)] ^= 0xFF
+            data = bytes(flipped)
+        if fault is not None and fault.kind == "torn_write":
+            self._handle.write(data[: max(1, len(data) // 2)])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise SimulatedCrash("torn WAL append")
+        self._handle.write(data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._records.append(record)
+        self.counters.wal_records += 1
+        return record
+
+    def prune_through(self, epoch: int) -> int:
+        """Atomically drop records with ``record.epoch <= epoch``.
+
+        Called after a snapshot at *epoch* lands: the snapshot now
+        covers those batches, so the log keeps only the replay tail.
+        Returns the number of records dropped.
+        """
+        keep = [r for r in self._records if r.epoch > epoch]
+        dropped = len(self._records) - len(keep)
+        if dropped == 0:
+            return 0
+        data = WAL_MAGIC + b"".join(_encode_record(r) for r in keep)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        _atomic_write(self.path, data, None)
+        self._records = keep
+        self._handle = open(self.path, "ab")
+        return dropped
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        first, last = self.span()
+        return (
+            f"WriteAheadLog(records={len(self._records)}, "
+            f"span=[{first}, {last}])"
+        )
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """One snapshot generation as seen on disk (recovery's unit of work)."""
+
+    generation: int
+    path: Path
+    manifest: Optional[Dict] = None
+    valid: bool = False
+    #: Human-readable reason when ``valid`` is False.
+    problem: str = ""
+
+
+def _checksums(data: bytes) -> Dict[str, object]:
+    return {
+        "bytes": len(data),
+        "crc32": zlib.crc32(data),
+        "sha256": sha256(data).hexdigest(),
+    }
+
+
+def _verify_checksums(data: bytes, recorded: Dict) -> Optional[str]:
+    """``None`` when *data* matches *recorded*, else what diverged."""
+    if len(data) != int(recorded.get("bytes", -1)):
+        return f"size mismatch ({len(data)} != {recorded.get('bytes')})"
+    if zlib.crc32(data) != int(recorded.get("crc32", -1)):
+        return "CRC32 mismatch"
+    if sha256(data).hexdigest() != recorded.get("sha256"):
+        return "SHA-256 mismatch"
+    return None
+
+
+class SnapshotStore:
+    """Versioned, checksummed snapshot generations under one data dir.
+
+    A snapshot captures the *source* state — the live CSR arrays, the
+    epoch, the content fingerprint, and (when serving shards) the shard
+    fence and per-shard epochs.  Derived state (inverted lists, plans)
+    rebuilds lazily after recovery, exactly as it builds lazily in a
+    fresh process.
+
+    Generations are monotonically numbered directories; writes go to a
+    temp directory first and are renamed into place, so a reader never
+    observes a partial generation.  :meth:`generations` lists what is on
+    disk with per-generation checksum verdicts — the recovery layer
+    walks it newest-first and takes the first valid one.
+    """
+
+    def __init__(self, data_dir: "Path | str", fault_plan=None) -> None:
+        self.data_dir = Path(data_dir)
+        self.snapshot_dir = self.data_dir / "snapshots"
+        self.fault_plan = fault_plan
+        self.counters = DurabilityCounters()
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- writing -----------------------------------------------------------
+
+    def write(
+        self,
+        dataset: Dataset,
+        *,
+        starts: Optional[List[int]] = None,
+        shard_epochs: Optional[List[int]] = None,
+    ) -> Path:
+        """Write the next snapshot generation of *dataset*'s live state.
+
+        Must be called with the dataset quiescent (the service holds its
+        writer gate) so the arrays, the epoch, and the shard epochs all
+        belong to one version.  Returns the generation directory.
+        """
+        generation = self._next_generation()
+        final = self.snapshot_dir / f"gen-{generation:08d}"
+        tmp = self.snapshot_dir / f".tmp-gen-{generation:08d}-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)  # residue of a crash mid-write; re-usable
+        tmp.mkdir(parents=True)
+        indptr, indices, values = dataset.csr_arrays
+
+        buffer = io.BytesIO()
+        np.savez(buffer, indptr=indptr, indices=indices, values=values)
+        artifact = buffer.getvalue()
+        _atomic_write(
+            tmp / "dataset.npz", artifact, self.fault_plan, SNAPSHOT_SCOPE
+        )
+
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "generation": generation,
+            "epoch": dataset.epoch,
+            "fingerprint": dataset.fingerprint(),
+            "n_tuples": dataset.n_tuples,
+            "n_dims": dataset.n_dims,
+            "artifacts": {"dataset.npz": _checksums(artifact)},
+        }
+        if starts is not None:
+            manifest["starts"] = [int(s) for s in starts]
+        if shard_epochs is not None:
+            manifest["shard_epochs"] = [int(e) for e in shard_epochs]
+        _atomic_write(
+            tmp / "manifest.json",
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
+            self.fault_plan,
+            SNAPSHOT_SCOPE,
+        )
+
+        fault = _maybe_fault(self.fault_plan, SNAPSHOT_SCOPE)
+        if fault is not None and fault.kind == "crash_rename":
+            raise SimulatedCrash(
+                f"crash before publishing generation {generation}"
+            )
+        os.replace(tmp, final)
+        _fsync_dir(self.snapshot_dir)
+        if fault is not None and fault.kind == "missing_artifact":
+            os.unlink(final / "dataset.npz")
+        self.counters.snapshots_written += 1
+        return final
+
+    def _next_generation(self) -> int:
+        highest = 0
+        for info in self.generations(verify=False):
+            highest = max(highest, info.generation)
+        return highest + 1
+
+    # -- reading -----------------------------------------------------------
+
+    def generations(self, verify: bool = True) -> List[GenerationInfo]:
+        """Snapshot generations on disk, oldest first.
+
+        With *verify* (the default) each generation's manifest is parsed
+        and every artifact's size/CRC32/SHA-256 is checked; rejections
+        are tallied in :attr:`counters`.  Temp directories (crash
+        residue) are ignored.
+        """
+        infos: List[GenerationInfo] = []
+        if not self.snapshot_dir.exists():
+            return infos
+        for entry in sorted(self.snapshot_dir.iterdir()):
+            if not entry.is_dir() or not entry.name.startswith("gen-"):
+                continue
+            try:
+                generation = int(entry.name[len("gen-") :])
+            except ValueError:
+                continue
+            if not verify:
+                infos.append(GenerationInfo(generation, entry))
+                continue
+            infos.append(self._verify_generation(generation, entry))
+        return infos
+
+    def _verify_generation(self, generation: int, path: Path) -> GenerationInfo:
+        manifest_path = path / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_bytes())
+        except (OSError, ValueError) as exc:
+            self.counters.checksum_rejections += 1
+            return GenerationInfo(
+                generation, path, problem=f"unreadable manifest: {exc}"
+            )
+        if manifest.get("format") != MANIFEST_FORMAT:
+            self.counters.checksum_rejections += 1
+            return GenerationInfo(
+                generation,
+                path,
+                manifest=manifest,
+                problem=f"unknown manifest format {manifest.get('format')!r}",
+            )
+        for name, recorded in manifest.get("artifacts", {}).items():
+            artifact_path = path / name
+            try:
+                data = artifact_path.read_bytes()
+            except OSError:
+                self.counters.checksum_rejections += 1
+                return GenerationInfo(
+                    generation,
+                    path,
+                    manifest=manifest,
+                    problem=f"missing artifact {name}",
+                )
+            problem = _verify_checksums(data, recorded)
+            if problem is not None:
+                self.counters.checksum_rejections += 1
+                return GenerationInfo(
+                    generation,
+                    path,
+                    manifest=manifest,
+                    problem=f"{name}: {problem}",
+                )
+        return GenerationInfo(generation, path, manifest=manifest, valid=True)
+
+    def load_dataset(self, info: GenerationInfo) -> Dataset:
+        """Rebuild the dataset of a *verified* generation.
+
+        The rebuilt dataset's epoch is restored to the manifest's and its
+        fingerprint is recomputed and compared — a manifest that passed
+        artifact checksums but disagrees with the arrays' actual content
+        hash (possible only if the manifest itself was tampered with
+        consistently) still fails closed.
+        """
+        require(info.valid, "load_dataset requires a verified generation")
+        assert info.manifest is not None
+        with np.load(info.path / "dataset.npz") as archive:
+            dataset = Dataset(
+                archive["indptr"],
+                archive["indices"],
+                archive["values"],
+                int(info.manifest["n_dims"]),
+            )
+        dataset.restore_epoch(int(info.manifest["epoch"]))
+        if dataset.fingerprint() != info.manifest["fingerprint"]:
+            self.counters.checksum_rejections += 1
+            raise RecoveryError(
+                f"generation {info.generation}: content fingerprint mismatch"
+            )
+        return dataset
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(dir={str(self.snapshot_dir)!r})"
+
+
+# ----------------------------------------------------------------------
+# Region atlas persistence
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtlasInfo:
+    """Header of a persisted region atlas (without loading the entries)."""
+
+    fingerprint: str
+    epoch: int
+    n_entries: int
+
+
+def dump_atlas(path: "Path | str", cache, dataset: Dataset, fault_plan=None) -> int:
+    """Persist *cache*'s anchor computations, keyed to *dataset*'s version.
+
+    Only anchors (entries the engine actually computed; region-tier
+    views are derived and never inserted) are dumped, and only those
+    stamped with the dataset's current epoch — an entry computed under
+    an older epoch survived invalidation sweeps and is still *valid*,
+    but re-keying it would require proving that validity again on load,
+    so the dump stays conservative.  The file is one CRC32+SHA-256
+    guarded pickle written atomically; returns the entry count.
+    """
+    fingerprint = dataset.fingerprint()
+    epoch = dataset.epoch
+    entries = []
+    with cache._lock:
+        for key, computation in cache._entries.items():
+            if getattr(computation, "reuse", None) is not None:
+                continue
+            if getattr(computation, "epoch", None) != epoch:
+                continue
+            entries.append((key, computation))
+    payload = pickle.dumps((fingerprint, int(epoch), entries), protocol=4)
+    header = ATLAS_MAGIC + _RECORD_HEADER.pack(len(payload), zlib.crc32(payload))
+    digest = sha256(payload).digest()
+    _atomic_write(
+        Path(path), header + digest + payload, fault_plan, ATLAS_SCOPE
+    )
+    return len(entries)
+
+
+def _read_atlas(path: Path) -> Tuple[str, int, list]:
+    raw = path.read_bytes()
+    if not raw.startswith(ATLAS_MAGIC):
+        raise RecoveryError("atlas: bad magic")
+    offset = len(ATLAS_MAGIC)
+    length, crc = _RECORD_HEADER.unpack(raw[offset : offset + _RECORD_HEADER.size])
+    offset += _RECORD_HEADER.size
+    digest, payload = raw[offset : offset + 32], raw[offset + 32 :]
+    if len(payload) != length:
+        raise RecoveryError("atlas: truncated payload")
+    if zlib.crc32(payload) != crc:
+        raise RecoveryError("atlas: CRC32 mismatch")
+    if sha256(payload).digest() != digest:
+        raise RecoveryError("atlas: SHA-256 mismatch")
+    fingerprint, epoch, entries = pickle.loads(payload)
+    return fingerprint, int(epoch), entries
+
+
+def read_atlas_info(path: "Path | str") -> AtlasInfo:
+    """Validate an atlas file and return its header (entries discarded)."""
+    fingerprint, epoch, entries = _read_atlas(Path(path))
+    return AtlasInfo(fingerprint=fingerprint, epoch=epoch, n_entries=len(entries))
+
+
+def load_atlas(path: "Path | str", cache, dataset: Dataset) -> int:
+    """Reload a persisted atlas into *cache* — iff the versions match.
+
+    The atlas's ``(fingerprint, epoch)`` must equal the live dataset's;
+    anything else raises a structured :class:`RecoveryError` (loading
+    warm regions onto a different data version would serve answers
+    proven for other data — the one failure mode this layer exists to
+    make impossible).  Entries re-enter through :meth:`RegionCache.put`,
+    which rebuilds the region-index postings, so a reloaded hit takes
+    exactly the live lookup path.  Returns the entry count.
+    """
+    fingerprint, epoch, entries = _read_atlas(Path(path))
+    if fingerprint != dataset.fingerprint():
+        raise RecoveryError(
+            "atlas: dataset fingerprint mismatch (atlas was computed on "
+            "different data)"
+        )
+    if epoch != dataset.epoch:
+        raise RecoveryError(
+            f"atlas: epoch mismatch (atlas at {epoch}, dataset at "
+            f"{dataset.epoch})"
+        )
+    for key, computation in entries:
+        cache.put(key, computation)
+    return len(entries)

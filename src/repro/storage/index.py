@@ -101,6 +101,22 @@ class InvertedIndex:
             self._epoch = self._dataset.epoch
         return applied
 
+    def restore_epoch(self, epoch: int) -> None:
+        """Adopt a recovered epoch (recovery only; see
+        :meth:`~repro.datasets.base.Dataset.restore_epoch`).
+
+        Restores the dataset's epoch and the index's in one step so the
+        lockstep invariant :meth:`apply` checks holds from the first
+        replayed batch.  Must run before any list or plan is built.
+        """
+        with self._build_lock:
+            if self._lists:
+                raise StorageError(
+                    "restore_epoch must run before any inverted list is built"
+                )
+            self._dataset.restore_epoch(epoch)
+            self._epoch = self._dataset.epoch
+
     def refresh(self) -> None:
         """Resynchronise with a dataset that was mutated directly.
 

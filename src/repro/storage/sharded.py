@@ -258,6 +258,15 @@ class ShardedIndex:
         """Per-shard epochs — untouched shards keep theirs across batches."""
         return tuple(shard.epoch for shard in self.shards)
 
+    @property
+    def starts(self) -> Tuple[int, ...]:
+        """Each shard's first global tuple id — the shard fence.
+
+        Together with ``n_tuples`` this is the full row-range layout;
+        snapshots persist it so recovery rebuilds identical shards.
+        """
+        return tuple(self._starts)
+
     def shard_of(self, tuple_id: int) -> int:
         """The shard owning a global tuple id (last shard is open-ended)."""
         tuple_id = int(tuple_id)

@@ -1,0 +1,372 @@
+"""Unit tests for the durability substrate: WAL, snapshots, atlas.
+
+The recovery *policy* (generation fallback, replay, chaos) is covered by
+``tests/chaos/test_recovery.py``; this module pins the mechanisms one
+level down — framing, checksums, torn-tail repair, atomic publication,
+and the fingerprint the whole layer keys on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.errors import RecoveryError, SimulatedCrash, StorageError
+from repro.service import FaultPlan, FaultSpec, RegionCache
+from repro.service.service import QueryService
+from repro.storage.durability import (
+    ATLAS_SCOPE,
+    SNAPSHOT_SCOPE,
+    WAL_MAGIC,
+    WAL_SCOPE,
+    SnapshotStore,
+    WriteAheadLog,
+    dump_atlas,
+    load_atlas,
+    read_atlas_info,
+)
+from repro.storage.index import InvertedIndex
+from repro.storage.mutations import Mutation, MutationBatch
+from repro.topk.query import Query
+
+
+def make_dataset(n=40, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+def batch(i: int) -> MutationBatch:
+    return MutationBatch(
+        (Mutation.update(i % 7, i % 5, 0.25 + 0.01 * i),)
+    )
+
+
+# ----------------------------------------------------------------------
+# Write-ahead log
+# ----------------------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_roundtrip_across_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for i in range(5):
+                wal.append(batch(i), epoch=i + 1)
+        with WriteAheadLog(path) as wal:
+            assert [r.epoch for r in wal.records] == [1, 2, 3, 4, 5]
+            assert wal.truncated_bytes == 0
+            for i, record in enumerate(wal.records):
+                (mutation,) = record.batch
+                assert mutation.kind == "update"
+                assert mutation.tuple_id == i % 7
+                # Bit-exact float round-trip through the frame encoding.
+                assert mutation.values == (0.25 + 0.01 * i,)
+
+    def test_torn_tail_truncated_and_reported(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for i in range(3):
+                wal.append(batch(i), epoch=i + 1)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-7])  # crash mid-append: torn last frame
+        with WriteAheadLog(path) as wal:
+            assert [r.epoch for r in wal.records] == [1, 2]
+            assert wal.truncated_bytes > 0
+            assert wal.counters.wal_truncations == 1
+            # The repaired log accepts the next sequential epoch.
+            wal.append(batch(9), epoch=3)
+        with WriteAheadLog(path) as wal:
+            assert [r.epoch for r in wal.records] == [1, 2, 3]
+
+    def test_crc_flip_counts_checksum_rejection(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(batch(0), epoch=1)
+            wal.append(batch(1), epoch=2)
+        raw = bytearray(path.read_bytes())
+        raw[len(WAL_MAGIC) + 10] ^= 0xFF  # bit rot inside record 1
+        path.write_bytes(bytes(raw))
+        with WriteAheadLog(path) as wal:
+            assert wal.records == ()  # everything from the flip on is cut
+            assert wal.counters.checksum_rejections == 1
+            assert wal.counters.wal_truncations == 1
+
+    def test_non_sequential_epoch_rejected(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            wal.append(batch(0), epoch=1)
+            with pytest.raises(RecoveryError, match="sequential"):
+                wal.append(batch(1), epoch=3)
+
+    def test_records_after_detects_gap(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            wal.append(batch(0), epoch=5)
+            wal.append(batch(1), epoch=6)
+            assert [r.epoch for r in wal.records_after(4)] == [5, 6]
+            assert [r.epoch for r in wal.records_after(5)] == [6]
+            with pytest.raises(RecoveryError, match="gap"):
+                wal.records_after(2)  # records should start at 3
+
+    def test_prune_through(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for i in range(6):
+                wal.append(batch(i), epoch=i + 1)
+            assert wal.prune_through(4) == 4
+            assert [r.epoch for r in wal.records] == [5, 6]
+            wal.append(batch(9), epoch=7)
+        with WriteAheadLog(path) as wal:
+            assert [r.epoch for r in wal.records] == [5, 6, 7]
+
+    def test_inspect_is_read_only(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(batch(0), epoch=1)
+        torn = path.read_bytes()[:-3]
+        path.write_bytes(torn)
+        records, torn_bytes, rejected = WriteAheadLog.inspect(path)
+        assert [r.epoch for r in records] == []
+        assert torn_bytes > 0 and rejected == 0
+        assert path.read_bytes() == torn  # untouched
+
+    def test_torn_write_fault_recovers_prefix(self, tmp_path):
+        path = tmp_path / "wal.log"
+        plan = FaultPlan(
+            [FaultSpec(kind="torn_write", shard=WAL_SCOPE, at=1)]
+        )
+        with WriteAheadLog(path, fault_plan=plan) as wal:
+            wal.append(batch(0), epoch=1)
+            with pytest.raises(SimulatedCrash):
+                wal.append(batch(1), epoch=2)
+        with WriteAheadLog(path) as wal:
+            assert [r.epoch for r in wal.records] == [1]
+            assert wal.counters.wal_truncations == 1
+
+    def test_flip_byte_fault_never_silently_replays(self, tmp_path):
+        path = tmp_path / "wal.log"
+        plan = FaultPlan(
+            [FaultSpec(kind="flip_byte", shard=WAL_SCOPE, at=1, at_byte=13)]
+        )
+        with WriteAheadLog(path, fault_plan=plan) as wal:
+            wal.append(batch(0), epoch=1)
+            wal.append(batch(1), epoch=2)  # corrupted on disk
+            wal.append(batch(2), epoch=3)
+        with WriteAheadLog(path) as wal:
+            # The flipped record fails its CRC; it and everything after
+            # are cut and the cut is reported — a prefix, never garbage.
+            assert [r.epoch for r in wal.records] == [1]
+            assert wal.counters.checksum_rejections == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshot generations
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_write_verify_load_roundtrip(self, tmp_path):
+        dataset = make_dataset()
+        index = InvertedIndex(dataset)
+        index.apply(batch(0))
+        store = SnapshotStore(tmp_path)
+        store.write(dataset, starts=[0, 20], shard_epochs=[3, 4])
+        (info,) = store.generations()
+        assert info.valid and info.generation == 1
+        assert info.manifest["epoch"] == 1
+        assert info.manifest["starts"] == [0, 20]
+        assert info.manifest["shard_epochs"] == [3, 4]
+        loaded = store.load_dataset(info)
+        assert loaded.epoch == dataset.epoch
+        assert loaded.fingerprint() == dataset.fingerprint()
+        for a, b in zip(loaded.csr_arrays, dataset.csr_arrays):
+            assert np.array_equal(a, b)
+
+    def test_generations_are_monotonic(self, tmp_path):
+        dataset = make_dataset()
+        store = SnapshotStore(tmp_path)
+        store.write(dataset)
+        store.write(dataset)
+        assert [i.generation for i in store.generations()] == [1, 2]
+
+    def test_corrupt_artifact_rejected(self, tmp_path):
+        dataset = make_dataset()
+        store = SnapshotStore(tmp_path)
+        path = store.write(dataset)
+        blob = bytearray((path / "dataset.npz").read_bytes())
+        blob[100] ^= 0xFF
+        (path / "dataset.npz").write_bytes(bytes(blob))
+        (info,) = store.generations()
+        assert not info.valid
+        assert "mismatch" in info.problem
+        assert store.counters.checksum_rejections >= 1
+
+    def test_missing_artifact_rejected(self, tmp_path):
+        dataset = make_dataset()
+        store = SnapshotStore(tmp_path)
+        path = store.write(dataset)
+        os.unlink(path / "dataset.npz")
+        (info,) = store.generations()
+        assert not info.valid and "missing artifact" in info.problem
+
+    def test_unknown_format_rejected(self, tmp_path):
+        dataset = make_dataset()
+        store = SnapshotStore(tmp_path)
+        path = store.write(dataset)
+        manifest = json.loads((path / "manifest.json").read_bytes())
+        manifest["format"] = "repro-snapshot-v999"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        (info,) = store.generations()
+        assert not info.valid and "format" in info.problem
+
+    def test_consistent_manifest_tamper_fails_fingerprint(self, tmp_path):
+        # Re-checksum a tampered artifact so the artifact check passes:
+        # the content fingerprint must still fail closed.
+        from repro.storage.durability import _checksums
+
+        dataset = make_dataset()
+        store = SnapshotStore(tmp_path)
+        path = store.write(dataset)
+        other = make_dataset(seed=99)
+        import io
+
+        indptr, indices, values = other.csr_arrays
+        buffer = io.BytesIO()
+        np.savez(buffer, indptr=indptr, indices=indices, values=values)
+        blob = buffer.getvalue()
+        (path / "dataset.npz").write_bytes(blob)
+        manifest = json.loads((path / "manifest.json").read_bytes())
+        manifest["artifacts"]["dataset.npz"] = _checksums(blob)
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        (info,) = store.generations()
+        assert info.valid  # checksums agree with the swapped bytes ...
+        with pytest.raises(RecoveryError, match="fingerprint"):
+            store.load_dataset(info)  # ... but the content hash does not
+
+    def test_crash_rename_leaves_no_generation(self, tmp_path):
+        dataset = make_dataset()
+        plan = FaultPlan(
+            # Artifact and manifest writes each draw once; the publish
+            # rename is the scope's third write operation.
+            [FaultSpec(kind="crash_rename", shard=SNAPSHOT_SCOPE, at=2)]
+        )
+        store = SnapshotStore(tmp_path, fault_plan=plan)
+        with pytest.raises(SimulatedCrash):
+            store.write(dataset)
+        assert store.generations() == []  # only ignorable temp residue
+        clean = SnapshotStore(tmp_path)
+        clean.write(dataset)
+        (info,) = clean.generations()
+        assert info.valid and info.generation == 1
+
+
+# ----------------------------------------------------------------------
+# Dataset fingerprint
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_identical_content(self):
+        a, b = make_dataset(seed=3), make_dataset(seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_with_content_and_epoch(self):
+        dataset = make_dataset()
+        before = dataset.fingerprint()
+        InvertedIndex(dataset).apply(batch(0))
+        after = dataset.fingerprint()
+        assert before != after
+
+    def test_restore_epoch_preserves_content_hash(self):
+        a, b = make_dataset(seed=5), make_dataset(seed=5)
+        b.restore_epoch(9)
+        assert a.fingerprint() == b.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Region atlas
+# ----------------------------------------------------------------------
+
+
+def warm_cache(dataset):
+    service = QueryService(InvertedIndex(dataset), executor="sequential")
+    queries = [Query([0, 2], [0.7, 0.4]), Query([1, 3], [0.5, 0.9])]
+    for query in queries:
+        service.execute(query, k=3)
+    return service, queries
+
+
+class TestAtlas:
+    def test_roundtrip_bit_identical(self, tmp_path):
+        dataset = make_dataset()
+        service, queries = warm_cache(dataset)
+        originals = [service.execute(q, k=3) for q in queries]
+        path = tmp_path / "atlas.bin"
+        n = dump_atlas(path, service.cache, dataset)
+        assert n == 2
+        info = read_atlas_info(path)
+        assert info.n_entries == 2
+        assert info.fingerprint == dataset.fingerprint()
+
+        fresh = RegionCache(64, track_regions=True)
+        assert load_atlas(path, fresh, dataset) == 2
+        restored = QueryService(
+            InvertedIndex(dataset), executor="sequential"
+        )
+        restored.cache = fresh
+        for query, original in zip(queries, originals):
+            computation, tier = restored.execute_tiered(query, k=3)
+            assert tier == "exact"
+            assert list(computation.result.ids) == list(original.result.ids)
+            assert list(computation.result.scores) == list(
+                original.result.scores
+            )
+            for dim in computation.sequences:
+                assert computation.immutable_interval(
+                    dim
+                ) == original.immutable_interval(dim)
+
+    def test_fingerprint_mismatch_fails_closed(self, tmp_path):
+        dataset = make_dataset()
+        service, _ = warm_cache(dataset)
+        path = tmp_path / "atlas.bin"
+        dump_atlas(path, service.cache, dataset)
+        other = make_dataset(seed=42)
+        with pytest.raises(RecoveryError, match="fingerprint"):
+            load_atlas(path, RegionCache(64), other)
+
+    def test_epoch_mismatch_fails_closed(self, tmp_path):
+        dataset = make_dataset()
+        service, _ = warm_cache(dataset)
+        path = tmp_path / "atlas.bin"
+        dump_atlas(path, service.cache, dataset)
+        # Identical content at a different epoch: the fingerprint agrees,
+        # the version does not — still refused.
+        twin = make_dataset()
+        twin.restore_epoch(dataset.epoch + 1)
+        with pytest.raises(RecoveryError, match="epoch"):
+            load_atlas(path, RegionCache(64), twin)
+
+    def test_corrupt_atlas_rejected(self, tmp_path):
+        dataset = make_dataset()
+        service, _ = warm_cache(dataset)
+        path = tmp_path / "atlas.bin"
+        dump_atlas(path, service.cache, dataset)
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RecoveryError):
+            read_atlas_info(path)
+
+    def test_flip_byte_fault_caught_on_load(self, tmp_path):
+        dataset = make_dataset()
+        service, _ = warm_cache(dataset)
+        path = tmp_path / "atlas.bin"
+        plan = FaultPlan(
+            [FaultSpec(kind="flip_byte", shard=ATLAS_SCOPE, at=0, at_byte=64)]
+        )
+        dump_atlas(path, service.cache, dataset, fault_plan=plan)
+        with pytest.raises(RecoveryError):
+            load_atlas(path, RegionCache(64), dataset)
