@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands:
+Eight subcommands:
 
 ``demo``
     Run the paper's Figure 1 running example and print the region report.
@@ -26,6 +26,14 @@ Seven subcommands:
     mutation WAL, periodic checksummed snapshots every
     ``--snapshot-interval`` batches, and a final snapshot on graceful
     drain.
+``loadtest``
+    Open-loop load harness: build (or load) a timestamped arrival
+    schedule over a slider-drag workload, replay it against an
+    in-process sharded service — or a live gateway via ``--gateway`` —
+    firing each request at its scheduled instant regardless of
+    completion, and report p50/p99/p99.9 and SLO attainment per
+    offered-load step (``BENCH_slo.json``); ``--check`` gates on
+    "p99 < X ms and attainment >= Y" and fails on empty samples.
 ``snapshot``
     Offline snapshot creation: write one checksummed snapshot generation
     into ``--data-dir`` — of the recovered state when the dir already
@@ -42,7 +50,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -334,6 +344,182 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 1 if failed else 0
     serve_gateway(service, host=args.host, port=args.port, **gateway_kwargs)
     service.close()
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .datasets.workloads import slider_drag
+    from .loadgen import (
+        GatewayTarget,
+        InProcessTarget,
+        LoadStep,
+        Schedule,
+        SloGate,
+        build_report,
+        build_schedule,
+        run_replay,
+        sample_update_mutations,
+    )
+    from .service.faults import FaultPlan
+
+    if args.replay is not None:
+        schedule = Schedule.load(args.replay)
+        print(f"loaded replay file {args.replay}: {schedule!r}")
+    else:
+        data, idf = _build_dataset(args.family, args.seed)
+        workload = slider_drag(
+            data,
+            qlen=args.qlen,
+            n_anchors=args.anchors,
+            drags_per_anchor=args.drags,
+            seed=args.seed,
+            cold_fraction=args.cold_fraction,
+            cold_signatures=args.cold_signatures,
+            weight_scheme="idf" if idf is not None else "uniform",
+            idf=idf,
+            min_column_nnz=20,
+        )
+        try:
+            rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        except ValueError:
+            print(f"bad --rates {args.rates!r}", file=sys.stderr)
+            return 2
+        if not rates:
+            print("--rates must name at least one step", file=sys.stderr)
+            return 2
+        steps = [
+            LoadStep(rate=rate, duration=args.duration, process=args.process)
+            for rate in rates
+        ]
+        mutations = (
+            sample_update_mutations(
+                data, n=256, seed=args.seed + 17, scale=args.mutation_scale
+            )
+            if args.mutation_rate > 0
+            else []
+        )
+        schedule = build_schedule(
+            list(workload),
+            steps,
+            seed=args.seed,
+            mutations=mutations,
+            mutation_rate=args.mutation_rate,
+            meta={
+                "family": args.family,
+                "qlen": args.qlen,
+                "workload": workload.description,
+            },
+        )
+        print(f"built schedule: {schedule!r}")
+    if args.replay_out is not None:
+        path = schedule.save(args.replay_out)
+        print(f"wrote replay file {path}")
+        if args.plan_only:
+            return 0
+
+    fault_plan = None
+    if args.faults > 0:
+        fault_plan = FaultPlan.sample(
+            seed=args.seed + 41,
+            n_shards=args.shards,
+            n_faults=args.faults,
+            stall_seconds=args.fault_stall_ms / 1000.0,
+        )
+        print(f"injecting {fault_plan!r}")
+
+    service = None
+    if args.gateway is not None:
+        host, _, port = args.gateway.rpartition(":")
+        try:
+            target = GatewayTarget(
+                host or "127.0.0.1",
+                int(port),
+                k=args.k,
+                phi=args.phi,
+                method=args.method,
+                deadline_ms=args.deadline_ms,
+            )
+        except ValueError:
+            print(f"bad --gateway {args.gateway!r}", file=sys.stderr)
+            return 2
+    else:
+        data, _ = _build_dataset(args.family, args.seed)
+        service = ShardedQueryService(
+            data,
+            n_shards=args.shards,
+            shard_executor=args.shard_executor,
+            method=args.method,
+            backend=args.backend,
+            reuse=args.reuse,
+            on_shard_failure=args.on_shard_failure,
+            fault_plan=fault_plan,
+        )
+        target = InProcessTarget(
+            service,
+            k=args.k,
+            phi=args.phi,
+            method=args.method,
+            deadline_ms=args.deadline_ms,
+            max_workers=args.max_workers,
+            max_pending=args.max_pending,
+        )
+
+    start = time.perf_counter()
+    try:
+        outcomes = run_replay(schedule, target, speed=args.speed)
+    finally:
+        if service is not None:
+            service.close()
+    wall = time.perf_counter() - start
+
+    meta = {
+        "bench": "loadtest",
+        "family": args.family,
+        "qlen": args.qlen,
+        "seed": args.seed,
+        "target": args.gateway or f"in-process {args.shards} shard(s)",
+        "reuse": args.reuse,
+        "deadline_ms": args.deadline_ms,
+        "speed": args.speed,
+        "faults": fault_plan.counters.as_dict() if fault_plan else None,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    report = build_report(
+        outcomes, schedule, wall_seconds=wall, seed=args.seed, meta=meta
+    )
+    gate = None
+    payload = report.as_dict()
+    if args.check:
+        gate = SloGate(
+            p99_ms=args.slo_p99_ms,
+            attainment=args.slo_attainment,
+            at_rate=args.slo_at_rate,
+        )
+        passed, failures = gate.evaluate(report.steps)
+        payload["gate"] = gate.as_dict() | {
+            "passed": passed,
+            "failures": failures,
+        }
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(report.render())
+        if args.out is not None:
+            print(f"wrote {args.out}")
+    if gate is not None:
+        passed, failures = gate.evaluate(report.steps)
+        if not passed:
+            for failure in failures:
+                print(f"SLO GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"SLO gate passed: p99 < {gate.p99_ms:g} ms and attainment >= "
+            f"{gate.attainment:.2%} on every gated step"
+        )
     return 0
 
 
@@ -672,6 +858,159 @@ def build_parser() -> argparse.ArgumentParser:
         "mutation batches (0 disables periodic snapshots; default 8)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="open-loop replay load test with tail-latency SLO gates",
+    )
+    common(loadtest)
+    loadtest.add_argument(
+        "--rates",
+        default="100,200",
+        help="comma-separated offered-load steps in queries/second "
+        "(each runs for --duration seconds)",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0, help="seconds per load step"
+    )
+    loadtest.add_argument(
+        "--process",
+        choices=("fixed", "poisson", "bursty"),
+        default="poisson",
+        help="arrival process: deterministic spacing, seeded Poisson, or "
+        "on/off bursts at the same average rate",
+    )
+    loadtest.add_argument(
+        "--anchors", type=int, default=24, help="slider-drag anchor queries"
+    )
+    loadtest.add_argument(
+        "--drags", type=int, default=30, help="drag ticks per anchor"
+    )
+    loadtest.add_argument(
+        "--cold-fraction", type=float, default=0.1, help="cold-traffic rate"
+    )
+    loadtest.add_argument(
+        "--cold-signatures",
+        type=int,
+        default=8,
+        help="recurring cold subspaces (popularity pool)",
+    )
+    loadtest.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.0,
+        help="concurrent mutation stream in mutations/second racing the "
+        "query arrivals (default: read-only)",
+    )
+    loadtest.add_argument(
+        "--mutation-scale",
+        type=float,
+        default=0.05,
+        help="relative size of mutation value nudges",
+    )
+    loadtest.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        help="replay an existing schedule file instead of generating one",
+    )
+    loadtest.add_argument(
+        "--replay-out",
+        type=Path,
+        default=None,
+        help="write the generated schedule to a replay file",
+    )
+    loadtest.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="with --replay-out: write the replay file and exit",
+    )
+    loadtest.add_argument(
+        "--gateway",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive a live `repro serve` gateway over TCP instead of an "
+        "in-process service",
+    )
+    loadtest.add_argument("--shards", type=int, default=4)
+    loadtest.add_argument(
+        "--shard-executor", choices=SHARD_EXECUTORS, default="sequential"
+    )
+    loadtest.add_argument("--reuse", choices=REUSE_MODES, default="region")
+    loadtest.add_argument(
+        "--on-shard-failure", choices=SHARD_FAILURE_POLICIES, default="oracle"
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; exhaustion counts against SLO "
+        "attainment as a deadline hit",
+    )
+    loadtest.add_argument(
+        "--max-workers",
+        type=int,
+        default=16,
+        help="in-process service concurrency (driver thread pool)",
+    )
+    loadtest.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="shed arrivals beyond this many in flight (default: unbounded)",
+    )
+    loadtest.add_argument(
+        "--faults",
+        type=int,
+        default=0,
+        metavar="N",
+        help="inject a seeded FaultPlan of N transport faults "
+        "(crash/slow; implies supervision, in-process target only)",
+    )
+    loadtest.add_argument(
+        "--fault-stall-ms",
+        type=float,
+        default=50.0,
+        help="stall length of injected 'slow' faults",
+    )
+    loadtest.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="time rescale: 2.0 replays twice as fast (doubles every rate)",
+    )
+    loadtest.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_slo.json"),
+        help="SLO report output path",
+    )
+    loadtest.add_argument("--json", action="store_true", help="emit JSON")
+    loadtest.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every gated step meets the SLO "
+        "(empty samples fail — no data is never a perfect p99)",
+    )
+    loadtest.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=100.0,
+        help="gate: p99 end-to-end latency bound in milliseconds",
+    )
+    loadtest.add_argument(
+        "--slo-attainment",
+        type=float,
+        default=0.99,
+        help="gate: minimum fraction of offered queries answered ok",
+    )
+    loadtest.add_argument(
+        "--slo-at-rate",
+        type=float,
+        default=None,
+        help="gate only the step at this offered rate (default: all steps)",
+    )
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     snapshot = sub.add_parser(
         "snapshot",

@@ -1,0 +1,74 @@
+"""Open-loop load generation: replay schedules, driver, SLO report.
+
+Every benchmark before this package was *closed-loop*: the harness waits
+for each answer before issuing the next query, so offered load always
+equals service rate and queueing collapse — the failure mode that
+actually matters at millions of users — is structurally invisible.  This
+package is the open-loop instrument:
+
+* :mod:`~repro.loadgen.schedule` — timestamped arrival schedules
+  (seeded Poisson, bursty on/off, fixed-rate) over the existing
+  :func:`~repro.datasets.workloads.slider_drag` and cold-signature
+  workloads, with an optional concurrent mutation stream, serializable
+  to a replay file;
+* :mod:`~repro.loadgen.driver` — an asyncio driver that fires every
+  request at its scheduled arrival time *regardless of completion*,
+  against an in-process :class:`~repro.service.QueryService` /
+  :class:`~repro.service.ShardedQueryService` or a live
+  :class:`~repro.service.AsyncGateway` over TCP, with per-request
+  deadlines and seeded fault plans;
+* :mod:`~repro.loadgen.report` — streaming latency reservoirs, exact
+  p50/p95/p99/p99.9 per offered-load step, SLO attainment (deadline-hit
+  / degraded / shed rates), and the ``BENCH_slo.json`` payload plus the
+  CI gate (``repro loadtest --check``).
+"""
+
+from .driver import (
+    OUTCOMES,
+    GatewayTarget,
+    InProcessTarget,
+    RequestOutcome,
+    replay,
+    run_replay,
+)
+from .report import (
+    PERCENTILES,
+    LatencyReservoir,
+    SloGate,
+    SloReport,
+    StepReport,
+    build_report,
+)
+from .schedule import (
+    PROCESSES,
+    Arrival,
+    LoadStep,
+    Schedule,
+    build_schedule,
+    mutation_from_spec,
+    mutation_to_spec,
+    sample_update_mutations,
+)
+
+__all__ = [
+    "Arrival",
+    "GatewayTarget",
+    "InProcessTarget",
+    "LatencyReservoir",
+    "LoadStep",
+    "OUTCOMES",
+    "PERCENTILES",
+    "PROCESSES",
+    "RequestOutcome",
+    "Schedule",
+    "SloGate",
+    "SloReport",
+    "StepReport",
+    "build_report",
+    "build_schedule",
+    "mutation_from_spec",
+    "mutation_to_spec",
+    "replay",
+    "run_replay",
+    "sample_update_mutations",
+]

@@ -1,0 +1,336 @@
+"""The open-loop replay driver: fire at schedule time, never wait.
+
+The single property that separates this driver from every closed-loop
+benchmark in ``benchmarks/``: a request is fired when its
+:class:`~repro.loadgen.schedule.Arrival` says so, **regardless of
+whether any previous request has completed**.  Each arrival becomes an
+independent asyncio task; a slow service accumulates in-flight work and
+queueing delay — which the report then measures from the *scheduled*
+arrival instant, so coordinated omission cannot hide collapse.
+
+Two targets:
+
+* :class:`InProcessTarget` — drives a
+  :class:`~repro.service.QueryService` /
+  :class:`~repro.service.ShardedQueryService` directly.  Blocking calls
+  run on a driver-owned thread pool whose size is the service-side
+  concurrency limit; arrivals beyond *max_pending* in-flight requests
+  are shed (the admission-control analogue of the gateway's bounded
+  queue).  Per-request :class:`~repro.service.Deadline` budgets start at
+  fire time, so thread-pool queue delay counts against them.
+* :class:`GatewayTarget` — drives a live
+  :class:`~repro.service.AsyncGateway` over its JSON-lines TCP protocol
+  through a grow-on-demand connection pool (the protocol is sequential
+  per connection, so open-loop concurrency means one connection per
+  in-flight request; idle connections are reused).
+
+Outcomes are structured (:data:`OUTCOMES`): a deadline hit, degraded
+answer, shed, or transport error is a *data point*, never an exception
+out of the replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .._util import require
+from ..errors import DeadlineExceeded, DegradedError
+from ..service.deadline import Deadline
+from ..storage.mutations import Mutation
+from ..topk.query import Query
+from .schedule import Arrival, Schedule
+
+__all__ = [
+    "GatewayTarget",
+    "InProcessTarget",
+    "OUTCOMES",
+    "RequestOutcome",
+    "replay",
+    "run_replay",
+]
+
+#: Structured request outcomes; everything that is not one of the first
+#: four is an ``"error"`` (transport failures, torn responses, bugs).
+OUTCOMES = ("ok", "deadline", "degraded", "shed", "error")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One fired arrival's fate, timed on the driver's monotonic clock."""
+
+    step: int
+    op: str
+    scheduled_at: float
+    fired_at: float
+    completed_at: float
+    outcome: str
+    tier: str = ""
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        require(self.outcome in OUTCOMES, f"unknown outcome {self.outcome!r}")
+
+
+class InProcessTarget:
+    """Replay target wrapping an in-process query service.
+
+    *max_workers* bounds service-side concurrency (the thread pool the
+    blocking ``execute_tiered`` calls run on); *max_pending* bounds
+    admitted-but-unfinished requests — arrivals beyond it are shed
+    immediately, mirroring the gateway's ``OVERLOADED`` behaviour, so an
+    overload run measures shed rate instead of unbounded thread queues.
+    """
+
+    def __init__(
+        self,
+        service,
+        k: int = 10,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        max_workers: int = 16,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        require(max_workers >= 1, "max_workers must be >= 1")
+        require(
+            max_pending is None or max_pending >= 1,
+            "max_pending must be >= 1 when given",
+        )
+        require(
+            deadline_ms is None or deadline_ms > 0, "deadline_ms must be > 0"
+        )
+        self.service = service
+        self.k = int(k)
+        self.phi = int(phi)
+        self.method = method
+        self.deadline_ms = deadline_ms
+        self.max_pending = max_pending
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-loadgen"
+        )
+        self._pending = 0
+
+    async def query(self, query: Query) -> Tuple[str, str, str]:
+        """``(outcome, tier, detail)`` for one query arrival."""
+        if self.max_pending is not None and self._pending >= self.max_pending:
+            return "shed", "", "max_pending"
+        self._pending += 1
+        try:
+            deadline = (
+                Deadline(self.deadline_ms / 1000.0)
+                if self.deadline_ms is not None
+                else None
+            )
+            loop = asyncio.get_running_loop()
+            try:
+                _, tier = await loop.run_in_executor(
+                    self._pool,
+                    functools.partial(
+                        self.service.execute_tiered,
+                        query,
+                        self.k,
+                        self.phi,
+                        self.method,
+                        deadline=deadline,
+                    ),
+                )
+                return "ok", tier, ""
+            except DeadlineExceeded as exc:
+                return "deadline", "", exc.where
+            except DegradedError as exc:
+                return "degraded", "", str(exc)
+            except Exception as exc:  # noqa: BLE001 — outcomes, not raises
+                return "error", "", f"{type(exc).__name__}: {exc}"
+        finally:
+            self._pending -= 1
+
+    async def mutate(self, mutation: Mutation) -> Tuple[str, str]:
+        """``(outcome, detail)`` for one mutation arrival."""
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                self._pool, self.service.apply_mutations, [mutation]
+            )
+            return "ok", ""
+        except Exception as exc:  # noqa: BLE001
+            return "error", f"{type(exc).__name__}: {exc}"
+
+    async def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class GatewayTarget:
+    """Replay target speaking the gateway's JSON-lines TCP protocol.
+
+    Connections are pooled and grow on demand: a firing request reuses
+    an idle connection or opens a new one, so the driver never waits on
+    another request's completion (open-loop), and the steady-state pool
+    size converges to the peak in-flight count.  A dead or torn
+    connection is discarded and surfaces as a structured outcome.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        k: Optional[int] = None,
+        phi: Optional[int] = None,
+        method: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.k = k
+        self.phi = phi
+        self.method = method
+        self.deadline_ms = deadline_ms
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self.connections_opened = 0
+
+    async def _request(self, payload: Dict) -> Dict:
+        if self._idle:
+            reader, writer = self._idle.pop()
+        else:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            self.connections_opened += 1
+        try:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("connection closed before reply")
+            reply = json.loads(line)
+        except Exception:
+            writer.close()
+            raise
+        self._idle.append((reader, writer))
+        return reply
+
+    @staticmethod
+    def _classify(reply: Dict) -> Tuple[str, str, str]:
+        if reply.get("ok"):
+            return "ok", str(reply.get("tier", "")), ""
+        code = reply.get("code", "")
+        detail = str(reply.get("error", code))
+        if code == "DEADLINE_EXCEEDED":
+            return "deadline", "", detail
+        if code == "DEGRADED":
+            return "degraded", "", detail
+        if code == "OVERLOADED":
+            return "shed", "", detail
+        return "error", "", detail
+
+    async def query(self, query: Query) -> Tuple[str, str, str]:
+        payload: Dict = {
+            "op": "query",
+            "dims": [int(d) for d in query.dims],
+            "weights": [float(w) for w in query.weights],
+        }
+        if self.k is not None:
+            payload["k"] = int(self.k)
+        if self.phi is not None:
+            payload["phi"] = int(self.phi)
+        if self.method is not None:
+            payload["method"] = self.method
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = float(self.deadline_ms)
+        try:
+            return self._classify(await self._request(payload))
+        except Exception as exc:  # noqa: BLE001 — outcomes, not raises
+            return "error", "", f"{type(exc).__name__}: {exc}"
+
+    async def mutate(self, mutation: Mutation) -> Tuple[str, str]:
+        from .schedule import mutation_to_spec
+
+        payload = {"op": "mutate", "mutations": [mutation_to_spec(mutation)]}
+        try:
+            reply = await self._request(payload)
+        except Exception as exc:  # noqa: BLE001
+            return "error", f"{type(exc).__name__}: {exc}"
+        if reply.get("ok"):
+            return "ok", ""
+        return "error", str(reply.get("error", reply.get("code", "")))
+
+    async def close(self) -> None:
+        for _, writer in self._idle:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._idle.clear()
+
+
+async def _fire(
+    target, arrival: Arrival, schedule: Schedule, scheduled_at: float, clock
+) -> RequestOutcome:
+    fired_at = clock()
+    if arrival.op == "mutate":
+        outcome, detail = await target.mutate(schedule.mutations[arrival.index])
+        tier = ""
+    else:
+        outcome, tier, detail = await target.query(
+            schedule.queries[arrival.index]
+        )
+    return RequestOutcome(
+        step=arrival.step,
+        op=arrival.op,
+        scheduled_at=scheduled_at,
+        fired_at=fired_at,
+        completed_at=clock(),
+        outcome=outcome,
+        tier=tier,
+        detail=detail,
+    )
+
+
+async def replay(
+    schedule: Schedule, target, speed: float = 1.0
+) -> List[RequestOutcome]:
+    """Replay *schedule* against *target*, open-loop.
+
+    The scheduling loop sleeps until each arrival's instant and spawns
+    an independent task — it never awaits a previous request, so offered
+    load is exactly what the schedule says even when the service falls
+    behind.  *speed* rescales time (2.0 replays twice as fast — i.e.
+    doubles every offered rate).  Returns one
+    :class:`RequestOutcome` per arrival, in completion order.
+    """
+    require(speed > 0.0, "speed must be > 0")
+    clock = time.perf_counter
+    epoch = clock()
+    tasks: List[asyncio.Task] = []
+    for arrival in schedule.arrivals:
+        scheduled_at = epoch + arrival.at / speed
+        delay = scheduled_at - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(
+                _fire(target, arrival, schedule, scheduled_at, clock)
+            )
+        )
+    if not tasks:
+        return []
+    return list(await asyncio.gather(*tasks))
+
+
+def run_replay(
+    schedule: Schedule, target, speed: float = 1.0
+) -> List[RequestOutcome]:
+    """Synchronous wrapper: run :func:`replay` on a fresh event loop and
+    close the target afterwards."""
+
+    async def _run() -> List[RequestOutcome]:
+        try:
+            return await replay(schedule, target, speed=speed)
+        finally:
+            await target.close()
+
+    return asyncio.run(_run())

@@ -1,0 +1,366 @@
+"""SLO reporting for open-loop replays: percentiles, attainment, gate.
+
+Latencies stream into a :class:`LatencyReservoir` per offered-load step:
+counts, mean, and max are exact streaming figures, and percentiles are
+*exact* (full sorted sample) as long as the sample fits the reservoir's
+capacity — seeded reservoir sampling takes over beyond it, and the
+report marks the step's percentiles approximate.  The harness sizes the
+capacity above any short replay, so CI-gate percentiles are exact.
+
+The empty-sample rule is deliberate and load-bearing:
+:meth:`LatencyReservoir.percentile` returns ``None`` — not ``0.0`` —
+when no observation landed.  ``percentile([]) == 0.0`` (the
+:func:`repro.service.stats.percentile` convention, fine for human
+dashboards) would make a tier or step that served *zero* traffic read
+as a perfect p99, and an SLO gate over it would pass vacuously.  Here,
+no data fails the gate (:meth:`SloGate.evaluate`).
+
+:func:`build_report` buckets request outcomes by step and computes SLO
+attainment — the fraction of offered queries answered successfully
+within their deadline — alongside deadline-hit, degraded, shed, and
+error rates, and serializes the whole thing as the ``BENCH_slo.json``
+payload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import require
+from ..service.stats import sorted_percentile
+from .schedule import Schedule
+
+__all__ = [
+    "LatencyReservoir",
+    "PERCENTILES",
+    "SloGate",
+    "SloReport",
+    "StepReport",
+    "build_report",
+]
+
+#: The report's percentile set (q, json key).
+PERCENTILES: Tuple[Tuple[float, str], ...] = (
+    (50.0, "p50"),
+    (95.0, "p95"),
+    (99.0, "p99"),
+    (99.9, "p99_9"),
+)
+
+
+class LatencyReservoir:
+    """A streaming latency sample with exact counts and bounded memory.
+
+    ``add`` is O(1); ``count``/``mean``/``max`` are exact over everything
+    ever added.  The percentile sample holds every observation up to
+    *capacity* and switches to classic Algorithm-R reservoir sampling
+    (seeded, deterministic) beyond it — :attr:`exact` says which regime
+    a readout came from.
+    """
+
+    def __init__(self, capacity: int = 200_000, seed: int = 0) -> None:
+        require(capacity >= 1, "reservoir capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._rng = random.Random(seed)
+        self._sample: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        seconds = float(seconds)
+        require(seconds >= 0.0, "latency must be >= 0")
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._sample) < self.capacity:
+            self._sample.append(seconds)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._sample[slot] = seconds
+                self._sorted = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles cover every observation (no sampling yet)."""
+        return self.count <= self.capacity
+
+    def _sorted_sample(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._sample)
+        return self._sorted
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile, or ``None`` when no data landed.
+
+        ``None`` — never 0.0 — is the empty-sample answer: a gate that
+        reads this must treat it as *no data / fail*, not as a perfect
+        latency (the ``percentile([]) == 0.0`` convention of the stats
+        layer is for human-facing dashboards only).
+        """
+        if self.count == 0:
+            return None
+        return sorted_percentile(self._sorted_sample(), q)
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """All report percentiles off one sort; ``None``s when empty."""
+        if self.count == 0:
+            return {key: None for _, key in PERCENTILES}
+        ordered = self._sorted_sample()
+        return {key: sorted_percentile(ordered, q) for q, key in PERCENTILES}
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyReservoir(n={self.count}, mean={self.mean * 1000:.3f}ms, "
+            f"exact={self.exact})"
+        )
+
+
+@dataclass
+class StepReport:
+    """One offered-load step's measured outcome."""
+
+    step: int
+    offered_rate: float
+    duration: float
+    process: str
+    n_scheduled: int = 0
+    n_ok: int = 0
+    n_deadline: int = 0
+    n_degraded: int = 0
+    n_shed: int = 0
+    n_error: int = 0
+    n_mutations: int = 0
+    n_mutation_failures: int = 0
+    #: End-to-end latency measured from the *scheduled* arrival time —
+    #: queue time under overload counts, so coordinated omission cannot
+    #: hide collapse.
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    #: Service-side latency (fire -> completion) of successful queries.
+    service_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    max_lag: float = 0.0
+
+    @property
+    def n_answered(self) -> int:
+        return self.n_ok + self.n_deadline + self.n_degraded + self.n_error
+
+    @property
+    def attainment(self) -> Optional[float]:
+        """Fraction of *offered* queries answered ok within deadline.
+
+        Sheds, deadline hits, degraded answers, and errors all count
+        against attainment — an open-loop SLO is over offered load, not
+        over the subset the service deigned to answer.  ``None`` when the
+        step offered nothing (no data, fails the gate).
+        """
+        if self.n_scheduled == 0:
+            return None
+        return self.n_ok / self.n_scheduled
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.n_ok / self.duration if self.duration > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "step": self.step,
+            "offered_rate": self.offered_rate,
+            "duration": self.duration,
+            "process": self.process,
+            "n_scheduled": self.n_scheduled,
+            "n_ok": self.n_ok,
+            "n_deadline": self.n_deadline,
+            "n_degraded": self.n_degraded,
+            "n_shed": self.n_shed,
+            "n_error": self.n_error,
+            "n_mutations": self.n_mutations,
+            "n_mutation_failures": self.n_mutation_failures,
+            "attainment": self.attainment,
+            "achieved_qps": self.achieved_qps,
+            "max_fire_lag_ms": self.max_lag * 1000.0,
+            "latency_ms": {
+                key: (None if value is None else value * 1000.0)
+                for key, value in self.latency.percentiles().items()
+            }
+            | {
+                "mean": self.latency.mean * 1000.0,
+                "max": self.latency.max * 1000.0,
+                "exact": self.latency.exact,
+            },
+            "service_latency_ms": {
+                key: (None if value is None else value * 1000.0)
+                for key, value in self.service_latency.percentiles().items()
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SloGate:
+    """The CI gate: p99 under *p99_ms* and attainment >= *attainment*.
+
+    Evaluated per step (every step must pass unless *at_rate* pins one
+    offered-load step).  A step with no latency data or no offered
+    queries **fails** — the regression this class exists to prevent is
+    an empty sample reading as a perfect p99.
+    """
+
+    p99_ms: float
+    attainment: float = 0.99
+    at_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require(self.p99_ms > 0.0, "p99_ms must be > 0")
+        require(0.0 < self.attainment <= 1.0, "attainment must lie in (0, 1]")
+
+    def evaluate(self, steps: Sequence[StepReport]) -> Tuple[bool, List[str]]:
+        """``(passed, failures)`` over the gated steps."""
+        gated = [
+            s
+            for s in steps
+            if self.at_rate is None or s.offered_rate == self.at_rate
+        ]
+        if not gated:
+            return False, [
+                f"no step offers the gated rate {self.at_rate!r} — no data"
+            ]
+        failures: List[str] = []
+        for step in gated:
+            label = f"step {step.step} ({step.offered_rate:g} qps)"
+            p99 = step.latency.percentile(99.0)
+            if p99 is None:
+                failures.append(f"{label}: no latency data (empty sample)")
+            elif p99 * 1000.0 >= self.p99_ms:
+                failures.append(
+                    f"{label}: p99 {p99 * 1000.0:.2f} ms >= {self.p99_ms:g} ms"
+                )
+            attainment = step.attainment
+            if attainment is None:
+                failures.append(f"{label}: no offered queries — no data")
+            elif attainment < self.attainment:
+                failures.append(
+                    f"{label}: attainment {attainment:.4f} < "
+                    f"{self.attainment:.4f} ({step.n_ok}/{step.n_scheduled} ok; "
+                    f"{step.n_deadline} deadline, {step.n_degraded} degraded, "
+                    f"{step.n_shed} shed, {step.n_error} error)"
+                )
+        return not failures, failures
+
+    def as_dict(self) -> Dict:
+        return {
+            "p99_ms": self.p99_ms,
+            "attainment": self.attainment,
+            "at_rate": self.at_rate,
+        }
+
+
+@dataclass
+class SloReport:
+    """The whole replay's measured outcome (the ``BENCH_slo.json`` body)."""
+
+    steps: List[StepReport]
+    wall_seconds: float = 0.0
+    meta: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "meta": self.meta,
+            "wall_seconds": self.wall_seconds,
+            "steps": [step.as_dict() for step in self.steps],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'step':>4} | {'offered':>9} | {'ok':>6} | {'attain':>7} | "
+            f"{'p50 ms':>8} | {'p99 ms':>8} | {'p99.9 ms':>9} | "
+            f"{'ddl':>4} | {'degr':>4} | {'shed':>4} | {'err':>4}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for step in self.steps:
+            pct = step.latency.percentiles()
+
+            def fmt(key: str) -> str:
+                value = pct[key]
+                return "   n/a" if value is None else f"{value * 1000.0:8.2f}"
+
+            attainment = step.attainment
+            lines.append(
+                f"{step.step:>4} | {step.offered_rate:>7.1f}/s | "
+                f"{step.n_ok:>6} | "
+                f"{'    n/a' if attainment is None else f'{attainment:7.2%}'} | "
+                f"{fmt('p50'):>8} | {fmt('p99'):>8} | {fmt('p99_9'):>9} | "
+                f"{step.n_deadline:>4} | {step.n_degraded:>4} | "
+                f"{step.n_shed:>4} | {step.n_error:>4}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    outcomes: Sequence["RequestOutcome"],
+    schedule: Schedule,
+    wall_seconds: float = 0.0,
+    reservoir_capacity: int = 200_000,
+    seed: int = 0,
+    meta: Optional[Dict] = None,
+) -> SloReport:
+    """Bucket driver outcomes by offered-load step.
+
+    Every *scheduled* query arrival counts toward its step's
+    ``n_scheduled`` — including ones the service shed or never answered —
+    so attainment is measured against offered load.  Latency is
+    ``completed - scheduled`` (queue time included).
+    """
+    steps = [
+        StepReport(
+            step=index,
+            offered_rate=spec.rate,
+            duration=spec.duration,
+            process=spec.process,
+            latency=LatencyReservoir(reservoir_capacity, seed=seed + index),
+            service_latency=LatencyReservoir(
+                reservoir_capacity, seed=seed + index + 7919
+            ),
+        )
+        for index, spec in enumerate(schedule.steps)
+    ]
+    scheduled = [0] * len(steps)
+    for arrival in schedule.arrivals:
+        if arrival.op == "query":
+            scheduled[arrival.step] += 1
+    for report, n in zip(steps, scheduled):
+        report.n_scheduled = n
+
+    for outcome in outcomes:
+        report = steps[outcome.step]
+        if outcome.op == "mutate":
+            report.n_mutations += 1
+            if outcome.outcome != "ok":
+                report.n_mutation_failures += 1
+            continue
+        if outcome.outcome == "ok":
+            report.n_ok += 1
+            report.latency.add(outcome.completed_at - outcome.scheduled_at)
+            report.service_latency.add(outcome.completed_at - outcome.fired_at)
+        elif outcome.outcome == "deadline":
+            report.n_deadline += 1
+        elif outcome.outcome == "degraded":
+            report.n_degraded += 1
+        elif outcome.outcome == "shed":
+            report.n_shed += 1
+        else:
+            report.n_error += 1
+        lag = outcome.fired_at - outcome.scheduled_at
+        if lag > report.max_lag:
+            report.max_lag = lag
+    return SloReport(
+        steps=steps, wall_seconds=wall_seconds, meta=dict(meta or {})
+    )

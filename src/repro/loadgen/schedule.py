@@ -1,0 +1,402 @@
+"""Timestamped open-loop arrival schedules and the replay-file format.
+
+A :class:`Schedule` is the *offered load* of one load test, fixed before
+any request is sent: a list of :class:`Arrival`\\ s — each ``(at, op,
+index, step)`` — over a pool of concrete queries and mutations.  The
+driver (:mod:`repro.loadgen.driver`) fires each arrival at its
+timestamp regardless of how the service is keeping up; that independence
+is what makes the harness open-loop and the measured tail latencies
+honest under overload.
+
+Three arrival processes per offered-load step (:data:`PROCESSES`):
+
+``"fixed"``
+    Deterministic ``1/rate`` spacing — the metronome, used by the CI
+    smoke gate so the offered load is bit-reproducible.
+``"poisson"``
+    Seeded exponential inter-arrival gaps — the classic open-system
+    model; bursts arise naturally from the memoryless process.
+``"bursty"``
+    An on/off (interrupted-Poisson) process: Poisson arrivals at
+    ``rate * (on + off) / on`` during *on* windows, silence during *off*
+    windows, long-run average ``rate`` — the worst case for queueing,
+    used to probe collapse below the mean-rate capacity.
+
+A schedule serializes to a single JSON replay file (queries as
+``{"dims", "weights"}``, mutations in the gateway's wire-spec form,
+arrivals as ``[at, op, index, step]`` rows), so a run can be replayed
+bit-identically later or against a different serving configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._util import require
+from ..datasets.base import Dataset
+from ..errors import ReproError
+from ..storage.mutations import Mutation
+from ..topk.query import Query
+
+__all__ = [
+    "Arrival",
+    "LoadStep",
+    "PROCESSES",
+    "Schedule",
+    "build_schedule",
+    "mutation_from_spec",
+    "mutation_to_spec",
+    "sample_update_mutations",
+]
+
+#: Supported arrival processes.
+PROCESSES = ("fixed", "poisson", "bursty")
+
+#: Arrival operations.
+_OPS = ("query", "mutate")
+
+#: Replay-file format version.
+_REPLAY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire *op* number *index* at *at* seconds.
+
+    ``at`` is relative to the schedule epoch (the driver pins the epoch
+    when the replay starts); ``index`` selects from the schedule's query
+    or mutation pool; ``step`` names the offered-load step the arrival
+    belongs to, which is the bucket the report aggregates by.
+    """
+
+    at: float
+    op: str
+    index: int
+    step: int
+
+    def __post_init__(self) -> None:
+        require(self.at >= 0.0, "arrival time must be >= 0")
+        require(self.op in _OPS, f"unknown arrival op {self.op!r}")
+        require(self.index >= 0, "arrival index must be >= 0")
+        require(self.step >= 0, "arrival step must be >= 0")
+
+
+@dataclass(frozen=True)
+class LoadStep:
+    """One offered-load step: *rate* arrivals/second for *duration* seconds."""
+
+    rate: float
+    duration: float
+    process: str = "poisson"
+
+    def __post_init__(self) -> None:
+        require(self.rate > 0.0, "step rate must be > 0")
+        require(self.duration > 0.0, "step duration must be > 0")
+        require(
+            self.process in PROCESSES,
+            f"unknown arrival process {self.process!r}; expected one of "
+            f"{PROCESSES}",
+        )
+
+
+def mutation_to_spec(mutation: Mutation) -> Dict:
+    """The gateway wire-spec form of one mutation (JSON-safe)."""
+    if mutation.kind == "insert":
+        return {
+            "kind": "insert",
+            "dims": list(mutation.dims),
+            "values": list(mutation.values),
+        }
+    if mutation.kind == "delete":
+        return {"kind": "delete", "id": int(mutation.tuple_id)}
+    return {
+        "kind": "update",
+        "id": int(mutation.tuple_id),
+        "dim": int(mutation.dims[0]),
+        "value": float(mutation.values[0]),
+    }
+
+
+def mutation_from_spec(spec: Dict) -> Mutation:
+    """Inverse of :func:`mutation_to_spec` (same dialect the gateway parses)."""
+    kind = spec.get("kind")
+    if kind == "insert":
+        return Mutation.insert(spec["dims"], spec["values"])
+    if kind == "delete":
+        return Mutation.delete(spec["id"])
+    if kind == "update":
+        return Mutation.update(spec["id"], spec["dim"], spec["value"])
+    raise ReproError(f"unknown mutation kind {kind!r}")
+
+
+@dataclass
+class Schedule:
+    """An offered-load plan: arrivals over pools of queries and mutations.
+
+    ``arrivals`` is sorted by time; query (mutation) arrivals index into
+    ``queries`` (``mutations``) cyclically assigned at build time, so the
+    schedule is self-contained — the driver needs nothing but this
+    object and a target.
+    """
+
+    queries: List[Query]
+    arrivals: List[Arrival]
+    steps: List[LoadStep]
+    mutations: List[Mutation] = field(default_factory=list)
+    seed: int = 0
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require(len(self.queries) >= 1, "schedule needs at least one query")
+        times = [arrival.at for arrival in self.arrivals]
+        require(times == sorted(times), "arrivals must be sorted by time")
+        for arrival in self.arrivals:
+            pool = self.queries if arrival.op == "query" else self.mutations
+            require(
+                arrival.index < len(pool),
+                f"arrival indexes {arrival.op} pool of {len(pool)}",
+            )
+            require(
+                arrival.step < len(self.steps),
+                f"arrival step {arrival.step} out of range",
+            )
+
+    @property
+    def duration(self) -> float:
+        """Total scheduled span in seconds (sum of step durations)."""
+        return sum(step.duration for step in self.steps)
+
+    @property
+    def n_queries(self) -> int:
+        return sum(1 for a in self.arrivals if a.op == "query")
+
+    @property
+    def n_mutations(self) -> int:
+        return sum(1 for a in self.arrivals if a.op == "mutate")
+
+    def arrivals_of_step(self, step: int) -> List[Arrival]:
+        return [a for a in self.arrivals if a.step == step]
+
+    # -- replay file -----------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        """The JSON replay-file payload (queries, mutations, arrivals)."""
+        return {
+            "version": _REPLAY_VERSION,
+            "seed": self.seed,
+            "meta": self.meta,
+            "steps": [
+                {
+                    "rate": step.rate,
+                    "duration": step.duration,
+                    "process": step.process,
+                }
+                for step in self.steps
+            ],
+            "queries": [
+                {
+                    "dims": [int(d) for d in query.dims],
+                    "weights": [float(w) for w in query.weights],
+                }
+                for query in self.queries
+            ],
+            "mutations": [mutation_to_spec(m) for m in self.mutations],
+            "arrivals": [
+                [arrival.at, arrival.op, arrival.index, arrival.step]
+                for arrival in self.arrivals
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "Schedule":
+        version = payload.get("version")
+        require(
+            version == _REPLAY_VERSION,
+            f"unsupported replay-file version {version!r}",
+        )
+        return cls(
+            queries=[
+                Query(spec["dims"], spec["weights"])
+                for spec in payload["queries"]
+            ],
+            arrivals=[
+                Arrival(at=row[0], op=row[1], index=int(row[2]), step=int(row[3]))
+                for row in payload["arrivals"]
+            ],
+            steps=[
+                LoadStep(
+                    rate=spec["rate"],
+                    duration=spec["duration"],
+                    process=spec["process"],
+                )
+                for spec in payload["steps"]
+            ],
+            mutations=[
+                mutation_from_spec(spec) for spec in payload.get("mutations", [])
+            ],
+            seed=int(payload.get("seed", 0)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the replay file; JSON floats round-trip bit-exactly."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_payload()) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Schedule":
+        return cls.from_payload(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.n_queries} query + {self.n_mutations} mutate "
+            f"arrivals over {self.duration:.1f}s, {len(self.steps)} step(s), "
+            f"seed={self.seed})"
+        )
+
+
+def _step_times(
+    step: LoadStep, rng: np.random.Generator, on_seconds: float, off_seconds: float
+) -> List[float]:
+    """Arrival offsets within one step (relative to the step start)."""
+    if step.process == "fixed":
+        n = int(round(step.rate * step.duration))
+        return [i / step.rate for i in range(n)]
+    if step.process == "poisson":
+        times = []
+        t = float(rng.exponential(1.0 / step.rate))
+        while t < step.duration:
+            times.append(t)
+            t += float(rng.exponential(1.0 / step.rate))
+        return times
+    # bursty: interrupted Poisson — on/off windows, long-run average
+    # `rate`, so the on-window instantaneous rate is scaled up by the
+    # duty cycle.
+    cycle = on_seconds + off_seconds
+    on_rate = step.rate * cycle / on_seconds
+    times = []
+    window_start = 0.0
+    while window_start < step.duration:
+        t = window_start + float(rng.exponential(1.0 / on_rate))
+        window_end = min(window_start + on_seconds, step.duration)
+        while t < window_end:
+            times.append(t)
+            t += float(rng.exponential(1.0 / on_rate))
+        window_start += cycle
+    return times
+
+
+def build_schedule(
+    queries: Sequence[Query],
+    steps: Sequence[LoadStep],
+    seed: int = 0,
+    mutations: Sequence[Mutation] = (),
+    mutation_rate: float = 0.0,
+    on_seconds: float = 0.5,
+    off_seconds: float = 0.5,
+    meta: Optional[Dict] = None,
+) -> Schedule:
+    """Build an open-loop schedule over *queries* (e.g. a
+    :func:`~repro.datasets.workloads.slider_drag` workload).
+
+    Query arrivals are generated per step by that step's process and
+    assigned queries cyclically *in workload order* — slider-drag bursts
+    keep their anchor-then-ticks structure, it is only their timing that
+    the arrival process dictates.  With ``mutation_rate > 0`` a
+    fixed-rate mutation stream (cycling over *mutations*) is interleaved
+    across the whole schedule, so writers race readers exactly as they
+    would in production.  Everything is seeded: the same arguments
+    produce the same schedule, bit for bit.
+    """
+    require(len(steps) >= 1, "need at least one load step")
+    require(mutation_rate >= 0.0, "mutation_rate must be >= 0")
+    require(on_seconds > 0.0, "on_seconds must be > 0")
+    require(off_seconds >= 0.0, "off_seconds must be >= 0")
+    if mutation_rate > 0.0:
+        require(
+            len(mutations) >= 1,
+            "mutation_rate > 0 needs a non-empty mutation pool",
+        )
+    rng = np.random.default_rng(seed)
+    query_list = list(queries)
+    arrivals: List[Arrival] = []
+    query_cursor = 0
+    offset = 0.0
+    for step_index, step in enumerate(steps):
+        for t in _step_times(step, rng, on_seconds, off_seconds):
+            arrivals.append(
+                Arrival(
+                    at=offset + t,
+                    op="query",
+                    index=query_cursor % len(query_list),
+                    step=step_index,
+                )
+            )
+            query_cursor += 1
+        offset += step.duration
+    if mutation_rate > 0.0:
+        n_mutations = int(round(mutation_rate * offset))
+        gap = offset / max(n_mutations, 1)
+        for j in range(n_mutations):
+            at = min((j + 0.5) * gap, offset)
+            step_index = _step_of(at, steps)
+            arrivals.append(
+                Arrival(
+                    at=at,
+                    op="mutate",
+                    index=j % len(mutations),
+                    step=step_index,
+                )
+            )
+    arrivals.sort(key=lambda a: (a.at, a.op, a.index))
+    return Schedule(
+        queries=query_list,
+        arrivals=arrivals,
+        steps=list(steps),
+        mutations=list(mutations),
+        seed=seed,
+        meta=dict(meta or {}),
+    )
+
+
+def _step_of(at: float, steps: Sequence[LoadStep]) -> int:
+    offset = 0.0
+    for index, step in enumerate(steps):
+        offset += step.duration
+        if at < offset:
+            return index
+    return len(steps) - 1
+
+
+def sample_update_mutations(
+    dataset: Dataset, n: int, seed: int = 0, scale: float = 0.05
+) -> List[Mutation]:
+    """A seeded pool of single-coordinate update mutations.
+
+    Each mutation nudges one stored coordinate of a random tuple by a
+    relative factor in ``±scale`` (clamped to the dataset's ``[0, 1]``
+    value domain) — the churn shape that exercises the delta-aware
+    region invalidation (some regions survive the Lemma 1 test, some
+    are evicted) without degenerating the dataset.
+    """
+    require(n >= 1, "n must be >= 1")
+    require(scale > 0.0, "scale must be > 0")
+    rng = np.random.default_rng(seed)
+    indptr, indices, values = dataset.csr_arrays
+    rows = np.flatnonzero(np.diff(indptr) > 0)
+    require(rows.size > 0, "dataset has no non-empty rows to mutate")
+    mutations: List[Mutation] = []
+    for _ in range(n):
+        row = int(rng.choice(rows))
+        lo, hi = int(indptr[row]), int(indptr[row + 1])
+        slot = int(rng.integers(lo, hi))
+        dim = int(indices[slot])
+        value = float(values[slot]) * float(1.0 + rng.uniform(-scale, scale))
+        mutations.append(Mutation.update(row, dim, min(max(value, 0.0), 1.0)))
+    return mutations

@@ -12,20 +12,37 @@ computations alive.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 from .._util import require
 from ..core.engine import RunMetrics
 
 __all__ = [
+    "DEFAULT_WINDOW",
     "EMPTY_TIER",
     "MethodRollup",
     "QueryRecord",
     "ServiceStats",
     "TIERS",
     "percentile",
+    "sorted_percentile",
 ]
+
+
+def sorted_percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an *already sorted* sample.
+
+    The one percentile implementation every readout shares: callers that
+    need several percentiles of the same sample sort once and probe this
+    repeatedly instead of paying one sort per quantile.
+    """
+    require(0.0 <= q <= 100.0, "percentile must lie in [0, 100]")
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -33,13 +50,16 @@ def percentile(values: List[float], q: float) -> float:
 
     Nearest-rank keeps the answer an actually observed latency, which is
     what operators expect from a p95 readout; an empty sample reads 0.0.
+    Beware the empty case when gating on this figure: 0.0 means "no
+    data", not "perfect latency" — SLO gates must check the sample size
+    first (the loadgen report does; see
+    :meth:`repro.loadgen.report.LatencyReservoir.percentile`, which
+    returns ``None`` instead).
     """
     require(0.0 <= q <= 100.0, "percentile must lie in [0, 100]")
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    return sorted_percentile(sorted(values), q)
 
 
 #: How a query was answered: exact cache replay, region-tier reuse
@@ -53,6 +73,13 @@ TIERS = ("exact", "region", "computed")
 #: instead of a ``KeyError`` — all-zero, with ``n == 0.0`` as the
 #: emptiness signal.
 EMPTY_TIER: Dict[str, float] = {"n": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0}
+
+#: Default size of the sliding latency window percentiles are computed
+#: over.  Totals, rates, and means are streaming (exact over the whole
+#: run); only the percentile sample is windowed, so a long-running
+#: ``repro serve`` holds a bounded number of records no matter how much
+#: traffic it answers.
+DEFAULT_WINDOW = 8192
 
 
 @dataclass(frozen=True)
@@ -117,10 +144,23 @@ class MethodRollup:
 class ServiceStats:
     """Operational and algorithmic statistics of one service run.
 
+    Counts, rates, and means are *streaming* — folded in on every
+    :meth:`record`, exact over the whole run.  Latency percentiles read
+    :attr:`records`, a bounded ring of the most recent *window* records,
+    so memory stays O(window) for the lifetime of a serving process (a
+    long ``repro serve`` used to leak one record per query).  Sorted
+    views of the window are cached per snapshot and invalidated by
+    :meth:`record`, so polling ``p50``/``p95``/``tier_latencies`` between
+    arrivals sorts once, not once per readout.
+
     Attributes
     ----------
     records:
-        One :class:`QueryRecord` per answered query, in completion order.
+        The most recent *window* :class:`QueryRecord`\\ s, in completion
+        order (the percentile sample, not the full history —
+        :attr:`n_queries` counts the whole run).
+    window:
+        Ring capacity of :attr:`records` (:data:`DEFAULT_WINDOW`).
     wall_seconds:
         End-to-end wall-clock of the batch (set by the service; includes
         scheduling and cache lookups, not just engine time).
@@ -152,7 +192,7 @@ class ServiceStats:
         spent in crash recovery.
     """
 
-    records: List[QueryRecord] = field(default_factory=list)
+    records: Deque[QueryRecord] = field(default_factory=deque)
     wall_seconds: float = 0.0
     rollups: Dict[str, MethodRollup] = field(default_factory=dict)
     mutation_batches: int = 0
@@ -170,6 +210,31 @@ class ServiceStats:
     wal_truncations: int = 0
     checksum_rejections: int = 0
     recovery_seconds: float = 0.0
+    window: int = DEFAULT_WINDOW
+    # Streaming counters (exact over the whole run, not just the window).
+    _n_total: int = field(default=0, repr=False)
+    _seconds_total: float = field(default=0.0, repr=False)
+    _tier_counts: Dict[str, int] = field(default_factory=dict, repr=False)
+    _tier_seconds: Dict[str, float] = field(default_factory=dict, repr=False)
+    # Sorted views of the window, built lazily, dropped on record().
+    _sorted_all: Optional[List[float]] = field(default=None, repr=False)
+    _sorted_tiers: Optional[Dict[str, List[float]]] = field(
+        default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        require(self.window >= 1, "stats window must be >= 1")
+        self.records = deque(self.records, maxlen=self.window)
+        for tier in TIERS:
+            self._tier_counts.setdefault(tier, 0)
+            self._tier_seconds.setdefault(tier, 0.0)
+        # Replay any seeded records (restored snapshots, tests) through
+        # the streaming counters so both views agree from the start.
+        for rec in self.records:
+            self._n_total += 1
+            self._seconds_total += rec.seconds
+            self._tier_counts[rec.tier] += 1
+            self._tier_seconds[rec.tier] += rec.seconds
 
     def record(
         self,
@@ -188,9 +253,14 @@ class ServiceStats:
         if tier is None:
             tier = "exact" if cache_hit else "computed"
         require(tier in TIERS, f"unknown tier {tier!r}")
-        self.records.append(
-            QueryRecord(method, float(seconds), bool(cache_hit), tier)
-        )
+        seconds = float(seconds)
+        self.records.append(QueryRecord(method, seconds, bool(cache_hit), tier))
+        self._n_total += 1
+        self._seconds_total += seconds
+        self._tier_counts[tier] += 1
+        self._tier_seconds[tier] += seconds
+        self._sorted_all = None
+        self._sorted_tiers = None
         if metrics is not None:
             rollup = self.rollups.get(method)
             if rollup is None:
@@ -203,25 +273,25 @@ class ServiceStats:
 
     @property
     def n_queries(self) -> int:
-        """Total answered queries."""
-        return len(self.records)
+        """Total answered queries (whole run, not just the window)."""
+        return self._n_total
 
     @property
     def n_cache_hits(self) -> int:
         """Queries served without running an engine (both cache tiers)."""
-        return sum(1 for record in self.records if record.cache_hit)
+        return self._tier_counts["exact"] + self._tier_counts["region"]
 
     @property
     def n_exact_hits(self) -> int:
         """Exact-key serves: cache replays and within-batch single-flight
         duplicates (the latter are counted here in every reuse mode —
         they are answered from the batch itself, not by an engine run)."""
-        return sum(1 for record in self.records if record.tier == "exact")
+        return self._tier_counts["exact"]
 
     @property
     def n_region_hits(self) -> int:
         """Queries served from a cached immutable region (tier 2)."""
-        return sum(1 for record in self.records if record.tier == "region")
+        return self._tier_counts["region"]
 
     @property
     def n_computed(self) -> int:
@@ -230,61 +300,84 @@ class ServiceStats:
 
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of the batch served from the cache."""
-        return self.n_cache_hits / self.n_queries if self.records else 0.0
+        """Fraction of the run served from the cache."""
+        return self.n_cache_hits / self._n_total if self._n_total else 0.0
 
     @property
     def throughput_qps(self) -> float:
         """Answered queries per wall-clock second."""
         return self.n_queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    def _sorted_window(self) -> List[float]:
+        """Sorted latencies of the window; cached until the next record."""
+        if self._sorted_all is None:
+            self._sorted_all = sorted(r.seconds for r in self.records)
+        return self._sorted_all
+
+    def _sorted_tier_windows(self) -> Dict[str, List[float]]:
+        """Per-tier sorted window latencies; one pass, cached."""
+        if self._sorted_tiers is None:
+            buckets: Dict[str, List[float]] = {tier: [] for tier in TIERS}
+            for rec in self.records:
+                buckets[rec.tier].append(rec.seconds)
+            self._sorted_tiers = {
+                tier: sorted(values) for tier, values in buckets.items()
+            }
+        return self._sorted_tiers
+
     def latency_percentile(self, q: float) -> float:
-        """Nearest-rank latency percentile over all answered queries."""
-        return percentile([record.seconds for record in self.records], q)
+        """Nearest-rank latency percentile over the record window."""
+        return sorted_percentile(self._sorted_window(), q)
 
     @property
     def p50_latency_seconds(self) -> float:
-        """Median per-query latency."""
+        """Median per-query latency (window)."""
         return self.latency_percentile(50.0)
 
     @property
     def p95_latency_seconds(self) -> float:
-        """95th-percentile per-query latency."""
+        """95th-percentile per-query latency (window)."""
         return self.latency_percentile(95.0)
 
     @property
     def mean_latency_seconds(self) -> float:
-        """Mean per-query latency."""
-        if not self.records:
+        """Mean per-query latency (streaming; exact over the whole run)."""
+        if not self._n_total:
             return 0.0
-        return sum(record.seconds for record in self.records) / self.n_queries
+        return self._seconds_total / self._n_total
 
     def tier_latencies(
         self, include_empty: bool = False
     ) -> Dict[str, Dict[str, float]]:
         """Per-tier latency rollup: ``{tier: {n, mean, p50, p95}}``.
 
-        By default only tiers with traffic appear; with *include_empty*
-        every tier of :data:`TIERS` is present, tiers without traffic
-        carrying a copy of the :data:`EMPTY_TIER` marker (all-zero,
-        ``n == 0.0``) — the form stable consumers (the serve gateway's
-        stats endpoint, the empty-service case) should request so a quiet
-        tier never turns into a ``KeyError``.  Region hits should sit
-        orders of magnitude below computed queries — this readout is how
-        the region-reuse benchmark (and operators) verify that.
+        ``n`` and ``mean`` are streaming (exact over the run); the
+        percentiles read the bounded record window — a tier whose traffic
+        has entirely aged out of the window reports its exact count and
+        mean with zeroed percentiles.  By default only tiers with traffic
+        appear; with *include_empty* every tier of :data:`TIERS` is
+        present, tiers without traffic carrying a copy of the
+        :data:`EMPTY_TIER` marker (all-zero, ``n == 0.0``) — the form
+        stable consumers (the serve gateway's stats endpoint, the
+        empty-service case) should request so a quiet tier never turns
+        into a ``KeyError``.  Region hits should sit orders of magnitude
+        below computed queries — this readout is how the region-reuse
+        benchmark (and operators) verify that.
         """
         rollup: Dict[str, Dict[str, float]] = {}
+        windows = self._sorted_tier_windows()
         for tier in TIERS:
-            seconds = [r.seconds for r in self.records if r.tier == tier]
-            if not seconds:
+            n = self._tier_counts[tier]
+            if n == 0:
                 if include_empty:
                     rollup[tier] = dict(EMPTY_TIER)
                 continue
+            ordered = windows[tier]
             rollup[tier] = {
-                "n": float(len(seconds)),
-                "mean": sum(seconds) / len(seconds),
-                "p50": percentile(seconds, 50.0),
-                "p95": percentile(seconds, 95.0),
+                "n": float(n),
+                "mean": self._tier_seconds[tier] / n,
+                "p50": sorted_percentile(ordered, 50.0),
+                "p95": sorted_percentile(ordered, 95.0),
             }
         return rollup
 
@@ -293,9 +386,15 @@ class ServiceStats:
     # ------------------------------------------------------------------
 
     def as_dict(self) -> Dict:
-        """JSON-safe summary (drops the raw per-query records)."""
+        """JSON-safe summary (drops the raw per-query records).
+
+        All pre-existing keys keep their meaning; ``window`` (added with
+        the bounded ring) reports the percentile sample: its capacity
+        and how many records it currently holds.
+        """
         return {
             "n_queries": self.n_queries,
+            "window": {"capacity": self.window, "n": len(self.records)},
             "n_computed": self.n_computed,
             "n_cache_hits": self.n_cache_hits,
             "n_exact_hits": self.n_exact_hits,

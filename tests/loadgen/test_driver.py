@@ -1,0 +1,298 @@
+"""The open-loop driver: firing discipline, targets, structured outcomes."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Query, ShardedQueryService
+from repro.loadgen import (
+    GatewayTarget,
+    InProcessTarget,
+    LoadStep,
+    build_schedule,
+    replay,
+    run_replay,
+    sample_update_mutations,
+)
+from repro.service import AsyncGateway, FaultPlan
+
+
+def make_dataset(n=60, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+def make_queries(n=4):
+    return [Query([0, 2, 4], [0.7, 0.3, 0.2 + 0.05 * i]) for i in range(n)]
+
+
+class SlowTarget:
+    """A fake target with a fixed service time; counts peak concurrency."""
+
+    def __init__(self, seconds=0.05):
+        self.seconds = seconds
+        self.in_flight = 0
+        self.peak = 0
+        self.closed = False
+
+    async def query(self, query):
+        self.in_flight += 1
+        self.peak = max(self.peak, self.in_flight)
+        await asyncio.sleep(self.seconds)
+        self.in_flight -= 1
+        return "ok", "computed", ""
+
+    async def mutate(self, mutation):
+        await asyncio.sleep(self.seconds)
+        return "ok", ""
+
+    async def close(self):
+        self.closed = True
+
+
+class TestOpenLoopProperty:
+    def test_fires_regardless_of_completion(self):
+        # 20 arrivals in 0.2s against a 50 ms service: a closed loop
+        # would take >= 1.0 s; the open loop overlaps them all.
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=100.0, duration=0.2, process="fixed")],
+        )
+        target = SlowTarget(seconds=0.05)
+        start = time.perf_counter()
+        outcomes = run_replay(schedule, target)
+        wall = time.perf_counter() - start
+        assert len(outcomes) == 20
+        assert all(o.outcome == "ok" for o in outcomes)
+        assert wall < 0.8  # closed-loop floor would be 1.0 s
+        assert target.peak > 1  # requests genuinely overlapped
+        assert target.closed
+
+    def test_latency_measured_from_scheduled_arrival(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=50.0, duration=0.2, process="fixed")],
+        )
+        outcomes = run_replay(schedule, SlowTarget(seconds=0.02))
+        for o in outcomes:
+            assert o.fired_at >= o.scheduled_at - 1e-4
+            assert o.completed_at - o.scheduled_at >= 0.019
+
+    def test_speed_rescales_time(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=20.0, duration=1.0, process="fixed")],
+        )
+        start = time.perf_counter()
+        outcomes = run_replay(schedule, SlowTarget(seconds=0.001), speed=4.0)
+        wall = time.perf_counter() - start
+        assert len(outcomes) == 20
+        assert wall < 0.7  # nominal 1.0 s replayed at 4x
+
+
+class TestInProcessTarget:
+    def test_replay_against_sharded_service(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=40.0, duration=0.5, process="fixed")],
+        )
+        try:
+            target = InProcessTarget(service, k=5, max_workers=4)
+            outcomes = run_replay(schedule, target)
+        finally:
+            service.close()
+        assert len(outcomes) == 20
+        assert all(o.outcome == "ok" for o in outcomes)
+        # The 4-query pool cycles, so repeats land in the cache tiers.
+        tiers = {o.tier for o in outcomes}
+        assert "computed" in tiers
+        assert tiers & {"exact", "region"}
+
+    def test_mutations_race_reads_and_advance_epoch(self):
+        data = make_dataset()
+        service = ShardedQueryService(data, n_shards=2)
+        mutations = sample_update_mutations(data, n=16, seed=3)
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=40.0, duration=0.5, process="poisson")],
+            mutations=mutations,
+            mutation_rate=20.0,
+        )
+        assert schedule.n_mutations == 10
+        epoch_before = service.index.epoch
+        try:
+            target = InProcessTarget(service, k=5, max_workers=4)
+            outcomes = run_replay(schedule, target)
+            epoch_after = service.index.epoch
+        finally:
+            service.close()
+        mutate = [o for o in outcomes if o.op == "mutate"]
+        assert len(mutate) == 10
+        assert all(o.outcome == "ok" for o in mutate)
+        assert epoch_after == epoch_before + 10
+        queries = [o for o in outcomes if o.op == "query"]
+        assert queries and all(o.outcome == "ok" for o in queries)
+
+    def test_deadline_exhaustion_is_an_outcome(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=20.0, duration=0.25, process="fixed")],
+        )
+        try:
+            # An impossible budget: every request exhausts it.
+            target = InProcessTarget(service, k=5, deadline_ms=1e-6)
+            outcomes = run_replay(schedule, target)
+        finally:
+            service.close()
+        assert outcomes and all(o.outcome == "deadline" for o in outcomes)
+        assert all(o.detail for o in outcomes)  # names the budget site
+
+    def test_max_pending_sheds(self):
+        class StallingService:
+            """Duck-typed service whose every query blocks for 50 ms."""
+
+            def execute_tiered(self, query, k, phi, method, deadline=None):
+                time.sleep(0.05)
+                return None, "computed"
+
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=200.0, duration=0.25, process="fixed")],
+        )
+        target = InProcessTarget(
+            StallingService(), k=5, max_workers=2, max_pending=2
+        )
+        outcomes = run_replay(schedule, target)
+        kinds = {o.outcome for o in outcomes}
+        assert "shed" in kinds and "ok" in kinds
+        shed = [o for o in outcomes if o.outcome == "shed"]
+        assert all(o.detail == "max_pending" for o in shed)
+        # A shed completes instantly — it never waited on the service.
+        assert all(o.completed_at - o.fired_at < 0.05 for o in shed)
+
+    def test_fault_plan_surfaces_as_structured_outcomes(self):
+        plan = FaultPlan.sample(
+            seed=5, n_shards=2, n_faults=4, stall_seconds=0.01
+        )
+        service = ShardedQueryService(
+            make_dataset(),
+            n_shards=2,
+            fault_plan=plan,
+            on_shard_failure="degraded",
+        )
+        schedule = build_schedule(
+            make_queries(8),
+            [LoadStep(rate=40.0, duration=0.5, process="fixed")],
+        )
+        try:
+            target = InProcessTarget(service, k=5, max_workers=4)
+            outcomes = run_replay(schedule, target)
+        finally:
+            service.close()
+        # Nothing raises out of the replay: every arrival has a
+        # structured outcome, whatever the fault plan did underneath.
+        assert len(outcomes) == 20
+        assert {o.outcome for o in outcomes} <= {"ok", "degraded", "error"}
+
+
+class TestGatewayTarget:
+    def run_with_gateway(self, coro_factory, **gateway_kwargs):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        gateway = AsyncGateway(service, k=5, **gateway_kwargs)
+
+        async def main():
+            host, port = await gateway.start()
+            try:
+                return await coro_factory(host, port)
+            finally:
+                await gateway.stop()
+
+        try:
+            return asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_replay_over_tcp(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=40.0, duration=0.5, process="fixed")],
+        )
+
+        async def drive(host, port):
+            target = GatewayTarget(host, port)
+            try:
+                return target, await replay(schedule, target)
+            finally:
+                await target.close()
+
+        target, outcomes = self.run_with_gateway(drive)
+        assert len(outcomes) == 20
+        assert all(o.outcome == "ok" for o in outcomes)
+        assert {o.tier for o in outcomes} >= {"computed"}
+        # Open loop over a sequential protocol: the pool grew past one
+        # connection only if requests genuinely overlapped; either way
+        # it stayed bounded by the arrival count.
+        assert 1 <= target.connections_opened <= 20
+
+    def test_mutate_over_tcp(self):
+        data = make_dataset()
+        mutations = sample_update_mutations(data, n=4, seed=1)
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=20.0, duration=0.25, process="fixed")],
+            mutations=mutations,
+            mutation_rate=8.0,
+        )
+
+        async def drive(host, port):
+            target = GatewayTarget(host, port)
+            try:
+                return await replay(schedule, target)
+            finally:
+                await target.close()
+
+        outcomes = self.run_with_gateway(drive)
+        mutate = [o for o in outcomes if o.op == "mutate"]
+        assert len(mutate) == 2
+        assert all(o.outcome == "ok" for o in mutate)
+
+    def test_overload_classified_as_shed(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=100.0, duration=0.3, process="fixed")],
+        )
+
+        async def drive(host, port):
+            target = GatewayTarget(host, port)
+            try:
+                return await replay(schedule, target)
+            finally:
+                await target.close()
+
+        # A token bucket that admits ~one request then refuses.
+        outcomes = self.run_with_gateway(drive, rate=1e-9, burst=1.0)
+        kinds = {o.outcome for o in outcomes}
+        assert "shed" in kinds
+        assert all(o.outcome in ("ok", "shed") for o in outcomes)
+
+    def test_dead_server_is_an_error_outcome(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=50.0, duration=0.1, process="fixed")],
+        )
+        # Nothing listens on this port (bound then immediately closed).
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        target = GatewayTarget("127.0.0.1", port)
+        outcomes = run_replay(schedule, target)
+        assert outcomes and all(o.outcome == "error" for o in outcomes)

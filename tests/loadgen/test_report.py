@@ -1,0 +1,234 @@
+"""Reservoir percentiles, step bucketing, and the SLO gate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Query
+from repro.errors import ValidationError
+from repro.loadgen import (
+    LatencyReservoir,
+    LoadStep,
+    RequestOutcome,
+    SloGate,
+    build_report,
+    build_schedule,
+)
+from repro.service.stats import sorted_percentile
+
+
+def brute_percentile(values, q):
+    return sorted_percentile(sorted(values), q)
+
+
+class TestLatencyReservoir:
+    def test_exact_below_capacity_matches_sort_oracle(self):
+        rng = random.Random(0)
+        values = [rng.uniform(0.001, 0.5) for _ in range(500)]
+        reservoir = LatencyReservoir(capacity=1000)
+        for v in values:
+            reservoir.add(v)
+        assert reservoir.exact
+        for q in (50.0, 95.0, 99.0, 99.9):
+            assert reservoir.percentile(q) == brute_percentile(values, q)
+        assert reservoir.count == 500
+        assert reservoir.mean == pytest.approx(sum(values) / 500)
+        assert reservoir.max == max(values)
+
+    def test_bounded_memory_beyond_capacity(self):
+        reservoir = LatencyReservoir(capacity=64, seed=1)
+        for i in range(10_000):
+            reservoir.add(i / 10_000.0)
+        assert len(reservoir._sample) == 64
+        assert not reservoir.exact
+        # Exact streaming figures survive the sampling.
+        assert reservoir.count == 10_000
+        assert reservoir.max == pytest.approx(0.9999)
+        assert reservoir.mean == pytest.approx(0.49995, rel=1e-6)
+        # The sampled median is a real observation near the true median.
+        assert 0.2 < reservoir.percentile(50.0) < 0.8
+
+    def test_sampling_is_seeded(self):
+        def run(seed):
+            r = LatencyReservoir(capacity=16, seed=seed)
+            for i in range(200):
+                r.add(i * 0.001)
+            return sorted(r._sample)
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_empty_percentile_is_none_not_zero(self):
+        # Regression: percentile([]) == 0.0 in the stats layer reads as
+        # a perfect p99; the loadgen reservoir must answer "no data".
+        reservoir = LatencyReservoir()
+        assert reservoir.percentile(99.0) is None
+        assert reservoir.percentiles() == {
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "p99_9": None,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LatencyReservoir(capacity=0)
+        with pytest.raises(ValidationError):
+            LatencyReservoir().add(-0.001)
+
+
+def make_schedule(rates=(10.0,), duration=1.0):
+    queries = [Query([0, 1], [0.5, 0.4])]
+    steps = [
+        LoadStep(rate=rate, duration=duration, process="fixed")
+        for rate in rates
+    ]
+    return build_schedule(queries, steps)
+
+
+def outcome(step, scheduled, fired, completed, kind, op="query"):
+    return RequestOutcome(
+        step=step,
+        op=op,
+        scheduled_at=scheduled,
+        fired_at=fired,
+        completed_at=completed,
+        outcome=kind,
+    )
+
+
+class TestBuildReport:
+    def test_buckets_by_step_and_counts_offered_load(self):
+        schedule = make_schedule(rates=(10.0, 20.0))
+        outcomes = [
+            outcome(0, 0.0, 0.001, 0.020, "ok"),
+            outcome(0, 0.1, 0.101, 0.140, "deadline"),
+            outcome(1, 1.0, 1.002, 1.050, "ok"),
+            outcome(1, 1.1, 1.1, 1.1, "shed"),
+            outcome(1, 1.2, 1.25, 1.30, "error"),
+        ]
+        report = build_report(outcomes, schedule)
+        s0, s1 = report.steps
+        # n_scheduled comes from the schedule, not from the outcomes —
+        # an unanswered request still counts against attainment.
+        assert s0.n_scheduled == 10 and s1.n_scheduled == 20
+        assert s0.n_ok == 1 and s0.n_deadline == 1
+        assert s1.n_ok == 1 and s1.n_shed == 1 and s1.n_error == 1
+        assert s0.attainment == pytest.approx(0.1)
+        assert s1.attainment == pytest.approx(0.05)
+        # Latency measures from the scheduled arrival (queue included).
+        assert s0.latency.percentile(50.0) == pytest.approx(0.020)
+        assert s0.service_latency.percentile(50.0) == pytest.approx(0.019)
+        # Fire lag tracks the worst scheduling slip.
+        assert s1.max_lag == pytest.approx(0.05)
+
+    def test_mutations_bucket_separately(self):
+        schedule = make_schedule()
+        outcomes = [
+            outcome(0, 0.5, 0.5, 0.51, "ok", op="mutate"),
+            outcome(0, 0.6, 0.6, 0.61, "error", op="mutate"),
+        ]
+        report = build_report(outcomes, schedule)
+        step = report.steps[0]
+        assert step.n_mutations == 2
+        assert step.n_mutation_failures == 1
+        assert step.n_ok == 0  # mutations never inflate query attainment
+        assert step.latency.count == 0
+
+    def test_as_dict_shape(self):
+        schedule = make_schedule()
+        report = build_report(
+            [outcome(0, 0.0, 0.0, 0.01, "ok")], schedule, wall_seconds=1.5
+        )
+        payload = report.as_dict()
+        assert payload["wall_seconds"] == 1.5
+        (step,) = payload["steps"]
+        assert step["latency_ms"]["p99"] == pytest.approx(10.0)
+        assert step["latency_ms"]["exact"] is True
+        assert step["attainment"] == pytest.approx(0.1)
+
+    def test_render_marks_empty_steps(self):
+        schedule = make_schedule(rates=(10.0, 20.0))
+        text = build_report(
+            [outcome(0, 0.0, 0.0, 0.01, "ok")], schedule
+        ).render()
+        assert "n/a" in text  # step 1 served nothing — never a fake 0.00
+
+
+class TestSloGate:
+    def test_passes_when_within_slo(self):
+        schedule = make_schedule()
+        outcomes = [
+            outcome(0, i * 0.1, i * 0.1, i * 0.1 + 0.005, "ok")
+            for i in range(10)
+        ]
+        report = build_report(outcomes, schedule)
+        passed, failures = SloGate(p99_ms=50.0, attainment=0.99).evaluate(
+            report.steps
+        )
+        assert passed and failures == []
+
+    def test_fails_on_slow_p99(self):
+        schedule = make_schedule()
+        outcomes = [
+            outcome(0, i * 0.1, i * 0.1, i * 0.1 + 0.2, "ok") for i in range(10)
+        ]
+        report = build_report(outcomes, schedule)
+        passed, failures = SloGate(p99_ms=50.0).evaluate(report.steps)
+        assert not passed
+        assert any("p99" in f for f in failures)
+
+    def test_fails_on_attainment(self):
+        schedule = make_schedule()
+        outcomes = [outcome(0, 0.0, 0.0, 0.01, "ok")] + [
+            outcome(0, i * 0.1, i * 0.1, i * 0.1, "shed") for i in range(1, 10)
+        ]
+        report = build_report(outcomes, schedule)
+        passed, failures = SloGate(p99_ms=50.0, attainment=0.99).evaluate(
+            report.steps
+        )
+        assert not passed
+        assert any("attainment" in f for f in failures)
+
+    def test_empty_sample_fails_not_passes(self):
+        # THE regression gate: zero traffic must never read as p99 == 0.
+        schedule = make_schedule()
+        report = build_report([], schedule)
+        passed, failures = SloGate(p99_ms=1000.0, attainment=0.01).evaluate(
+            report.steps
+        )
+        assert not passed
+        assert any("no latency data" in f for f in failures)
+
+    def test_zero_offered_queries_fails(self):
+        gate = SloGate(p99_ms=100.0)
+        passed, failures = gate.evaluate([])
+        assert not passed
+
+    def test_at_rate_pins_one_step(self):
+        schedule = make_schedule(rates=(10.0, 20.0))
+        outcomes = [
+            outcome(0, i * 0.1, i * 0.1, i * 0.1 + 0.005, "ok")
+            for i in range(10)
+        ]  # step 1 gets nothing
+        report = build_report(outcomes, schedule)
+        passed, _ = SloGate(
+            p99_ms=50.0, attainment=0.99, at_rate=10.0
+        ).evaluate(report.steps)
+        assert passed
+        passed, failures = SloGate(p99_ms=50.0, at_rate=20.0).evaluate(
+            report.steps
+        )
+        assert not passed
+        passed, failures = SloGate(p99_ms=50.0, at_rate=999.0).evaluate(
+            report.steps
+        )
+        assert not passed and "no step offers" in failures[0]
+
+    def test_gate_validation(self):
+        with pytest.raises(ValidationError):
+            SloGate(p99_ms=0.0)
+        with pytest.raises(ValidationError):
+            SloGate(p99_ms=10.0, attainment=0.0)

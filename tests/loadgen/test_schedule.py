@@ -1,0 +1,242 @@
+"""Schedules: arrival processes, mutation interleave, replay files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Mutation, Query
+from repro.errors import ReproError, ValidationError
+from repro.loadgen import (
+    Arrival,
+    LoadStep,
+    Schedule,
+    build_schedule,
+    mutation_from_spec,
+    mutation_to_spec,
+    sample_update_mutations,
+)
+
+
+def make_queries(n=8):
+    return [Query([0, 1], [0.5, 0.3 + 0.01 * i]) for i in range(n)]
+
+
+def make_dataset(n=40, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+class TestArrivalAndStep:
+    def test_arrival_validation(self):
+        with pytest.raises(ValidationError):
+            Arrival(at=-0.1, op="query", index=0, step=0)
+        with pytest.raises(ValidationError):
+            Arrival(at=0.0, op="nope", index=0, step=0)
+        with pytest.raises(ValidationError):
+            Arrival(at=0.0, op="query", index=-1, step=0)
+
+    def test_step_validation(self):
+        with pytest.raises(ValidationError):
+            LoadStep(rate=0.0, duration=1.0)
+        with pytest.raises(ValidationError):
+            LoadStep(rate=10.0, duration=0.0)
+        with pytest.raises(ValidationError):
+            LoadStep(rate=10.0, duration=1.0, process="uniform")
+
+
+class TestBuildSchedule:
+    def test_fixed_rate_count_and_spacing(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=10.0, duration=2.0, process="fixed")],
+        )
+        times = [a.at for a in schedule.arrivals]
+        assert len(times) == 20
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 0.1)
+        assert times[0] == 0.0
+
+    def test_deterministic_for_fixed_seed(self):
+        kwargs = dict(
+            queries=make_queries(),
+            steps=[LoadStep(rate=50.0, duration=1.0, process="poisson")],
+            seed=7,
+        )
+        a = build_schedule(**kwargs)
+        b = build_schedule(**kwargs)
+        assert [x.at for x in a.arrivals] == [x.at for x in b.arrivals]
+        c = build_schedule(**{**kwargs, "seed": 8})
+        assert [x.at for x in a.arrivals] != [x.at for x in c.arrivals]
+
+    def test_poisson_rate_is_roughly_honoured(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=200.0, duration=5.0, process="poisson")],
+            seed=3,
+        )
+        # 1000 expected arrivals; 5 sigma ~ 158.
+        assert 800 <= schedule.n_queries <= 1200
+
+    def test_steps_span_consecutive_windows(self):
+        schedule = build_schedule(
+            make_queries(),
+            [
+                LoadStep(rate=20.0, duration=1.0, process="fixed"),
+                LoadStep(rate=40.0, duration=1.0, process="fixed"),
+            ],
+        )
+        for arrival in schedule.arrivals_of_step(0):
+            assert 0.0 <= arrival.at < 1.0
+        for arrival in schedule.arrivals_of_step(1):
+            assert 1.0 <= arrival.at < 2.0
+        assert len(schedule.arrivals_of_step(0)) == 20
+        assert len(schedule.arrivals_of_step(1)) == 40
+
+    def test_bursty_has_silent_off_windows(self):
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=100.0, duration=4.0, process="bursty")],
+            seed=1,
+            on_seconds=0.5,
+            off_seconds=0.5,
+        )
+        times = np.array([a.at for a in schedule.arrivals])
+        # All arrivals land inside on-windows ([0,.5), [1,1.5), ...).
+        assert np.all((times % 1.0) < 0.5)
+        # Long-run average still approximates the nominal rate.
+        assert 250 <= times.size <= 550
+
+    def test_queries_assigned_cyclically_in_workload_order(self):
+        queries = make_queries(3)
+        schedule = build_schedule(
+            queries, [LoadStep(rate=10.0, duration=1.0, process="fixed")]
+        )
+        assert [a.index for a in schedule.arrivals] == [i % 3 for i in range(10)]
+
+    def test_mutation_stream_interleaves_across_whole_schedule(self):
+        mutations = [Mutation.update(i, 0, 0.5) for i in range(4)]
+        schedule = build_schedule(
+            make_queries(),
+            [
+                LoadStep(rate=10.0, duration=1.0, process="fixed"),
+                LoadStep(rate=10.0, duration=1.0, process="fixed"),
+            ],
+            mutations=mutations,
+            mutation_rate=6.0,
+        )
+        mutate = [a for a in schedule.arrivals if a.op == "mutate"]
+        assert len(mutate) == 12
+        # Spread over both steps and tagged with the step they land in.
+        assert {a.step for a in mutate} == {0, 1}
+        for arrival in mutate:
+            assert (arrival.at < 1.0) == (arrival.step == 0)
+        # Sorted interleave with the query arrivals.
+        times = [a.at for a in schedule.arrivals]
+        assert times == sorted(times)
+
+    def test_mutation_rate_needs_pool(self):
+        with pytest.raises(ValidationError):
+            build_schedule(
+                make_queries(),
+                [LoadStep(rate=10.0, duration=1.0)],
+                mutation_rate=1.0,
+            )
+
+
+class TestReplayFile:
+    def test_round_trip_is_bit_exact(self, tmp_path):
+        mutations = sample_update_mutations(make_dataset(), n=5, seed=2)
+        schedule = build_schedule(
+            make_queries(),
+            [LoadStep(rate=30.0, duration=1.0, process="poisson")],
+            seed=11,
+            mutations=mutations,
+            mutation_rate=3.0,
+            meta={"family": "unit"},
+        )
+        path = schedule.save(tmp_path / "replay.json")
+        loaded = Schedule.load(path)
+        assert loaded.seed == schedule.seed
+        assert loaded.meta == schedule.meta
+        assert loaded.steps == schedule.steps
+        assert loaded.arrivals == schedule.arrivals  # floats bit-exact
+        assert [list(q.dims) for q in loaded.queries] == [
+            list(q.dims) for q in schedule.queries
+        ]
+        assert [list(q.weights) for q in loaded.queries] == [
+            list(q.weights) for q in schedule.queries
+        ]
+        assert [mutation_to_spec(m) for m in loaded.mutations] == [
+            mutation_to_spec(m) for m in schedule.mutations
+        ]
+
+    def test_version_is_checked(self, tmp_path):
+        schedule = build_schedule(
+            make_queries(), [LoadStep(rate=5.0, duration=1.0, process="fixed")]
+        )
+        payload = schedule.to_payload()
+        payload["version"] = 99
+        with pytest.raises(ValidationError):
+            Schedule.from_payload(payload)
+
+    def test_arrivals_must_be_sorted(self):
+        queries = make_queries(2)
+        with pytest.raises(ValidationError):
+            Schedule(
+                queries=queries,
+                arrivals=[
+                    Arrival(at=1.0, op="query", index=0, step=0),
+                    Arrival(at=0.5, op="query", index=1, step=0),
+                ],
+                steps=[LoadStep(rate=1.0, duration=2.0)],
+            )
+
+    def test_arrival_indexes_validated_against_pools(self):
+        with pytest.raises(ValidationError):
+            Schedule(
+                queries=make_queries(2),
+                arrivals=[Arrival(at=0.0, op="mutate", index=0, step=0)],
+                steps=[LoadStep(rate=1.0, duration=1.0)],
+            )
+
+
+class TestMutationSpecs:
+    def test_all_kinds_round_trip(self):
+        for mutation in (
+            Mutation.insert([0, 2], [0.5, 0.25]),
+            Mutation.delete(7),
+            Mutation.update(3, 1, 0.125),
+        ):
+            spec = mutation_to_spec(mutation)
+            back = mutation_from_spec(spec)
+            assert mutation_to_spec(back) == spec
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ReproError):
+            mutation_from_spec({"kind": "upsert"})
+
+    def test_sample_update_mutations_touch_stored_coordinates(self):
+        data = make_dataset()
+        mutations = sample_update_mutations(data, n=32, seed=5, scale=0.1)
+        assert len(mutations) == 32
+        indptr, indices, values = data.csr_arrays
+        for mutation in mutations:
+            assert mutation.kind == "update"
+            row = mutation.tuple_id
+            lo, hi = int(indptr[row]), int(indptr[row + 1])
+            stored_dims = set(int(d) for d in indices[lo:hi])
+            assert mutation.dims[0] in stored_dims
+            # Nudge stays within ±10% of the stored value.
+            slot = lo + list(indices[lo:hi]).index(mutation.dims[0])
+            assert mutation.values[0] == pytest.approx(
+                float(values[slot]), rel=0.11
+            )
+
+    def test_sample_is_seeded(self):
+        data = make_dataset()
+        a = sample_update_mutations(data, n=8, seed=1)
+        b = sample_update_mutations(data, n=8, seed=1)
+        assert [mutation_to_spec(m) for m in a] == [
+            mutation_to_spec(m) for m in b
+        ]

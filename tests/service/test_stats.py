@@ -155,3 +155,92 @@ class TestEmptyTierGuards:
         stats.record("cpt", 0.0, True, tier="region")
         text = stats.render()
         assert "region hits" in text
+
+
+class TestBoundedWindow:
+    """Satellite of the loadgen PR: stats memory must stay O(window)."""
+
+    def test_memory_bounded_but_totals_exact(self):
+        stats = ServiceStats(window=64)
+        for i in range(1000):
+            stats.record("cpt", i / 1000.0, i % 4 == 0,
+                         tier="exact" if i % 4 == 0 else "computed")
+        # The ring holds only the window; the run totals stay exact.
+        assert len(stats.records) == 64
+        assert stats.n_queries == 1000
+        assert stats.n_exact_hits == 250
+        assert stats.n_computed == 750
+        assert stats.cache_hit_rate == pytest.approx(0.25)
+        assert stats.mean_latency_seconds == pytest.approx(
+            sum(i / 1000.0 for i in range(1000)) / 1000.0
+        )
+
+    def test_percentiles_match_brute_force_over_window(self):
+        import random
+
+        from repro.service.stats import sorted_percentile
+
+        rng = random.Random(7)
+        stats = ServiceStats(window=64)
+        latencies = [rng.uniform(0.0005, 0.2) for _ in range(500)]
+        for value in latencies:
+            stats.record("cpt", value, False)
+        window = sorted(latencies[-64:])  # brute-force sort oracle
+        for q in (50.0, 90.0, 95.0, 99.0):
+            assert stats.latency_percentile(q) == sorted_percentile(window, q)
+        assert stats.p50_latency_seconds == sorted_percentile(window, 50.0)
+        assert stats.p95_latency_seconds == sorted_percentile(window, 95.0)
+
+    def test_sorted_cache_invalidated_by_record(self):
+        stats = ServiceStats(window=8)
+        stats.record("cpt", 0.010, False)
+        assert stats.p50_latency_seconds == pytest.approx(0.010)
+        # Reading cached a sorted view; a new record must drop it.
+        stats.record("cpt", 0.002, False)
+        assert stats.p50_latency_seconds == pytest.approx(0.002)
+        stats.record("cpt", 0.030, False)
+        assert stats.p95_latency_seconds == pytest.approx(0.030)
+
+    def test_tier_latencies_match_oracle_and_stay_exact_on_counts(self):
+        import random
+
+        from repro.service.stats import sorted_percentile
+
+        rng = random.Random(3)
+        stats = ServiceStats(window=32)
+        history = []
+        for i in range(200):
+            tier = ("exact", "region", "computed")[i % 3]
+            value = rng.uniform(0.0001, 0.05)
+            history.append((tier, value))
+            stats.record("cpt", value, tier != "computed", tier=tier)
+        rollup = stats.tier_latencies()
+        for tier in ("exact", "region", "computed"):
+            values = [v for t, v in history if t == tier]
+            windowed = sorted(v for t, v in history[-32:] if t == tier)
+            assert rollup[tier]["n"] == float(len(values))
+            assert rollup[tier]["mean"] == pytest.approx(
+                sum(values) / len(values)
+            )
+            assert rollup[tier]["p50"] == sorted_percentile(windowed, 50.0)
+            assert rollup[tier]["p95"] == sorted_percentile(windowed, 95.0)
+
+    def test_as_dict_reports_window_occupancy(self):
+        stats = ServiceStats(window=16)
+        for _ in range(40):
+            stats.record("cpt", 0.001, False)
+        payload = stats.as_dict()
+        assert payload["window"] == {"capacity": 16, "n": 16}
+        assert payload["n_queries"] == 40
+
+    def test_seeded_records_replay_into_streaming_counters(self):
+        from repro.service.stats import QueryRecord
+
+        seeded = [QueryRecord("cpt", 0.01, False, "computed")] * 3
+        stats = ServiceStats(records=seeded, window=8)
+        assert stats.n_queries == 3
+        assert stats.mean_latency_seconds == pytest.approx(0.01)
+
+    def test_window_validated(self):
+        with pytest.raises(ValidationError):
+            ServiceStats(window=0)
