@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Replication smoke: peer warmup over the wire, primary kill mid-loadtest.
+
+End-to-end CI gate for the replicated serving stack, orchestrating real
+``repro`` processes over real TCP:
+
+1. snapshot a seeded dataset into data-dir A and boot gateway A from it
+   (an in-process 2-replica set behind one front door);
+2. boot gateway B with ``--join`` pointing at A — B's data dir is
+   assembled purely from A's sync stream (manifest + CRC-verified
+   chunks), never from A's disk;
+3. assert A and B answer a fixed query panel **bit-identically**
+   (ids, scores, immutable intervals, epoch);
+4. replay an open-loop load schedule against both endpoints and
+   SIGKILL A mid-replay — the driver must ride through on B and the
+   SLO gate (p99 + attainment) must still pass;
+5. assert B's post-failover answers are bit-identical to the pre-kill
+   panel.
+
+Exits non-zero on the first violated invariant.  The scratch data dirs
+are left in place (CI uploads them as a fixture on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PYTHON = sys.executable
+
+QUERY_PANEL = [
+    {"dims": [0, 2, 4], "weights": [0.7, 0.3, 0.5]},
+    {"dims": [1, 3], "weights": [0.9, 0.2]},
+    {"dims": [0, 1, 5], "weights": [0.4, 0.6, 0.8]},
+]
+
+
+def env():
+    merged = dict(os.environ)
+    src = str(ROOT / "src")
+    merged["PYTHONPATH"] = (
+        src + os.pathsep + merged["PYTHONPATH"]
+        if merged.get("PYTHONPATH")
+        else src
+    )
+    return merged
+
+
+def free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def request(port: int, payload: dict, timeout: float = 10.0) -> dict:
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+        line = conn.makefile("rb").readline()
+    if not line:
+        raise ConnectionError("connection closed before reply")
+    return json.loads(line)
+
+
+def wait_ready(port: int, proc, what: str, deadline: float = 60.0) -> dict:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if proc.poll() is not None:
+            fail(f"{what} exited with {proc.returncode} before serving")
+        try:
+            return request(port, {"op": "ping"}, timeout=2.0)
+        except OSError:
+            time.sleep(0.2)
+    fail(f"{what} never became ready on port {port}")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def answer_panel(port: int) -> list:
+    """The full bit-identity surface of the fixed query panel."""
+    panel = []
+    for query in QUERY_PANEL:
+        reply = request(port, {"op": "query", **query, "k": 5})
+        if not reply.get("ok"):
+            fail(f"query refused on port {port}: {reply}")
+        panel.append(
+            {
+                "result": reply["result"],
+                "regions": reply["regions"],
+                "epoch": reply["epoch"],
+            }
+        )
+    return panel
+
+
+def main() -> int:
+    work = Path("replication-smoke")
+    work.mkdir(exist_ok=True)
+    dir_a, dir_b = work / "node-a", work / "node-b"
+    port_a, port_b = free_port(), free_port()
+    procs = []
+    try:
+        print("== seed durable state for node A")
+        subprocess.run(
+            [
+                PYTHON, "-m", "repro.cli", "snapshot",
+                "--data-dir", str(dir_a), "--family", "st",
+                "--seed", "7", "--shards", "2",
+            ],
+            env=env(), check=True,
+        )
+
+        print(f"== boot node A (2-replica set) on :{port_a}")
+        proc_a = subprocess.Popen(
+            [
+                PYTHON, "-m", "repro.cli", "serve",
+                "--data-dir", str(dir_a), "--port", str(port_a),
+                "--shards", "2", "--replicas", "2",
+                "--probe-interval", "0.25", "--seed", "7",
+            ],
+            env=env(),
+        )
+        procs.append(proc_a)
+        ping_a = wait_ready(port_a, proc_a, "node A")
+
+        print(f"== boot node B on :{port_b}, warmed over the wire from A")
+        proc_b = subprocess.Popen(
+            [
+                PYTHON, "-m", "repro.cli", "serve",
+                "--data-dir", str(dir_b), "--port", str(port_b),
+                "--shards", "2", "--seed", "7",
+                "--join", f"127.0.0.1:{port_a}",
+            ],
+            env=env(),
+        )
+        procs.append(proc_b)
+        ping_b = wait_ready(port_b, proc_b, "node B")
+        if ping_b.get("epoch") != ping_a.get("epoch"):
+            fail(
+                f"joined replica epoch {ping_b.get('epoch')} != "
+                f"peer epoch {ping_a.get('epoch')}"
+            )
+
+        print("== verify A and B answer the query panel bit-identically")
+        panel_a = answer_panel(port_a)
+        panel_b = answer_panel(port_b)
+        if panel_a != panel_b:
+            fail("warmed replica diverges from its peer on the query panel")
+        print(f"   {len(panel_a)} answers bit-identical at epoch "
+              f"{panel_a[0]['epoch']}")
+
+        print("== open-loop replay against both endpoints; kill A mid-run")
+        loadtest = subprocess.Popen(
+            [
+                PYTHON, "-m", "repro.cli", "loadtest",
+                "--family", "st", "--seed", "7",
+                "--gateway", f"127.0.0.1:{port_a},127.0.0.1:{port_b}",
+                "--rates", "40", "--duration", "8", "--process", "fixed",
+                "--deadline-ms", "1000",
+                "--check", "--slo-p99-ms", "500", "--slo-attainment", "0.90",
+                "--out", str(work / "BENCH_slo.json"),
+            ],
+            env=env(),
+        )
+        procs.append(loadtest)
+        time.sleep(3.0)
+        print("   SIGKILL node A (simulated primary death)")
+        proc_a.kill()
+        proc_a.wait(timeout=30)
+        if loadtest.wait(timeout=300) != 0:
+            fail("SLO gate failed across the primary kill")
+
+        print("== verify B's post-failover answers are bit-identical")
+        panel_after = answer_panel(port_b)
+        if panel_after != panel_b:
+            fail("post-failover answers diverge from the pre-kill panel")
+
+        report = json.loads((work / "BENCH_slo.json").read_text())
+        step = report["steps"][0]
+        print(
+            f"OK: survived primary kill — attainment "
+            f"{step['attainment']:.4f}, p99 "
+            f"{step['latency_ms']['p99']:.1f} ms, answers bit-identical"
+        )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .bench.harness import ExperimentRunner
 from .core.engine import (
@@ -253,6 +253,37 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     durability = None
     recovered = None
+    if args.join is not None:
+        # Peer warmup: stream the peer's durable state into our data dir
+        # over the gateway protocol, then boot through the ordinary
+        # recover-on-boot path — bit-identical to booting from the
+        # peer's own disk.
+        from .service.replication import warm_from_peer
+
+        if args.data_dir is None:
+            print("--join requires --data-dir", file=sys.stderr)
+            return 2
+        if has_state(args.data_dir):
+            print(
+                f"refusing to join: {args.data_dir} already holds durable "
+                "state (recover from it, or point --data-dir elsewhere)",
+                file=sys.stderr,
+            )
+            return 2
+        host, _, port = args.join.rpartition(":")
+        try:
+            report = warm_from_peer(
+                host or "127.0.0.1", int(port), args.data_dir
+            )
+        except (RecoveryError, ConnectionError, ValueError) as exc:
+            print(f"join failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"warmed from peer {args.join}: generation "
+            f"{report['generation']} (epoch {report['epoch']}), "
+            f"{report['artifacts']} artifact(s) in {report['chunks']} "
+            f"chunk(s), {report['bytes']} bytes"
+        )
     if args.data_dir is not None:
         durability = DurabilityManager(
             args.data_dir, snapshot_interval=args.snapshot_interval
@@ -277,8 +308,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idf = None
     else:
         data, idf = _build_dataset(args.family, args.seed)
-    service = ShardedQueryService(
-        data,
+    service_kwargs = dict(
         n_shards=args.shards,
         shard_executor=args.shard_executor,
         method=args.method,
@@ -286,8 +316,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reuse=args.reuse,
         on_shard_failure=args.on_shard_failure,
         supervision=True if args.supervise else None,
-        durability=durability,
     )
+    if args.replicas > 1:
+        from .service.replication import ReplicaSet
+
+        service = ReplicaSet.build(
+            data,
+            args.replicas,
+            durability=durability,
+            set_kwargs={"probe_interval": args.probe_interval},
+            **service_kwargs,
+        )
+        print(
+            f"replica set: {args.replicas} replicas, primary "
+            f"{service.primary_name}"
+            + (
+                f", probing every {args.probe_interval:g} s"
+                if args.probe_interval > 0
+                else ""
+            )
+        )
+    else:
+        service = ShardedQueryService(
+            data, durability=durability, **service_kwargs
+        )
     if durability is not None:
         if recovered is not None:
             loaded, skipped = durability.load_atlas_into(
@@ -347,6 +399,183 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoints(spec: str) -> Optional[List[Tuple[str, int]]]:
+    """``HOST:PORT[,HOST:PORT...]`` -> endpoint list, or None if malformed."""
+    endpoints: List[Tuple[str, int]] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        host, _, port = entry.rpartition(":")
+        try:
+            endpoints.append((host or "127.0.0.1", int(port)))
+        except ValueError:
+            return None
+    return endpoints or None
+
+
+def _loadtest_knee(args: argparse.Namespace) -> int:
+    """Binary-search the max offered rate meeting the SLO (``--find-knee``)."""
+    from .datasets.workloads import slider_drag
+    from .loadgen import (
+        GatewayTarget,
+        InProcessTarget,
+        LoadStep,
+        SloGate,
+        build_report,
+        build_schedule,
+        find_knee,
+        run_replay,
+        sample_update_mutations,
+    )
+    from .service.faults import FaultPlan
+
+    data, idf = _build_dataset(args.family, args.seed)
+    workload = slider_drag(
+        data,
+        qlen=args.qlen,
+        n_anchors=args.anchors,
+        drags_per_anchor=args.drags,
+        seed=args.seed,
+        cold_fraction=args.cold_fraction,
+        cold_signatures=args.cold_signatures,
+        weight_scheme="idf" if idf is not None else "uniform",
+        idf=idf,
+        min_column_nnz=20,
+    )
+    mutations = (
+        sample_update_mutations(
+            data, n=256, seed=args.seed + 17, scale=args.mutation_scale
+        )
+        if args.mutation_rate > 0
+        else []
+    )
+    gate = SloGate(p99_ms=args.slo_p99_ms, attainment=args.slo_attainment)
+    fault_plan = None
+    if args.faults > 0:
+        fault_plan = FaultPlan.sample(
+            seed=args.seed + 41,
+            n_shards=args.shards,
+            n_faults=args.faults,
+            stall_seconds=args.fault_stall_ms / 1000.0,
+        )
+        print(f"injecting {fault_plan!r}")
+
+    service = None
+    if args.gateway is not None:
+        endpoints = _parse_endpoints(args.gateway)
+        if endpoints is None:
+            print(f"bad --gateway {args.gateway!r}", file=sys.stderr)
+            return 2
+
+        def make_target():
+            return GatewayTarget(
+                endpoints[0][0],
+                endpoints[0][1],
+                k=args.k,
+                phi=args.phi,
+                method=args.method,
+                deadline_ms=args.deadline_ms,
+                endpoints=endpoints,
+            )
+
+    else:
+        service = ShardedQueryService(
+            data,
+            n_shards=args.shards,
+            shard_executor=args.shard_executor,
+            method=args.method,
+            backend=args.backend,
+            reuse=args.reuse,
+            on_shard_failure=args.on_shard_failure,
+            fault_plan=fault_plan,
+        )
+
+        def make_target():
+            return InProcessTarget(
+                service,
+                k=args.k,
+                phi=args.phi,
+                method=args.method,
+                deadline_ms=args.deadline_ms,
+                max_workers=args.max_workers,
+                max_pending=args.max_pending,
+            )
+
+    def probe(rate: float) -> Tuple[bool, Dict]:
+        # Same workload, same seed, one step at the probed rate: probes
+        # differ only in offered load.  run_replay closes the target; the
+        # backing service (if in-process) is shared across probes.
+        schedule = build_schedule(
+            list(workload),
+            [LoadStep(rate=rate, duration=args.duration, process=args.process)],
+            seed=args.seed,
+            mutations=mutations,
+            mutation_rate=args.mutation_rate,
+            meta={"family": args.family, "qlen": args.qlen, "probe": rate},
+        )
+        start = time.perf_counter()
+        outcomes = run_replay(schedule, make_target(), speed=args.speed)
+        wall = time.perf_counter() - start
+        report = build_report(
+            outcomes, schedule, wall_seconds=wall, seed=args.seed
+        )
+        passed, failures = gate.evaluate(report.steps)
+        step = report.steps[0].as_dict() if report.steps else {}
+        p99 = step.get("latency_ms", {}).get("p99")
+        print(
+            f"probe {rate:g} qps: {'pass' if passed else 'FAIL'}"
+            + (f" (p99 {p99:.2f} ms)" if isinstance(p99, float) else "")
+        )
+        return passed, {"step": step, "failures": failures}
+
+    try:
+        result = find_knee(
+            probe, args.knee_lo, args.knee_hi, iterations=args.knee_iterations
+        )
+    finally:
+        if service is not None:
+            service.close()
+    payload = {
+        "bench": "loadtest-knee",
+        "knee_qps": result.knee_qps,
+        "knee": result.as_dict(),
+        "slo": gate.as_dict(),
+        "meta": {
+            "family": args.family,
+            "qlen": args.qlen,
+            "seed": args.seed,
+            "duration": args.duration,
+            "target": args.gateway or f"in-process {args.shards} shard(s)",
+            "faults": fault_plan.counters.as_dict() if fault_plan else None,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif result.knee_qps is None:
+        print(
+            f"no knee: even {args.knee_lo:g} qps missed the SLO "
+            f"(p99 < {gate.p99_ms:g} ms, attainment >= {gate.attainment:.2%})"
+        )
+    else:
+        print(
+            f"knee: {result.knee_qps:g} qps sustains p99 < {gate.p99_ms:g} ms "
+            f"at >= {gate.attainment:.2%} attainment "
+            f"({len(result.probes)} probes in [{result.lo:g}, {result.hi:g}])"
+        )
+    if args.out is not None and not args.json:
+        print(f"wrote {args.out}")
+    if args.check and result.knee_qps is None:
+        print("SLO GATE FAILED: no probed rate met the SLO", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from .datasets.workloads import slider_drag
     from .loadgen import (
@@ -362,6 +591,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     )
     from .service.faults import FaultPlan
 
+    if args.find_knee:
+        if args.replay is not None:
+            print(
+                "--find-knee builds a fresh single-step schedule per probe; "
+                "it cannot be combined with --replay",
+                file=sys.stderr,
+            )
+            return 2
+        return _loadtest_knee(args)
     if args.replay is not None:
         schedule = Schedule.load(args.replay)
         print(f"loaded replay file {args.replay}: {schedule!r}")
@@ -429,19 +667,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     service = None
     if args.gateway is not None:
-        host, _, port = args.gateway.rpartition(":")
-        try:
-            target = GatewayTarget(
-                host or "127.0.0.1",
-                int(port),
-                k=args.k,
-                phi=args.phi,
-                method=args.method,
-                deadline_ms=args.deadline_ms,
-            )
-        except ValueError:
+        endpoints = _parse_endpoints(args.gateway)
+        if endpoints is None:
             print(f"bad --gateway {args.gateway!r}", file=sys.stderr)
             return 2
+        target = GatewayTarget(
+            endpoints[0][0],
+            endpoints[0][1],
+            k=args.k,
+            phi=args.phi,
+            method=args.method,
+            deadline_ms=args.deadline_ms,
+            endpoints=endpoints,
+        )
     else:
         data, _ = _build_dataset(args.family, args.seed)
         service = ShardedQueryService(
@@ -857,6 +1095,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --data-dir: take a snapshot every N acknowledged "
         "mutation batches (0 disables periodic snapshots; default 8)",
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N in-process replicas behind the front door: primary "
+        "for writes (epoch-fenced replication to the rest), any healthy "
+        "replica for reads, automatic failover (default: 1)",
+    )
+    serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="with --replicas: seconds between background health probes "
+        "feeding the per-replica circuit breakers (0 disables)",
+    )
+    serve.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help="warm the (empty) --data-dir from a running peer gateway "
+        "before booting: stream its newest checksum-valid snapshot, WAL, "
+        "and region atlas over the wire, then recover from it",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadtest = sub.add_parser(
@@ -928,9 +1190,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--gateway",
         default=None,
-        metavar="HOST:PORT",
-        help="drive a live `repro serve` gateway over TCP instead of an "
-        "in-process service",
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="drive live `repro serve` gateway(s) over TCP instead of an "
+        "in-process service; several comma-separated endpoints form a "
+        "failover group (connections rotate past dead gateways)",
     )
     loadtest.add_argument("--shards", type=int, default=4)
     loadtest.add_argument(
@@ -1009,6 +1272,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="gate only the step at this offered rate (default: all steps)",
+    )
+    loadtest.add_argument(
+        "--find-knee",
+        action="store_true",
+        help="binary-search the highest offered rate meeting the SLO "
+        "(--slo-p99-ms / --slo-attainment) instead of sweeping --rates; "
+        "records knee_qps in the report",
+    )
+    loadtest.add_argument(
+        "--knee-lo",
+        type=float,
+        default=50.0,
+        help="with --find-knee: lowest probed rate (qps)",
+    )
+    loadtest.add_argument(
+        "--knee-hi",
+        type=float,
+        default=800.0,
+        help="with --find-knee: highest probed rate (qps)",
+    )
+    loadtest.add_argument(
+        "--knee-iterations",
+        type=int,
+        default=5,
+        help="with --find-knee: bisection steps after bracketing "
+        "(resolution = (hi-lo)/2^N; each step costs one replay)",
     )
     loadtest.set_defaults(handler=_cmd_loadtest)
 

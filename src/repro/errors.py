@@ -23,6 +23,7 @@ __all__ = [
     "ShardUnavailable",
     "DegradedError",
     "RecoveryError",
+    "ReplicationError",
     "SimulatedCrash",
 ]
 
@@ -122,6 +123,19 @@ class RecoveryError(ServiceError):
     contract is fail-closed: corruption yields recovery from an older
     good generation or this structured error — never a silently wrong
     serving state.
+    """
+
+
+class ReplicationError(ServiceError):
+    """The replication tier could not satisfy a request correctly.
+
+    Raised by :mod:`repro.service.replication` when an epoch-stamped
+    batch arrives out of sequence (the fence refusal, mirroring the
+    WAL's sequential-epoch gap refusal), or when no healthy replica is
+    available to serve a request.  The contract matches the rest of the
+    serving stack: a replica that cannot answer correctly answers with
+    this structured error — never with silently stale or divergent
+    data.
     """
 
 

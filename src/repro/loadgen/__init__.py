@@ -31,6 +31,7 @@ from .driver import (
     replay,
     run_replay,
 )
+from .knee import KneeProbe, KneeResult, find_knee
 from .report import (
     PERCENTILES,
     LatencyReservoir,
@@ -54,6 +55,8 @@ __all__ = [
     "Arrival",
     "GatewayTarget",
     "InProcessTarget",
+    "KneeProbe",
+    "KneeResult",
     "LatencyReservoir",
     "LoadStep",
     "OUTCOMES",
@@ -66,6 +69,7 @@ __all__ = [
     "StepReport",
     "build_report",
     "build_schedule",
+    "find_knee",
     "mutation_from_spec",
     "mutation_to_spec",
     "replay",

@@ -171,8 +171,21 @@ class GatewayTarget:
     Connections are pooled and grow on demand: a firing request reuses
     an idle connection or opens a new one, so the driver never waits on
     another request's completion (open-loop), and the steady-state pool
-    size converges to the peak in-flight count.  A dead or torn
-    connection is discarded and surfaces as a structured outcome.
+    size converges to the peak in-flight count.
+
+    A pooled connection can be *half-closed*: the server restarted (or a
+    replica died) after the connection went idle, so the next write
+    fails — or reads EOF — through no fault of the request.  An
+    idempotent request (query, ping) that fails on a pooled connection
+    is transparently retried **once** on a fresh connection
+    (:attr:`reconnects` counts these); mutations never auto-retry.  A
+    failure on a fresh connection still surfaces as a structured
+    ``"error"`` outcome.
+
+    *endpoints* optionally lists several gateways (a replica set's front
+    doors): fresh connections rotate to the next endpoint when the
+    current one refuses (:attr:`failovers` counts the rotations), which
+    is how a replay rides through a killed primary.
     """
 
     def __init__(
@@ -183,34 +196,76 @@ class GatewayTarget:
         phi: Optional[int] = None,
         method: Optional[str] = None,
         deadline_ms: Optional[float] = None,
+        endpoints: Optional[List[Tuple[str, int]]] = None,
     ) -> None:
-        self.host = host
-        self.port = int(port)
+        self.endpoints: List[Tuple[str, int]] = (
+            [(str(h), int(p)) for h, p in endpoints]
+            if endpoints
+            else [(host, int(port))]
+        )
+        require(len(self.endpoints) >= 1, "need at least one endpoint")
+        self.host, self.port = self.endpoints[0]
         self.k = k
         self.phi = phi
         self.method = method
         self.deadline_ms = deadline_ms
         self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._endpoint = 0
         self.connections_opened = 0
+        self.reconnects = 0
+        self.failovers = 0
 
-    async def _request(self, payload: Dict) -> Dict:
-        if self._idle:
-            reader, writer = self._idle.pop()
-        else:
-            reader, writer = await asyncio.open_connection(self.host, self.port)
+    async def _open(
+        self,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """A fresh connection, rotating endpoints past refusals."""
+        last: Optional[BaseException] = None
+        n = len(self.endpoints)
+        for i in range(n):
+            at = (self._endpoint + i) % n
+            host, port = self.endpoints[at]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError as exc:
+                last = exc
+                continue
+            if at != self._endpoint:
+                self._endpoint = at
+                self.failovers += 1
             self.connections_opened += 1
-        try:
-            writer.write(json.dumps(payload).encode() + b"\n")
-            await writer.drain()
-            line = await reader.readline()
-            if not line:
-                raise ConnectionError("connection closed before reply")
-            reply = json.loads(line)
-        except Exception:
-            writer.close()
-            raise
-        self._idle.append((reader, writer))
-        return reply
+            return reader, writer
+        raise ConnectionError(
+            f"no endpoint reachable ({n} tried): "
+            f"{type(last).__name__}: {last}"
+        )
+
+    async def _request(self, payload: Dict, idempotent: bool = True) -> Dict:
+        data = json.dumps(payload).encode() + b"\n"
+        for attempt in (0, 1):
+            # The retry deliberately skips the pool: after a server
+            # restart every idle connection is equally dead, so only a
+            # fresh connection can prove the request serviceable.
+            pooled = attempt == 0 and bool(self._idle)
+            if pooled:
+                reader, writer = self._idle.pop()
+            else:
+                reader, writer = await self._open()
+            try:
+                writer.write(data)
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("connection closed before reply")
+                reply = json.loads(line)
+            except Exception:
+                writer.close()
+                if pooled and idempotent:
+                    self.reconnects += 1
+                    continue
+                raise
+            self._idle.append((reader, writer))
+            return reply
+        raise ConnectionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _classify(reply: Dict) -> Tuple[str, str, str]:
@@ -250,7 +305,7 @@ class GatewayTarget:
 
         payload = {"op": "mutate", "mutations": [mutation_to_spec(mutation)]}
         try:
-            reply = await self._request(payload)
+            reply = await self._request(payload, idempotent=False)
         except Exception as exc:  # noqa: BLE001
             return "error", f"{type(exc).__name__}: {exc}"
         if reply.get("ok"):

@@ -1,0 +1,117 @@
+"""Knee finding: the highest offered rate that still meets the SLO.
+
+ROADMAP open item 4 asks for the *capacity* number a single latency
+sweep cannot give: the maximum sustainable queries/second under a stated
+SLO (p99 bound + attainment floor).  This module binary-searches it:
+
+* a **probe** is one short open-loop replay at a fixed offered rate,
+  gated by :class:`~repro.loadgen.report.SloGate` — pass or fail;
+* :func:`find_knee` brackets the knee between a passing low rate and a
+  failing high rate, then bisects for a fixed number of iterations.
+
+The probe callable is injected, so the search logic is unit-testable
+against synthetic pass/fail landscapes and the CLI
+(``repro loadtest --find-knee``) plugs in a real replay per probe.  The
+result lands in ``BENCH_slo.json`` as ``knee_qps`` next to the per-probe
+evidence, so successive PRs can watch the capacity number move.
+
+Monotonicity caveat: real services are only *statistically* monotone in
+offered rate (a lucky probe near the knee can pass above a rate that
+failed).  The search takes each probe's verdict at face value — the
+returned knee is the highest rate *observed* to pass, bracketed by the
+probes listed in the result, not a guarantee about every rate below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .._util import require
+
+__all__ = ["KneeProbe", "KneeResult", "find_knee"]
+
+#: A probe runs one replay at ``rate`` and returns ``(passed, detail)``;
+#: ``detail`` is a JSON-safe dict recorded as evidence (step stats,
+#: gate failures, ...).
+ProbeFn = Callable[[float], Tuple[bool, Dict]]
+
+
+@dataclass(frozen=True)
+class KneeProbe:
+    """One probed rate and its verdict."""
+
+    rate: float
+    passed: bool
+    detail: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "rate": self.rate,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """The search's outcome: the knee (if any) and every probe's evidence.
+
+    ``knee_qps`` is ``None`` when even the lowest probed rate failed the
+    SLO — a result, not an error: it means the service has no capacity
+    at this SLO, which is exactly what a regression gate needs to see.
+    """
+
+    knee_qps: Optional[float]
+    probes: List[KneeProbe]
+    lo: float
+    hi: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "knee_qps": self.knee_qps,
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_probes": len(self.probes),
+            "probes": [probe.as_dict() for probe in self.probes],
+        }
+
+
+def find_knee(
+    probe: ProbeFn,
+    lo: float,
+    hi: float,
+    iterations: int = 6,
+) -> KneeResult:
+    """Binary-search the highest rate in ``[lo, hi]`` that passes *probe*.
+
+    Bracketing first: *lo* failing ends the search immediately
+    (``knee_qps is None``); *hi* passing ends it at *hi* (the knee lies
+    at or beyond the ceiling — raise *hi* to find it).  Otherwise
+    *iterations* bisections narrow the passing/failing bracket; each
+    iteration costs one probe (one replay), so the rate resolution is
+    ``(hi - lo) / 2**iterations``.
+    """
+    require(lo > 0.0, "lo must be > 0")
+    require(hi >= lo, "hi must be >= lo")
+    require(iterations >= 1, "iterations must be >= 1")
+    probes: List[KneeProbe] = []
+
+    def run(rate: float) -> bool:
+        passed, detail = probe(rate)
+        probes.append(KneeProbe(float(rate), bool(passed), dict(detail)))
+        return bool(passed)
+
+    if not run(lo):
+        return KneeResult(None, probes, lo, hi)
+    best = lo
+    if hi == lo or run(hi):
+        return KneeResult(hi, probes, lo, hi)
+    low, high = lo, hi  # invariant: low passed, high failed
+    for _ in range(int(iterations)):
+        mid = (low + high) / 2.0
+        if run(mid):
+            low = best = mid
+        else:
+            high = mid
+    return KneeResult(best, probes, lo, hi)

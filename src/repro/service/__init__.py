@@ -21,6 +21,7 @@ from .cache import (
 from .deadline import Deadline, deadline_from_payload
 from .faults import (
     CONNECTION_FAULT_KINDS,
+    REPLICATION_FAULT_KINDS,
     STORAGE_FAULT_KINDS,
     TRANSPORT_FAULT_KINDS,
     FaultPlan,
@@ -40,6 +41,13 @@ from .recovery import (
     RecoveredState,
     RecoveryReport,
     has_state,
+)
+from .replication import (
+    GatewayPeer,
+    LocalReplica,
+    ReplicaSet,
+    ReplicationCounters,
+    warm_from_peer,
 )
 from .router import group_by_signature, plan_windows
 from .service import EXECUTORS, REUSE_MODES, BatchResult, QueryService
@@ -65,15 +73,20 @@ __all__ = [
     "EXECUTORS",
     "FaultPlan",
     "FaultSpec",
+    "GatewayPeer",
     "InjectedWorkerCrash",
+    "LocalReplica",
     "MethodRollup",
     "QueryRecord",
     "QueryService",
+    "REPLICATION_FAULT_KINDS",
     "REUSE_MODES",
     "RecoveredState",
     "RecoveryReport",
     "RegionCache",
     "RegionIndex",
+    "ReplicaSet",
+    "ReplicationCounters",
     "ReuseProvenance",
     "STORAGE_FAULT_KINDS",
     "ServiceStats",
@@ -83,6 +96,7 @@ __all__ = [
     "TokenBucket",
     "deadline_from_payload",
     "error_reply",
+    "warm_from_peer",
     "computation_survives",
     "group_by_signature",
     "has_state",

@@ -24,7 +24,17 @@ misbehaviour, injectable at two layers:
   after its manifest is published, and a ``crash_rename`` completes the
   temp write and fsync but "crashes" before the rename.  The ``shard``
   field addresses the storage *scope* (``0`` WAL, ``1`` snapshots,
-  ``2`` atlas) and ``at`` the write-operation index within it.
+  ``2`` atlas, ``3`` peer-sync stream) and ``at`` the write-operation
+  index within it.  On the sync scope (``3``) the ``torn_write`` /
+  ``flip_byte`` kinds corrupt an *outgoing* sync chunk after its CRC
+  was computed, so the warming peer must detect the mismatch and fail
+  closed;
+* **replication faults** (``"replica_crash"``, ``"replica_slow"``)
+  fire inside :class:`~repro.service.replication.ReplicaSet` around
+  replica dispatches: a ``replica_crash`` makes the addressed replica's
+  next dispatch die with a connection error (exercising failover +
+  re-dispatch), a ``replica_slow`` stalls it first.  The ``shard``
+  field addresses the replica index.
 
 Determinism is the point: each spec is addressed by a *per-scope call
 index* (calls are counted per shard for transport faults, per accepted
@@ -51,6 +61,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedWorkerCrash",
+    "REPLICATION_FAULT_KINDS",
     "STORAGE_FAULT_KINDS",
     "TRANSPORT_FAULT_KINDS",
 ]
@@ -60,6 +71,9 @@ TRANSPORT_FAULT_KINDS = ("crash", "slow")
 
 #: Faults injected around gateway connections.
 CONNECTION_FAULT_KINDS = ("drop", "torn")
+
+#: Faults injected around replica dispatches in a :class:`ReplicaSet`.
+REPLICATION_FAULT_KINDS = ("replica_crash", "replica_slow")
 
 #: Faults injected around durable-storage writes (WAL / snapshot / atlas).
 STORAGE_FAULT_KINDS = (
@@ -94,7 +108,8 @@ class FaultSpec:
             self.kind
             in TRANSPORT_FAULT_KINDS
             + CONNECTION_FAULT_KINDS
-            + STORAGE_FAULT_KINDS,
+            + STORAGE_FAULT_KINDS
+            + REPLICATION_FAULT_KINDS,
             f"unknown fault kind {self.kind!r}",
         )
         require(self.shard >= 0, "fault scope index must be >= 0")
@@ -148,14 +163,18 @@ class FaultPlan:
         self._call_counts: Dict[int, int] = {}
         self._conn_counts: Dict[int, int] = {}
         self._storage_counts: Dict[int, int] = {}
+        self._replica_counts: Dict[int, int] = {}
         self._transport: Dict[Tuple[int, int], FaultSpec] = {}
         self._connection: Dict[Tuple[int, int], FaultSpec] = {}
         self._storage: Dict[Tuple[int, int], FaultSpec] = {}
+        self._replication: Dict[Tuple[int, int], FaultSpec] = {}
         for spec in self.specs:
             if spec.kind in TRANSPORT_FAULT_KINDS:
                 table = self._transport
             elif spec.kind in CONNECTION_FAULT_KINDS:
                 table = self._connection
+            elif spec.kind in REPLICATION_FAULT_KINDS:
+                table = self._replication
             else:
                 table = self._storage
             table[(spec.shard, spec.at)] = spec
@@ -225,8 +244,9 @@ class FaultPlan:
 
         Scopes are the durability layer's write streams
         (:data:`repro.storage.durability.WAL_SCOPE` /
-        ``SNAPSHOT_SCOPE`` / ``ATLAS_SCOPE``); each WAL append, snapshot
-        artifact write, or atlas dump advances its scope's counter.
+        ``SNAPSHOT_SCOPE`` / ``ATLAS_SCOPE`` / ``SYNC_SCOPE``); each
+        WAL append, snapshot artifact write, atlas dump, or served sync
+        chunk advances its scope's counter.
         """
         with self._lock:
             at = self._storage_counts.get(scope, 0)
@@ -234,6 +254,26 @@ class FaultPlan:
             spec = self._storage.pop((scope, at), None)
             if spec is not None:
                 self.counters.storage_faults += 1
+            return spec
+
+    def draw_replication(self, replica: int) -> Optional[FaultSpec]:
+        """The fault (if any) scheduled for *replica*'s next dispatch.
+
+        Drawn by :class:`~repro.service.replication.ReplicaSet` once per
+        dispatch to the addressed replica, before the call is made; a
+        ``replica_crash`` fires as a connection error so the set's
+        failover/re-dispatch path is exercised exactly like a real
+        replica death.
+        """
+        with self._lock:
+            at = self._replica_counts.get(replica, 0)
+            self._replica_counts[replica] = at + 1
+            spec = self._replication.pop((replica, at), None)
+            if spec is not None:
+                if spec.kind == "replica_crash":
+                    self.counters.crashes += 1
+                else:
+                    self.counters.stalls += 1
             return spec
 
     @property
@@ -244,6 +284,7 @@ class FaultPlan:
                 not self._transport
                 and not self._connection
                 and not self._storage
+                and not self._replication
             )
 
     def __repr__(self) -> str:

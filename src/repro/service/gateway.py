@@ -43,6 +43,7 @@ misreported as client errors.
 from __future__ import annotations
 
 import asyncio
+import base64
 import functools
 import json
 import logging
@@ -60,8 +61,20 @@ from ..core.distributed import (
 )
 from ..core.engine import METHODS
 from ..core.supervision import SupervisedTransport, SupervisionPolicy
-from ..errors import DeadlineExceeded, DegradedError, ReproError, ServiceError
+from ..errors import (
+    DeadlineExceeded,
+    DegradedError,
+    RecoveryError,
+    ReplicationError,
+    ReproError,
+    ServiceError,
+)
 from ..metrics.diskmodel import DiskModel
+from ..storage.durability import (
+    DEFAULT_SYNC_CHUNK,
+    build_sync_manifest,
+    read_sync_chunk,
+)
 from ..storage.index import InvertedIndex
 from ..storage.mutations import Mutation
 from ..storage.sharded import ShardedIndex
@@ -91,6 +104,8 @@ ERROR_CODES = (
     "DEADLINE_EXCEEDED",
     "DEGRADED",
     "INTERNAL",
+    "UNAVAILABLE",
+    "EPOCH_FENCE",
 )
 
 
@@ -399,6 +414,8 @@ class AsyncGateway:
         self.n_rejected_load = 0
         self.n_errors = 0
         self.n_internal = 0
+        self.n_replicated = 0
+        self.n_sync_manifests = 0
         self._pending = 0
         self._draining = False
         self._n_connections = 0
@@ -413,13 +430,25 @@ class AsyncGateway:
         try:
             op = payload.get("op", "query")
             if op == "ping":
-                return {"ok": True, "op": "ping"}
+                # The epoch lets replication peers track freshness from
+                # liveness probes alone (fence waits, catch-up targeting).
+                return {
+                    "ok": True,
+                    "op": "ping",
+                    "epoch": self.service.index.epoch,
+                }
             if op == "stats":
                 return {"ok": True, "op": "stats", "stats": self.stats_snapshot()}
             if op == "query":
                 return await self._handle_query(payload)
             if op == "mutate":
                 return await self._handle_mutate(payload)
+            if op == "replicate":
+                return await self._handle_replicate(payload)
+            if op == "sync_manifest":
+                return await self._handle_sync_manifest()
+            if op == "sync_chunk":
+                return await self._handle_sync_chunk(payload)
             return error_reply(
                 "BAD_REQUEST", "bad_request", f"unknown op {op!r}"
             )
@@ -492,6 +521,15 @@ class AsyncGateway:
                     k = int(payload.get("k", self.k))
                     phi = int(payload.get("phi", self.phi))
                     method = payload.get("method")
+                    min_epoch = payload.get("min_epoch")
+                    if min_epoch is not None:
+                        min_epoch = int(min_epoch)
+                    kwargs = {"deadline": deadline}
+                    if min_epoch is not None and getattr(
+                        self.service, "supports_min_epoch", False
+                    ):
+                        # Replica sets route on freshness themselves.
+                        kwargs["min_epoch"] = min_epoch
                     computation, tier = await loop.run_in_executor(
                         None,
                         functools.partial(
@@ -500,7 +538,7 @@ class AsyncGateway:
                             k,
                             phi,
                             method,
-                            deadline=deadline,
+                            **kwargs,
                         ),
                     )
                 except DeadlineExceeded as exc:
@@ -515,6 +553,11 @@ class AsyncGateway:
                         shards_consulted=list(exc.shards_consulted),
                         failed_shards=list(exc.failed_shards),
                     )
+                except ReplicationError as exc:
+                    # No healthy replica could answer — a structured
+                    # refusal, never a hang or a silently wrong answer.
+                    self.n_errors += 1
+                    return error_reply("UNAVAILABLE", "unavailable", str(exc))
                 except ServiceError:
                     # Infrastructure failure that escaped supervision —
                     # a server-side problem, not a client error.
@@ -534,7 +577,16 @@ class AsyncGateway:
                     metrics=computation.metrics if tier == "computed" else None,
                     tier=tier,
                 )
-                return self._render(computation, tier, seconds)
+                reply = self._render(computation, tier, seconds)
+                if min_epoch is not None and computation.epoch < min_epoch:
+                    # Bounded staleness, made explicit: the client asked
+                    # for at least min_epoch and got an older view.  A
+                    # replica set already counted this; count it here for
+                    # plain services.
+                    reply["stale"] = True
+                    if not getattr(self.service, "supports_min_epoch", False):
+                        self.stats.stale_reads += 1
+                return reply
             finally:
                 self._slots.release()
         finally:
@@ -566,6 +618,120 @@ class AsyncGateway:
             "regions_evicted": stats.regions_evicted,
             "plans_dropped": stats.plans_dropped,
             "epoch": self.service.index.epoch,
+        }
+
+    async def _handle_replicate(self, payload: Dict) -> Dict:
+        """Accept an epoch-stamped batch shipped by a replication primary.
+
+        The service's fence refuses any epoch that is not exactly its
+        next version — returned as ``EPOCH_FENCE`` with the replica's
+        current epoch so the primary can target catch-up (or decide the
+        batch was a duplicate of one already applied).
+        """
+        rejected = self._admit()
+        if rejected is not None:
+            return rejected
+        applier = getattr(self.service, "apply_replicated", None)
+        if not callable(applier):
+            self.n_errors += 1
+            return error_reply(
+                "BAD_REQUEST",
+                "bad_request",
+                "service does not accept replicated batches",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            epoch = int(payload["epoch"])
+            batch = [_parse_mutation(spec) for spec in payload["mutations"]]
+            stats = await loop.run_in_executor(None, applier, batch, epoch)
+        except ReplicationError as exc:
+            self.n_errors += 1
+            return error_reply(
+                "EPOCH_FENCE",
+                "epoch_fence",
+                str(exc),
+                epoch=self.service.index.epoch,
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            self.n_errors += 1
+            return error_reply("BAD_REQUEST", "mutation_error", str(exc))
+        self.n_replicated += 1
+        self.stats.mutation_batches += stats.mutation_batches
+        self.stats.mutations_applied += stats.mutations_applied
+        self.stats.regions_kept += stats.regions_kept
+        self.stats.regions_evicted += stats.regions_evicted
+        self.stats.plans_dropped += stats.plans_dropped
+        return {
+            "ok": True,
+            "op": "replicate",
+            "applied": stats.mutations_applied,
+            "epoch": self.service.index.epoch,
+        }
+
+    def _sync_durability(self):
+        """The durability manager sync ops serve from, or ``None``."""
+        return getattr(self.service, "durability", None)
+
+    async def _handle_sync_manifest(self) -> Dict:
+        """Describe the newest checksum-valid durable state for a peer."""
+        durability = self._sync_durability()
+        if durability is None:
+            self.n_errors += 1
+            return error_reply(
+                "BAD_REQUEST",
+                "bad_request",
+                "service has no durable state to sync from",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            manifest = await loop.run_in_executor(
+                None, build_sync_manifest, durability.data_dir
+            )
+        except RecoveryError as exc:
+            self.n_errors += 1
+            return error_reply("UNAVAILABLE", "sync_unavailable", str(exc))
+        self.n_sync_manifests += 1
+        return {"ok": True, "op": "sync_manifest", "manifest": manifest}
+
+    async def _handle_sync_chunk(self, payload: Dict) -> Dict:
+        """Serve one CRC-tagged chunk of a durable artifact to a peer."""
+        durability = self._sync_durability()
+        if durability is None:
+            self.n_errors += 1
+            return error_reply(
+                "BAD_REQUEST",
+                "bad_request",
+                "service has no durable state to sync from",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            name = str(payload["name"])
+            offset = int(payload["offset"])
+            length = int(payload.get("length", DEFAULT_SYNC_CHUNK))
+            chunk = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    read_sync_chunk,
+                    durability.data_dir,
+                    name,
+                    offset,
+                    length,
+                    fault_plan=self.fault_plan,
+                ),
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            self.n_errors += 1
+            return error_reply("BAD_REQUEST", "sync_error", str(exc))
+        self.stats.sync_chunks_sent += 1
+        self.stats.sync_bytes_sent += len(chunk.data)
+        return {
+            "ok": True,
+            "op": "sync_chunk",
+            "name": chunk.name,
+            "offset": chunk.offset,
+            "data": base64.b64encode(chunk.data).decode("ascii"),
+            "crc32": chunk.crc32,
+            "eof": chunk.eof,
         }
 
     @staticmethod
@@ -626,6 +792,19 @@ class AsyncGateway:
             self.stats.recovery_seconds = float(
                 durability.get("recovery_seconds", 0.0)
             )
+        replication = {}
+        accessor = getattr(self.service, "replication_snapshot", None)
+        if callable(accessor):
+            replication = accessor() or {}
+        if replication:
+            # Same mirroring for the replication tier: the counters live
+            # with the replica set, the snapshot reports them.
+            self.stats.replica_health_transitions = int(
+                replication.get("health_transitions", 0)
+            )
+            self.stats.failovers = int(replication.get("failovers", 0))
+            self.stats.stale_reads = int(replication.get("stale_reads", 0))
+            self.stats.fence_waits = int(replication.get("fence_waits", 0))
         snapshot = self.stats.as_dict()
         snapshot["tiers"] = self.stats.tier_latencies(include_empty=True)
         snapshot["rejected"] = {
@@ -640,6 +819,15 @@ class AsyncGateway:
             # The full counter set (includes the atlas dump/load counts
             # the compact ServiceStats block leaves out).
             snapshot["durability"] = durability
+        if replication or self.n_replicated or self.n_sync_manifests:
+            # The full per-replica readout (breaker states, epochs) the
+            # compact ServiceStats block leaves out, plus this gateway's
+            # own replication-protocol serving counters — also present on
+            # a plain secondary that merely accepts replicate/sync ops.
+            replication = dict(replication)
+            replication["replicated_batches_received"] = self.n_replicated
+            replication["sync_manifests_served"] = self.n_sync_manifests
+            snapshot["replication"] = replication
         return snapshot
 
     # -- TCP server ------------------------------------------------------

@@ -1,0 +1,1098 @@
+"""Replicated serving: health-checked replica sets with epoch fencing.
+
+One process death still takes the PR 7/8 stack's whole front door down;
+this module keeps the front door up by putting N replicas of the
+serving state behind it:
+
+* :class:`ReplicaSet` runs N replicas — in-process
+  :class:`~repro.service.gateway.ShardedQueryService` handles
+  (:class:`LocalReplica`) or remote
+  :class:`~repro.service.gateway.AsyncGateway` peers
+  (:class:`GatewayPeer`) — with **primary-for-writes /
+  any-healthy-for-reads** routing.  Each replica sits behind its own
+  :class:`~repro.core.supervision.CircuitBreaker` (PR 7's machinery,
+  reused verbatim): failures open the breaker, a half-open probe lets a
+  recovered replica re-admit itself, and :meth:`ReplicaSet.probe_now`
+  (or the optional background probe thread) feeds the breakers with
+  liveness pings.
+* **Epoch-fenced replication**: a write lands on the primary through
+  the existing log-before-apply path, then the epoch-stamped batch is
+  shipped to every other replica.  A replica refuses a batch whose
+  epoch is not exactly its next version — the same sequential-epoch
+  refusal the WAL enforces — so a lost or reordered ship can never
+  silently diverge a replica; the set replays the gap from its bounded
+  in-memory replication log, and a replica that has fallen off the end
+  of that log is marked down until it re-syncs from a peer.
+* **Bounded staleness for reads**: a read carrying ``min_epoch`` is
+  routed to a replica at or past that epoch; when none qualifies the
+  set briefly waits on the fence (bounded by ``fence_wait_s`` and the
+  request :class:`~repro.service.deadline.Deadline`), and only then
+  serves from the freshest healthy replica — counted as a stale read
+  and marked ``stale: true`` on the wire.  Never silently old data.
+* **Failover + re-dispatch**: an infrastructure failure mid-flight
+  (connection death, shard-infra error, injected ``replica_crash``)
+  marks the replica failed and re-dispatches the request to the next
+  healthy candidate, bounded by the deadline.  Client errors
+  (:class:`~repro.errors.ValidationError`), deadline exhaustion, and
+  explicit degraded answers propagate — they are answers, not replica
+  deaths.
+* **Peer warmup**: :func:`warm_from_peer` streams a primary's newest
+  checksum-valid snapshot generation, WAL tail, and region atlas over
+  the gateway's ``sync_manifest`` / ``sync_chunk`` ops in CRC-verified
+  chunks (:class:`~repro.storage.durability.SyncSink` fails closed on
+  any mismatch), writes the standard data-dir layout, and leaves the
+  replay to the existing :meth:`DurabilityManager.recover` path — so
+  ``repro serve --join HOST:PORT`` boots a bit-identical replica
+  without ever touching the primary's disk.
+
+The standing oracle carries over from the chaos suites: under every
+injected failure, every answer is bit-identical to the single-node
+fault-free compute or a structured error — never silent divergence.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import require
+from ..core.supervision import CircuitBreaker
+from ..datasets.base import Dataset
+from ..errors import (
+    DeadlineExceeded,
+    DegradedError,
+    QueryError,
+    RecoveryError,
+    ReplicationError,
+    ValidationError,
+)
+from ..storage.durability import DEFAULT_SYNC_CHUNK, SyncSink
+from ..storage.index import InvertedIndex
+from ..storage.mutations import Mutation, MutationBatch
+from ..storage.sharded import ShardedIndex
+from ..topk.query import Query
+from .service import _coerce_batch
+
+__all__ = [
+    "GatewayPeer",
+    "LocalReplica",
+    "PeerComputation",
+    "ReplicaSet",
+    "ReplicationCounters",
+    "clone_data",
+    "warm_from_peer",
+]
+
+
+# ----------------------------------------------------------------------
+# Replica-state cloning
+# ----------------------------------------------------------------------
+
+
+def _clone_dataset(dataset: Dataset) -> Dataset:
+    """An independent copy of *dataset* at the same epoch.
+
+    Rebuilds from the live CSR arrays and restores the epoch — the same
+    arrays-plus-``restore_epoch`` path a snapshot round-trip takes, which
+    the recovery suite proves bit-identical.
+    """
+    indptr, indices, values = dataset.csr_arrays
+    clone = Dataset(
+        indptr.copy(), indices.copy(), values.copy(), dataset.n_dims
+    )
+    clone.restore_epoch(dataset.epoch)
+    return clone
+
+
+def clone_data(data):
+    """Clone a replica's source state: Dataset, InvertedIndex, or
+    ShardedIndex (shard fence and per-shard epochs preserved).
+
+    Each replica must own its arrays — replicas diverge only through
+    epoch-fenced replication, never through shared mutable state.
+    """
+    if isinstance(data, ShardedIndex):
+        dataset = _clone_dataset(data.dataset)
+        boundaries = list(data.starts) + [dataset.n_tuples]
+        clone = ShardedIndex(dataset, data.n_shards, boundaries=boundaries)
+        for shard, epoch in zip(clone.shards, data.shard_epochs):
+            shard.index.restore_epoch(int(epoch))
+        return clone
+    if isinstance(data, InvertedIndex):
+        return InvertedIndex(_clone_dataset(data.dataset))
+    return _clone_dataset(data)
+
+
+# ----------------------------------------------------------------------
+# Replica handles
+# ----------------------------------------------------------------------
+
+
+class LocalReplica:
+    """An in-process replica: one query service behind the set's API."""
+
+    def __init__(self, service, name: Optional[str] = None) -> None:
+        self.service = service
+        self.name = name if name is not None else f"replica@{id(service):x}"
+
+    @property
+    def epoch(self) -> int:
+        return self.service.index.epoch
+
+    def ping(self) -> Dict:
+        return {"ok": True, "epoch": self.epoch}
+
+    def query(
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
+        min_epoch: Optional[int] = None,
+    ) -> Tuple[object, str]:
+        # min_epoch routing is the set's job; the replica answers at its
+        # own epoch and the set decides whether that answer is fresh.
+        return self.service.execute_tiered(
+            query, k, phi, method, deadline=deadline
+        )
+
+    def replicate(self, batch: MutationBatch, epoch: int):
+        return self.service.apply_replicated(batch, epoch)
+
+    def apply(self, batch: MutationBatch):
+        return self.service.apply_mutations(batch)
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __repr__(self) -> str:
+        return f"LocalReplica(name={self.name!r}, epoch={self.epoch})"
+
+
+def _mutation_spec(mutation: Mutation) -> Dict:
+    """Serialise one mutation to the gateway's wire format."""
+    if mutation.kind == "insert":
+        return {
+            "kind": "insert",
+            "dims": [int(d) for d in mutation.dims],
+            "values": [float(v) for v in mutation.values],
+        }
+    if mutation.kind == "delete":
+        return {"kind": "delete", "id": int(mutation.tuple_id)}
+    if mutation.kind == "update":
+        return {
+            "kind": "update",
+            "id": int(mutation.tuple_id),
+            "dim": int(mutation.dims[0]),
+            "value": float(mutation.values[0]),
+        }
+    raise ValidationError(f"unknown mutation kind {mutation.kind!r}")
+
+
+class _PeerQuery:
+    """What :meth:`AsyncGateway._render` needs from ``computation.query``."""
+
+    def __init__(self, weights: Dict[int, float]) -> None:
+        self._weights = weights
+
+    def weight_of(self, dim: int) -> float:
+        return self._weights[int(dim)]
+
+
+class _PeerResult:
+    def __init__(self, ids: List[int], scores: List[float]) -> None:
+        self.ids = ids
+        self.scores = scores
+
+
+class PeerComputation:
+    """A remote replica's answer, shaped like a ``RegionComputation``.
+
+    Exposes exactly the surface the gateway's renderer and stats
+    accounting touch: the result ids/scores, the per-dimension immutable
+    intervals, the query weights, the epoch, and the method.  Floats
+    round-trip bit-exactly through the JSON wire (``repr`` shortest
+    round-trip), so re-rendering a peer answer is bit-identical to
+    rendering it at the peer.
+    """
+
+    def __init__(self, reply: Dict) -> None:
+        self._regions: Dict[int, Tuple[float, float]] = {}
+        weights: Dict[int, float] = {}
+        for dim, region in reply.get("regions", {}).items():
+            lower, upper = region["interval"]
+            self._regions[int(dim)] = (lower, upper)
+            weights[int(dim)] = region["weight"]
+        self.result = _PeerResult(
+            ids=[int(tid) for tid, _ in reply.get("result", [])],
+            scores=[float(score) for _, score in reply.get("result", [])],
+        )
+        self.query = _PeerQuery(weights)
+        self.epoch = int(reply.get("epoch", -1))
+        self.method = reply.get("method", "")
+        self.metrics = None
+        self.reuse = None
+
+    @property
+    def sequences(self):
+        return tuple(sorted(self._regions))
+
+    def immutable_interval(self, dim: int) -> Tuple[float, float]:
+        return self._regions[int(dim)]
+
+
+class GatewayPeer:
+    """A remote replica: a blocking JSON-lines client to an AsyncGateway.
+
+    One pooled connection per peer, serialised by a lock (the set's
+    dispatch already fans out across replicas, not within one).  A
+    request that fails on a *pooled* connection — the half-closed-socket
+    signature of a peer restart — reconnects and retries once when the
+    op is idempotent; mutating ops never auto-retry (a duplicate
+    ``replicate`` is fenced off by the epoch check anyway, but the
+    caller decides that).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.name = name if name is not None else f"{host}:{port}"
+        self.connect_timeout = float(connect_timeout)
+        self.request_timeout = float(request_timeout)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._epoch = -1  # last epoch observed in any reply
+        self.connections_opened = 0
+        self.reconnects = 0
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.request_timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self.connections_opened += 1
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(
+        self,
+        payload: Dict,
+        idempotent: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """One request/reply round trip; raises ``ConnectionError`` on
+        transport failure (after the single idempotent retry)."""
+        data = json.dumps(payload).encode() + b"\n"
+        with self._lock:
+            for attempt in (0, 1):
+                pooled = self._sock is not None
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    if timeout is not None:
+                        self._sock.settimeout(max(timeout, 1e-3))
+                    self._file.write(data)
+                    self._file.flush()
+                    line = self._file.readline()
+                    if not line:
+                        raise ConnectionError(
+                            "peer closed connection before reply"
+                        )
+                    reply = json.loads(line)
+                except (OSError, ValueError, ConnectionError) as exc:
+                    self._teardown()
+                    if pooled and idempotent and attempt == 0:
+                        self.reconnects += 1
+                        continue
+                    raise ConnectionError(
+                        f"peer {self.name}: {type(exc).__name__}: {exc}"
+                    ) from exc
+                if timeout is not None:
+                    self._sock.settimeout(self.request_timeout)
+                if isinstance(reply, dict) and "epoch" in reply:
+                    try:
+                        self._epoch = max(self._epoch, int(reply["epoch"]))
+                    except (TypeError, ValueError):
+                        pass
+                return reply
+        raise ConnectionError(f"peer {self.name}: unreachable")
+
+    # -- replica interface -----------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The peer's last *observed* epoch (refresh with :meth:`ping`)."""
+        return self._epoch
+
+    def ping(self) -> Dict:
+        reply = self.request({"op": "ping"})
+        if not reply.get("ok"):
+            raise ConnectionError(f"peer {self.name}: ping failed: {reply}")
+        return reply
+
+    @staticmethod
+    def _raise_for(reply: Dict) -> None:
+        """Map an error reply onto the local exception taxonomy."""
+        code = reply.get("code", "")
+        message = reply.get("message", reply.get("error", ""))
+        if code == "DEADLINE_EXCEEDED":
+            raise DeadlineExceeded(
+                reply.get("budget_ms", 0.0) / 1000.0,
+                reply.get("elapsed_ms", 0.0) / 1000.0,
+                where=reply.get("where", "peer"),
+            )
+        if code == "DEGRADED":
+            raise DegradedError(
+                reply.get("shards_consulted", ()),
+                reply.get("failed_shards", ()),
+                message,
+            )
+        if code == "BAD_REQUEST":
+            raise QueryError(message)
+        if code == "EPOCH_FENCE":
+            raise ReplicationError(message)
+        # OVERLOADED / UNAVAILABLE / INTERNAL: the peer is alive but not
+        # serving this request — a redispatchable infrastructure failure.
+        raise ReplicationError(f"peer error {code or '?'}: {message}")
+
+    def query(
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
+        min_epoch: Optional[int] = None,
+    ) -> Tuple[PeerComputation, str]:
+        payload: Dict = {
+            "op": "query",
+            "dims": [int(d) for d in query.dims],
+            "weights": [float(w) for w in query.weights],
+            "k": int(k),
+            "phi": int(phi),
+        }
+        if method is not None:
+            payload["method"] = method
+        timeout = None
+        if deadline is not None:
+            timeout = deadline.timeout("peer-dispatch")
+            payload["deadline_ms"] = timeout * 1000.0
+        reply = self.request(payload, idempotent=True, timeout=timeout)
+        if not reply.get("ok"):
+            self._raise_for(reply)
+        return PeerComputation(reply), reply.get("tier", "computed")
+
+    def replicate(self, batch: MutationBatch, epoch: int) -> Dict:
+        reply = self.request(
+            {
+                "op": "replicate",
+                "epoch": int(epoch),
+                "mutations": [_mutation_spec(m) for m in batch],
+            },
+            idempotent=False,
+        )
+        if not reply.get("ok"):
+            self._raise_for(reply)
+        return reply
+
+    def apply(self, batch: MutationBatch) -> Dict:
+        reply = self.request(
+            {
+                "op": "mutate",
+                "mutations": [_mutation_spec(m) for m in batch],
+            },
+            idempotent=False,
+        )
+        if not reply.get("ok"):
+            self._raise_for(reply)
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def __repr__(self) -> str:
+        return f"GatewayPeer({self.name!r}, epoch={self._epoch})"
+
+
+# ----------------------------------------------------------------------
+# The replica set
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReplicationCounters:
+    """What the replication tier has done (surfaced in stats/self-test)."""
+
+    failovers: int = 0
+    redispatches: int = 0
+    replicated_batches: int = 0
+    replication_rejects: int = 0
+    catch_ups: int = 0
+    resync_required: int = 0
+    stale_reads: int = 0
+    fence_waits: int = 0
+    probes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "failovers": self.failovers,
+            "redispatches": self.redispatches,
+            "replicated_batches": self.replicated_batches,
+            "replication_rejects": self.replication_rejects,
+            "catch_ups": self.catch_ups,
+            "resync_required": self.resync_required,
+            "stale_reads": self.stale_reads,
+            "fence_waits": self.fence_waits,
+            "probes": self.probes,
+        }
+
+
+class ReplicaSet:
+    """N replicas behind one front door, duck-typed as a query service.
+
+    The set exposes the same serving surface as
+    :class:`~repro.service.service.QueryService` —
+    :meth:`execute_tiered`, :meth:`apply_mutations`, ``index``,
+    ``cache``, ``durability``, the snapshot hooks — so both
+    :class:`~repro.service.gateway.AsyncGateway` and the loadgen's
+    in-process target front it unchanged.
+
+    Parameters
+    ----------
+    replicas:
+        Replica handles (:class:`LocalReplica` / :class:`GatewayPeer`),
+        each with a unique ``name``.  ``replicas[primary]`` starts as
+        the write primary.
+    fence_wait_s / fence_poll_s:
+        How long a ``min_epoch`` read may wait for a lagging replica to
+        catch up before it is served stale (and how often to re-check).
+    probe_interval:
+        Seconds between background health probes; ``0`` (default)
+        disables the thread — call :meth:`probe_now` explicitly (tests,
+        single-threaded drivers).
+    failure_threshold / reset_after:
+        Per-replica :class:`CircuitBreaker` tuning.
+    replication_log_capacity:
+        Bounded in-memory ship log used to replay gaps to lagging
+        replicas; a replica older than the log's tail needs a full peer
+        sync (counted in ``resync_required``).
+    fault_plan:
+        Deterministic replication faults
+        (:data:`~repro.service.faults.REPLICATION_FAULT_KINDS`), drawn
+        once per dispatch to the addressed replica index.
+    """
+
+    #: The gateway passes ``min_epoch`` through to services that opt in.
+    supports_min_epoch = True
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        primary: int = 0,
+        fence_wait_s: float = 0.05,
+        fence_poll_s: float = 0.005,
+        probe_interval: float = 0.0,
+        failure_threshold: int = 3,
+        reset_after: float = 1.0,
+        replication_log_capacity: int = 256,
+        fault_plan=None,
+        clock=time.monotonic,
+    ) -> None:
+        replicas = list(replicas)
+        require(len(replicas) >= 1, "a replica set needs at least one replica")
+        names = [replica.name for replica in replicas]
+        require(
+            len(set(names)) == len(names), "replica names must be unique"
+        )
+        require(0 <= primary < len(replicas), "primary index out of range")
+        require(fence_wait_s >= 0.0, "fence_wait_s must be >= 0")
+        require(fence_poll_s > 0.0, "fence_poll_s must be > 0")
+        require(probe_interval >= 0.0, "probe_interval must be >= 0")
+        require(
+            replication_log_capacity >= 1,
+            "replication_log_capacity must be >= 1",
+        )
+        self.replicas = replicas
+        self.fence_wait_s = float(fence_wait_s)
+        self.fence_poll_s = float(fence_poll_s)
+        self.fault_plan = fault_plan
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_after=reset_after,
+                clock=clock,
+            )
+            for name in names
+        }
+        self._primary = int(primary)
+        self._rr = 0
+        self._state_lock = threading.Lock()
+        self._write_lock = threading.RLock()
+        self._log: deque = deque(maxlen=int(replication_log_capacity))
+        self.counters = ReplicationCounters()
+        self._closed = False
+        self._probe_interval = float(probe_interval)
+        self._probe_thread: Optional[threading.Thread] = None
+        if self._probe_interval > 0:
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop,
+                name="repro-replica-probe",
+                daemon=True,
+            )
+            self._probe_thread.start()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data,
+        n_replicas: int,
+        durability=None,
+        set_kwargs: Optional[Dict] = None,
+        **service_kwargs,
+    ) -> "ReplicaSet":
+        """N in-process :class:`ShardedQueryService` replicas over *data*.
+
+        The first replica serves *data* itself (and carries
+        *durability*, when given — one durable primary, exactly like a
+        single-node boot); every other replica gets an independent clone
+        of the arrays at the same epoch, so replicas share nothing but
+        the replication stream.
+        """
+        from .gateway import ShardedQueryService
+
+        require(n_replicas >= 1, "n_replicas must be >= 1")
+        replicas = []
+        for i in range(int(n_replicas)):
+            source = data if i == 0 else clone_data(data)
+            replicas.append(
+                LocalReplica(
+                    ShardedQueryService(
+                        source,
+                        durability=durability if i == 0 else None,
+                        **service_kwargs,
+                    ),
+                    name=f"replica-{i}",
+                )
+            )
+        return cls(replicas, **(set_kwargs or {}))
+
+    # -- service surface (duck-typed QueryService) -------------------------
+
+    @property
+    def primary(self):
+        """The current write primary (may change on failover)."""
+        return self.replicas[self._primary]
+
+    @property
+    def primary_name(self) -> str:
+        return self.primary.name
+
+    @property
+    def index(self):
+        return self.primary.service.index
+
+    @property
+    def cache(self):
+        return self.primary.service.cache
+
+    @property
+    def durability(self):
+        return getattr(self.primary.service, "durability", None)
+
+    @property
+    def n_shards(self) -> Optional[int]:
+        return getattr(self.primary.service, "n_shards", None)
+
+    @property
+    def epoch(self) -> int:
+        return max(replica.epoch for replica in self.replicas)
+
+    def breaker_of(self, name: str) -> CircuitBreaker:
+        return self._breakers[name]
+
+    def execute_tiered(
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
+        min_epoch: Optional[int] = None,
+    ) -> Tuple[object, str]:
+        """Answer one query from any healthy replica, re-dispatching on
+        infrastructure failure (bounded by *deadline*).
+
+        With *min_epoch*: route to a replica at/past that epoch, wait
+        briefly on the fence when none qualifies, then — explicitly
+        counted — serve from the freshest healthy replica.  The caller
+        (the gateway) marks the reply ``stale`` whenever the answering
+        epoch is below ``min_epoch``.
+        """
+        min_epoch = None if min_epoch is None else int(min_epoch)
+        tried: set = set()
+        require_fresh = min_epoch is not None
+        waited = False
+        while True:
+            if deadline is not None:
+                deadline.check("replica-dispatch")
+            replica = self._pick(tried, min_epoch if require_fresh else None)
+            if replica is None:
+                if require_fresh:
+                    if not waited:
+                        waited = True
+                        if self._fence_wait(min_epoch, tried, deadline):
+                            continue
+                    require_fresh = False  # serve stale, never silently
+                    continue
+                raise ReplicationError(
+                    f"no healthy replica available "
+                    f"({len(tried)} failed this request)"
+                )
+            try:
+                self._inject_fault(replica)
+                computation, tier = replica.query(
+                    query,
+                    k,
+                    phi=phi,
+                    method=method,
+                    deadline=deadline,
+                    min_epoch=min_epoch,
+                )
+            except (DeadlineExceeded, DegradedError, ValidationError):
+                raise  # answers and client errors, not replica deaths
+            except Exception:
+                self._note_failure(replica)
+                tried.add(replica.name)
+                self.counters.redispatches += 1
+                continue
+            self._note_success(replica)
+            if min_epoch is not None and computation.epoch < min_epoch:
+                with self._state_lock:
+                    self.counters.stale_reads += 1
+            return computation, tier
+
+    def execute(
+        self,
+        query: Query,
+        k: int,
+        phi: int = 0,
+        method: Optional[str] = None,
+        deadline=None,
+        min_epoch: Optional[int] = None,
+    ):
+        return self.execute_tiered(
+            query, k, phi, method, deadline=deadline, min_epoch=min_epoch
+        )[0]
+
+    def apply_mutations(self, batch):
+        """Apply a batch on the primary, then ship it epoch-stamped.
+
+        The primary applies through its own log-before-apply path (WAL
+        + fsync when durable); failure promotes the healthiest replica
+        with the highest epoch and retries there.  Each secondary
+        refuses gaps; refusals are caught up from the bounded ship log,
+        and replicas beyond it are marked for a full re-sync.
+        """
+        batch = _coerce_batch(batch)
+        with self._write_lock:
+            failed: set = set()
+            last_exc: Optional[BaseException] = None
+            primary = None
+            stats = None
+            while len(failed) < len(self.replicas):
+                primary = self._ensure_primary(exclude=failed)
+                if primary is None:
+                    break
+                try:
+                    self._inject_fault(primary)
+                    stats = primary.apply(batch)
+                    break
+                except ValidationError:
+                    raise  # a bad batch fails everywhere; no failover
+                except Exception as exc:  # noqa: BLE001 — infra failure
+                    last_exc = exc
+                    self._note_failure(primary)
+                    failed.add(primary.name)
+                    stats = None
+            if stats is None:
+                raise ReplicationError(
+                    f"write failed on every candidate primary: {last_exc}"
+                )
+            epoch = primary.epoch
+            self._log.append((epoch, batch))
+            for replica in self.replicas:
+                if replica is primary:
+                    continue
+                self._ship(replica, epoch, batch)
+            return stats
+
+    def apply_replicated(self, batch, epoch: int):
+        """Accept an epoch-stamped batch from an *upstream* primary.
+
+        Lets a whole set sit downstream of another node: the local
+        primary fences exactly like a single replica, then the batch
+        fans out to the set's secondaries as usual.
+        """
+        batch = _coerce_batch(batch)
+        with self._write_lock:
+            primary = self._ensure_primary()
+            if primary is None:
+                raise ReplicationError("no healthy primary for writes")
+            expected = primary.epoch + 1
+            if int(epoch) != expected:
+                raise ReplicationError(
+                    f"epoch fence: set at {primary.epoch}, expected batch "
+                    f"for epoch {expected}, got {int(epoch)}"
+                )
+            return self.apply_mutations(batch)
+
+    # -- health ------------------------------------------------------------
+
+    def probe_now(self) -> Dict[str, bool]:
+        """Ping every replica once, feeding the breakers; returns
+        per-replica liveness.  Promotes away from a dead primary."""
+        liveness: Dict[str, bool] = {}
+        for replica in self.replicas:
+            try:
+                replica.ping()
+                alive = True
+            except Exception:  # noqa: BLE001 — any failure is "down"
+                alive = False
+            liveness[replica.name] = alive
+            if alive:
+                self._note_success(replica)
+            else:
+                self._note_failure(replica)
+        with self._state_lock:
+            self.counters.probes += 1
+        with self._write_lock:
+            self._ensure_primary()
+        return liveness
+
+    def _probe_loop(self) -> None:
+        while not self._closed:
+            time.sleep(self._probe_interval)
+            if self._closed:
+                return
+            try:
+                self.probe_now()
+            except Exception:  # noqa: BLE001 — the probe must not die
+                pass
+
+    # -- snapshots / durability (delegate to the primary) ------------------
+
+    def snapshot_now(self) -> bool:
+        snapshot = getattr(self.primary.service, "snapshot_now", None)
+        return bool(snapshot()) if callable(snapshot) else False
+
+    def durability_counters(self) -> Dict[str, float]:
+        accessor = getattr(self.primary.service, "durability_counters", None)
+        return accessor() if callable(accessor) else {}
+
+    def supervision_snapshot(self) -> Dict:
+        accessor = getattr(self.primary.service, "supervision_snapshot", None)
+        return accessor() if callable(accessor) else {}
+
+    def replication_snapshot(self) -> Dict:
+        """The set's health + counter readout (mirrored by the gateway)."""
+        replicas = {}
+        transitions = 0
+        for replica in self.replicas:
+            breaker = self._breakers[replica.name]
+            transitions += breaker.transitions
+            try:
+                epoch = replica.epoch
+            except Exception:  # noqa: BLE001 — a dead replica still lists
+                epoch = -1
+            replicas[replica.name] = {
+                "state": breaker.state,
+                "epoch": epoch,
+                "transitions": breaker.transitions,
+            }
+        snapshot = {
+            "n_replicas": len(self.replicas),
+            "primary": self.primary_name,
+            "replicas": replicas,
+            "health_transitions": transitions,
+        }
+        snapshot.update(self.counters.as_dict())
+        return snapshot
+
+    def close(self) -> None:
+        self._closed = True
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=self._probe_interval + 1.0)
+            self._probe_thread = None
+        for replica in self.replicas:
+            try:
+                replica.close()
+            except Exception:  # noqa: BLE001 — close the rest regardless
+                pass
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaSet(n={len(self.replicas)}, "
+            f"primary={self.primary_name!r}, "
+            f"failovers={self.counters.failovers})"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _inject_fault(self, replica) -> None:
+        if self.fault_plan is None:
+            return
+        draw = getattr(self.fault_plan, "draw_replication", None)
+        if not callable(draw):
+            return
+        index = self.replicas.index(replica)
+        fault = draw(index)
+        if fault is None:
+            return
+        if fault.kind == "replica_slow":
+            time.sleep(fault.seconds)
+        elif fault.kind == "replica_crash":
+            raise ConnectionError(
+                f"injected replica crash on {replica.name}"
+            )
+
+    def _note_success(self, replica) -> None:
+        self._breakers[replica.name].record_success()
+
+    def _note_failure(self, replica) -> None:
+        self._breakers[replica.name].record_failure()
+
+    def _healthy(self, replica) -> bool:
+        return self._breakers[replica.name].state != "open"
+
+    def _pick(
+        self, tried: set, min_epoch: Optional[int]
+    ) -> Optional[object]:
+        """The next dispatch candidate, rotating for read spreading."""
+        with self._state_lock:
+            n = len(self.replicas)
+            order = [(self._rr + i) % n for i in range(n)]
+            self._rr = (self._rr + 1) % n
+        for i in order:
+            replica = self.replicas[i]
+            if replica.name in tried:
+                continue
+            breaker = self._breakers[replica.name]
+            if breaker.state == "open":
+                continue
+            if min_epoch is not None and replica.epoch < min_epoch:
+                continue
+            if not breaker.allow():
+                continue  # lost the half-open probe slot to a racer
+            return replica
+        return None
+
+    def _fence_wait(
+        self, min_epoch: int, tried: set, deadline
+    ) -> bool:
+        """Wait briefly for any healthy replica to reach *min_epoch*."""
+        with self._state_lock:
+            self.counters.fence_waits += 1
+        budget = self.fence_wait_s
+        if deadline is not None:
+            budget = min(budget, max(deadline.remaining(), 0.0))
+        waited = 0.0
+        while True:
+            for replica in self.replicas:
+                if replica.name in tried or not self._healthy(replica):
+                    continue
+                try:
+                    replica.ping()
+                except Exception:  # noqa: BLE001 — probe failure only
+                    continue
+                if replica.epoch >= min_epoch:
+                    return True
+            if waited >= budget:
+                return False
+            step = min(self.fence_poll_s, budget - waited)
+            time.sleep(step)
+            waited += step
+
+    def _ensure_primary(self, exclude: Sequence[str] = ()) -> Optional[object]:
+        """The healthy write primary, promoting when the current one is
+        open-circuit (or excluded); returns ``None`` when nobody can."""
+        exclude = set(exclude)
+        current = self.replicas[self._primary]
+        if current.name not in exclude and self._healthy(current):
+            return current
+        best = None
+        best_epoch = -1
+        best_index = -1
+        for i, replica in enumerate(self.replicas):
+            if replica.name in exclude or not self._healthy(replica):
+                continue
+            try:
+                epoch = replica.epoch
+            except Exception:  # noqa: BLE001 — unreachable candidates skip
+                continue
+            if epoch > best_epoch:
+                best, best_epoch, best_index = replica, epoch, i
+        if best is None:
+            return None
+        if best_index != self._primary:
+            self._primary = best_index
+            with self._state_lock:
+                self.counters.failovers += 1
+        return best
+
+    def _observed_epoch(self, replica) -> int:
+        try:
+            replica.ping()
+        except Exception:  # noqa: BLE001 — fall back to the cached view
+            pass
+        return replica.epoch
+
+    def _ship(self, replica, epoch: int, batch: MutationBatch) -> None:
+        if not self._healthy(replica):
+            return  # it will catch up (or re-sync) when it comes back
+        try:
+            self._inject_fault(replica)
+            replica.replicate(batch, epoch)
+        except ReplicationError:
+            with self._state_lock:
+                self.counters.replication_rejects += 1
+            self._catch_up(replica)
+            return
+        except Exception:  # noqa: BLE001 — infra failure
+            self._note_failure(replica)
+            return
+        self._note_success(replica)
+        with self._state_lock:
+            self.counters.replicated_batches += 1
+
+    def _catch_up(self, replica) -> None:
+        """Replay the ship-log gap to a lagging replica, fenced per step."""
+        start = self._observed_epoch(replica)
+        pending = [(e, b) for e, b in self._log if e > start]
+        if not pending or pending[0][0] != start + 1:
+            # The gap starts before the bounded log's tail: only a full
+            # peer sync (warm_from_peer) can make this replica whole.
+            with self._state_lock:
+                self.counters.resync_required += 1
+            self._note_failure(replica)
+            return
+        try:
+            for epoch, batch in pending:
+                replica.replicate(batch, epoch)
+        except Exception:  # noqa: BLE001 — catch-up failed; stay down
+            self._note_failure(replica)
+            return
+        self._note_success(replica)
+        with self._state_lock:
+            self.counters.catch_ups += 1
+
+
+# ----------------------------------------------------------------------
+# Peer warmup
+# ----------------------------------------------------------------------
+
+
+def warm_from_peer(
+    host: str,
+    port: int,
+    data_dir,
+    chunk_size: int = DEFAULT_SYNC_CHUNK,
+    timeout: float = 60.0,
+) -> Dict:
+    """Stream a peer's durable state into *data_dir*, fail-closed.
+
+    Fetches the peer's sync manifest (its newest checksum-valid
+    snapshot generation, WAL prefix, and atlas), pulls every artifact in
+    CRC-verified chunks over the gateway protocol, verifies each
+    artifact's size/CRC32/SHA-256 end to end, and writes the standard
+    data-dir layout.  Any mismatch raises
+    :class:`~repro.errors.RecoveryError` before a recoverable-looking
+    state exists on disk.  The caller then boots through
+    :meth:`DurabilityManager.recover` exactly as from a local snapshot —
+    which is what makes the warmed replica bit-identical to the peer.
+
+    Returns a report dict (generation, epoch, fingerprint, artifacts,
+    chunks, bytes).
+    """
+    require(chunk_size >= 1, "chunk_size must be >= 1")
+    peer = GatewayPeer(host, port, request_timeout=timeout)
+    try:
+        reply = peer.request({"op": "sync_manifest"})
+        if not reply.get("ok"):
+            raise RecoveryError(
+                f"sync: peer refused manifest: "
+                f"{reply.get('message', reply.get('error', reply))}"
+            )
+        manifest = reply["manifest"]
+        sink = SyncSink(data_dir, manifest)
+        for name in manifest["artifacts"]:
+            while True:
+                offset = sink.missing(name)
+                chunk = peer.request(
+                    {
+                        "op": "sync_chunk",
+                        "name": name,
+                        "offset": offset,
+                        "length": int(chunk_size),
+                    }
+                )
+                if not chunk.get("ok"):
+                    raise RecoveryError(
+                        f"sync: peer refused chunk of {name!r}: "
+                        f"{chunk.get('message', chunk.get('error', chunk))}"
+                    )
+                data = base64.b64decode(chunk["data"])
+                sink.add_chunk(name, offset, data, int(chunk["crc32"]))
+                if chunk["eof"]:
+                    break
+        total = sink.finish()
+        return {
+            "generation": int(manifest["generation"]),
+            "epoch": int(manifest["epoch"]),
+            "fingerprint": manifest["fingerprint"],
+            "artifacts": len(manifest["artifacts"]),
+            "chunks": sink.chunks_received,
+            "bytes": total,
+        }
+    finally:
+        peer.close()

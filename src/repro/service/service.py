@@ -300,6 +300,9 @@ class QueryService:
         self._pool: Optional[Executor] = None
         self._dispatch: Optional[ThreadPoolExecutor] = None
         self._gate = _ReadWriteGate()
+        # Serialises replicated batches so the epoch fence check and the
+        # apply are one atomic step even when replicate ops race.
+        self._replication_lock = Lock()
         #: Optional :class:`~repro.service.recovery.DurabilityManager`.
         #: When set, every acknowledged mutation batch is WAL-logged
         #: (fsynced) before it is applied, and periodic snapshots are
@@ -520,6 +523,30 @@ class QueryService:
         stats.regions_evicted = evicted
         stats.wall_seconds = time.perf_counter() - start
         return stats
+
+    def apply_replicated(self, batch, epoch: int) -> ServiceStats:
+        """Apply an epoch-stamped batch shipped by a replication primary.
+
+        The fence mirrors the WAL's sequential-epoch refusal: *epoch*
+        must be exactly this replica's next version, otherwise a batch
+        was lost or reordered in flight and applying this one would
+        silently diverge from the primary — a structured
+        :class:`~repro.errors.ReplicationError` is raised instead, and
+        the primary (or its catch-up path) must replay the gap first.
+        Batches at or below the current epoch are also refused: a
+        duplicate delivery must not double-apply.
+        """
+        from ..errors import ReplicationError
+
+        batch = _coerce_batch(batch)
+        with self._replication_lock:
+            expected = self.index.epoch + 1
+            if int(epoch) != expected:
+                raise ReplicationError(
+                    f"epoch fence: replica at {self.index.epoch}, expected "
+                    f"batch for epoch {expected}, got {int(epoch)}"
+                )
+            return self.apply_mutations(batch)
 
     # ------------------------------------------------------------------
 

@@ -190,6 +190,16 @@ class ServiceStats:
         batches WAL-logged, torn WAL tails repaired on open, artifacts or
         records rejected for checksum/format mismatches, and total time
         spent in crash recovery.
+    replica_health_transitions, failovers, stale_reads, fence_waits:
+        Replication activity folded in from a
+        :class:`~repro.service.replication.ReplicaSet` (zero when serving
+        a single replica): replica circuit-breaker state changes, write
+        primaries promoted, reads explicitly served below the requested
+        ``min_epoch``, and reads that waited on the epoch fence.
+    sync_chunks_sent, sync_bytes_sent:
+        Peer-warmup traffic this process served over the gateway's
+        ``sync_chunk`` op (CRC-verified artifact chunks streamed to a
+        joining replica).
     """
 
     records: Deque[QueryRecord] = field(default_factory=deque)
@@ -210,6 +220,12 @@ class ServiceStats:
     wal_truncations: int = 0
     checksum_rejections: int = 0
     recovery_seconds: float = 0.0
+    replica_health_transitions: int = 0
+    failovers: int = 0
+    stale_reads: int = 0
+    fence_waits: int = 0
+    sync_chunks_sent: int = 0
+    sync_bytes_sent: int = 0
     window: int = DEFAULT_WINDOW
     # Streaming counters (exact over the whole run, not just the window).
     _n_total: int = field(default=0, repr=False)
@@ -432,6 +448,14 @@ class ServiceStats:
                 "checksum_rejections": self.checksum_rejections,
                 "recovery_seconds": self.recovery_seconds,
             },
+            "replication": {
+                "replica_health_transitions": self.replica_health_transitions,
+                "failovers": self.failovers,
+                "stale_reads": self.stale_reads,
+                "fence_waits": self.fence_waits,
+                "sync_chunks_sent": self.sync_chunks_sent,
+                "sync_bytes_sent": self.sync_bytes_sent,
+            },
         }
 
     def render(self) -> str:
@@ -488,6 +512,21 @@ class ServiceStats:
                     if self.recovery_seconds
                     else ""
                 )
+            )
+        if (
+            self.replica_health_transitions
+            or self.failovers
+            or self.stale_reads
+            or self.fence_waits
+            or self.sync_chunks_sent
+        ):
+            lines.append(
+                f"replication: {self.failovers} failovers, "
+                f"{self.replica_health_transitions} health transitions, "
+                f"{self.stale_reads} stale reads, "
+                f"{self.fence_waits} fence waits; sync served "
+                f"{self.sync_chunks_sent} chunks "
+                f"({self.sync_bytes_sent} bytes)"
             )
         if self.rollups:
             lines.append("")

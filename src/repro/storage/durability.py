@@ -76,11 +76,15 @@ __all__ = [
     "DurabilityCounters",
     "GenerationInfo",
     "SnapshotStore",
+    "SyncChunk",
+    "SyncSink",
     "WalRecord",
     "WriteAheadLog",
+    "build_sync_manifest",
     "dump_atlas",
     "load_atlas",
     "read_atlas_info",
+    "read_sync_chunk",
 ]
 
 #: Manifest / WAL / atlas format tags — bumped on incompatible changes.
@@ -136,6 +140,7 @@ class DurabilityCounters:
 WAL_SCOPE = 0
 SNAPSHOT_SCOPE = 1
 ATLAS_SCOPE = 2
+SYNC_SCOPE = 3
 
 
 def _maybe_fault(fault_plan, scope: int):
@@ -747,3 +752,226 @@ def load_atlas(path: "Path | str", cache, dataset: Dataset) -> int:
     for key, computation in entries:
         cache.put(key, computation)
     return len(entries)
+
+
+# ----------------------------------------------------------------------
+# Peer-sync streaming views
+# ----------------------------------------------------------------------
+
+#: Format tag of a peer-sync manifest (bumped on incompatible changes).
+SYNC_FORMAT = "repro-sync-v1"
+
+#: Default chunk size a sync stream is cut into.
+DEFAULT_SYNC_CHUNK = 256 * 1024
+
+
+def _sync_artifact_path(data_dir: Path, name: str) -> Path:
+    """Resolve a sync-manifest artifact name under *data_dir*, safely.
+
+    Only the fixed data-dir layout is addressable: ``wal.log``,
+    ``atlas.bin``, and ``snapshots/gen-NNNNNNNN/<artifact>`` with no
+    path separators in the artifact component.  Anything else — absolute
+    paths, ``..`` escapes, unknown names — raises a structured
+    :class:`RecoveryError`, so a sync peer can never read or write
+    outside the data dir.
+    """
+    parts = name.split("/")
+    if name in ("wal.log", "atlas.bin"):
+        return Path(data_dir) / name
+    if (
+        len(parts) == 3
+        and parts[0] == "snapshots"
+        and parts[1].startswith("gen-")
+        and parts[1][len("gen-") :].isdigit()
+        and parts[2] not in ("", ".", "..")
+        and "\\" not in parts[2]
+    ):
+        return Path(data_dir) / parts[0] / parts[1] / parts[2]
+    raise RecoveryError(f"sync: illegal artifact name {name!r}")
+
+
+def build_sync_manifest(data_dir: "Path | str") -> Dict:
+    """The peer-warmup view of *data_dir*: what a joining replica fetches.
+
+    Pins the newest **checksum-valid** snapshot generation (corrupt
+    newer generations are skipped exactly as recovery skips them), the
+    WAL as of this instant (its size and checksums are frozen into the
+    manifest, so a concurrently-growing log yields a consistent prefix
+    whose replay span ends at a real epoch boundary), and the region
+    atlas when one exists.  Every artifact carries size/CRC32/SHA-256;
+    the warming peer verifies each chunk in flight and each artifact at
+    assembly, then replays the result through the normal
+    :meth:`DurabilityManager.recover` path — bit-identical state without
+    ever touching this node's disk directly.
+    """
+    data_dir = Path(data_dir)
+    store = SnapshotStore(data_dir)
+    valid = [info for info in store.generations(verify=True) if info.valid]
+    if not valid:
+        raise RecoveryError(
+            "sync: no checksum-valid snapshot generation to serve"
+        )
+    newest = valid[-1]
+    assert newest.manifest is not None
+    artifacts: Dict[str, Dict] = {}
+    gen_prefix = f"snapshots/{newest.path.name}"
+    # Data before metadata: the assembling side writes artifacts in
+    # manifest order, so a crash mid-assembly can never leave a
+    # generation whose manifest.json is present but whose arrays are not.
+    for artifact in sorted(newest.manifest.get("artifacts", {})):
+        data = (newest.path / artifact).read_bytes()
+        artifacts[f"{gen_prefix}/{artifact}"] = _checksums(data)
+    manifest_bytes = (newest.path / "manifest.json").read_bytes()
+    artifacts[f"{gen_prefix}/manifest.json"] = _checksums(manifest_bytes)
+    wal_path = data_dir / "wal.log"
+    if wal_path.exists():
+        artifacts["wal.log"] = _checksums(wal_path.read_bytes())
+    atlas_path = data_dir / "atlas.bin"
+    if atlas_path.exists():
+        artifacts["atlas.bin"] = _checksums(atlas_path.read_bytes())
+    return {
+        "format": SYNC_FORMAT,
+        "generation": newest.generation,
+        "epoch": int(newest.manifest["epoch"]),
+        "fingerprint": newest.manifest["fingerprint"],
+        "artifacts": artifacts,
+    }
+
+
+@dataclass(frozen=True)
+class SyncChunk:
+    """One CRC-guarded slice of a sync artifact.
+
+    ``crc32`` is always the checksum of the slice *as read from disk*;
+    an injected sync fault corrupts :attr:`data` after the CRC was
+    computed, so the receiving side's verification is what catches it.
+    """
+
+    name: str
+    offset: int
+    data: bytes
+    crc32: int
+    eof: bool
+
+
+def read_sync_chunk(
+    data_dir: "Path | str",
+    name: str,
+    offset: int,
+    length: int = DEFAULT_SYNC_CHUNK,
+    fault_plan=None,
+) -> SyncChunk:
+    """Read one chunk of a sync artifact, with injectable corruption.
+
+    Sync faults (storage specs on :data:`SYNC_SCOPE`) model in-flight
+    corruption: a ``flip_byte`` flips one byte of the outgoing chunk, a
+    ``torn_write`` truncates it — both *after* ``crc32`` was computed
+    over the true bytes, so the warming peer must detect the mismatch
+    and fail closed.
+    """
+    require(offset >= 0, "sync chunk offset must be >= 0")
+    require(length >= 1, "sync chunk length must be >= 1")
+    path = _sync_artifact_path(Path(data_dir), name)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(length)
+    except OSError as exc:
+        raise RecoveryError(f"sync: cannot read {name!r}: {exc}") from exc
+    crc = zlib.crc32(data)
+    eof = offset + len(data) >= size
+    fault = _maybe_fault(fault_plan, SYNC_SCOPE)
+    if fault is not None and data:
+        if fault.kind == "flip_byte":
+            corrupted = bytearray(data)
+            corrupted[fault.at_byte % len(corrupted)] ^= 0xFF
+            data = bytes(corrupted)
+        elif fault.kind == "torn_write":
+            data = data[: max(1, len(data) // 2)]
+    return SyncChunk(name=name, offset=offset, data=data, crc32=crc, eof=eof)
+
+
+class SyncSink:
+    """Assemble a peer's sync stream into a local data dir, fail-closed.
+
+    Chunks arrive per artifact, sequentially; each chunk's CRC32 is
+    checked on arrival and each completed artifact's size/CRC32/SHA-256
+    is checked against the sync manifest before anything touches disk.
+    Any mismatch — corrupted chunk, truncated stream, overrun — raises
+    :class:`RecoveryError` and leaves the data dir without a valid
+    generation, so a subsequent recovery attempt fails closed instead of
+    booting from half-synced state.
+    """
+
+    def __init__(self, data_dir: "Path | str", manifest: Dict) -> None:
+        if manifest.get("format") != SYNC_FORMAT:
+            raise RecoveryError(
+                f"sync: unknown manifest format {manifest.get('format')!r}"
+            )
+        self.data_dir = Path(data_dir)
+        self.manifest = manifest
+        self.artifacts: Dict[str, Dict] = dict(manifest.get("artifacts", {}))
+        if not self.artifacts:
+            raise RecoveryError("sync: manifest lists no artifacts")
+        for name in self.artifacts:
+            _sync_artifact_path(self.data_dir, name)  # validate up front
+        self._buffers: Dict[str, bytearray] = {
+            name: bytearray() for name in self.artifacts
+        }
+        self.chunks_received = 0
+        self.bytes_received = 0
+
+    def add_chunk(self, name: str, offset: int, data: bytes, crc32: int) -> None:
+        """Accept one chunk; CRC and position are verified immediately."""
+        if name not in self._buffers:
+            raise RecoveryError(f"sync: chunk for unknown artifact {name!r}")
+        buffer = self._buffers[name]
+        if offset != len(buffer):
+            raise RecoveryError(
+                f"sync: {name}: out-of-order chunk at {offset}, "
+                f"expected {len(buffer)}"
+            )
+        if zlib.crc32(data) != int(crc32):
+            raise RecoveryError(f"sync: {name}: chunk CRC32 mismatch")
+        expected = int(self.artifacts[name].get("bytes", -1))
+        if len(buffer) + len(data) > expected:
+            raise RecoveryError(
+                f"sync: {name}: stream overruns declared size {expected}"
+            )
+        buffer.extend(data)
+        self.chunks_received += 1
+        self.bytes_received += len(data)
+
+    def missing(self, name: str) -> int:
+        """Bytes of *name* still to fetch (its next chunk offset)."""
+        if name not in self._buffers:
+            raise RecoveryError(f"sync: unknown artifact {name!r}")
+        return len(self._buffers[name])
+
+    def finish(self) -> int:
+        """Verify every artifact end-to-end and write the data-dir layout.
+
+        Artifacts are written in manifest order — snapshot arrays before
+        the generation manifest, WAL and atlas after — so an interrupted
+        assembly can never leave a generation that *looks* complete.
+        Returns the total bytes written.
+        """
+        for name, recorded in self.artifacts.items():
+            data = bytes(self._buffers[name])
+            if len(data) != int(recorded.get("bytes", -1)):
+                raise RecoveryError(
+                    f"sync: {name}: incomplete "
+                    f"({len(data)} of {recorded.get('bytes')} bytes)"
+                )
+            problem = _verify_checksums(data, recorded)
+            if problem is not None:
+                raise RecoveryError(f"sync: {name}: {problem}")
+        total = 0
+        for name in self.artifacts:
+            data = bytes(self._buffers[name])
+            path = _sync_artifact_path(self.data_dir, name)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write(path, data)
+            total += len(data)
+        return total

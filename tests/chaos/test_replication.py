@@ -1,0 +1,243 @@
+"""Replication chaos: killed replicas, corrupted sync streams.
+
+The replicated-serving contract under test:
+
+* with seeded replica crashes/stalls injected around dispatches, every
+  answer a :class:`ReplicaSet` returns is **bit-identical** to what a
+  fault-free single-node service computes at the answering epoch — or a
+  structured error (:class:`ReplicationError` / deadline) — never a
+  silently wrong result;
+* acked writes survive failover: whichever replica ends up primary, the
+  set reconverges to the fault-free oracle's state;
+* a warming peer (:func:`warm_from_peer`) whose sync stream is
+  corrupted in flight fails **closed** with :class:`RecoveryError` and
+  leaves no recoverable-looking state behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Mutation, Query, ShardedQueryService
+from repro.errors import DeadlineExceeded, RecoveryError, ReplicationError
+from repro.service import (
+    AsyncGateway,
+    DurabilityManager,
+    FaultPlan,
+    FaultSpec,
+    REPLICATION_FAULT_KINDS,
+    has_state,
+)
+from repro.service.replication import ReplicaSet, warm_from_peer
+from repro.storage.durability import SYNC_SCOPE
+
+
+def make_dataset(n=50, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+QUERIES = [
+    Query([0, 2, 4], [0.7, 0.3, 0.5]),
+    Query([1, 3], [0.9, 0.2]),
+    Query([0, 1, 5], [0.4, 0.6, 0.8]),
+]
+
+BATCHES = [
+    [Mutation.update(3, 1, 0.51)],
+    [Mutation.update(9, 2, 0.27), Mutation.update(14, 0, 0.33)],
+    [Mutation.update(21, 4, 0.68)],
+]
+
+
+def answer_key(computation):
+    return (
+        tuple(int(i) for i in computation.result.ids),
+        tuple(float(s) for s in computation.result.scores),
+        tuple(
+            (dim,) + tuple(computation.immutable_interval(dim))
+            for dim in computation.sequences
+        ),
+    )
+
+
+def oracle_answers(seed, k=5):
+    """Fault-free single-node answers for every query at every epoch."""
+    service = ShardedQueryService(make_dataset(seed=seed), n_shards=2)
+    answers = {}
+    try:
+        for epoch in range(len(BATCHES) + 1):
+            if epoch > 0:
+                service.apply_mutations(BATCHES[epoch - 1])
+            assert service.index.epoch == epoch
+            for qi, query in enumerate(QUERIES):
+                computation = service.execute(query, k=k)
+                answers[(qi, epoch)] = answer_key(computation)
+        fingerprint = service.index.dataset.fingerprint()
+    finally:
+        service.close()
+    return answers, fingerprint
+
+
+class TestReplicaCrashChaos:
+    @pytest.mark.parametrize("seed", [3, 11, 29, 47])
+    def test_bit_identical_or_structured_error(self, seed):
+        oracle, final_fingerprint = oracle_answers(seed)
+        plan = FaultPlan.sample(
+            seed=seed,
+            n_shards=3,  # scopes address replica indices here
+            n_faults=5,
+            kinds=REPLICATION_FAULT_KINDS,
+            max_at=6,
+            stall_seconds=0.005,
+        )
+        with ReplicaSet.build(
+            make_dataset(seed=seed),
+            3,
+            n_shards=2,
+            set_kwargs={"fault_plan": plan, "failure_threshold": 10},
+        ) as replicas:
+            # Interleave reads and writes; every injected crash must
+            # surface as re-dispatch, failover, or a structured error.
+            for epoch, batch in enumerate(BATCHES, start=1):
+                for qi, query in enumerate(QUERIES):
+                    try:
+                        computation, _ = replicas.execute_tiered(query, k=5)
+                    except (ReplicationError, DeadlineExceeded):
+                        continue  # structured, never silent
+                    key = (qi, computation.epoch)
+                    assert answer_key(computation) == oracle[key]
+                try:
+                    replicas.apply_mutations(batch)
+                except ReplicationError:
+                    pytest.fail(
+                        "write lost despite healthy replicas remaining"
+                    )
+                assert replicas.primary.epoch == epoch
+            # Post-chaos: acked writes reconverged everywhere (directly
+            # or via ship-log catch-up), bit for bit.
+            for replica in replicas.replicas:
+                assert replica.epoch == len(BATCHES)
+                assert (
+                    replica.service.index.dataset.fingerprint()
+                    == final_fingerprint
+                )
+            for qi, query in enumerate(QUERIES):
+                computation, _ = replicas.execute_tiered(query, k=5)
+                assert answer_key(computation) == oracle[(qi, len(BATCHES))]
+
+    def test_crash_mid_slider_drag_replay(self):
+        from repro.datasets.workloads import slider_drag
+        from repro.loadgen import InProcessTarget, LoadStep, build_schedule, run_replay
+
+        data = make_dataset(seed=5)
+        workload = slider_drag(
+            data, qlen=3, n_anchors=3, drags_per_anchor=4, seed=5
+        )
+        schedule = build_schedule(
+            list(workload),
+            [LoadStep(rate=120.0, duration=0.25, process="fixed")],
+        )
+        plan = FaultPlan(
+            [FaultSpec("replica_crash", replica, at=at)
+             for replica in range(2)
+             for at in (0, 3)]
+        )
+        replicas = ReplicaSet.build(
+            make_dataset(seed=5),
+            2,
+            n_shards=2,
+            set_kwargs={"fault_plan": plan, "failure_threshold": 10},
+        )
+        try:
+            target = InProcessTarget(replicas, k=5, max_workers=4)
+            outcomes = run_replay(schedule, target)
+        finally:
+            replicas.close()
+        # Every arrival resolves to a structured outcome — the injected
+        # replica deaths become re-dispatches or typed errors, never
+        # hangs or raises out of the replay.
+        assert len(outcomes) == 30
+        assert {o.outcome for o in outcomes} <= {"ok", "degraded", "error"}
+        assert any(o.outcome == "ok" for o in outcomes)
+        assert plan.counters.crashes == 4
+
+
+class _GatewayThread:
+    """A live gateway on an ephemeral port, driven from a daemon thread."""
+
+    def __init__(self, service, **kwargs):
+        self.gateway = AsyncGateway(service, **kwargs)
+        self._ready = threading.Event()
+        self._stop = threading.Event()
+        self.port = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "gateway failed to start"
+
+    def _run(self):
+        async def main():
+            _, self.port = await self.gateway.start("127.0.0.1", 0)
+            self._ready.set()
+            while not self._stop.is_set():
+                await asyncio.sleep(0.02)
+            await self.gateway.stop()
+
+        asyncio.run(main())
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def durable_peer(tmp_path):
+    """A durable service with a snapshot + WAL tail, served over TCP."""
+    durability = DurabilityManager(tmp_path / "peer", snapshot_interval=0)
+    service = ShardedQueryService(
+        make_dataset(), n_shards=2, durability=durability
+    )
+    service.snapshot_now()
+    service.apply_mutations(BATCHES[0])
+    service.apply_mutations(BATCHES[1])
+    server = _GatewayThread(service)
+    yield server, service, tmp_path
+    server.close()
+    service.close()
+
+
+class TestSyncStreamChaos:
+    def test_clean_warmup_is_bit_identical(self, durable_peer):
+        server, service, tmp_path = durable_peer
+        report = warm_from_peer(
+            "127.0.0.1", server.port, tmp_path / "warm", chunk_size=512
+        )
+        assert report["epoch"] == 0  # the snapshot's epoch; WAL adds 2
+        warm = DurabilityManager(tmp_path / "warm")
+        state = warm.recover()
+        assert state.index.epoch == service.index.epoch == 2
+        assert (
+            state.index.dataset.fingerprint()
+            == service.index.dataset.fingerprint()
+        )
+        warm.close()
+
+    @pytest.mark.parametrize("kind", ["flip_byte", "torn_write"])
+    @pytest.mark.parametrize("at", [0, 2, 5])
+    def test_corrupted_stream_fails_closed(
+        self, durable_peer, kind, at
+    ):
+        server, service, tmp_path = durable_peer
+        server.gateway.fault_plan = FaultPlan(
+            [FaultSpec(kind, SYNC_SCOPE, at=at, at_byte=13)]
+        )
+        with pytest.raises(RecoveryError):
+            warm_from_peer(
+                "127.0.0.1", server.port, tmp_path / "warm", chunk_size=512
+            )
+        # Fail closed: no half-synced state a later boot could trust.
+        assert not has_state(tmp_path / "warm")

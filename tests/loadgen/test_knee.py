@@ -1,0 +1,88 @@
+"""Knee search: bracketing, bisection, and recorded evidence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.loadgen import KneeResult, find_knee
+
+
+def threshold_probe(knee, calls=None):
+    """A perfectly monotone service: passes at or below *knee* qps."""
+
+    def probe(rate):
+        if calls is not None:
+            calls.append(rate)
+        return rate <= knee, {"rate": rate}
+
+    return probe
+
+
+class TestBracketing:
+    def test_lo_failing_means_no_knee(self):
+        result = find_knee(threshold_probe(5.0), lo=10.0, hi=100.0)
+        assert result.knee_qps is None
+        assert len(result.probes) == 1  # stopped at the first probe
+        assert not result.probes[0].passed
+
+    def test_hi_passing_returns_hi(self):
+        result = find_knee(threshold_probe(1000.0), lo=10.0, hi=100.0)
+        assert result.knee_qps == 100.0
+        assert len(result.probes) == 2
+
+    def test_degenerate_range(self):
+        result = find_knee(threshold_probe(50.0), lo=20.0, hi=20.0)
+        assert result.knee_qps == 20.0
+        assert len(result.probes) == 1
+
+
+class TestBisection:
+    @pytest.mark.parametrize("knee", [130.0, 400.0, 601.0])
+    def test_converges_within_resolution(self, knee):
+        lo, hi, iterations = 100.0, 800.0, 8
+        result = find_knee(
+            threshold_probe(knee), lo=lo, hi=hi, iterations=iterations
+        )
+        resolution = (hi - lo) / 2**iterations
+        assert result.knee_qps is not None
+        assert result.knee_qps <= knee  # never overstates capacity
+        assert knee - result.knee_qps <= resolution + 1e-9
+        assert len(result.probes) == 2 + iterations
+
+    def test_each_iteration_costs_one_probe(self):
+        calls = []
+        find_knee(
+            threshold_probe(300.0, calls), lo=100.0, hi=800.0, iterations=3
+        )
+        assert len(calls) == 5  # lo, hi, 3 bisections
+
+    def test_evidence_recorded_per_probe(self):
+        result = find_knee(
+            threshold_probe(300.0), lo=100.0, hi=800.0, iterations=2
+        )
+        payload = result.as_dict()
+        assert payload["n_probes"] == len(payload["probes"]) == 4
+        for probe in payload["probes"]:
+            assert probe["detail"] == {"rate": probe["rate"]}
+        assert payload["lo"] == 100.0 and payload["hi"] == 800.0
+
+    def test_nonmonotone_probe_returns_last_passing_mid(self):
+        # A flaky pass above the true knee is taken at face value — the
+        # documented caveat: the knee is the highest *observed* pass.
+        verdicts = iter([True, False, True, False])
+        result = find_knee(
+            lambda rate: (next(verdicts), {}), lo=10.0, hi=90.0, iterations=2
+        )
+        assert result.knee_qps == 50.0
+
+
+class TestValidation:
+    def test_bad_arguments(self):
+        probe = threshold_probe(50.0)
+        with pytest.raises(ValidationError):
+            find_knee(probe, lo=0.0, hi=10.0)
+        with pytest.raises(ValidationError):
+            find_knee(probe, lo=10.0, hi=5.0)
+        with pytest.raises(ValidationError):
+            find_knee(probe, lo=10.0, hi=20.0, iterations=0)

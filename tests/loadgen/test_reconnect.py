@@ -1,0 +1,151 @@
+"""GatewayTarget resilience: half-closed pools, endpoint failover."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Mutation, Query, ShardedQueryService
+from repro.loadgen import GatewayTarget
+from repro.service import AsyncGateway
+
+QUERY = Query([0, 2, 4], [0.7, 0.3, 0.5])
+
+
+def make_dataset(n=60, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+def free_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestHalfClosedPool:
+    def test_idempotent_query_retries_once_on_fresh_connection(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        port = free_port()
+
+        async def main():
+            gateway = AsyncGateway(service, k=5)
+            await gateway.start("127.0.0.1", port)
+            target = GatewayTarget("127.0.0.1", port, k=5)
+            try:
+                outcome, _, _ = await target.query(QUERY)
+                assert outcome == "ok"
+                assert len(target._idle) == 1  # connection went back idle
+                # Server restart: every pooled connection is now dead.
+                await gateway.stop()
+                gateway2 = AsyncGateway(service, k=5)
+                await gateway2.start("127.0.0.1", port)
+                try:
+                    outcome, _, detail = await target.query(QUERY)
+                    assert outcome == "ok", detail
+                    assert target.reconnects == 1
+                finally:
+                    await gateway2.stop()
+            finally:
+                await target.close()
+
+        try:
+            asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_mutation_never_auto_retries(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        port = free_port()
+
+        async def main():
+            gateway = AsyncGateway(service, k=5)
+            await gateway.start("127.0.0.1", port)
+            target = GatewayTarget("127.0.0.1", port, k=5)
+            try:
+                outcome, _, _ = await target.query(QUERY)
+                assert outcome == "ok"
+                await gateway.stop()
+                gateway2 = AsyncGateway(service, k=5)
+                await gateway2.start("127.0.0.1", port)
+                try:
+                    outcome, detail = await target.mutate(
+                        Mutation.update(3, 1, 0.5)
+                    )
+                    # The pooled connection was dead and a write is not
+                    # idempotent: it must surface the error, not retry.
+                    assert outcome == "error"
+                    assert target.reconnects == 0
+                finally:
+                    await gateway2.stop()
+            finally:
+                await target.close()
+
+        try:
+            asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_fresh_connection_failure_still_surfaces(self):
+        port = free_port()  # nothing listens here
+        target = GatewayTarget("127.0.0.1", port, k=5)
+
+        async def main():
+            outcome, _, detail = await target.query(QUERY)
+            assert outcome == "error"
+            assert target.reconnects == 0
+            await target.close()
+
+        asyncio.run(main())
+
+
+class TestEndpointFailover:
+    def test_rotates_past_dead_endpoint(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        dead = free_port()
+
+        async def main():
+            gateway = AsyncGateway(service, k=5)
+            _, live = await gateway.start("127.0.0.1", 0)
+            target = GatewayTarget(
+                "127.0.0.1",
+                dead,
+                k=5,
+                endpoints=[("127.0.0.1", dead), ("127.0.0.1", live)],
+            )
+            try:
+                outcome, _, detail = await target.query(QUERY)
+                assert outcome == "ok", detail
+                assert target.failovers == 1
+                # Later connections stick to the endpoint that worked.
+                outcome, _, _ = await target.query(QUERY)
+                assert outcome == "ok"
+                assert target.failovers == 1
+            finally:
+                await target.close()
+                await gateway.stop()
+
+        try:
+            asyncio.run(main())
+        finally:
+            service.close()
+
+    def test_all_endpoints_dead_is_an_error(self):
+        target = GatewayTarget(
+            "127.0.0.1",
+            1,
+            endpoints=[("127.0.0.1", free_port()), ("127.0.0.1", free_port())],
+        )
+
+        async def main():
+            outcome, _, detail = await target.query(QUERY)
+            assert outcome == "error"
+            assert "no endpoint reachable" in detail
+            await target.close()
+
+        asyncio.run(main())

@@ -1,0 +1,362 @@
+"""Replica sets: failover, epoch fencing, staleness, gateway wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Mutation, Query, ShardedQueryService
+from repro.errors import ReplicationError, ValidationError
+from repro.service import AsyncGateway, FaultPlan, FaultSpec
+from repro.service.gateway import run_self_test
+from repro.service.replication import (
+    LocalReplica,
+    PeerComputation,
+    ReplicaSet,
+    clone_data,
+)
+
+
+def make_dataset(n=60, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+QUERY = Query([0, 2, 4], [0.7, 0.3, 0.5])
+BATCH = [Mutation.update(3, 1, 0.5)]
+BATCH2 = [Mutation.update(9, 2, 0.25)]
+
+
+def make_set(n=3, seed=0, **set_kwargs):
+    return ReplicaSet.build(
+        make_dataset(seed=seed), n, n_shards=2, set_kwargs=set_kwargs
+    )
+
+
+def answer_key(computation):
+    """The full bit-identity surface of one answer."""
+    return (
+        tuple(int(i) for i in computation.result.ids),
+        tuple(float(s) for s in computation.result.scores),
+        tuple(
+            (dim,) + tuple(computation.immutable_interval(dim))
+            for dim in computation.sequences
+        ),
+    )
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCloneData:
+    def test_clone_is_bit_identical_and_independent(self):
+        data = make_dataset()
+        clone = clone_data(data)
+        assert clone.fingerprint() == data.fingerprint()
+        assert clone.epoch == data.epoch
+        clone.apply(Mutation.update(0, 0, 0.9))
+        assert clone.fingerprint() != data.fingerprint()
+        assert data.epoch == 0 and clone.epoch == 1
+
+    def test_clone_restores_nonzero_epoch(self):
+        data = make_dataset()
+        data.apply(Mutation.update(0, 0, 0.9))
+        assert clone_data(data).epoch == 1
+
+
+class TestLocalReplicaFencing:
+    def test_sequential_epoch_accepted(self):
+        replica = LocalReplica(ShardedQueryService(make_dataset(), n_shards=2))
+        replica.replicate(BATCH, 1)
+        replica.replicate(BATCH2, 2)
+        assert replica.epoch == 2
+        replica.close()
+
+    @pytest.mark.parametrize("epoch", [0, 2, 5])
+    def test_gap_or_replay_refused(self, epoch):
+        replica = LocalReplica(ShardedQueryService(make_dataset(), n_shards=2))
+        with pytest.raises(ReplicationError):
+            replica.replicate(BATCH, epoch)
+        assert replica.epoch == 0  # refused batches must not apply
+        replica.close()
+
+
+class TestReplicaSetReads:
+    def test_matches_single_node_oracle_from_every_replica(self):
+        oracle = ShardedQueryService(make_dataset(), n_shards=2)
+        expected = answer_key(oracle.execute_tiered(QUERY, k=5)[0])
+        with make_set(3) as replicas:
+            # Round-robin: three reads land on three different replicas.
+            for _ in range(3):
+                computation, tier = replicas.execute_tiered(QUERY, k=5)
+                assert answer_key(computation) == expected
+                assert tier in ("computed", "cache_hit", "rebased")
+        oracle.close()
+
+    def test_redispatch_on_injected_crash(self):
+        plan = FaultPlan([FaultSpec("replica_crash", 0, at=0)])
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={"fault_plan": plan},
+        ) as replicas:
+            computation, _ = replicas.execute_tiered(QUERY, k=5)
+            assert computation.result.ids  # answered by the survivor
+            assert replicas.counters.redispatches == 1
+            assert plan.exhausted
+
+    def test_all_replicas_down_is_structured_error(self):
+        plan = FaultPlan(
+            [FaultSpec("replica_crash", i, at=0) for i in range(2)]
+        )
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={"fault_plan": plan, "failure_threshold": 1},
+        ) as replicas:
+            with pytest.raises(ReplicationError):
+                replicas.execute_tiered(QUERY, k=5)
+
+
+class TestReplicaSetWrites:
+    def test_writes_replicate_to_every_replica(self):
+        with make_set(3) as replicas:
+            replicas.apply_mutations(BATCH)
+            replicas.apply_mutations(BATCH2)
+            epochs = [r.epoch for r in replicas.replicas]
+            assert epochs == [2, 2, 2]
+            fingerprints = {
+                r.service.index.dataset.fingerprint()
+                for r in replicas.replicas
+            }
+            assert len(fingerprints) == 1
+            assert replicas.counters.replicated_batches == 4
+
+    def test_reads_after_write_identical_across_replicas(self):
+        with make_set(3) as replicas:
+            replicas.apply_mutations(BATCH)
+            keys = {
+                answer_key(replicas.execute_tiered(QUERY, k=5)[0])
+                for _ in range(3)
+            }
+            assert len(keys) == 1
+
+    def test_bad_batch_fails_without_failover(self):
+        with make_set(2) as replicas:
+            with pytest.raises(ValidationError):
+                replicas.apply_mutations([Mutation.update(10**6, 0, 0.5)])
+            assert replicas.counters.failovers == 0
+            assert [r.epoch for r in replicas.replicas] == [0, 0]
+
+    def test_write_failover_promotes_and_applies(self):
+        plan = FaultPlan([FaultSpec("replica_crash", 0, at=0)])
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={"fault_plan": plan, "failure_threshold": 1},
+        ) as replicas:
+            replicas.apply_mutations(BATCH)
+            assert replicas.counters.failovers == 1
+            assert replicas.primary_name == "replica-1"
+            assert replicas.primary.epoch == 1
+
+    def test_recovered_replica_catches_up_from_ship_log(self):
+        clock = FakeClock()
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={
+                "failure_threshold": 1,
+                "reset_after": 1.0,
+                "clock": clock,
+            },
+        ) as replicas:
+            lagger = replicas.replicas[1]
+            replicas.breaker_of(lagger.name).record_failure()
+            assert replicas.breaker_of(lagger.name).state == "open"
+            replicas.apply_mutations(BATCH)  # shipped past the open breaker
+            assert lagger.epoch == 0
+            clock.t = 2.0  # breaker half-opens; next ship reaches it
+            replicas.apply_mutations(BATCH2)
+            assert replicas.counters.replication_rejects == 1
+            assert replicas.counters.catch_ups == 1
+            assert [r.epoch for r in replicas.replicas] == [2, 2]
+            fingerprints = {
+                r.service.index.dataset.fingerprint()
+                for r in replicas.replicas
+            }
+            assert len(fingerprints) == 1
+
+    def test_gap_past_bounded_log_requires_resync(self):
+        clock = FakeClock()
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={
+                "failure_threshold": 1,
+                "reset_after": 1.0,
+                "clock": clock,
+                "replication_log_capacity": 1,
+            },
+        ) as replicas:
+            lagger = replicas.replicas[1]
+            replicas.breaker_of(lagger.name).record_failure()
+            replicas.apply_mutations(BATCH)
+            replicas.apply_mutations(BATCH2)  # evicts epoch 1 from the log
+            clock.t = 2.0
+            replicas.apply_mutations([Mutation.update(5, 3, 0.75)])
+            assert replicas.counters.resync_required == 1
+            assert lagger.epoch == 0  # never partially applied
+
+    def test_set_level_epoch_fence(self):
+        with make_set(2) as replicas:
+            with pytest.raises(ReplicationError):
+                replicas.apply_replicated(BATCH, 2)  # gap: set is at 0
+            replicas.apply_replicated(BATCH, 1)
+            assert [r.epoch for r in replicas.replicas] == [1, 1]
+
+
+class TestMinEpoch:
+    def test_fresh_read_not_counted_stale(self):
+        with make_set(2) as replicas:
+            replicas.apply_mutations(BATCH)
+            computation, _ = replicas.execute_tiered(QUERY, k=5, min_epoch=1)
+            assert computation.epoch == 1
+            assert replicas.counters.stale_reads == 0
+
+    def test_unreachable_epoch_served_stale_and_counted(self):
+        with make_set(
+            2, fence_wait_s=0.02, fence_poll_s=0.005
+        ) as replicas:
+            computation, _ = replicas.execute_tiered(QUERY, k=5, min_epoch=7)
+            assert computation.epoch == 0  # explicit, never silent
+            assert replicas.counters.stale_reads == 1
+            assert replicas.counters.fence_waits == 1
+
+
+class TestHealthProbes:
+    def test_probe_feeds_breakers_and_promotes(self):
+        clock = FakeClock()
+        with ReplicaSet.build(
+            make_dataset(),
+            2,
+            n_shards=2,
+            set_kwargs={"failure_threshold": 1, "clock": clock},
+        ) as replicas:
+            dead = replicas.replicas[0]
+            dead.service.close()
+            dead.ping = lambda: (_ for _ in ()).throw(ConnectionError("down"))
+            liveness = replicas.probe_now()
+            assert liveness == {"replica-0": False, "replica-1": True}
+            assert replicas.breaker_of("replica-0").state == "open"
+            assert replicas.primary_name == "replica-1"
+            assert replicas.counters.failovers == 1
+            snapshot = replicas.replication_snapshot()
+            assert snapshot["primary"] == "replica-1"
+            assert snapshot["probes"] == 1
+            assert snapshot["health_transitions"] >= 1
+
+
+class TestGatewayIntegration:
+    def test_query_replicate_and_stats_over_the_wire(self):
+        replicas = make_set(2)
+        gateway = AsyncGateway(replicas)
+        responses = run_self_test(
+            gateway,
+            [
+                {"op": "ping"},
+                {
+                    "op": "query",
+                    "dims": [0, 2, 4],
+                    "weights": [0.7, 0.3, 0.5],
+                    "k": 5,
+                },
+                {
+                    "op": "replicate",
+                    "epoch": 1,
+                    "mutations": [
+                        {"kind": "update", "id": 3, "dim": 1, "value": 0.5}
+                    ],
+                },
+                {
+                    "op": "replicate",
+                    "epoch": 5,
+                    "mutations": [
+                        {"kind": "update", "id": 3, "dim": 1, "value": 0.5}
+                    ],
+                },
+                {
+                    "op": "query",
+                    "dims": [0, 2, 4],
+                    "weights": [0.7, 0.3, 0.5],
+                    "k": 5,
+                    "min_epoch": 9,
+                },
+                {"op": "stats"},
+            ],
+        )
+        ping, fresh, accepted, fenced, stale, stats = responses
+        assert ping["ok"] and ping["epoch"] == 0
+        assert fresh["ok"] and "stale" not in fresh
+        assert accepted["ok"] and accepted["epoch"] == 1
+        assert not fenced["ok"] and fenced["code"] == "EPOCH_FENCE"
+        assert fenced["epoch"] == 1
+        assert stale["ok"] and stale["stale"] is True
+        replication = stats["stats"]["replication"]
+        assert replication["n_replicas"] == 2
+        assert replication["replicated_batches_received"] == 1
+        assert replication["stale_reads"] == 1
+
+    def test_plain_service_counts_stale_reads_gateway_side(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        gateway = AsyncGateway(service)
+        responses = run_self_test(
+            gateway,
+            [
+                {
+                    "op": "query",
+                    "dims": [0, 2, 4],
+                    "weights": [0.7, 0.3, 0.5],
+                    "k": 5,
+                    "min_epoch": 3,
+                },
+                {"op": "stats"},
+            ],
+        )
+        assert responses[0]["ok"] and responses[0]["stale"] is True
+        assert responses[1]["stats"]["replication"]["stale_reads"] == 1
+
+
+class TestPeerComputation:
+    def test_rendered_reply_round_trips(self):
+        service = ShardedQueryService(make_dataset(), n_shards=2)
+        gateway = AsyncGateway(service)
+        responses = run_self_test(
+            gateway,
+            [
+                {
+                    "op": "query",
+                    "dims": [0, 2, 4],
+                    "weights": [0.7, 0.3, 0.5],
+                    "k": 5,
+                }
+            ],
+        )
+        oracle = ShardedQueryService(make_dataset(), n_shards=2)
+        expected = oracle.execute_tiered(QUERY, k=5)[0]
+        peer = PeerComputation(responses[0])
+        assert answer_key(peer) == answer_key(expected)
+        assert peer.epoch == expected.epoch
+        for dim in expected.sequences:
+            assert peer.query.weight_of(dim) == expected.query.weight_of(dim)
+        oracle.close()

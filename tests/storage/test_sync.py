@@ -1,0 +1,187 @@
+"""The peer-sync substrate: manifest, chunked reads, fail-closed sink."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Mutation, ShardedQueryService
+from repro.errors import RecoveryError
+from repro.service import DurabilityManager, FaultPlan, FaultSpec, has_state
+from repro.storage.durability import (
+    DEFAULT_SYNC_CHUNK,
+    SYNC_FORMAT,
+    SYNC_SCOPE,
+    SyncSink,
+    build_sync_manifest,
+    read_sync_chunk,
+)
+
+
+def make_dataset(n=40, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset.from_dense(rng.random((n, m)) * (rng.random((n, m)) < 0.8))
+
+
+@pytest.fixture()
+def source_dir(tmp_path):
+    """A data dir with one snapshot generation, a WAL tail, and an atlas."""
+    data_dir = tmp_path / "source"
+    durability = DurabilityManager(data_dir, snapshot_interval=0)
+    service = ShardedQueryService(
+        make_dataset(), n_shards=2, durability=durability
+    )
+    service.snapshot_now()
+    service.apply_mutations([Mutation.update(3, 1, 0.5)])
+    service.apply_mutations([Mutation.update(9, 2, 0.25)])
+    yield data_dir, service
+    service.close()
+
+
+def pull_everything(source, sink, chunk_size=DEFAULT_SYNC_CHUNK, plan=None):
+    for name in sink.artifacts:
+        while True:
+            offset = sink.missing(name)
+            chunk = read_sync_chunk(
+                source, name, offset, chunk_size, fault_plan=plan
+            )
+            sink.add_chunk(name, offset, chunk.data, chunk.crc32)
+            if chunk.eof:
+                break
+
+
+class TestManifest:
+    def test_lists_generation_wal_and_checksums(self, source_dir):
+        data_dir, service = source_dir
+        manifest = build_sync_manifest(data_dir)
+        assert manifest["format"] == SYNC_FORMAT
+        assert manifest["epoch"] == 0  # snapshot taken before the writes
+        names = list(manifest["artifacts"])
+        assert "wal.log" in names
+        assert any(name.startswith("snapshots/gen-") for name in names)
+        # Data before metadata: manifest.json must follow its arrays.
+        gen_names = [n for n in names if n.startswith("snapshots/")]
+        assert gen_names[-1].endswith("manifest.json")
+        for recorded in manifest["artifacts"].values():
+            assert set(recorded) >= {"bytes", "crc32", "sha256"}
+
+    def test_no_valid_generation_refused(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            build_sync_manifest(tmp_path / "empty")
+
+    def test_wal_size_pinned_at_manifest_time(self, source_dir):
+        data_dir, service = source_dir
+        manifest = build_sync_manifest(data_dir)
+        pinned = manifest["artifacts"]["wal.log"]["bytes"]
+        service.apply_mutations([Mutation.update(5, 3, 0.75)])
+        assert (data_dir / "wal.log").stat().st_size > pinned
+        # The sink stops at the pinned size and still verifies clean.
+        sink = SyncSink(data_dir / ".." / "warm", manifest)
+        for name in sink.artifacts:
+            want = int(manifest["artifacts"][name]["bytes"])
+            while sink.missing(name) < want:
+                length = want - sink.missing(name)
+                chunk = read_sync_chunk(
+                    data_dir, name, sink.missing(name), length
+                )
+                sink.add_chunk(
+                    name, chunk.offset, chunk.data[:length], zlib.crc32(chunk.data[:length])
+                )
+        assert sink.finish() > 0
+
+
+class TestChunks:
+    def test_chunking_reassembles_exactly(self, source_dir, tmp_path):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        pull_everything(data_dir, sink, chunk_size=97)  # force many chunks
+        assert sink.finish() == sum(
+            int(a["bytes"]) for a in manifest["artifacts"].values()
+        )
+        assert sink.chunks_received > len(manifest["artifacts"])
+
+    @pytest.mark.parametrize(
+        "name",
+        ["../wal.log", "/etc/passwd", "snapshots/gen-1/../x", "bogus.bin"],
+    )
+    def test_illegal_artifact_names_refused(self, source_dir, name):
+        data_dir, _ = source_dir
+        with pytest.raises(RecoveryError):
+            read_sync_chunk(data_dir, name, 0, 16)
+
+
+class TestSinkFailsClosed:
+    def test_crc_mismatch(self, source_dir, tmp_path):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        name = next(iter(sink.artifacts))
+        chunk = read_sync_chunk(data_dir, name, 0, 64)
+        with pytest.raises(RecoveryError, match="CRC32"):
+            sink.add_chunk(name, 0, chunk.data, chunk.crc32 ^ 1)
+
+    def test_out_of_order_chunk(self, source_dir, tmp_path):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        name = next(iter(sink.artifacts))
+        chunk = read_sync_chunk(data_dir, name, 64, 64)
+        with pytest.raises(RecoveryError, match="out-of-order"):
+            sink.add_chunk(name, 64, chunk.data, chunk.crc32)
+
+    def test_overrun_refused(self, source_dir, tmp_path):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        name = "wal.log"
+        manifest["artifacts"][name] = dict(
+            manifest["artifacts"][name], bytes=8
+        )
+        sink = SyncSink(tmp_path / "warm", manifest)
+        chunk = read_sync_chunk(data_dir, name, 0, 64)
+        with pytest.raises(RecoveryError, match="overrun"):
+            sink.add_chunk(name, 0, chunk.data, chunk.crc32)
+
+    def test_incomplete_artifact_refused_at_finish(self, source_dir, tmp_path):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        with pytest.raises(RecoveryError, match="incomplete"):
+            sink.finish()
+        # Nothing hit the disk: the target is not recoverable state.
+        assert not has_state(tmp_path / "warm")
+
+    @pytest.mark.parametrize("kind", ["flip_byte", "torn_write"])
+    def test_injected_stream_corruption_detected(
+        self, source_dir, tmp_path, kind
+    ):
+        data_dir, _ = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        plan = FaultPlan(
+            [FaultSpec(kind, SYNC_SCOPE, at=1, at_byte=7)]
+        )
+        with pytest.raises(RecoveryError):
+            pull_everything(data_dir, sink, chunk_size=97, plan=plan)
+        assert plan.exhausted
+        assert not has_state(tmp_path / "warm")
+
+
+class TestRoundTrip:
+    def test_synced_dir_recovers_bit_identical(self, source_dir, tmp_path):
+        data_dir, service = source_dir
+        manifest = build_sync_manifest(data_dir)
+        sink = SyncSink(tmp_path / "warm", manifest)
+        pull_everything(data_dir, sink)
+        sink.finish()
+        warm = DurabilityManager(tmp_path / "warm")
+        state = warm.recover()
+        assert state.report.wal_records_replayed == 2
+        assert (
+            state.index.dataset.fingerprint()
+            == service.index.dataset.fingerprint()
+        )
+        assert state.index.epoch == service.index.epoch == 2
+        warm.close()
